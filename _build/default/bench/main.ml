@@ -1,0 +1,184 @@
+(* The benchmark harness.
+
+   Two layers, both in this executable:
+
+   1. The *experiment harness*: regenerates every table/figure of
+      EXPERIMENTS.md (E1..E8) by calling the drivers in [Experiments].
+      Run `dune exec bench/main.exe` (add `--quick` for a CI-speed pass,
+      or `--only e3` for a single experiment).
+
+   2. Bechamel micro/macro benchmarks — one Test per experiment-relevant
+      code path (simulator step costs, one consensus run per protocol,
+      one adversary construction per lower bound, one exhaustive model
+      check).  Run with `--bench` (also included in a default full run).
+*)
+
+open Bechamel
+open Toolkit
+
+let nf = Staged.stage
+
+(* --- micro: simulator step costs ------------------------------------- *)
+
+let bench_object_step name (ot : Sim.Optype.t) op =
+  Test.make ~name (nf (fun () -> Sim.Optype.apply ot ot.Sim.Optype.init op))
+
+let micro_tests =
+  [
+    bench_object_step "step-register-write" (Objects.Register.optype ())
+      (Objects.Register.write_int 1);
+    bench_object_step "step-fetch-add" (Objects.Fetch_add.optype ())
+      (Objects.Fetch_add.fetch_add 1);
+    bench_object_step "step-compare-swap" (Objects.Compare_swap.optype ())
+      (Objects.Compare_swap.cas ~expected:Sim.Value.none
+         ~desired:(Sim.Value.some (Sim.Value.int 1)));
+    Test.make ~name:"step-config-run"
+      (let config =
+         Consensus.Protocol.initial_config Consensus.Cas_consensus.protocol
+           ~inputs:[ 0; 1 ]
+       in
+       nf (fun () -> Sim.Run.step config ~pid:0 ~coin:(fun _ -> 0)));
+  ]
+
+(* --- macro: one experiment-shaped unit of work per table/figure ------- *)
+
+let run_protocol (p : Consensus.Protocol.t) ~n ~seed =
+  let rng = Sim.Rng.create seed in
+  let inputs = List.init n (fun _ -> Sim.Rng.int rng 2) in
+  Consensus.Protocol.run_once p ~inputs ~sched:(Sim.Sched.random ~seed)
+
+let macro_tests =
+  [
+    (* E1/E5: one consensus run per protocol, n = 8 *)
+    Test.make ~name:"e1-consensus-cas-n8"
+      (nf (fun () -> run_protocol Consensus.Cas_consensus.protocol ~n:8 ~seed:1));
+    Test.make ~name:"e5-consensus-fetch-add-n8"
+      (nf (fun () -> run_protocol Consensus.Fa_consensus.protocol ~n:8 ~seed:1));
+    Test.make ~name:"e5-consensus-counter-n8"
+      (nf (fun () ->
+           run_protocol Consensus.Counter_consensus.protocol ~n:8 ~seed:1));
+    Test.make ~name:"e5-consensus-rw3n-n8"
+      (nf (fun () -> run_protocol Consensus.Rw_consensus.protocol ~n:8 ~seed:1));
+    (* E2: one identical-process adversary construction (Lemma 3.2) *)
+    Test.make ~name:"e2-attack-identical-r2"
+      (nf (fun () ->
+           Lowerbound.Attack.run
+             (Consensus.Flawed.unanimous ~style:Consensus.Flawed.Rw ~r:2)));
+    (* E3: one general adversary construction (Lemma 3.6) *)
+    Test.make ~name:"e3-attack-general-r2"
+      (nf (fun () ->
+           Lowerbound.General_attack.run
+             (Consensus.Flawed.unanimous ~style:Consensus.Flawed.Rw ~r:2)));
+    (* E6: one shared-coin random walk, n = 8 *)
+    Test.make ~name:"e6-shared-coin-n8"
+      (nf (fun () ->
+           let procs =
+             List.init 8 (fun _ ->
+                 Consensus.Shared_coin.counter_coin ~n:8 ~obj:0 ~k:1)
+           in
+           let config =
+             Sim.Config.make ~optypes:[ Objects.Counter.optype () ] ~procs
+           in
+           Sim.Run.exec_fast (Sim.Sched.random ~seed:3) config));
+    (* E7: one exhaustive classification *)
+    Test.make ~name:"e7-classify-all"
+      (nf (fun () -> List.map Objclass.Classify.report Objects.Specs.all));
+    (* E4/E8 are arithmetic; benchmark the model checker instead *)
+    Test.make ~name:"mc-cas-exhaustive-n2"
+      (nf (fun () ->
+           let config =
+             Consensus.Protocol.initial_config Consensus.Cas_consensus.protocol
+               ~inputs:[ 0; 1 ]
+           in
+           Mc.Explore.search ~max_depth:30 ~inputs:[ 0; 1 ] config));
+    (* E9: one snapshot-counter workload, recorded and checked *)
+    Test.make ~name:"e9-linearize-snapshot-counter"
+      (nf (fun () ->
+           let workload =
+             Objimpl.Harness.random_workload ~n:3 ~calls:3
+               ~ops:
+                 [ Objects.Counter.inc; Objects.Counter.dec; Objects.Counter.read ]
+               ~seed:4
+           in
+           Objimpl.Harness.run_and_check Objimpl.Counters.snapshot ~n:3
+             ~workload ~schedule:(Objimpl.Harness.Random_sched 4) ()));
+    (* E10: one greedy bivalence-survival probe *)
+    Test.make ~name:"e10-bivalence-tas2"
+      (nf (fun () ->
+           let config =
+             Consensus.Protocol.initial_config Consensus.Tas2.protocol
+               ~inputs:[ 0; 1 ]
+           in
+           Mc.Valency.bivalence_survival ~max_depth:6 config));
+    (* E12: the depth-1 protocol census (deterministic + randomized) *)
+    Test.make ~name:"e12-census-depth1"
+      (nf (fun () ->
+           (Mc.Enumerate.census ~depth:1, Mc.Enumerate.census_randomized ~depth:1)));
+    (* E13: exhaustive mutual-exclusion check of Peterson *)
+    Test.make ~name:"e13-mutex-peterson"
+      (nf (fun () -> Mutex.check_exclusion ~max_depth:14 Mutex.peterson ~n:2));
+  ]
+
+let run_bechamel tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"randsync" ~fmt:"%s/%s" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> est
+          | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, ns, r2) :: acc)
+      results []
+  in
+  let t = Stats.Table.create ~header:[ "benchmark"; "ns/run"; "r^2" ] in
+  List.iter
+    (fun (name, ns, r2) ->
+      Stats.Table.add_row t
+        [ name; Printf.sprintf "%.1f" ns; Printf.sprintf "%.4f" r2 ])
+    (List.sort compare rows);
+  Stats.Table.print t
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let bench_only = List.mem "--bench" args in
+  let only =
+    let rec find = function
+      | "--only" :: id :: _ -> Some id
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if not bench_only then begin
+    match only with
+    | Some id -> (
+        match Experiments.All.find id with
+        | Some s ->
+            Printf.printf "\n=== %s: %s ===\n\n"
+              (String.uppercase_ascii s.Experiments.All.id)
+              s.Experiments.All.title;
+            Stats.Table.print (s.Experiments.All.run ~quick)
+        | None ->
+            Printf.eprintf "unknown experiment %S (known: e1..e8)\n" id;
+            exit 1)
+    | None -> Experiments.All.run_all ~quick ()
+  end;
+  if bench_only || (only = None && not quick) then begin
+    print_endline "\n=== Bechamel micro/macro benchmarks (ns per run) ===\n";
+    run_bechamel (micro_tests @ macro_tests)
+  end

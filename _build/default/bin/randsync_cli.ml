@@ -1,0 +1,295 @@
+(* randsync: the command-line multitool.
+
+   Subcommands:
+     list      enumerate packaged protocols
+     run       execute one consensus run under a chosen scheduler
+     attack    construct a lower-bound counterexample (Lemma 3.2 / 3.6)
+     mc        exhaustively model-check a protocol instance
+     classify  print the object-algebra classification table
+     sweep     regenerate one experiment table (e1..e8)
+*)
+
+open Cmdliner
+
+let find_protocol name =
+  match Consensus.Registry.find name with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown protocol %S; try `randsync list`" name)
+
+let protocol_arg =
+  let doc = "Protocol name (see `randsync list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for scheduler and coins." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+(* ------------------------------------------------------------------ list *)
+
+let list_cmd =
+  let run () =
+    let t =
+      Stats.Table.create ~header:[ "name"; "kind"; "identical"; "objects @n=8" ]
+    in
+    List.iter
+      (fun (p : Consensus.Protocol.t) ->
+        let n = if p.Consensus.Protocol.supports_n 8 then 8 else 2 in
+        Stats.Table.add_row t
+          [
+            p.Consensus.Protocol.name;
+            (match p.Consensus.Protocol.kind with
+            | `Deterministic -> "deterministic"
+            | `Randomized -> "randomized");
+            string_of_bool p.Consensus.Protocol.identical;
+            string_of_int (Consensus.Protocol.space p ~n);
+          ])
+      Consensus.Registry.all;
+    Stats.Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Enumerate packaged protocols")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------- run *)
+
+let run_cmd =
+  let inputs_arg =
+    let doc = "Comma-separated binary inputs, one per process (e.g. 0,1,1)." in
+    Arg.(value & opt string "0,1" & info [ "inputs" ] ~doc ~docv:"INPUTS")
+  in
+  let sched_arg =
+    let doc = "Scheduler: random, round-robin or contention." in
+    Arg.(value & opt string "random" & info [ "sched" ] ~doc)
+  in
+  let trace_arg =
+    let doc = "Print the full execution trace." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let run name inputs sched_name seed show_trace =
+    match find_protocol name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok p ->
+        let inputs =
+          String.split_on_char ',' inputs |> List.map String.trim
+          |> List.map int_of_string
+        in
+        let sched =
+          match sched_name with
+          | "random" -> Sim.Sched.random ~seed
+          | "round-robin" -> Sim.Sched.round_robin ~seed ()
+          | "contention" -> Sim.Sched.contention ~seed
+          | s ->
+              prerr_endline ("unknown scheduler " ^ s);
+              exit 1
+        in
+        let report = Consensus.Protocol.run_once p ~inputs ~sched in
+        if show_trace then
+          print_endline
+            (Sim.Trace.to_string string_of_int
+               report.Consensus.Protocol.result.Sim.Run.trace);
+        Fmt.pr "protocol=%s n=%d sched=%s seed=%d@." name (List.length inputs)
+          sched_name seed;
+        Fmt.pr "outcome=%s steps=%d@."
+          (Sim.Run.outcome_to_string
+             report.Consensus.Protocol.result.Sim.Run.outcome)
+          report.Consensus.Protocol.result.Sim.Run.steps;
+        Fmt.pr "verdict: %a@." Sim.Checker.pp report.Consensus.Protocol.verdict;
+        if not (Sim.Checker.ok report.Consensus.Protocol.verdict) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute one consensus run under a scheduler")
+    Term.(const run $ protocol_arg $ inputs_arg $ sched_arg $ seed_arg $ trace_arg)
+
+(* ---------------------------------------------------------------- attack *)
+
+let attack_cmd =
+  let general_arg =
+    let doc =
+      "Use the general historyless construction (Lemma 3.6) instead of the \
+       identical-process one (Lemma 3.2)."
+    in
+    Arg.(value & flag & info [ "general" ] ~doc)
+  in
+  let trace_arg =
+    let doc = "Print the counterexample execution." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let certify_arg =
+    let doc =
+      "After the identical-process attack, certify the witness by fresh-start \
+       replay with clones shadowing their origins lock-step."
+    in
+    Arg.(value & flag & info [ "certify" ] ~doc)
+  in
+  let save_arg =
+    let doc = "Save the counterexample execution to FILE (Trace_io format)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let run name general show_trace do_certify save =
+    match find_protocol name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok p ->
+        let save_trace trace =
+          match save with
+          | None -> ()
+          | Some path ->
+              Sim.Trace_io.save_int ~path trace;
+              Fmt.pr "witness saved to %s@." path
+        in
+        if general then begin
+          match Lowerbound.General_attack.run p with
+          | Error e ->
+              prerr_endline (Lowerbound.General_attack.error_to_string e);
+              exit 1
+          | Ok o ->
+              save_trace o.Lowerbound.General_attack.trace;
+              if show_trace then
+                print_endline
+                  (Sim.Trace.to_string string_of_int o.Lowerbound.General_attack.trace);
+              Fmt.pr "general attack on %s: processes=%d objects=%d pieces=%d/%d@."
+                name o.Lowerbound.General_attack.processes_used
+                o.Lowerbound.General_attack.registers
+                o.Lowerbound.General_attack.pieces_alpha
+                o.Lowerbound.General_attack.pieces_beta;
+              Fmt.pr "verdict: %a@." Sim.Checker.pp
+                o.Lowerbound.General_attack.verdict;
+              if Lowerbound.General_attack.succeeded o then
+                print_endline "INCONSISTENT EXECUTION CONSTRUCTED"
+              else exit 2
+        end
+        else begin
+          match Lowerbound.Attack.run p with
+          | Error e ->
+              prerr_endline (Lowerbound.Attack.error_to_string e);
+              exit 1
+          | Ok o ->
+              save_trace o.Lowerbound.Attack.trace;
+              if show_trace then
+                print_endline
+                  (Sim.Trace.to_string string_of_int o.Lowerbound.Attack.trace);
+              Fmt.pr "attack on %s: processes=%d registers=%d@." name
+                o.Lowerbound.Attack.processes_used o.Lowerbound.Attack.registers;
+              Fmt.pr "verdict: %a@." Sim.Checker.pp o.Lowerbound.Attack.verdict;
+              if Lowerbound.Attack.succeeded o then
+                print_endline "INCONSISTENT EXECUTION CONSTRUCTED"
+              else exit 2;
+              if do_certify then begin
+                match Lowerbound.Attack.certify p o with
+                | Ok (trace, verdict) ->
+                    Fmt.pr
+                      "certified fresh-start replay: %d steps, verdict: %a@."
+                      (Sim.Trace.steps trace) Sim.Checker.pp verdict
+                | Error msg -> Fmt.pr "certification failed: %s@." msg
+              end
+        end
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Construct a lower-bound counterexample against a protocol")
+    Term.(
+      const run $ protocol_arg $ general_arg $ trace_arg $ certify_arg
+      $ save_arg)
+
+(* -------------------------------------------------------------------- mc *)
+
+let mc_cmd =
+  let run name inputs depth =
+    match find_protocol name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok p ->
+        let inputs =
+          String.split_on_char ',' inputs |> List.map String.trim
+          |> List.map int_of_string
+        in
+        let config = Consensus.Protocol.initial_config p ~inputs in
+        let result = Mc.Explore.search ~max_depth:depth ~inputs config in
+        Fmt.pr "visited=%d leaves=%d truncated=%b max-depth=%d@."
+          result.Mc.Explore.visited result.Mc.Explore.leaves
+          result.Mc.Explore.truncated result.Mc.Explore.max_depth_seen;
+        (match result.Mc.Explore.violation with
+        | None -> print_endline "no violation found"
+        | Some v ->
+            Fmt.pr "VIOLATION (%s):@."
+              (match v.Mc.Explore.kind with
+              | `Inconsistent -> "inconsistent"
+              | `Invalid -> "invalid");
+            print_endline
+              (Sim.Trace.to_string string_of_int v.Mc.Explore.trace);
+            exit 2)
+  in
+  Cmd.v
+    (Cmd.info "mc" ~doc:"Exhaustively model-check a protocol instance")
+    Term.(
+      const run $ protocol_arg
+      $ Arg.(value & opt string "0,1" & info [ "inputs" ] ~doc:"inputs")
+      $ Arg.(value & opt int 40 & info [ "depth" ] ~doc:"depth bound"))
+
+(* ----------------------------------------------------------------- trace *)
+
+let trace_cmd =
+  let run path =
+    match Sim.Trace_io.load_int ~path with
+    | exception Sys_error e ->
+        prerr_endline e;
+        exit 1
+    | exception Sim.Trace_io.Parse_error e ->
+        prerr_endline ("parse error: " ^ e);
+        exit 1
+    | trace ->
+        print_endline (Sim.Trace.to_string string_of_int trace);
+        let decisions = List.map snd (Sim.Trace.decisions trace) in
+        Fmt.pr "--@.steps=%d pids=[%a] decisions=[%a]%s@."
+          (Sim.Trace.steps trace)
+          Fmt.(list ~sep:(any ";") int)
+          (Sim.Trace.pids trace)
+          Fmt.(list ~sep:(any ";") int)
+          decisions
+          (if Sim.Checker.inconsistent ~decisions then "  INCONSISTENT" else "")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Inspect a saved witness trace (see attack --save)")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"))
+
+(* -------------------------------------------------------------- classify *)
+
+let classify_cmd =
+  let run () = Stats.Table.print (Experiments.E7_classify.table ()) in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Print the object-algebra classification table")
+    Term.(const run $ const ())
+
+(* ----------------------------------------------------------------- sweep *)
+
+let sweep_cmd =
+  let run id quick =
+    match Experiments.All.find id with
+    | None ->
+        prerr_endline ("unknown experiment " ^ id ^ " (known: e1..e8)");
+        exit 1
+    | Some s ->
+        Fmt.pr "=== %s: %s ===@.@." (String.uppercase_ascii s.Experiments.All.id)
+          s.Experiments.All.title;
+        Stats.Table.print (s.Experiments.All.run ~quick)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Regenerate one experiment table (e1..e8)")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+      $ Arg.(value & flag & info [ "quick" ] ~doc:"smaller parameters"))
+
+let main =
+  let doc = "Randomized synchronization space-complexity toolkit (Fich-Herlihy-Shavit, PODC'93)" in
+  Cmd.group (Cmd.info "randsync" ~doc)
+    [ list_cmd; run_cmd; attack_cmd; mc_cmd; classify_cmd; sweep_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/adversary_attack.ml: Attack Bounds Checker Consensus Event Flawed Fmt List Lowerbound Printf Protocol Sched Sim Solo String Trace

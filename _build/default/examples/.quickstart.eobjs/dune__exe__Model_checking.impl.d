@@ -1,0 +1,1 @@
+examples/model_checking.ml: Cas_consensus Consensus Event Flawed List Mc Printf Protocol Run Sim String Swap2 Tas2 Trace

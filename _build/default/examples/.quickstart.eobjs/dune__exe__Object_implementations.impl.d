@@ -1,0 +1,1 @@
+examples/object_implementations.ml: Counter Counters Fetch_add From_universal Harness History Linearize List Objects Objimpl Printf Test_and_set

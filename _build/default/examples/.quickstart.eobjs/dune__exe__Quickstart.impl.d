@@ -1,0 +1,1 @@
+examples/quickstart.ml: Checker Config Consensus Event Fa_consensus List Printf Protocol Run Sched Sim String Trace

@@ -1,0 +1,1 @@
+examples/shared_counter.ml: Checker Config Consensus Counter Counter_consensus List Objects Printf Protocol Rng Run Sched Shared_coin Sim Stats Trace

@@ -1,0 +1,60 @@
+(* Exhaustive model checking of small consensus instances: verifying the
+   deterministic 2-process protocols, refuting a textbook-broken register
+   protocol with a concrete interleaving, and watching valency evolve.
+
+     dune exec examples/model_checking.exe
+*)
+
+open Sim
+open Consensus
+
+let check name (p : Protocol.t) inputs =
+  let config = Protocol.initial_config p ~inputs in
+  let result = Mc.Explore.search ~max_depth:40 ~inputs config in
+  Printf.printf "  %-12s inputs=[%s]: visited %5d states, %4d executions, %s\n"
+    name
+    (String.concat ";" (List.map string_of_int inputs))
+    result.Mc.Explore.visited result.Mc.Explore.leaves
+    (match result.Mc.Explore.violation with
+    | None when not result.Mc.Explore.truncated -> "no violation (exhaustive)"
+    | None -> "no violation (bounded)"
+    | Some { kind = `Inconsistent; _ } -> "INCONSISTENT"
+    | Some { kind = `Invalid; _ } -> "INVALID")
+
+let () =
+  print_endline "1. exhaustive verification of the 2-process protocols:";
+  List.iter
+    (fun inputs ->
+      check "tas-2proc" Tas2.protocol inputs;
+      check "swap-2proc" Swap2.protocol inputs;
+      check "cas-1" Cas_consensus.protocol inputs)
+    [ [ 0; 1 ]; [ 1; 1 ] ];
+  print_newline ();
+
+  print_endline "2. refuting the one-register 'first writer wins' protocol:";
+  let p = Flawed.first_writer ~r:1 in
+  let config = Protocol.initial_config p ~inputs:[ 0; 1 ] in
+  (match Mc.Explore.search ~max_depth:40 ~inputs:[ 0; 1 ] config with
+  | { Mc.Explore.violation = Some v; visited; _ } ->
+      Printf.printf "  found after %d states; the interleaving:\n" visited;
+      List.iter
+        (fun ev -> print_endline ("    " ^ Event.to_string string_of_int ev))
+        (Trace.events v.Mc.Explore.trace)
+  | _ -> print_endline "  (unexpected: no violation)");
+  print_newline ();
+
+  print_endline "3. valency (FLP-style analysis) of cas-1 with inputs 0,1:";
+  let config = Protocol.initial_config Cas_consensus.protocol ~inputs:[ 0; 1 ] in
+  Printf.printf "  initial configuration: %s\n"
+    (Mc.Valency.to_string string_of_int (Mc.Valency.classify config));
+  List.iter
+    (fun pid ->
+      let config', _ = Run.step config ~pid ~coin:(fun _ -> 0) in
+      Printf.printf "  after P%d's CAS:       %s\n" pid
+        (Mc.Valency.to_string string_of_int (Mc.Valency.classify config')))
+    [ 0; 1 ];
+  print_newline ();
+  print_endline
+    "The critical step: whichever process CASes first drives the\n\
+     configuration univalent — exactly the structure Herlihy's consensus-\n\
+     number argument (and this paper's block-write machinery) exploits."

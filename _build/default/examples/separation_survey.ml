@@ -1,0 +1,26 @@
+(* The separation results of Section 4, regenerated live: the randomized
+   space classification of synchronization primitives differs from the
+   deterministic wait-free hierarchy.
+
+     dune exec examples/separation_survey.exe
+*)
+
+let () =
+  print_endline "Object algebra (Section 2), decided exhaustively:";
+  print_newline ();
+  Stats.Table.print (Experiments.E7_classify.table ());
+  print_newline ();
+  print_endline
+    "Separation (Section 4): deterministic consensus number vs randomized space:";
+  print_newline ();
+  Stats.Table.print (Experiments.E1_separation.table ~reps:10 ());
+  print_newline ();
+  print_endline "Space to solve randomized n-process consensus:";
+  print_newline ();
+  Stats.Table.print (Experiments.E4_space.table ());
+  print_newline ();
+  print_endline
+    "Reading: fetch&add and compare&swap differ maximally in deterministic\n\
+     power (consensus numbers 2 vs infinity) yet both solve randomized\n\
+     consensus with ONE object; historyless types (register, swap, test&set)\n\
+     need Omega(sqrt n) objects no matter how large their value sets are."

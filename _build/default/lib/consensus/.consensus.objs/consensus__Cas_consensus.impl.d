@@ -1,0 +1,1 @@
+lib/consensus/cas_consensus.ml: Compare_swap Objects Proc Protocol Sim Value

@@ -1,0 +1,1 @@
+lib/consensus/cas_consensus.mli: Proc Protocol Sim

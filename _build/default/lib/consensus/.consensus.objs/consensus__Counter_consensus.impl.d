@@ -1,0 +1,1 @@
+lib/consensus/counter_consensus.ml: Bounded_counter Counter Objects Proc Protocol Sim Value Walk_core

@@ -1,0 +1,1 @@
+lib/consensus/counter_consensus.mli: Proc Protocol Sim Walk_core

@@ -1,0 +1,1 @@
+lib/consensus/fa_consensus.ml: Fetch_add Objects Proc Protocol Sim Value Walk_core

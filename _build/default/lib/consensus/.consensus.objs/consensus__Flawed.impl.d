@@ -1,0 +1,1 @@
+lib/consensus/flawed.ml: Fun List Objects Printf Proc Protocol Register Sim Swap_register Test_and_set Value

@@ -1,0 +1,1 @@
+lib/consensus/flawed.mli: Protocol

@@ -1,0 +1,1 @@
+lib/consensus/protocol.ml: Checker Config List Optype Printf Proc Run Sim

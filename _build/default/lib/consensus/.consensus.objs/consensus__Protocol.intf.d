@@ -1,0 +1,1 @@
+lib/consensus/protocol.mli: Checker Config Optype Proc Run Sched Sim

@@ -1,0 +1,1 @@
+lib/consensus/queue2.ml: Objects Proc Protocol Queue_obj Register Sim Value

@@ -1,0 +1,1 @@
+lib/consensus/queue2.mli: Proc Protocol Sim Value

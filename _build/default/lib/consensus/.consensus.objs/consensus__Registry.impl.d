@@ -1,0 +1,1 @@
+lib/consensus/registry.ml: Cas_consensus Counter_consensus Fa_consensus Flawed List Protocol Queue2 Rw_consensus Sticky_consensus Swap2 Tas2

@@ -1,0 +1,1 @@
+lib/consensus/rw_consensus.ml: List Objects Proc Protocol Register Shared_coin Sim Value

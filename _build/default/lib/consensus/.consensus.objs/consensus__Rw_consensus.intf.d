@@ -1,0 +1,1 @@
+lib/consensus/rw_consensus.mli: Proc Protocol Sim

@@ -1,0 +1,1 @@
+lib/consensus/shared_coin.ml: Counter Objects Proc Register Sim Value

@@ -1,0 +1,1 @@
+lib/consensus/shared_coin.mli: Proc Sim

@@ -1,0 +1,1 @@
+lib/consensus/sticky_consensus.ml: Objects Proc Protocol Sim Sticky Value

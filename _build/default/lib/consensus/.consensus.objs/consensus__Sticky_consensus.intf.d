@@ -1,0 +1,1 @@
+lib/consensus/sticky_consensus.mli: Proc Protocol Sim

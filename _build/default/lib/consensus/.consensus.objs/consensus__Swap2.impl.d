@@ -1,0 +1,1 @@
+lib/consensus/swap2.ml: Objects Proc Protocol Register Sim Swap_register Value

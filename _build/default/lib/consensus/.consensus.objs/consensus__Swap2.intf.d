@@ -1,0 +1,1 @@
+lib/consensus/swap2.mli: Proc Protocol Sim

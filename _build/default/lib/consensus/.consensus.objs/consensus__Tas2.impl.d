@@ -1,0 +1,1 @@
+lib/consensus/tas2.ml: Objects Proc Protocol Register Sim Test_and_set Value

@@ -1,0 +1,1 @@
+lib/consensus/tas2.mli: Proc Protocol Sim

@@ -1,0 +1,1 @@
+lib/consensus/tas_tournament.ml: List Objects Proc Protocol Register Sim Test_and_set Value

@@ -1,0 +1,1 @@
+lib/consensus/tas_tournament.mli: Proc Protocol Sim

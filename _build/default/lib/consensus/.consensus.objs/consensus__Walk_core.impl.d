@@ -1,0 +1,1 @@
+lib/consensus/walk_core.ml: Proc Sim

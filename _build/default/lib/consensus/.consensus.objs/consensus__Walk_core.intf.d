@@ -1,0 +1,1 @@
+lib/consensus/walk_core.mli: Proc Sim

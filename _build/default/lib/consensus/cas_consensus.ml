@@ -1,0 +1,29 @@
+(* Herlihy's one-object n-process consensus from a single compare&swap
+   register ([20, Theorem 5], invoked by Corollary 4.1): every process tries
+   to CAS its own input into the (initially empty) register; the first
+   succeeds and everyone decides the value the register then holds.
+   Deterministic, wait-free, one bounded object, any n. *)
+
+open Sim
+open Objects
+
+let code ~n:_ ~pid:_ ~input =
+  let open Proc in
+  let* old =
+    apply 0
+      (Compare_swap.cas ~expected:Value.none ~desired:(Value.some (Value.int input)))
+  in
+  match old with
+  | Value.Opt None -> decide input (* we won the race *)
+  | Value.Opt (Some v) -> decide (Value.to_int v)
+  | _ -> assert false
+
+let protocol : Protocol.t =
+  {
+    name = "cas-1";
+    kind = `Deterministic;
+    identical = true;
+    supports_n = (fun n -> n >= 1);
+    optypes = (fun ~n:_ -> [ Compare_swap.optype () ]);
+    code;
+  }

@@ -1,0 +1,8 @@
+(** Herlihy's deterministic n-process consensus from one compare&swap
+    register (cited as [20, Theorem 5]; the f(n) = 1 behind
+    Corollary 4.1). *)
+
+open Sim
+
+val code : n:int -> pid:int -> input:int -> int Proc.t
+val protocol : Protocol.t

@@ -1,0 +1,17 @@
+(** Theorem 4.2 (Aspnes): randomized consensus from bounded counters, in
+    the published three-counter form the paper describes — two vote
+    counters in [0, n] and a random-walk cursor counter in [-4n, 4n]
+    (barriers at +-3n plus staleness slack, so the bounded counter's
+    modulo semantics is never exercised). *)
+
+open Sim
+
+val backend : Walk_core.backend
+val code : n:int -> pid:int -> input:int -> int Proc.t
+
+(** Cursor slack beyond the +-3n barriers, in units of n: [~slack:1] is
+    the (safe) default; [~slack:0] is the wrap-around ablation E14
+    refutes. *)
+val protocol_with_slack : slack:int -> Protocol.t
+
+val protocol : Protocol.t

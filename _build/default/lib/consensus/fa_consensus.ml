@@ -1,0 +1,58 @@
+(* Theorem 4.4: randomized n-process consensus from a *single* fetch&add
+   register.
+
+   The register's integer value packs the three logical counters of the
+   drift-walk core into disjoint numeric fields:
+
+       value = votes0 + (n+1) * votes1 + (n+1)^2 * (cursor + 4n)
+
+   Each vote count is at most n (every process announces exactly once), so
+   base n+1 never carries between fields; the cursor stays in [-4n, 4n]
+   (see {!Walk_core}), so its offset field stays in [0, 8n].  A FETCH&ADD
+   of an encoded delta updates one logical field atomically, and
+   FETCH&ADD(0) reads all three fields at a single linearization point —
+   exactly the "counter implemented from a fetch&add register" move the
+   paper invokes, generalized to three counters at once.  One object, as
+   the theorem requires. *)
+
+open Sim
+open Objects
+
+let votes1_mul ~n = n + 1
+let cursor_mul ~n = (n + 1) * (n + 1)
+let cursor_offset ~n = 4 * n
+
+let init_value ~n = cursor_mul ~n * cursor_offset ~n
+
+let decode ~n x =
+  let m1 = votes1_mul ~n and m2 = cursor_mul ~n in
+  let votes0 = x mod m1 in
+  let votes1 = x / m1 mod m1 in
+  let cursor = (x / m2) - cursor_offset ~n in
+  (votes0, votes1, cursor)
+
+let backend ~n : Walk_core.backend =
+  let open Proc in
+  let add k =
+    let* _ = apply 0 (Fetch_add.fetch_add k) in
+    return ()
+  in
+  {
+    announce = (fun v -> add (if v = 0 then 1 else votes1_mul ~n));
+    read_state =
+      (let* x = apply 0 (Fetch_add.fetch_add 0) in
+       return (decode ~n (Value.to_int x)));
+    move = (fun dir -> add (dir * cursor_mul ~n));
+  }
+
+let code ~n ~pid:_ ~input = Walk_core.code ~n ~input (backend ~n)
+
+let protocol : Protocol.t =
+  {
+    name = "fetch&add-1";
+    kind = `Randomized;
+    identical = true;
+    supports_n = (fun n -> n >= 1);
+    optypes = (fun ~n -> [ Fetch_add.optype ~init:(init_value ~n) () ]);
+    code;
+  }

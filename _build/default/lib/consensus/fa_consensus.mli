@@ -1,0 +1,21 @@
+(** Theorem 4.4: randomized n-process consensus from a single fetch&add
+    register.  The register's value packs the drift-walk core's three
+    logical counters into disjoint numeric fields; a FETCH&ADD of an
+    encoded delta updates one field atomically and FETCH&ADD(0) reads all
+    three at one linearization point. *)
+
+open Sim
+
+val votes1_mul : n:int -> int
+val cursor_mul : n:int -> int
+val cursor_offset : n:int -> int
+
+(** Register value encoding (votes0 = votes1 = 0, cursor = 0). *)
+val init_value : n:int -> int
+
+(** [decode ~n x] is [(votes0, votes1, cursor)]. *)
+val decode : n:int -> int -> int * int * int
+
+val backend : n:int -> Walk_core.backend
+val code : n:int -> pid:int -> input:int -> int Proc.t
+val protocol : Protocol.t

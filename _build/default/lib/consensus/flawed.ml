@@ -1,0 +1,194 @@
+(* Deliberately under-provisioned "consensus" protocols: the adversary
+   targets for the lower-bound constructions of Section 3.
+
+   Each protocol here satisfies *nondeterministic solo termination* — run
+   alone, a process writes its value everywhere, reads it back, and decides
+   — and each is consistent in many benign schedules, which is exactly what
+   makes them look plausible.  The paper's theorems say no such protocol
+   over r historyless objects can be correct once enough processes
+   participate; [Lowerbound.Attack] (identical processes, Lemma 3.2) and
+   [Lowerbound.General_attack] (Lemma 3.6) construct the inconsistent
+   executions that prove it, against exactly these targets.
+
+   All targets are written with *identical* process code (no pid use). *)
+
+open Sim
+open Objects
+
+(** How the protocol writes to its historyless objects. *)
+type style = Rw  (** plain registers, WRITE *) | Swapping  (** swap registers, SWAP *)
+
+let write_op style v =
+  match style with
+  | Rw -> Register.write v
+  | Swapping -> Swap_register.swap v
+
+(** [unanimous ~style ~r]: write your value to all [r] objects, read them
+    all back, decide if they are unanimously yours; otherwise adopt what
+    object 0 holds (or retry).  Solo-terminating, identical processes,
+    breakable per Lemma 3.2 / 3.6. *)
+let unanimous ~style ~r : Protocol.t =
+  let open Proc in
+  let code ~n:_ ~pid:_ ~input =
+    let rec attempt v fuel =
+      let* () =
+        iter_list (fun j -> map (apply j (write_op style (Value.int v))) ignore)
+          (List.init r Fun.id)
+      in
+      let* vals =
+        map_list (fun j -> apply j Register.read) (List.init r Fun.id)
+      in
+      if List.for_all (Value.equal (Value.int v)) vals then decide v
+      else
+        let v' =
+          match vals with
+          | Value.Int w :: _ -> w
+          | _ -> v
+        in
+        (* fuel keeps no-op schedules from spinning unboundedly in tests;
+           solo executions decide on the first attempt regardless *)
+        if fuel = 0 then decide v' else attempt v' (fuel - 1)
+    in
+    attempt input 16
+  in
+  {
+    name =
+      Printf.sprintf "flawed-unanimous-%s-r%d"
+        (match style with Rw -> "rw" | Swapping -> "swap")
+        r;
+    kind = `Deterministic;
+    identical = true;
+    supports_n = (fun n -> n >= 1);
+    optypes =
+      (fun ~n:_ ->
+        List.init r (fun _ ->
+            match style with
+            | Rw -> Register.optype ()
+            | Swapping -> Swap_register.optype ()));
+    code;
+  }
+
+(** [coin_retry ~style ~r]: like {!unanimous} but on disagreement the
+    process flips a coin for its next proposal — a randomized,
+    solo-terminating target showing the lower bound does not care about
+    coins. *)
+let coin_retry ~style ~r : Protocol.t =
+  let open Proc in
+  let code ~n:_ ~pid:_ ~input =
+    let rec attempt v fuel =
+      let* () =
+        iter_list (fun j -> map (apply j (write_op style (Value.int v))) ignore)
+          (List.init r Fun.id)
+      in
+      let* vals =
+        map_list (fun j -> apply j Register.read) (List.init r Fun.id)
+      in
+      if List.for_all (Value.equal (Value.int v)) vals then decide v
+      else if fuel = 0 then decide v
+      else
+        let* heads = flip in
+        attempt (if heads then 1 else 0) (fuel - 1)
+    in
+    attempt input 16
+  in
+  {
+    name =
+      Printf.sprintf "flawed-coin-%s-r%d"
+        (match style with Rw -> "rw" | Swapping -> "swap")
+        r;
+    kind = `Randomized;
+    identical = true;
+    supports_n = (fun n -> n >= 1);
+    optypes =
+      (fun ~n:_ ->
+        List.init r (fun _ ->
+            match style with
+            | Rw -> Register.optype ()
+            | Swapping -> Swap_register.optype ()));
+    code;
+  }
+
+(** [mixed ~r]: like {!unanimous} but over a mix of historyless types —
+    object 0 is a register, then alternating swap registers and test&set
+    registers.  The value check expects the own value in registers and
+    swaps and a 1 in the test&sets.  Exercises the general attack across
+    heterogeneous historyless objects (the main theorem does not care
+    which historyless types are mixed).  Requires r >= 2. *)
+let mixed ~r : Protocol.t =
+  if r < 2 then invalid_arg "Flawed.mixed: r must be >= 2";
+  let open Proc in
+  let kind j = if j = 0 then `Reg else if j mod 2 = 1 then `Swap else `Tas in
+  let write_to j v =
+    match kind j with
+    | `Reg -> Register.write (Value.int v)
+    | `Swap -> Swap_register.swap (Value.int v)
+    | `Tas -> Test_and_set.test_and_set
+  in
+  let matches j v read_value =
+    match kind j with
+    | `Reg | `Swap -> Value.equal read_value (Value.int v)
+    | `Tas -> Value.equal read_value (Value.int 1)
+  in
+  let code ~n:_ ~pid:_ ~input =
+    let objs = List.init r Fun.id in
+    let rec attempt v fuel =
+      let* () = iter_list (fun j -> map (apply j (write_to j v)) ignore) objs in
+      let* vals = map_list (fun j -> apply j Register.read) objs in
+      let all_match = List.for_all2 (fun j rv -> matches j v rv) objs vals in
+      if all_match then decide v
+      else
+        let v' =
+          match vals with Value.Int w :: _ -> w | _ -> v
+        in
+        if fuel = 0 then decide v' else attempt v' (fuel - 1)
+    in
+    attempt input 16
+  in
+  {
+    name = Printf.sprintf "flawed-mixed-r%d" r;
+    kind = `Deterministic;
+    identical = true;
+    supports_n = (fun n -> n >= 1);
+    optypes =
+      (fun ~n:_ ->
+        List.init r (fun j ->
+            match kind j with
+            | `Reg -> Register.optype ()
+            | `Swap -> Swap_register.optype ()
+            | `Tas -> Test_and_set.optype ()));
+    code;
+  }
+
+(** [first_writer ~r]: decide on the first value you observe anywhere; if
+    no object is written yet, write your own value to every object and
+    decide it.  The r = 1 version is the textbook broken register
+    consensus. *)
+let first_writer ~r : Protocol.t =
+  let open Proc in
+  let code ~n:_ ~pid:_ ~input =
+    let* vals =
+      map_list (fun j -> apply j Register.read) (List.init r Fun.id)
+    in
+    let seen =
+      List.find_map
+        (function Value.Int w -> Some w | _ -> None)
+        vals
+    in
+    match seen with
+    | Some w -> decide w
+    | None ->
+        let* () =
+          iter_list
+            (fun j -> map (apply j (Register.write_int input)) ignore)
+            (List.init r Fun.id)
+        in
+        decide input
+  in
+  {
+    name = Printf.sprintf "flawed-first-writer-r%d" r;
+    kind = `Deterministic;
+    identical = true;
+    supports_n = (fun n -> n >= 1);
+    optypes = (fun ~n:_ -> List.init r (fun _ -> Register.optype ()));
+    code;
+  }

@@ -1,0 +1,21 @@
+(** Deliberately under-provisioned "consensus" protocols: the adversary
+    targets of Section 3.  All are solo-terminating and written with
+    identical process code; the lower-bound constructions break each of
+    them mechanically. *)
+
+type style = Rw  (** plain registers *) | Swapping  (** swap registers *)
+
+(** Write your value to all r objects, read back, decide on unanimity;
+    adopt and retry otherwise. *)
+val unanimous : style:style -> r:int -> Protocol.t
+
+(** Like {!unanimous} but re-proposes by coin flip on disagreement. *)
+val coin_retry : style:style -> r:int -> Protocol.t
+
+(** Like {!unanimous} over a mix of historyless types: a register, swap
+    registers and test&set registers alternating.  Requires r >= 2. *)
+val mixed : r:int -> Protocol.t
+
+(** Decide the first value observed; write-then-decide if none.  r = 1 is
+    the textbook broken register consensus. *)
+val first_writer : r:int -> Protocol.t

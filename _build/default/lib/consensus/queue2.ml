@@ -1,0 +1,38 @@
+(* Herlihy's deterministic 2-process consensus from one FIFO queue plus
+   two input-publication registers: the queue is pre-filled with a winner
+   token and a loser token; whoever dequeues the winner decides its own
+   input, the other decides the winner's published input.  The standard
+   witness that queues sit at level 2 of the wait-free hierarchy. *)
+
+open Sim
+open Objects
+
+(* object layout: 0 = queue (pre-filled), 1 = P0's register, 2 = P1's *)
+
+let winner = Value.sym "win"
+let loser = Value.sym "lose"
+
+let code ~n:_ ~pid ~input =
+  let open Proc in
+  let* _ = apply (1 + pid) (Register.write_int input) in
+  let* token = apply 0 Queue_obj.deq in
+  if Value.equal token winner then decide input
+  else
+    let* other = apply (1 + (1 - pid)) Register.read in
+    decide (Value.to_int other)
+
+let protocol : Protocol.t =
+  {
+    name = "queue-2proc";
+    kind = `Deterministic;
+    identical = false;
+    supports_n = (fun n -> n = 2);
+    optypes =
+      (fun ~n:_ ->
+        [
+          Queue_obj.optype ~init:[ winner; loser ] ();
+          Register.optype ();
+          Register.optype ();
+        ]);
+    code;
+  }

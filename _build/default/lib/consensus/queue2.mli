@@ -1,0 +1,9 @@
+(** Deterministic 2-process consensus from one pre-filled FIFO queue plus
+    two input-publication registers (Herlihy). *)
+
+open Sim
+
+val winner : Value.t
+val loser : Value.t
+val code : n:int -> pid:int -> input:int -> int Proc.t
+val protocol : Protocol.t

@@ -1,0 +1,29 @@
+(* All packaged protocols, for the CLI, examples and experiment harness. *)
+
+let correct : Protocol.t list =
+  [
+    Cas_consensus.protocol;
+    Sticky_consensus.protocol;
+    Fa_consensus.protocol;
+    Counter_consensus.protocol;
+    Rw_consensus.protocol;
+    Tas2.protocol;
+    Swap2.protocol;
+    Queue2.protocol;
+  ]
+
+let flawed : Protocol.t list =
+  [
+    Flawed.unanimous ~style:Flawed.Rw ~r:1;
+    Flawed.unanimous ~style:Flawed.Rw ~r:2;
+    Flawed.unanimous ~style:Flawed.Swapping ~r:2;
+    Flawed.first_writer ~r:1;
+    Flawed.first_writer ~r:2;
+    Flawed.coin_retry ~style:Flawed.Rw ~r:2;
+    Flawed.mixed ~r:2;
+    Flawed.mixed ~r:3;
+  ]
+
+let all = correct @ flawed
+
+let find name = List.find_opt (fun (p : Protocol.t) -> p.name = name) all

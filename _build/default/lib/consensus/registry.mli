@@ -1,0 +1,6 @@
+(** All packaged protocols, for the CLI, examples and experiments. *)
+
+val correct : Protocol.t list
+val flawed : Protocol.t list
+val all : Protocol.t list
+val find : string -> Protocol.t option

@@ -1,0 +1,95 @@
+(* Randomized n-process consensus from O(n) read-write registers — the
+   upper bound the paper quotes ("randomized n-process consensus can be
+   solved using O(n) read-write registers", Aspnes–Herlihy [9]).
+
+   We implement the Aspnes–Herlihy round framework in its modern
+   adopt-commit formulation (Gafni's adopt-commit objects; see Aspnes's
+   survey of randomized consensus): per round, processes run an
+   adopt-commit protocol on their current preference; a COMMIT decides, an
+   ADOPT forces the adopted value into the next round, and a process that
+   saw no possible commit takes the round's shared coin as its new
+   preference.  Safety is coin-independent: if any process commits w at
+   round r, every process leaving round r carries w, so all later rounds
+   are unanimous and can only commit w.
+
+   Register layout (3n single-writer registers — O(n) total, reused across
+   rounds via round tags rather than allocated per round):
+
+     A[i] = 0..n-1    : phase-1 announcements, Pair (round, value)
+     B[i] = n..2n-1   : phase-2 announcements, Pair (round, Pair (value, flag))
+     C[i] = 2n..3n-1  : shared-coin accumulators ({!Shared_coin})
+
+   Adopt-commit per round r, process i with preference v:
+     1. A[i] := (r, v); collect A-entries tagged r.
+     2. flag := (all collected values equal v);
+        B[i] := (r, (v, flag)); collect B-entries tagged r.
+     3. If every B-entry is flagged (they then all carry the same value w):
+        COMMIT w.  Else if some entry is flagged with w: ADOPT w.  Else:
+        no one can have committed this round — free to take the coin.
+
+   The classic argument that at most one value is ever flagged in a round:
+   order processes by their A-writes; a later writer's collect sees the
+   earlier value and refuses to flag a different one. *)
+
+open Sim
+open Objects
+
+let code ~n ~pid ~input =
+  let open Proc in
+  let reg_a i = i and reg_b i = n + i in
+  let tagged_a r v =
+    match v with
+    | Value.Pair (Value.Int r', Value.Int value) when r' = r -> Some value
+    | _ -> None
+  in
+  let tagged_b r v =
+    match v with
+    | Value.Pair (Value.Int r', Value.Pair (Value.Int value, Value.Bool flag))
+      when r' = r ->
+        Some (value, flag)
+    | _ -> None
+  in
+  let collect reg decode =
+    let rec go j acc =
+      if j >= n then return (List.rev acc)
+      else
+        let* v = apply (reg j) Register.read in
+        go (j + 1) (match decode v with Some x -> x :: acc | None -> acc)
+    in
+    go 0 []
+  in
+  let rec round_loop pref r =
+    (* phase 1: announce preference *)
+    let* _ =
+      apply (reg_a pid)
+        (Register.write (Value.pair (Value.int r) (Value.int pref)))
+    in
+    let* avals = collect reg_a (tagged_a r) in
+    let flag = List.for_all (( = ) pref) avals in
+    (* phase 2: announce whether we saw unanimity *)
+    let* _ =
+      apply (reg_b pid)
+        (Register.write
+           (Value.pair (Value.int r)
+              (Value.pair (Value.int pref) (Value.bool flag))))
+    in
+    let* bvals = collect reg_b (tagged_b r) in
+    let flagged = List.filter_map (fun (v, f) -> if f then Some v else None) bvals in
+    match flagged with
+    | w :: _ when List.for_all snd bvals -> decide w (* commit *)
+    | w :: _ -> round_loop w (r + 1) (* adopt *)
+    | [] ->
+        let* c = Shared_coin.register_coin ~n ~base:(2 * n) ~pid ~round:r in
+        round_loop c (r + 1)
+  in
+  round_loop input 1
+
+let protocol : Protocol.t =
+  {
+    name = "rw-3n";
+    kind = `Randomized;
+    identical = false;
+    supports_n = (fun n -> n >= 1);
+    optypes = (fun ~n -> List.init (3 * n) (fun _ -> Register.optype ()));
+    code;
+  }

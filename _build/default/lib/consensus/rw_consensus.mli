@@ -1,0 +1,9 @@
+(** Randomized n-process consensus from O(n) read-write registers — the
+    Aspnes–Herlihy upper bound the paper quotes, implemented in the
+    adopt-commit formulation (3n single-writer registers, reused across
+    rounds via round tags; safety independent of the shared coin). *)
+
+open Sim
+
+val code : n:int -> pid:int -> input:int -> int Proc.t
+val protocol : Protocol.t

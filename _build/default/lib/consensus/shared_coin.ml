@@ -1,0 +1,70 @@
+(* Weak shared coins.
+
+   A shared coin with agreement parameter delta guarantees that, for each
+   value v, with probability at least delta *every* process sees v.  The
+   Aspnes–Herlihy consensus framework ({!Rw_consensus}) only needs this
+   weak guarantee: the coin's output never affects safety, only the
+   expected number of rounds (1/delta).
+
+   Two implementations:
+
+   - [register_coin]: n single-writer registers.  Each flipper accumulates
+     a local sum of fair +-1 flips, publishes (round, sum), and reads all
+     registers; it outputs the sign of the total once |total| reaches the
+     barrier n.  Registers are reused across rounds via the round tag, so
+     the register count stays O(n) for the whole protocol.
+
+   - [counter_coin]: a single counter random walk with absorbing barriers
+     at +-(K*n), the structure Aspnes's bounded-counter algorithm uses as
+     its cursor.  Exercised directly by experiment E6 (expected flips grow
+     quadratically; agreement probability grows with K). *)
+
+open Sim
+open Objects
+
+(** Register-based coin.  [base] is the index of the first of [n] coin
+    registers; register [base + pid] is written only by [pid].  Each
+    register holds Pair (round, sum). *)
+let register_coin ~n ~base ~pid ~round : int Proc.t =
+  let open Proc in
+  let rec spin my_sum =
+    let* heads = flip in
+    let my_sum = my_sum + if heads then 1 else -1 in
+    let* _ =
+      apply (base + pid)
+        (Register.write (Value.pair (Value.int round) (Value.int my_sum)))
+    in
+    let* total = collect 0 0 in
+    if total >= n then return 1
+    else if total <= -n then return 0
+    else spin my_sum
+  and collect j acc =
+    if j >= n then return acc
+    else
+      let* v = apply (base + j) Register.read in
+      let contribution =
+        match v with
+        | Value.Pair (Value.Int r, Value.Int sum) when r = round -> sum
+        | _ -> 0
+      in
+      collect (j + 1) (acc + contribution)
+  in
+  spin 0
+
+(** Counter-based coin: one shared counter at object index [obj], barriers
+    at +-[k]*n.  All processes flip and push; first barrier reached wins.
+    Output: 1 for the +barrier, 0 for the -barrier. *)
+let counter_coin ~n ~obj ~k : int Proc.t =
+  let open Proc in
+  let bar = k * n in
+  let rec spin () =
+    let* c = apply obj Counter.read in
+    let c = Value.to_int c in
+    if c >= bar then return 1
+    else if c <= -bar then return 0
+    else
+      let* heads = flip in
+      let* _ = apply obj (if heads then Counter.inc else Counter.dec) in
+      spin ()
+  in
+  spin ()

@@ -1,0 +1,15 @@
+(** Weak shared coins: with probability at least delta per side, every
+    process sees the same value.  Safety of the consensus protocols never
+    depends on the coin; only expected round counts do. *)
+
+open Sim
+
+(** n single-writer registers at indices [base .. base+n-1], reused across
+    rounds via round tags.  Accumulate fair +-1 flips; output the sign of
+    the total at absolute value n. *)
+val register_coin : n:int -> base:int -> pid:int -> round:int -> int Proc.t
+
+(** One shared counter at index [obj], absorbing barriers at +-(k*n) —
+    the random-walk structure of Aspnes's cursor; exercised by
+    experiment E6. *)
+val counter_coin : n:int -> obj:int -> k:int -> int Proc.t

@@ -1,0 +1,21 @@
+(* n-process consensus from one sticky bit: PROPOSE your input, decide
+   whatever stuck.  The sticky bit is the consensus object in object
+   clothing; deterministic, wait-free, one instance, any n. *)
+
+open Sim
+open Objects
+
+let code ~n:_ ~pid:_ ~input =
+  let open Proc in
+  let* stuck = apply 0 (Sticky.propose_int input) in
+  decide (Value.to_int stuck)
+
+let protocol : Protocol.t =
+  {
+    name = "sticky-1";
+    kind = `Deterministic;
+    identical = true;
+    supports_n = (fun n -> n >= 1);
+    optypes = (fun ~n:_ -> [ Sticky.optype () ]);
+    code;
+  }

@@ -1,0 +1,6 @@
+(** Deterministic n-process consensus from one sticky bit. *)
+
+open Sim
+
+val code : n:int -> pid:int -> input:int -> int Proc.t
+val protocol : Protocol.t

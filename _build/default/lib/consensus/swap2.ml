@@ -1,0 +1,32 @@
+(* Deterministic 2-process consensus from one swap register plus two
+   read-write registers (Section 4: swap registers solve 2- but not
+   3-process consensus).  Same race shape as {!Tas2}: publish, then swap a
+   token into the shared register; whoever gets back the initial empty value
+   won. *)
+
+open Sim
+open Objects
+
+(* object layout: 0 = swap register, 1 = P0's register, 2 = P1's register *)
+
+let code ~n:_ ~pid ~input =
+  let open Proc in
+  let* _ = apply (1 + pid) (Register.write_int input) in
+  let* old = apply 0 (Swap_register.swap (Value.int pid)) in
+  match old with
+  | Value.Opt None -> decide input (* first to swap: we win *)
+  | _ ->
+      let* other = apply (1 + (1 - pid)) Register.read in
+      decide (Value.to_int other)
+
+let protocol : Protocol.t =
+  {
+    name = "swap-2proc";
+    kind = `Deterministic;
+    identical = false;
+    supports_n = (fun n -> n = 2);
+    optypes =
+      (fun ~n:_ ->
+        [ Swap_register.optype (); Register.optype (); Register.optype () ]);
+    code;
+  }

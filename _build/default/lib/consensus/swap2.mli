@@ -1,0 +1,7 @@
+(** Deterministic 2-process consensus from one swap register plus two
+    input-publication registers (Section 4). *)
+
+open Sim
+
+val code : n:int -> pid:int -> input:int -> int Proc.t
+val protocol : Protocol.t

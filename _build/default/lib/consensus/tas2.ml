@@ -1,0 +1,36 @@
+(* Deterministic 2-process consensus from one test&set register plus two
+   read-write registers (Section 4: any object where two successive
+   applications of an operation respond differently solves 2-process
+   consensus; test&set is the canonical example, and registers for input
+   publication are allowed by the wait-free hierarchy's ground rules).
+
+   Protocol: publish your input in your register, then TEST&SET.  The winner
+   (response 0) decides its own input; the loser decides the winner's
+   published input, which is already there because the winner published
+   before playing. *)
+
+open Sim
+open Objects
+
+(* object layout: 0 = test&set, 1 = P0's register, 2 = P1's register *)
+
+let code ~n:_ ~pid ~input =
+  let open Proc in
+  let* _ = apply (1 + pid) (Register.write_int input) in
+  let* won = apply 0 Test_and_set.test_and_set in
+  if Value.to_int won = 0 then decide input
+  else
+    let* other = apply (1 + (1 - pid)) Register.read in
+    decide (Value.to_int other)
+
+let protocol : Protocol.t =
+  {
+    name = "tas-2proc";
+    kind = `Deterministic;
+    identical = false;
+    supports_n = (fun n -> n = 2);
+    optypes =
+      (fun ~n:_ ->
+        [ Test_and_set.optype (); Register.optype (); Register.optype () ]);
+    code;
+  }

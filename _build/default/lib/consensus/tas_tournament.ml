@@ -1,0 +1,47 @@
+(* A "plausible" n-process consensus from test&set objects and registers —
+   and a live demonstration of why the wait-free hierarchy forbids it for
+   n > 2 (test&set has consensus number 2).
+
+   Protocol: publish your input, then play a single n-way test&set; the
+   winner writes its input to a decision register and decides it; losers
+   SPIN on the decision register until the winner's value appears.
+
+   Properties, all exercised by the tests:
+   - safe: everyone decides the winner's input (consistent and valid);
+   - solo-terminating: a process running alone wins and decides;
+   - NOT wait-free: if the winner stalls after winning and before
+     announcing, every loser spins forever — a starvation schedule the
+     tests exhibit.  Exactly the blocking that Herlihy's theorem says
+     cannot be removed with consensus-number-2 objects. *)
+
+open Sim
+open Objects
+
+(* object layout: 0 = test&set, 1 = decision register, 2.. = inputs *)
+
+let code ~n:_ ~pid ~input =
+  let open Proc in
+  let* _ = apply (2 + pid) (Register.write_int input) in
+  let* won = apply 0 Test_and_set.test_and_set in
+  if Value.to_int won = 0 then
+    let* _ = apply 1 (Register.write_int input) in
+    decide input
+  else
+    let rec spin () =
+      let* v = apply 1 Register.read in
+      match v with Value.Int w -> decide w | _ -> spin ()
+    in
+    spin ()
+
+let protocol : Protocol.t =
+  {
+    name = "tas-tournament";
+    kind = `Deterministic;
+    identical = false;
+    supports_n = (fun n -> n >= 1);
+    optypes =
+      (fun ~n ->
+        Test_and_set.optype () :: Register.optype ()
+        :: List.init n (fun _ -> Register.optype ()));
+    code;
+  }

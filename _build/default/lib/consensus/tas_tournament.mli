@@ -1,0 +1,9 @@
+(** A plausible-but-blocking n-process "consensus" from one test&set plus
+    registers: safe and solo-terminating, but losers spin on the winner's
+    announcement — not wait-free, exactly as the consensus-number-2 status
+    of test&set demands for n > 2. *)
+
+open Sim
+
+val code : n:int -> pid:int -> input:int -> int Proc.t
+val protocol : Protocol.t

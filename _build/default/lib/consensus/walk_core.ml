@@ -1,0 +1,76 @@
+(* The randomized drift-walk consensus core, shared by
+   {!Counter_consensus} (Theorem 4.2, Aspnes's bounded-counter algorithm as
+   the paper describes it: two vote counters plus a random-walk cursor
+   ranging over [-3n, 3n]) and {!Fa_consensus} (Theorem 4.4: a single
+   fetch&add register).
+
+   Shared abstract state: vote counts (v0, v1) and a cursor c.
+
+       announce:  votes[input] += 1           (the process's first step)
+       loop:      read (v0, v1, c)
+                  if c >= 3n          -> decide 1
+                  if c <= -3n         -> decide 0
+                  direction:
+                    c >= n            -> +1         (outer drift band)
+                    c <= -n           -> -1
+                    |c| < n, both values announced -> fair coin (+1/-1)
+                    |c| < n, one value announced   -> towards own input
+                  cursor += direction
+
+   Why this is safe (consistency), sketch: suppose some read returns
+   c >= 3n (a 1-decision).  At that instant each other process holds at
+   most one pending move justified by an older read, so c can fall at most
+   n-1 below 3n; every read linearized afterwards therefore returns
+   c >= 2n+1 > n and lands in the +1 drift band.  Inductively c never
+   falls below 2n+1 again, so no read ever returns -3n: 0 is never
+   decided.  Symmetrically for a 0-decision.  The same staleness bound
+   shows the cursor stays within [-4n, 4n], which is why the backing
+   bounded counter gets range [-4n, 4n] (the paper quotes [-3n, 3n] for
+   the barriers themselves).
+
+   Validity: if every input is v then votes[1-v] stays 0 forever, every
+   move is towards v, and the walk never flips a coin, so only v can be
+   decided.  With mixed inputs both values are valid.
+
+   Termination: inside the inner band the cursor is an unbiased random
+   walk; once it escapes, the drift bands push it deterministically to a
+   barrier.  A solo process terminates in O(n^2) expected steps; tests
+   measure expected work under adversarial schedulers empirically (E5). *)
+
+open Sim
+
+type backend = {
+  announce : int -> unit Proc.t;  (** register a vote for input 0 or 1 *)
+  read_state : (int * int * int) Proc.t;  (** (votes0, votes1, cursor) *)
+  move : int -> unit Proc.t;  (** cursor += (+1 | -1) *)
+}
+
+let barrier ~n = 3 * n
+let band ~n = n
+
+(** Cursor range needed by the backing object: barriers plus staleness
+    slack of one pending move per process. *)
+let cursor_range ~n = (4 * n) + 1
+
+let code ~n ~input backend =
+  let open Proc in
+  let bar = barrier ~n and bnd = band ~n in
+  let toward_input = if input = 1 then 1 else -1 in
+  let* () = backend.announce input in
+  let rec loop () =
+    let* v0, v1, c = backend.read_state in
+    if c >= bar then decide 1
+    else if c <= -bar then decide 0
+    else
+      let* dir =
+        if c >= bnd then return 1
+        else if c <= -bnd then return (-1)
+        else if v0 > 0 && v1 > 0 then
+          let* heads = flip in
+          return (if heads then 1 else -1)
+        else return toward_input
+      in
+      let* () = backend.move dir in
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,29 @@
+(** The randomized drift-walk consensus core shared by
+    {!Counter_consensus} (Theorem 4.2) and {!Fa_consensus} (Theorem 4.4).
+
+    Abstract state: vote counts (votes0, votes1) and a cursor.  Processes
+    announce their input, then walk the cursor — deterministic drift
+    outside the inner band and towards barriers, fair coin inside the band
+    once both values are announced, towards the own input otherwise.
+    Decisions at the +-3n barriers.  See the implementation header for the
+    staleness-slack consistency argument and why the cursor stays within
+    [-4n, 4n]. *)
+
+open Sim
+
+type backend = {
+  announce : int -> unit Proc.t;  (** register a vote for input 0 or 1 *)
+  read_state : (int * int * int) Proc.t;  (** (votes0, votes1, cursor) *)
+  move : int -> unit Proc.t;  (** cursor += (+1 | -1) *)
+}
+
+(** Decision barriers at +-[barrier ~n] = 3n. *)
+val barrier : n:int -> int
+
+(** Inner (randomized) band boundary: n. *)
+val band : n:int -> int
+
+(** Cursor range the backing object must support: 4n + 1 on each side. *)
+val cursor_range : n:int -> int
+
+val code : n:int -> input:int -> backend -> int Proc.t

@@ -1,0 +1,1 @@
+lib/core/attack.ml: Builder Checker Combine Config Consensus Event Hashtbl List Printf Run Side Sim Solo Trace Triviality Value

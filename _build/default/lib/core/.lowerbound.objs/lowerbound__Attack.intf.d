@@ -1,0 +1,1 @@
+lib/core/attack.mli: Builder Checker Config Consensus Sim Trace

@@ -1,0 +1,1 @@
+lib/core/build_interruptible.ml: Builder Combine Config Interruptible List Option Printf Sim Solo Triviality

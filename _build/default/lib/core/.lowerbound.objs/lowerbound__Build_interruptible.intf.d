@@ -1,0 +1,1 @@
+lib/core/build_interruptible.mli: Builder Interruptible

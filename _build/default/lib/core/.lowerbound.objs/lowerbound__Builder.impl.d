@@ -1,0 +1,1 @@
+lib/core/builder.ml: Array Checker Config Event Hashtbl List Printf Proc Run Sim Triviality

@@ -1,0 +1,1 @@
+lib/core/builder.mli: Checker Config Event Proc Sim Trace

@@ -1,0 +1,1 @@
+lib/core/combine.ml: Builder Config List Printf Run Side Sim Solo Triviality

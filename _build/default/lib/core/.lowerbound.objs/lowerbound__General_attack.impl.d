@@ -1,0 +1,1 @@
+lib/core/general_attack.ml: Build_interruptible Builder Checker Combine Config Consensus Fun Interruptible List Printf Sim Splice Trace

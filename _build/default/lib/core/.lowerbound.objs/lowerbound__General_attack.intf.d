@@ -1,0 +1,1 @@
+lib/core/general_attack.mli: Checker Config Consensus Sim Trace

@@ -1,0 +1,1 @@
+lib/core/interruptible.ml: Builder Config Event List Result Sim Triviality

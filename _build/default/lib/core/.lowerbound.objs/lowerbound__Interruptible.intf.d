@@ -1,0 +1,1 @@
+lib/core/interruptible.mli: Builder Config Event Sim

@@ -1,0 +1,1 @@
+lib/core/side.ml: Fmt List

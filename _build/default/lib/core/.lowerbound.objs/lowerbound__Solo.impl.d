@@ -1,0 +1,1 @@
+lib/core/solo.ml: Array Config List Proc Run Sim Triviality

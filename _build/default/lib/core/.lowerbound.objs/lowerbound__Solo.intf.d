@@ -1,0 +1,1 @@
+lib/core/solo.mli: Config Sim

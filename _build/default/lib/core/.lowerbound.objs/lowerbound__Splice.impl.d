@@ -1,0 +1,1 @@
+lib/core/splice.ml: Build_interruptible Builder Combine Config Fun Interruptible List Sim

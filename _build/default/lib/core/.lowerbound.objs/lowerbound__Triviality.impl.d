@@ -1,0 +1,1 @@
+lib/core/triviality.ml: Config List Op Sim Value

@@ -1,0 +1,1 @@
+lib/core/triviality.mli: Config Op Sim

@@ -1,0 +1,48 @@
+(** Lemma 3.2 / Theorem 3.3, as a program: the adversary for
+    identical-process consensus protocols over read-write registers.
+    Given such a protocol (with nondeterministic solo termination), build
+    a replayable execution deciding both 0 and 1. *)
+
+open Sim
+
+type outcome = {
+  trace : int Trace.t;
+  config : int Config.t;
+  verdict : Checker.verdict;
+  inputs : int list;  (** inputs of all processes, clones included *)
+  processes_used : int;
+  registers : int;
+  genealogy : Builder.lineage list;  (** how each clone came to be *)
+  nominal_n : int;
+}
+
+type error =
+  | Not_identical
+  | No_solo_termination of int
+  | Solo_decides_wrong of { pid : int; expected : int; got : int }
+  | Construction_failed of string
+
+val error_to_string : error -> string
+
+val run :
+  ?nominal_n:int ->
+  ?max_solo_steps:int ->
+  ?max_solo_nodes:int ->
+  Consensus.Protocol.t ->
+  (outcome, error) result
+
+(** True iff the outcome's execution is genuinely inconsistent. *)
+val succeeded : outcome -> bool
+
+(** Realize the attack's execution from a fresh start: all processes
+    (clones included) present from the initial configuration, each clone
+    shadowing its origin lock-step up to its snapshot point, then the
+    attack's schedule verbatim.  Returns the full certified trace and its
+    verdict, or an explanation — notably when a shadow's response diverges
+    from its origin's, which happens exactly when the object type leaks
+    history through responses (why Section 3.1 is stated for read-write
+    registers). *)
+val certify :
+  Consensus.Protocol.t ->
+  outcome ->
+  (int Trace.t * Checker.verdict, string) result

@@ -1,0 +1,38 @@
+(* The paper's closed-form bounds, collected.
+
+   - Theorem 3.3 (identical processes, read-write registers): at most
+     r^2 - r + 1 identical processes can solve randomized consensus with r
+     registers; equivalently, with r^2 - r + 2 processes an inconsistent
+     execution exists ({!Attack} constructs it).
+   - Lemma 3.6 (general case, historyless objects): no implementation of
+     consensus with nondeterministic solo termination from r historyless
+     objects serves 3r^2 + r processes ({!General_attack} constructs the
+     witness).
+   - Theorem 3.7: hence randomized wait-free n-process consensus needs
+     Omega(sqrt n) historyless objects; the explicit inversions are below.
+*)
+
+(** Max identical processes solvable with r registers (Theorem 3.3). *)
+let identical_process_bound r = (r * r) - r + 1
+
+(** Process count at which the identical-process attack applies. *)
+let identical_attack_threshold r = (r * r) - r + 2
+
+(** Process count at which the general attack applies (Lemma 3.6). *)
+let general_process_bound r = (3 * r * r) + r
+
+(** Registers needed for n identical processes: smallest r with
+    r^2 - r + 1 >= n. *)
+let registers_needed_identical n =
+  let rec go r = if identical_process_bound r >= n then r else go (r + 1) in
+  go 1
+
+(** Historyless objects needed for n processes in the general case:
+    smallest r with 3r^2 + r >= n (the Omega(sqrt n) curve). *)
+let objects_needed_general n =
+  let rec go r = if general_process_bound r >= n then r else go (r + 1) in
+  go 1
+
+(** The O(n) upper bound for registers (Aspnes-Herlihy; our [rw-3n] uses
+    3n). *)
+let registers_sufficient n = 3 * n

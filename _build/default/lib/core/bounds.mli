@@ -1,0 +1,21 @@
+(** The paper's closed-form bounds: Theorem 3.3 (identical processes),
+    Lemma 3.6 (general historyless case), and their inversions — the
+    Omega(sqrt n) curves of Theorem 3.7. *)
+
+(** r^2 - r + 1: max identical processes with r registers (Thm 3.3). *)
+val identical_process_bound : int -> int
+
+(** r^2 - r + 2: where the identical-process attack applies. *)
+val identical_attack_threshold : int -> int
+
+(** 3r^2 + r: where the general attack applies (Lemma 3.6). *)
+val general_process_bound : int -> int
+
+(** Smallest r with r^2 - r + 1 >= n. *)
+val registers_needed_identical : int -> int
+
+(** Smallest r with 3r^2 + r >= n: the Omega(sqrt n) curve. *)
+val objects_needed_general : int -> int
+
+(** The O(n) register upper bound as realized by rw-3n. *)
+val registers_sufficient : int -> int

@@ -1,0 +1,26 @@
+(** Lemma 3.4, as a program: construct an interruptible execution with
+    prescribed initial object set and excess capacity, following the
+    proof's induction (reserve poised writers, run the rest until decided
+    or poised outside V, apply the counting argument, recurse).  The
+    construction records itself into the given builder — pass a scratch
+    builder over the current configuration to obtain a witness replayable
+    later. *)
+
+type result = {
+  witness : Interruptible.t;
+  released : (int * int list) list;
+      (** the proof's script-E reservations: (object, pids) poised there
+          and guaranteed never to step in the witness — excess capacity
+          usable by the other side of Lemma 3.5 *)
+}
+
+(** Raises [Combine.Attack_failed] when processes run short or a solo
+    search fails. *)
+val construct :
+  Builder.t ->
+  all_objects:int list ->
+  vset:int list ->
+  pset:int list ->
+  uset:int list ->
+  e:int ->
+  result

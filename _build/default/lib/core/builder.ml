@@ -1,0 +1,201 @@
+(* An execution under construction.
+
+   The adversary constructions of Section 3 grow an execution step by step
+   while keeping bookkeeping the proofs need:
+
+   - the full trace (so the final inconsistent execution is a replayable
+     artifact, not just a claim);
+   - the inputs of every process, including clones added along the way (so
+     the final configuration can be checked for consistency *and*
+     validity);
+   - for every object, the state of the last process to apply a nontrivial
+     operation to it, snapshotted *just before* that operation — this is
+     the "clone left behind, poised to re-perform the last write" device of
+     Section 3.1.  Process states are immutable values, so the snapshot is
+     free and a clone is [Config.add_proc] of that value;
+   - the *genealogy* of every clone — which process it snapshots and after
+     how many of that process's steps — so the identical-process attack
+     can later be certified: re-run from a fresh start with all clones
+     present, each shadowing its origin lock-step ({!Attack.certify}). *)
+
+open Sim
+
+type writer_snapshot = {
+  w_state : int Proc.t;  (** pre-step state of the last nontrivial writer *)
+  w_input : int;
+  w_pid : int;
+  w_steps : int;  (** steps the writer had completed before that op *)
+}
+
+type lineage = { clone : int; origin : int; cutoff : int }
+(** [clone] behaves like [origin] after [cutoff] of the origin's steps. *)
+
+type t = {
+  mutable config : int Config.t;
+  mutable rev_trace : int Event.t list;
+  mutable inputs : (int * int) list;  (** (pid, input), newest first *)
+  mutable genealogy : lineage list;
+  steps_done : (int, int) Hashtbl.t;  (** pid -> steps completed *)
+  last_writer : (int, writer_snapshot) Hashtbl.t;  (** per object *)
+}
+
+let create ~config ~inputs =
+  {
+    config;
+    rev_trace = [];
+    inputs = List.rev (List.mapi (fun pid input -> (pid, input)) inputs);
+    genealogy = [];
+    steps_done = Hashtbl.create 16;
+    last_writer = Hashtbl.create 16;
+  }
+
+let config t = t.config
+let trace t = List.rev t.rev_trace
+let inputs t = List.rev_map snd t.inputs
+let n_procs t = Config.n_procs t.config
+let genealogy t = List.rev t.genealogy
+
+let input_of t pid =
+  match List.assoc_opt pid t.inputs with
+  | Some i -> i
+  | None -> invalid_arg "Builder.input_of: unknown pid"
+
+let steps_of t pid =
+  match Hashtbl.find_opt t.steps_done pid with Some k -> k | None -> 0
+
+(** Snapshot for later rollback: configurations are persistent and traces
+    are immutable lists, so a snapshot is O(1) plus copies of the small
+    tables. *)
+type snapshot = {
+  s_config : int Config.t;
+  s_rev_trace : int Event.t list;
+  s_inputs : (int * int) list;
+  s_genealogy : lineage list;
+  s_steps_done : (int * int) list;
+  s_last_writer : (int * writer_snapshot) list;
+}
+
+let snapshot t =
+  {
+    s_config = t.config;
+    s_rev_trace = t.rev_trace;
+    s_inputs = t.inputs;
+    s_genealogy = t.genealogy;
+    s_steps_done = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.steps_done [];
+    s_last_writer =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.last_writer [];
+  }
+
+let restore t s =
+  t.config <- s.s_config;
+  t.rev_trace <- s.s_rev_trace;
+  t.inputs <- s.s_inputs;
+  t.genealogy <- s.s_genealogy;
+  Hashtbl.reset t.steps_done;
+  List.iter (fun (k, v) -> Hashtbl.replace t.steps_done k v) s.s_steps_done;
+  Hashtbl.reset t.last_writer;
+  List.iter (fun (k, v) -> Hashtbl.replace t.last_writer k v) s.s_last_writer
+
+(** Perform one step of [pid].  [coin] supplies the outcome if the step is
+    an internal coin flip (raises if a coin is needed but none given). *)
+let step t ~pid ?coin () =
+  (match Triviality.poised_write t.config pid with
+  | Some (obj, _) ->
+      Hashtbl.replace t.last_writer obj
+        {
+          w_state = t.config.Config.procs.(pid);
+          w_input = input_of t pid;
+          w_pid = pid;
+          w_steps = steps_of t pid;
+        }
+  | None -> ());
+  let coin_fn _n =
+    match coin with
+    | Some c -> c
+    | None -> invalid_arg "Builder.step: coin flip without an outcome"
+  in
+  let config', events = Run.step t.config ~pid ~coin:coin_fn in
+  t.config <- config';
+  t.rev_trace <- List.rev_append events t.rev_trace;
+  Hashtbl.replace t.steps_done pid (steps_of t pid + 1)
+
+(** Add a clone: a fresh process whose state is [state] (a snapshot of
+    process [origin] after [cutoff] of its steps) and whose input is the
+    origin's input.  Returns the clone's pid. *)
+let add_clone t ~state ~input ~origin ~cutoff =
+  let config', pid = Config.add_proc t.config state in
+  t.config <- config';
+  t.inputs <- (pid, input) :: t.inputs;
+  t.genealogy <- { clone = pid; origin; cutoff } :: t.genealogy;
+  pid
+
+(** A clone poised to re-perform the last nontrivial operation applied to
+    [obj] (Section 3.1's "clone left behind").  Requires that some
+    nontrivial operation on [obj] has been recorded. *)
+let clone_last_writer t ~obj =
+  match Hashtbl.find_opt t.last_writer obj with
+  | Some { w_state; w_input; w_pid; w_steps } ->
+      add_clone t ~state:w_state ~input:w_input ~origin:w_pid ~cutoff:w_steps
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Builder.clone_last_writer: no write recorded on obj %d" obj)
+
+(** Clone an existing (live) process in its current state. *)
+let clone_of t ~pid =
+  add_clone t
+    ~state:t.config.Config.procs.(pid)
+    ~input:(input_of t pid) ~origin:pid ~cutoff:(steps_of t pid)
+
+(** A block write (Section 3): one nontrivial operation on each object in
+    the set, by the given poised writers, in object order.  Asserts every
+    writer really is poised at its object. *)
+let block_write t writers =
+  List.iter
+    (fun (obj, pid) ->
+      (match Triviality.poised_write t.config pid with
+      | Some (o, _) when o = obj -> ()
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Builder.block_write: P%d is not poised at obj %d" pid obj));
+      step t ~pid ())
+    writers
+
+(** Run [pid] with the given coin outcomes until it decides, runs out of
+    coins at a flip, or [stop] holds (checked before each step).  Returns
+    the unused coins. *)
+let run_coins t ~pid ~coins ?(stop = fun _ _ -> false) () =
+  let rec go coins =
+    if Config.is_decided t.config pid then coins
+    else if stop t.config pid then coins
+    else
+      match (t.config.Config.procs.(pid), coins) with
+      | Proc.Choose _, [] -> coins
+      | Proc.Choose _, c :: rest ->
+          step t ~pid ~coin:c ();
+          go rest
+      | (Proc.Apply _ | Proc.Decide _), _ ->
+          step t ~pid ();
+          go coins
+  in
+  go coins
+
+(** Position marker into the trace; use with [events_since] to extract the
+    events of a segment just executed. *)
+type mark = int Event.t list
+
+let mark t : mark = t.rev_trace
+
+let events_since t (m : mark) =
+  let rec take acc rev =
+    if rev == m then acc
+    else
+      match rev with
+      | [] -> acc
+      | ev :: rest -> take (ev :: acc) rest
+  in
+  take [] t.rev_trace
+
+let decisions t = Config.decisions t.config
+
+let verdict t = Checker.check ~inputs:(inputs t) ~decisions:(decisions t)

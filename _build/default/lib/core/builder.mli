@@ -1,0 +1,84 @@
+(** Executions under construction: the adversary grows an execution step
+    by step while keeping the bookkeeping the proofs need — the full
+    trace, the inputs of every process (clones included), and per object
+    a snapshot of the last nontrivial writer's state taken just before its
+    operation (the "clone left behind" device of Section 3.1). *)
+
+open Sim
+
+type t
+
+type lineage = { clone : int; origin : int; cutoff : int }
+(** [clone] behaves like [origin] after [cutoff] of the origin's steps —
+    the data {!Attack.certify} needs to realize clones as genuine
+    identical processes shadowing their origins lock-step. *)
+
+val create : config:int Config.t -> inputs:int list -> t
+val config : t -> int Config.t
+val trace : t -> int Trace.t
+val inputs : t -> int list
+val n_procs : t -> int
+
+(** Clone genealogy, in creation order. *)
+val genealogy : t -> lineage list
+
+(** Steps completed by a process so far. *)
+val steps_of : t -> int -> int
+
+(** Input of a process; raises [Invalid_argument] for unknown pids. *)
+val input_of : t -> int -> int
+
+(** {1 Snapshots} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+(** {1 Stepping} *)
+
+(** One step of [pid]; [coin] supplies the outcome when the step is an
+    internal flip (raises otherwise). *)
+val step : t -> pid:int -> ?coin:int -> unit -> unit
+
+(** Add a clone with the given state, input and lineage; returns its
+    pid. *)
+val add_clone :
+  t -> state:int Proc.t -> input:int -> origin:int -> cutoff:int -> int
+
+(** A clone poised to re-perform the last nontrivial operation on the
+    object; raises if none was recorded. *)
+val clone_last_writer : t -> obj:int -> int
+
+(** Clone a live process in its current state. *)
+val clone_of : t -> pid:int -> int
+
+(** A block write (Section 3): one nontrivial operation on each listed
+    object by its poised writer, in order; raises if a writer is not
+    poised as claimed. *)
+val block_write : t -> (int * int) list -> unit
+
+(** Run [pid] with the given coin outcomes until it decides, exhausts the
+    coins at a flip, or [stop] holds (checked before each step); returns
+    unused coins. *)
+val run_coins :
+  t ->
+  pid:int ->
+  coins:int list ->
+  ?stop:(int Config.t -> int -> bool) ->
+  unit ->
+  int list
+
+(** {1 Trace segments} *)
+
+type mark
+
+val mark : t -> mark
+
+(** Events appended since the mark, in order. *)
+val events_since : t -> mark -> int Event.t list
+
+(** {1 Verdicts} *)
+
+val decisions : t -> int list
+val verdict : t -> Checker.verdict

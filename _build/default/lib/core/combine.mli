@@ -1,0 +1,16 @@
+(** Lemma 3.1, as a program: from a configuration and two sides (poised
+    writer sets with solo-continuation witnesses deciding different
+    values), grow an execution in the builder that decides both.  See the
+    implementation header for the case analysis. *)
+
+(** Raised when a construction step cannot proceed (budget exhausted,
+    replay divergence, malformed sides); the attack drivers surface it as
+    an error result. *)
+exception Attack_failed of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+
+(** Budget for internal solo searches: (max_steps, max_nodes). *)
+val search_budget : (int * int) ref
+
+val combine : Builder.t -> Side.t -> Side.t -> unit

@@ -1,0 +1,123 @@
+(* Lemma 3.6 / Theorem 3.7, as a program: the adversary for *arbitrary*
+   (not necessarily identical) processes over historyless objects.
+
+   Given a protocol using r historyless objects and enough processes
+   (3r^2 + r in the paper; the constructions here are given a little slack
+   on top — see EXPERIMENTS.md E3 for the measured minima):
+
+   1. Split the processes into P (inputs 0) and Q (inputs 1).
+   2. Build, from the initial configuration, an interruptible execution
+      alpha over P with initial object set {} and excess capacity r for
+      all objects (Lemma 3.4); it involves only processes with input 0, so
+      it must decide 0 — anything else is itself a validity anomaly, which
+      we report.  Symmetrically beta over Q decides 1.
+   3. Splice alpha and beta (Lemma 3.5) into one execution deciding both.
+
+   No cloning is involved anywhere: this is the paper's general
+   construction, where excess capacity plays the role clones play in the
+   identical-process case. *)
+
+open Sim
+
+type outcome = {
+  trace : int Trace.t;
+  config : int Config.t;
+  verdict : Checker.verdict;
+  inputs : int list;
+  processes_used : int;
+  registers : int;
+  pieces_alpha : int;
+  pieces_beta : int;
+}
+
+type error =
+  | Side_decides_wrong of { side : int; got : int }
+  | Construction_failed of string
+
+let error_to_string = function
+  | Side_decides_wrong { side; got } ->
+      Printf.sprintf
+        "interruptible execution over input-%d processes decided %d" side got
+  | Construction_failed msg -> "construction failed: " ^ msg
+
+(** Paper bound plus the slack our executable construction needs at the
+    final level (the paper's count is exactly tight and leaves the last
+    piece without a process to run to a decision; see DESIGN.md). *)
+let default_processes r = (3 * r * r) + r + (2 * ((2 * r) + 1))
+
+let run ?processes (p : Consensus.Protocol.t) =
+  let probe_n = 2 in
+  let r = List.length (p.Consensus.Protocol.optypes ~n:probe_n) in
+  let m =
+    match processes with Some m -> m | None -> default_processes r
+  in
+  let half = m / 2 in
+  let m = 2 * half in
+  let inputs = List.init m (fun pid -> if pid < half then 0 else 1) in
+  let pset = List.init half Fun.id in
+  let qset = List.init half (fun i -> half + i) in
+  let config = Consensus.Protocol.initial_config p ~inputs in
+  let objs = List.init (Config.n_objects config) Fun.id in
+  let build side_pids =
+    let scratch = Builder.create ~config ~inputs in
+    Build_interruptible.construct scratch ~all_objects:objs ~vset:[]
+      ~pset:side_pids ~uset:objs ~e:r
+  in
+  try
+    let a = build pset and b_ = build qset in
+    if a.Build_interruptible.witness.Interruptible.decides <> 0 then
+      Error
+        (Side_decides_wrong
+           { side = 0; got = a.Build_interruptible.witness.Interruptible.decides })
+    else if b_.Build_interruptible.witness.Interruptible.decides <> 1 then
+      Error
+        (Side_decides_wrong
+           { side = 1; got = b_.Build_interruptible.witness.Interruptible.decides })
+    else begin
+      let aside =
+        {
+          Splice.witness = a.Build_interruptible.witness;
+          pset;
+          excess = a.Build_interruptible.released;
+          decides = 0;
+        }
+      in
+      let bside =
+        {
+          Splice.witness = b_.Build_interruptible.witness;
+          pset = qset;
+          excess = b_.Build_interruptible.released;
+          decides = 1;
+        }
+      in
+      let b = Builder.create ~config ~inputs in
+      Splice.combine b aside bside;
+      Ok
+        {
+          trace = Builder.trace b;
+          config = Builder.config b;
+          verdict = Builder.verdict b;
+          inputs;
+          processes_used = m;
+          registers = r;
+          pieces_alpha =
+            List.length a.Build_interruptible.witness.Interruptible.pieces;
+          pieces_beta =
+            List.length b_.Build_interruptible.witness.Interruptible.pieces;
+        }
+    end
+  with Combine.Attack_failed msg -> Error (Construction_failed msg)
+
+let succeeded outcome = not outcome.verdict.Checker.consistent
+
+(** Smallest process count (searched upward from [start] in steps of 2) at
+    which the attack succeeds; measured against the paper's 3r^2 + r. *)
+let minimum_processes ?(start = 4) ?(limit = 400) p =
+  let rec go m =
+    if m > limit then None
+    else
+      match run ~processes:m p with
+      | Ok outcome when succeeded outcome -> Some m
+      | Ok _ | Error _ -> go (m + 2)
+  in
+  go start

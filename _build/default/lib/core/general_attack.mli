@@ -1,0 +1,34 @@
+(** Lemma 3.6 / Theorem 3.7, as a program: the adversary for arbitrary
+    (not necessarily identical) processes over historyless objects.  No
+    cloning: interruptible executions and excess capacity throughout. *)
+
+open Sim
+
+type outcome = {
+  trace : int Trace.t;
+  config : int Config.t;
+  verdict : Checker.verdict;
+  inputs : int list;
+  processes_used : int;
+  registers : int;
+  pieces_alpha : int;
+  pieces_beta : int;
+}
+
+type error =
+  | Side_decides_wrong of { side : int; got : int }
+  | Construction_failed of string
+
+val error_to_string : error -> string
+
+(** The paper's 3r^2 + r plus the slack the executable construction needs
+    at its final level (see DESIGN.md). *)
+val default_processes : int -> int
+
+val run : ?processes:int -> Consensus.Protocol.t -> (outcome, error) result
+val succeeded : outcome -> bool
+
+(** Smallest (even) process count at which the attack lands, searched
+    upward. *)
+val minimum_processes :
+  ?start:int -> ?limit:int -> Consensus.Protocol.t -> int option

@@ -1,0 +1,167 @@
+(* Interruptible executions (Definition 3.1) and excess capacity
+   (Definition 3.2), as concrete, replayable data.
+
+   An interruptible execution is a sequence of pieces; each piece begins
+   with a block write to a growing object set V_1 strictly-included-in ...
+   strictly-included-in V_k by processes that take no further steps, every
+   nontrivial operation of piece i lands inside V_i, and by the end some
+   process has decided.  Because the objects are historyless, the block
+   write at the head of a piece gives its objects fixed values no matter
+   what ran before — which is exactly why foreign executions whose
+   nontrivial operations stay inside V_i can be inserted in front of piece
+   i without disturbing the rest ({!Splice}).
+
+   A witness records, per piece, the block writers and the body steps (pid
+   plus coin outcome for internal flips), so it can be replayed through the
+   ordinary runner from any suitable configuration, and *validated* against
+   Definition 3.1 rather than trusted. *)
+
+open Sim
+
+type step = { pid : int; coin : int option }
+
+type piece = {
+  vset : int list;  (** V_i, sorted *)
+  bwriters : (int * int) list;  (** (object, pid): the block write *)
+  body : step list;  (** steps after the block write *)
+}
+
+type t = {
+  init_set : int list;  (** V = V_1 *)
+  pieces : piece list;  (** nonempty *)
+  pset : int list;  (** the process set P *)
+  decides : int;
+  decider : int;  (** pid whose decision ends the execution *)
+}
+
+(** Convert a trace segment into replayable steps. *)
+let steps_of_events events =
+  List.filter_map
+    (function
+      | Event.Applied { pid; _ } -> Some { pid; coin = None }
+      | Event.Coin { pid; outcome; _ } -> Some { pid; coin = Some outcome }
+      | Event.Decided _ | Event.Halted _ -> None)
+    events
+
+(** Replay one piece into the builder: the block write, then the body. *)
+let replay_piece b (p : piece) =
+  Builder.block_write b p.bwriters;
+  List.iter (fun { pid; coin } -> Builder.step b ~pid ?coin ()) p.body
+
+let replay b (t : t) = List.iter (replay_piece b) t.pieces
+
+(** Pids that take a step anywhere in the execution. *)
+let participants (t : t) =
+  let of_piece p =
+    List.map snd p.bwriters @ List.map (fun s -> s.pid) p.body
+  in
+  List.sort_uniq compare (List.concat_map of_piece t.pieces)
+
+(** Definition 3.1, checked: replay from [config] on a scratch copy and
+    verify (a) strictly increasing object sets, (b) block writers take no
+    further steps, (c) every nontrivial operation of piece i is on V_i,
+    (d) the execution ends with [decider] having decided [decides].
+    Returns [Ok ()] or a description of the first violated clause. *)
+let validate ~config (t : t) =
+  let ( let* ) r f = Result.bind r f in
+  let subset_strict a b =
+    List.for_all (fun x -> List.mem x b) a && List.length a < List.length b
+  in
+  let rec check_nesting = function
+    | a :: (b :: _ as rest) ->
+        if subset_strict a.vset b.vset then check_nesting rest
+        else Error "object sets do not strictly increase"
+    | [ _ ] | [] -> Ok ()
+  in
+  let* () =
+    if t.pieces = [] then Error "no pieces"
+    else if (List.hd t.pieces).vset <> t.init_set then
+      Error "first piece's set is not the initial object set"
+    else check_nesting t.pieces
+  in
+  (* block writers take no further steps in the whole execution *)
+  let* () =
+    let rec check_writers seen = function
+      | [] -> Ok ()
+      | p :: rest ->
+          let steppers =
+            List.map snd p.bwriters @ List.map (fun s -> s.pid) p.body
+          in
+          if List.exists (fun pid -> List.mem pid seen) steppers then
+            Error "a block writer takes a further step"
+          else check_writers (List.map snd p.bwriters @ seen) rest
+    in
+    check_writers [] t.pieces
+  in
+  (* replay on a scratch builder, watching nontrivial ops *)
+  let scratch =
+    Builder.create ~config
+      ~inputs:(List.init (Config.n_procs config) (fun _ -> 0))
+  in
+  let check_step vset { pid; coin } =
+    let outside =
+      match Triviality.poised_write (Builder.config scratch) pid with
+      | Some (obj, _) -> not (List.mem obj vset)
+      | None -> false
+    in
+    if outside then Error "nontrivial operation outside the piece's set"
+    else begin
+      Builder.step scratch ~pid ?coin ();
+      Ok ()
+    end
+  in
+  let rec check_pieces = function
+    | [] ->
+        if Config.decision (Builder.config scratch) t.decider = Some t.decides
+        then Ok ()
+        else Error "decider did not decide the claimed value"
+    | p :: rest ->
+        let* () =
+          List.fold_left
+            (fun acc (obj, pid) ->
+              let* () = acc in
+              match Triviality.poised_write (Builder.config scratch) pid with
+              | Some (o, _) when o = obj ->
+                  Builder.step scratch ~pid ();
+                  Ok ()
+              | _ -> Error "block writer not poised at its object")
+            (Ok ()) p.bwriters
+        in
+        let* () =
+          List.fold_left
+            (fun acc s ->
+              let* () = acc in
+              check_step p.vset s)
+            (Ok ()) p.body
+        in
+        check_pieces rest
+  in
+  check_pieces t.pieces
+
+(** Definition 3.2, checked at the starting configuration: at the beginning
+    of each piece there are at least [e] processes outside [t.pset] poised
+    at every object of V_i intersected with [uset]. *)
+let has_excess_capacity ~config (t : t) ~uset ~e =
+  let scratch =
+    Builder.create ~config
+      ~inputs:(List.init (Config.n_procs config) (fun _ -> 0))
+  in
+  let check_piece (p : piece) =
+    List.for_all
+      (fun obj ->
+        if not (List.mem obj uset) then true
+        else
+          let outside_pset =
+            List.filter
+              (fun pid -> not (List.mem pid t.pset))
+              (Triviality.poised_at (Builder.config scratch) obj)
+          in
+          List.length outside_pset >= e)
+      p.vset
+  in
+  List.for_all
+    (fun p ->
+      let ok = check_piece p in
+      if ok then replay_piece scratch p;
+      ok)
+    t.pieces

@@ -1,0 +1,41 @@
+(** Interruptible executions (Definition 3.1) and excess capacity
+    (Definition 3.2), as concrete replayable data with validators. *)
+
+open Sim
+
+type step = { pid : int; coin : int option }
+
+type piece = {
+  vset : int list;  (** V_i, sorted *)
+  bwriters : (int * int) list;  (** (object, pid): the block write *)
+  body : step list;
+}
+
+type t = {
+  init_set : int list;  (** V = V_1 *)
+  pieces : piece list;  (** nonempty *)
+  pset : int list;  (** the process set P *)
+  decides : int;
+  decider : int;
+}
+
+(** Convert a trace segment into replayable steps. *)
+val steps_of_events : int Event.t list -> step list
+
+val replay_piece : Builder.t -> piece -> unit
+val replay : Builder.t -> t -> unit
+
+(** Pids taking a step anywhere in the execution, sorted unique. *)
+val participants : t -> int list
+
+(** Definition 3.1, checked by scratch replay from [config]: strictly
+    increasing object sets, block writers take no further steps, every
+    nontrivial operation of piece i lands in V_i, the decider decides the
+    claimed value. *)
+val validate : config:int Config.t -> t -> (unit, string) result
+
+(** Definition 3.2, checked at the starting configuration: at the
+    beginning of each piece, at least [e] processes outside [t.pset]
+    poised at every object of V_i intersect [uset]. *)
+val has_excess_capacity :
+  config:int Config.t -> t -> uset:int list -> e:int -> bool

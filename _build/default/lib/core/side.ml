@@ -1,0 +1,33 @@
+(* One "side" of the Lemma 3.1 invariant: a set of registers V, one poised
+   writer per register, and a witness that — after a block write to V by
+   those writers — the designated runner has a solo continuation (with the
+   recorded coin outcomes) that decides [decides]. *)
+
+type t = {
+  regs : int list;  (** V, sorted object ids *)
+  writers : (int * int) list;  (** (object, pid): one poised writer per reg *)
+  runner : int;  (** pid, member of [writers], performs the solo run *)
+  coins : int list;  (** runner's coin outcomes after the block write *)
+  decides : int;  (** value the witness execution decides *)
+}
+
+let make ~regs ~writers ~runner ~coins ~decides =
+  let regs = List.sort_uniq compare regs in
+  assert (List.length writers = List.length regs);
+  assert (List.for_all (fun (obj, _) -> List.mem obj regs) writers);
+  assert (List.exists (fun (_, pid) -> pid = runner) writers);
+  { regs; writers; runner; coins; decides }
+
+let mem t obj = List.mem obj t.regs
+let card t = List.length t.regs
+
+let subset a b = List.for_all (fun r -> List.mem r b.regs) a.regs
+
+(** Writers of [t] poised at registers not in [other]. *)
+let writers_outside t ~other =
+  List.filter (fun (obj, _) -> not (mem other obj)) t.writers
+
+let pp ppf t =
+  Fmt.pf ppf "{V=[%a] runner=P%d decides=%d}"
+    Fmt.(list ~sep:(any ",") int)
+    t.regs t.runner t.decides

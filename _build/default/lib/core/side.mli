@@ -1,0 +1,29 @@
+(** One side of the Lemma 3.1 invariant: registers V, one poised writer
+    per register, and a witness that after a block write to V the runner's
+    solo continuation (with the recorded coins) decides [decides]. *)
+
+type t = {
+  regs : int list;  (** V, sorted *)
+  writers : (int * int) list;  (** (object, pid), one per register *)
+  runner : int;  (** member of [writers] *)
+  coins : int list;
+  decides : int;
+}
+
+(** Normalizes and asserts well-formedness. *)
+val make :
+  regs:int list ->
+  writers:(int * int) list ->
+  runner:int ->
+  coins:int list ->
+  decides:int ->
+  t
+
+val mem : t -> int -> bool
+val card : t -> int
+val subset : t -> t -> bool
+
+(** Writers poised at registers outside the other side's set. *)
+val writers_outside : t -> other:t -> (int * int) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+(* Nondeterministic solo termination, made effective.
+
+   The property (Section 2): from every configuration, every process has
+   *some* finite solo execution that completes its operation.  The proofs
+   use it purely existentially; the executable adversary needs witnesses,
+   so we search: depth-first over the process's internal coin outcomes
+   (solo applies are deterministic), bounded by path length and total
+   nodes.  A protocol for which the search fails within the budget is
+   reported as such, never silently treated as terminating.
+
+   [stop] generalizes the goal, e.g. Lemma 3.4 runs a process "until it has
+   decided or is poised at an object in V-bar": pass a predicate that holds
+   when the process's pending nontrivial operation lies outside V. *)
+
+open Sim
+
+type 'a found = {
+  coins : int list;  (** coin outcomes along the found path, in order *)
+  decision : 'a option;  (** [Some v] if the goal state has pid decided *)
+  steps : int;  (** solo steps on the found path *)
+}
+
+let search ?(max_steps = 2_000) ?(max_nodes = 200_000)
+    ?(stop = fun _config _pid -> false) (config : 'a Config.t) ~pid =
+  let nodes = ref 0 in
+  (* rev_coins accumulates outcomes; returns the goal description *)
+  let rec go config rev_coins steps =
+    incr nodes;
+    if !nodes > max_nodes || steps > max_steps then None
+    else if Config.is_decided config pid then
+      Some
+        {
+          coins = List.rev rev_coins;
+          decision = Config.decision config pid;
+          steps;
+        }
+    else if stop config pid then
+      Some { coins = List.rev rev_coins; decision = None; steps }
+    else
+      match config.Config.procs.(pid) with
+      | Proc.Decide _ -> assert false
+      | Proc.Apply _ ->
+          let config', _ = Run.step config ~pid ~coin:(fun _ -> 0) in
+          go config' rev_coins (steps + 1)
+      | Proc.Choose { n; _ } ->
+          let rec try_outcome o =
+            if o >= n then None
+            else
+              let config', _ = Run.step config ~pid ~coin:(fun _ -> o) in
+              match go config' (o :: rev_coins) (steps + 1) with
+              | Some _ as found -> found
+              | None -> try_outcome (o + 1)
+          in
+          try_outcome 0
+  in
+  go config [] 0
+
+(** A terminating solo execution (decision goal only). *)
+let terminating ?max_steps ?max_nodes config ~pid =
+  search ?max_steps ?max_nodes config ~pid
+
+(** Goal predicate: pid is poised at a nontrivial operation on an object
+    outside [inside].  Combine with the implicit decided-goal to get
+    Lemma 3.4's "until decided or poised at an object in V-bar". *)
+let poised_outside inside config pid =
+  match Triviality.poised_write config pid with
+  | Some (obj, _) -> not (List.mem obj inside)
+  | None -> false
+
+(** Goal predicate: pid is poised at any nontrivial operation at all.
+    Used to cut a solo execution at its first write (Lemma 3.2). *)
+let poised_anywhere config pid = Triviality.poised_write config pid <> None

@@ -1,0 +1,36 @@
+(** Nondeterministic solo termination (Section 2), made effective: search
+    the tree of a process's internal coin outcomes for a finite solo
+    execution reaching a goal.  Protocols for which the search fails
+    within its budget are reported as such, never silently assumed
+    terminating. *)
+
+open Sim
+
+type 'a found = {
+  coins : int list;  (** coin outcomes along the found path, in order *)
+  decision : 'a option;  (** [Some v] iff the goal state has pid decided *)
+  steps : int;
+}
+
+(** Goal: pid decided, or [stop config pid] holds (checked before each
+    step). *)
+val search :
+  ?max_steps:int ->
+  ?max_nodes:int ->
+  ?stop:('a Config.t -> int -> bool) ->
+  'a Config.t ->
+  pid:int ->
+  'a found option
+
+(** Decision goal only. *)
+val terminating :
+  ?max_steps:int -> ?max_nodes:int -> 'a Config.t -> pid:int -> 'a found option
+
+(** Goal predicate: poised at a nontrivial operation on an object outside
+    [inside] — Lemma 3.4's "until decided or poised at an object in
+    V-bar". *)
+val poised_outside : int list -> 'a Config.t -> int -> bool
+
+(** Goal predicate: poised at any nontrivial operation — cuts a solo
+    execution at its first write (Lemma 3.2). *)
+val poised_anywhere : 'a Config.t -> int -> bool

@@ -1,0 +1,147 @@
+(* Lemma 3.5, as a program: combine two interruptible executions that
+   decide different values into one execution that decides both.
+
+   Each side carries its (remaining) witness, the process set it may still
+   step, and its *excess capacity*: for some objects, processes that are
+   poised there and guaranteed never to step in the witness — exactly the
+   proof's device for handing the other side the poised writers it needs.
+
+   The recursion on |V-bar| + |W-bar|:
+
+   - V subset-of W: replay the V-side's first piece.  Its nontrivial
+     operations all land inside W, and the W-side's witness begins with a
+     block write to W, which obliterates them — so if the V-side is done
+     (single piece, hence a decision), replaying the whole W-side witness
+     yields the second, conflicting decision.  Otherwise recurse on the
+     V-side's tail, whose initial set strictly grew.
+
+   - Neither a subset: extend a side to U = V + W by *rebuilding* it with
+     {!Build_interruptible} from the current configuration, over its own
+     processes plus poised helpers drawn from the other side's excess.
+     The fresh execution decides something; whichever value comes out
+     tells us which side it extends, and the measure v-bar + w-bar
+     strictly drops.  At most both sides get rebuilt (then the sets are
+     equal and the subset case finishes).
+
+   Replays are re-executions of recorded schedules through the ordinary
+   runner; the final decisions are asserted, so a hole in the reasoning
+   surfaces as a loud failure, never a fabricated counterexample. *)
+
+open Sim
+
+let fail = Combine.fail
+
+type gside = {
+  witness : Interruptible.t;
+  pset : int list;
+  excess : (int * int list) list;
+      (** object -> poised processes never stepping in [witness] *)
+  decides : int;
+}
+
+let subset a b = List.for_all (fun o -> List.mem o b) a
+
+let vset side = side.witness.Interruptible.init_set
+
+(* helpers drawn from [side]'s excess at the given objects; returns the
+   helpers (object-keyed) and the side with its excess reduced *)
+let draw_helpers side ~objs ~per_obj =
+  let drawn = ref [] in
+  let excess' =
+    List.map
+      (fun (obj, pids) ->
+        if List.mem obj objs then begin
+          let take = min per_obj (List.length pids) in
+          let used = List.filteri (fun i _ -> i < take) pids in
+          drawn := used @ !drawn;
+          (obj, List.filteri (fun i _ -> i >= take) pids)
+        end
+        else (obj, pids))
+      side.excess
+  in
+  (!drawn, { side with excess = excess' })
+
+let all_objects config = List.init (Config.n_objects config) Fun.id
+
+(* rebuild [side] with initial object set [u], helped by processes from
+   [other]'s excess at u minus-its-own objects; returns the extended side
+   and the donor with reduced excess.  [e]/[uset] give the rebuilt side its
+   own excess-capacity obligation (towards [other]'s complement). *)
+let extend b side other ~u =
+  let config = Builder.config b in
+  let objs = all_objects config in
+  let w = vset other in
+  let w_bar = List.filter (fun o -> not (List.mem o w)) objs in
+  let new_objs = List.filter (fun o -> not (List.mem o (vset side))) u in
+  let u_bar = List.length objs - List.length u in
+  let helpers, other' = draw_helpers other ~objs:new_objs ~per_obj:(u_bar + 1) in
+  let pset = List.sort_uniq compare (side.pset @ helpers) in
+  let scratch =
+    Builder.create ~config
+      ~inputs:(List.init (Config.n_procs config) (fun _ -> 0))
+  in
+  let { Build_interruptible.witness; released } =
+    Build_interruptible.construct scratch ~all_objects:objs ~vset:u ~pset
+      ~uset:w_bar ~e:(List.length w_bar)
+  in
+  let side' =
+    {
+      witness;
+      pset;
+      excess = side.excess @ released;
+      decides = witness.Interruptible.decides;
+    }
+  in
+  (side', other')
+
+let assert_decided b (side : gside) =
+  let w = side.witness in
+  match Config.decision (Builder.config b) w.Interruptible.decider with
+  | Some d when d = w.Interruptible.decides -> ()
+  | d ->
+      fail "replay: P%d decided %s, witness claims %d"
+        w.Interruptible.decider
+        (match d with Some v -> string_of_int v | None -> "nothing")
+        w.Interruptible.decides
+
+let rec combine b aside bside =
+  if aside.decides = bside.decides then
+    fail "splice: both sides decide %d" aside.decides;
+  if subset (vset aside) (vset bside) then subset_case b aside bside
+  else if subset (vset bside) (vset aside) then subset_case b bside aside
+  else incomparable_case b aside bside
+
+and subset_case b inner outer =
+  match inner.witness.Interruptible.pieces with
+  | [] -> fail "empty witness"
+  | piece :: rest ->
+      Interruptible.replay_piece b piece;
+      if rest = [] then begin
+        assert_decided b inner;
+        Interruptible.replay b outer.witness;
+        assert_decided b outer
+      end
+      else
+        let witness' =
+          {
+            inner.witness with
+            Interruptible.pieces = rest;
+            init_set = (List.hd rest).Interruptible.vset;
+          }
+        in
+        combine b { inner with witness = witness' } outer
+
+and incomparable_case b aside bside =
+  let u = List.sort_uniq compare (vset aside @ vset bside) in
+  let aside', bside1 = extend b aside bside ~u in
+  if aside'.decides = aside.decides then combine b aside' bside1
+  else begin
+    (* the fresh execution decided the other side's value: extend the other
+       side instead (from the same, unchanged configuration) *)
+    let bside', aside1 = extend b bside aside ~u in
+    if bside'.decides = bside.decides then combine b aside1 bside'
+    else
+      (* both rebuilt executions flipped: they now decide each other's
+         values over the same object set U; combine them directly *)
+      combine b aside' bside'
+  end

@@ -1,0 +1,17 @@
+(** Lemma 3.5, as a program: combine two interruptible executions deciding
+    different values into one execution deciding both — replaying pieces
+    in the subset case, rebuilding a side over U = V + W with helpers
+    drawn from the other side's excess capacity in the incomparable case.
+    Replays assert the claimed decisions, so reasoning holes fail loudly
+    rather than fabricate counterexamples. *)
+
+type gside = {
+  witness : Interruptible.t;
+  pset : int list;
+  excess : (int * int list) list;
+      (** object -> poised processes never stepping in [witness] *)
+  decides : int;
+}
+
+(** Raises [Combine.Attack_failed] on any violated expectation. *)
+val combine : Builder.t -> gside -> gside -> unit

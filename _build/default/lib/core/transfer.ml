@@ -1,0 +1,57 @@
+(* Theorem 2.1, the transfer principle: if f(n) instances of X solve
+   n-process randomized consensus and g(n) instances of Y are *required*,
+   then any randomized non-blocking implementation of X from Y needs
+   g(n)/f(n) instances of Y.  Pure arithmetic — but it is how the paper
+   turns the consensus lower bound into lower bounds for implementing
+   compare&swap, counters and fetch&add from historyless objects
+   (Corollaries 4.1, 4.3, 4.5), so the experiment harness exposes it as a
+   calculator over the measured f's and the proved g's. *)
+
+type claim = {
+  target : string;  (** X: the implemented type *)
+  substrate : string;  (** Y: the implementing type *)
+  f : int -> int;  (** instances of X solving n-consensus *)
+  g : int -> float;  (** instances of Y required for n-consensus *)
+}
+
+(** Lower bound on instances of Y per instance of X, for n processes. *)
+let instances_required claim ~n =
+  ceil (claim.g n /. float_of_int (claim.f n))
+
+(** The paper's sqrt(n) lower bound for historyless objects, in the
+    explicit form of Lemma 3.6: no implementation from r objects serves
+    3r^2 + r processes, i.e. r > (sqrt(12n + 13) - 1) / 6 objects are
+    needed for n processes. *)
+let historyless_lower_bound n =
+  (sqrt ((12.0 *. float_of_int n) +. 13.0) -. 1.0) /. 6.0
+
+(* The three corollaries, as claims: each target solves randomized
+   consensus with a single object (Herlihy's theorem for compare&swap, this
+   paper's Theorems 4.2/4.4 for counters and fetch&add), so implementing
+   any of them from historyless objects inherits the full Omega(sqrt n). *)
+
+let corollary_4_1 =
+  {
+    target = "compare&swap";
+    substrate = "historyless";
+    f = (fun _ -> 1);
+    g = historyless_lower_bound;
+  }
+
+let corollary_4_3 =
+  {
+    target = "bounded counter";
+    substrate = "historyless";
+    f = (fun _ -> 1);
+    g = historyless_lower_bound;
+  }
+
+let corollary_4_5 =
+  {
+    target = "fetch&add";
+    substrate = "historyless";
+    f = (fun _ -> 1);
+    g = historyless_lower_bound;
+  }
+
+let corollaries = [ corollary_4_1; corollary_4_3; corollary_4_5 ]

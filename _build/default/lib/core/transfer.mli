@@ -1,0 +1,26 @@
+(** Theorem 2.1, the transfer principle: f(n) instances of X solve
+    randomized n-consensus, g(n) instances of Y are required, so any
+    randomized non-blocking implementation of X from Y needs g(n)/f(n)
+    instances — the engine behind Corollaries 4.1, 4.3, 4.5. *)
+
+type claim = {
+  target : string;
+  substrate : string;
+  f : int -> int;  (** instances of X solving n-consensus *)
+  g : int -> float;  (** instances of Y required *)
+}
+
+(** ceil (g n / f n). *)
+val instances_required : claim -> n:int -> float
+
+(** The explicit Lemma 3.6 inversion: historyless objects needed for n
+    processes, r > (sqrt (12n + 13) - 1) / 6. *)
+val historyless_lower_bound : int -> float
+
+val corollary_4_1 : claim  (** compare&swap from historyless *)
+
+val corollary_4_3 : claim  (** bounded counter from historyless *)
+
+val corollary_4_5 : claim  (** fetch&add from historyless *)
+
+val corollaries : claim list

@@ -1,0 +1,34 @@
+(* Operation triviality, as the lower-bound machinery needs it.
+
+   The paper's notion: an operation is trivial if it never changes the
+   object's value.  [Objclass.Classify] decides this exhaustively for
+   finite specs; the attack targets, however, use unbounded objects.  Every
+   object type in this repository names its unique trivial operation
+   "read" (and READ is trivial on all of them, as the classification tests
+   verify), so on protocol objects we decide triviality by name.
+
+   "Poised at R" in Section 3 means: the process's next step applies a
+   *nontrivial* operation to R; processes poised at reads are invisible to
+   the block-write machinery. *)
+
+open Sim
+
+let is_trivial (op : Op.t) = op.name = "read" || (op.name = "fetch&add" && op.arg = Value.Int 0)
+
+let is_nontrivial op = not (is_trivial op)
+
+(** The pending nontrivial operation of [pid], if any: [Some (obj, op)]
+    when the process is poised (in the paper's sense) at [obj]. *)
+let poised_write config pid =
+  match Config.pending config pid with
+  | Some (obj, op) when is_nontrivial op -> Some (obj, op)
+  | Some _ | None -> None
+
+(** All enabled processes poised (nontrivially) at object [obj]. *)
+let poised_at config obj =
+  List.filter
+    (fun pid ->
+      match poised_write config pid with
+      | Some (o, _) -> o = obj
+      | None -> false)
+    (Config.enabled_pids config)

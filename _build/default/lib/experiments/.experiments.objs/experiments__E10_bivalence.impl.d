@@ -1,0 +1,1 @@
+lib/experiments/e10_bivalence.ml: Cas_consensus Consensus List Mc Protocol Rw_consensus Stats Swap2 Tas2

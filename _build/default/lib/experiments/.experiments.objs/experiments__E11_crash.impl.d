@@ -1,0 +1,1 @@
+lib/experiments/e11_crash.ml: Checker Consensus Counter_consensus Fa_consensus List Printf Protocol Rng Run Rw_consensus Sched Sim Stats

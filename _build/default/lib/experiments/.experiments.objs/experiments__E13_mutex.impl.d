@@ -1,0 +1,1 @@
+lib/experiments/e13_mutex.ml: List Mutex Printf Sim Stats

@@ -1,0 +1,1 @@
+lib/experiments/e14_ablation.ml: Checker Consensus Counter_consensus List Printf Protocol Sched Sim Stats

@@ -1,0 +1,1 @@
+lib/experiments/e1_separation.ml: Cas_consensus Checker Consensus Counter_consensus Fa_consensus List Mc Objclass Objects Printf Protocol Rng Run Rw_consensus Sched Sim Stats Swap2 Tas2

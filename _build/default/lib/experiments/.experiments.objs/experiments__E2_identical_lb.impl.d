@@ -1,0 +1,1 @@
+lib/experiments/e2_identical_lb.ml: Attack Bounds Consensus Flawed List Lowerbound Protocol Sim Stats

@@ -1,0 +1,1 @@
+lib/experiments/e3_general_lb.ml: Bounds Consensus Flawed General_attack List Lowerbound Printf Protocol Sim Stats

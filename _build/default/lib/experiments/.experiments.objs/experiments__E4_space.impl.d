@@ -1,0 +1,1 @@
+lib/experiments/e4_space.ml: Bounds Cas_consensus Consensus Counter_consensus Fa_consensus List Lowerbound Protocol Rw_consensus Stats

@@ -1,0 +1,1 @@
+lib/experiments/e5_work.ml: Cas_consensus Consensus Counter_consensus Fa_consensus List Printf Protocol Rng Run Rw_consensus Sched Sim Stats

@@ -1,0 +1,1 @@
+lib/experiments/e6_coin.ml: Config Consensus Counter List Objects Printf Run Sched Shared_coin Sim Stats Trace

@@ -1,0 +1,1 @@
+lib/experiments/e7_classify.ml: List Objclass Objects Stats

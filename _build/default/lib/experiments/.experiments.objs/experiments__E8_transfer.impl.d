@@ -1,0 +1,1 @@
+lib/experiments/e8_transfer.ml: List Lowerbound Printf Stats Transfer

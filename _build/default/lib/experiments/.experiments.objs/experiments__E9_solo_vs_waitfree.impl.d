@@ -1,0 +1,1 @@
+lib/experiments/e9_solo_vs_waitfree.ml: Counter Counters Harness History List Objects Objimpl Printf Stats

@@ -1,0 +1,58 @@
+(* E10 — "Figure 8": why randomization is needed at all.
+
+   The FLP/Herlihy bivalence argument, played greedily by the model
+   checker: starting from a mixed-input initial configuration, how many
+   steps can an adversary take while keeping both decisions reachable?
+   For consensus over registers the adversary survives every probed depth
+   (deterministic wait-free consensus from registers is impossible — the
+   starting point of the whole randomized story); for one compare&swap
+   the first step already decides the game. *)
+
+open Consensus
+
+type row = {
+  protocol : string;
+  n : int;
+  survival : int;  (** bivalent steps achieved (capped at [probe]) *)
+  probe : int;
+  capped : bool;  (** survived to the cap: "forever" as far as we probed *)
+}
+
+let measure (p : Protocol.t) ~inputs ~probe =
+  let config = Protocol.initial_config p ~inputs in
+  let survival = Mc.Valency.bivalence_survival ~max_depth:probe config in
+  {
+    protocol = p.Protocol.name;
+    n = List.length inputs;
+    survival;
+    probe;
+    capped = survival >= probe;
+  }
+
+let default_probe = 10
+
+let rows ?(probe = default_probe) () =
+  [
+    measure Cas_consensus.protocol ~inputs:[ 0; 1 ] ~probe;
+    measure Tas2.protocol ~inputs:[ 0; 1 ] ~probe;
+    measure Swap2.protocol ~inputs:[ 0; 1 ] ~probe;
+    measure Rw_consensus.protocol ~inputs:[ 0; 1 ] ~probe;
+  ]
+
+let table ?probe () =
+  let t =
+    Stats.Table.create
+      ~header:[ "protocol"; "n"; "bivalent steps"; "probe depth"; "survives cap" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          r.protocol;
+          string_of_int r.n;
+          string_of_int r.survival;
+          string_of_int r.probe;
+          string_of_bool r.capped;
+        ])
+    (rows ?probe ());
+  t

@@ -1,0 +1,54 @@
+(* E12 — "Table 4": exhaustive impossibility for bounded protocols.
+
+   The paper's starting point — deterministic wait-free consensus from
+   read-write registers is impossible — established by brute force for
+   the class of bounded decision-tree protocols: EVERY protocol of depth
+   <= 2 for two identical processes over one register is enumerated and
+   model-checked; each either violates validity or admits an inconsistent
+   interleaving.  (Bounded trees always terminate, so safety is the only
+   thing left to fail — and it always does.)
+
+   The randomized rows add internal coin flips to the protocol grammar.
+   Consensus may never err on any execution (Section 2: no Monte Carlo),
+   so the adversary resolves coins too, and bounded randomized protocols
+   fail exactly like deterministic ones — which is why genuine randomized
+   consensus (Aspnes-Herlihy, Theorem 4.2, ...) must have unbounded
+   executions of vanishing probability. *)
+
+type row = { coins : bool; census : Mc.Enumerate.census }
+
+let rows ?(depths = [ 0; 1; 2 ]) ?(randomized_depths = [ 1; 2 ]) () =
+  List.map
+    (fun depth -> { coins = false; census = Mc.Enumerate.census ~depth })
+    depths
+  @ List.map
+      (fun depth ->
+        { coins = true; census = Mc.Enumerate.census_randomized ~depth })
+      randomized_depths
+
+let table ?depths ?randomized_depths () =
+  let t =
+    Stats.Table.create
+      ~header:
+        [
+          "depth";
+          "coins";
+          "protocol trees";
+          "solo-valid pairs";
+          "+ unanimous-valid";
+          "fully correct";
+        ]
+  in
+  List.iter
+    (fun { coins; census = r } ->
+      Stats.Table.add_row t
+        [
+          string_of_int r.Mc.Enumerate.depth;
+          string_of_bool coins;
+          string_of_int r.Mc.Enumerate.trees;
+          string_of_int r.Mc.Enumerate.candidate_pairs;
+          string_of_int r.Mc.Enumerate.survive_unanimous;
+          string_of_int r.Mc.Enumerate.correct;
+        ])
+    (rows ?depths ?randomized_depths ());
+  t

@@ -1,0 +1,63 @@
+(* E4 — "Figure 4": space to solve randomized n-process consensus.
+
+   The O(n) register upper bound (our rw-3n), the single-object protocols
+   (fetch&add, compare&swap) and the three-counter protocol, against the
+   paper's Omega(sqrt n) lower-bound curve for historyless objects — the
+   separation at the heart of the paper, as numbers per n. *)
+
+open Consensus
+open Lowerbound
+
+type row = {
+  n : int;
+  rw_registers : int;
+  counter_objects : int;
+  fa_objects : int;
+  cas_objects : int;
+  historyless_lb : int;  (** smallest r with 3r^2 + r >= n *)
+  identical_lb : int;  (** smallest r with r^2 - r + 1 >= n *)
+}
+
+let row n =
+  {
+    n;
+    rw_registers = Protocol.space Rw_consensus.protocol ~n;
+    counter_objects = Protocol.space Counter_consensus.protocol ~n;
+    fa_objects = Protocol.space Fa_consensus.protocol ~n;
+    cas_objects = Protocol.space Cas_consensus.protocol ~n;
+    historyless_lb = Bounds.objects_needed_general n;
+    identical_lb = Bounds.registers_needed_identical n;
+  }
+
+let default_ns = [ 2; 4; 8; 16; 32; 64; 128; 256 ]
+
+let rows ?(ns = default_ns) () = List.map row ns
+
+let table ?ns () =
+  let t =
+    Stats.Table.create
+      ~header:
+        [
+          "n";
+          "registers (rw-3n)";
+          "counters (Thm 4.2)";
+          "fetch&add (Thm 4.4)";
+          "cas (Herlihy)";
+          "historyless LB";
+          "identical-proc LB";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          string_of_int r.n;
+          string_of_int r.rw_registers;
+          string_of_int r.counter_objects;
+          string_of_int r.fa_objects;
+          string_of_int r.cas_objects;
+          string_of_int r.historyless_lb;
+          string_of_int r.identical_lb;
+        ])
+    (rows ?ns ());
+  t

@@ -1,0 +1,79 @@
+(* E5 — "Figure 5": expected work (total steps by all processes) to reach
+   consensus, per protocol, under an adversarial random scheduler, as n
+   grows.  The shape to reproduce: the one-object deterministic CAS
+   protocol is O(n); the randomized walk protocols pay the O(n^2)
+   random-walk price; the register protocol pays collect costs per round on
+   top.  Absolute numbers are simulator steps, not hardware cycles. *)
+
+open Sim
+open Consensus
+
+type cell = { mean : float; p90 : float }
+
+type row = { n : int; per_protocol : (string * cell option) list }
+
+let protocols : Protocol.t list =
+  [
+    Cas_consensus.protocol;
+    Fa_consensus.protocol;
+    Counter_consensus.protocol;
+    Rw_consensus.protocol;
+  ]
+
+let measure (p : Protocol.t) ~n ~reps ~seed =
+  if not (p.Protocol.supports_n n) then None
+  else begin
+    let steps = ref [] in
+    let completed = ref 0 in
+    for i = 1 to reps do
+      let rng = Rng.create ((seed + i) * 31) in
+      let inputs = List.init n (fun _ -> Rng.int rng 2) in
+      let report =
+        Protocol.run_once ~max_steps:2_000_000 p ~inputs
+          ~sched:(Sched.random ~seed:(seed + i))
+      in
+      if report.Protocol.result.Run.outcome = Run.All_decided then begin
+        incr completed;
+        steps := float_of_int report.Protocol.result.Run.steps :: !steps
+      end
+    done;
+    if !completed = 0 then None
+    else
+      let s = Stats.Summary.of_list !steps in
+      Some { mean = s.Stats.Summary.mean; p90 = s.Stats.Summary.p90 }
+  end
+
+let default_ns = [ 2; 3; 4; 6; 8; 12; 16 ]
+
+let rows ?(ns = default_ns) ?(reps = 30) ?(seed = 7) () =
+  List.map
+    (fun n ->
+      {
+        n;
+        per_protocol =
+          List.map
+            (fun (p : Protocol.t) ->
+              (p.Protocol.name, measure p ~n ~reps ~seed))
+            protocols;
+      })
+    ns
+
+let table ?ns ?reps ?seed () =
+  let names = List.map (fun (p : Protocol.t) -> p.Protocol.name) protocols in
+  let t =
+    Stats.Table.create
+      ~header:("n" :: List.concat_map (fun nm -> [ nm; nm ^ " p90" ]) names)
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        (string_of_int r.n
+        :: List.concat_map
+             (fun (_, cell) ->
+               match cell with
+               | Some c ->
+                   [ Printf.sprintf "%.0f" c.mean; Printf.sprintf "%.0f" c.p90 ]
+               | None -> [ "-"; "-" ])
+             r.per_protocol))
+    (rows ?ns ?reps ?seed ());
+  t

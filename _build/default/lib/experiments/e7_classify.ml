@@ -1,0 +1,53 @@
+(* E7 — "Table 2": the Section 2 object algebra, decided exhaustively.
+   Every finite spec is classified (trivial ops, historyless, interfering)
+   and set against the wait-free-hierarchy row of the same primitive. *)
+
+let rows () = List.map Objclass.Classify.report Objects.Specs.all
+
+let hierarchy_name = function
+  | "fetch&add[mod 5]" -> Some "fetch&add"
+  | "fetch&inc[mod 5]" -> Some "fetch&inc"
+  | "counter[mod 5]" -> Some "counter"
+  | ("register" | "swap-register" | "test&set" | "compare&swap" | "queue"
+    | "sticky") as s ->
+      Some s
+  | _ -> None
+
+let table () =
+  let t =
+    Stats.Table.create
+      ~header:
+        [
+          "object type";
+          "|values|";
+          "|ops|";
+          "trivial ops";
+          "historyless";
+          "interfering";
+          "det. consensus #";
+        ]
+  in
+  List.iter
+    (fun (r : Objclass.Classify.report) ->
+      let cn =
+        match hierarchy_name r.Objclass.Classify.optype with
+        | Some name -> (
+            match Objclass.Hierarchy.find name with
+            | Some e ->
+                Objclass.Hierarchy.consensus_number_to_string
+                  e.Objclass.Hierarchy.consensus_number
+            | None -> "?")
+        | None -> "?"
+      in
+      Stats.Table.add_row t
+        [
+          r.Objclass.Classify.optype;
+          string_of_int r.Objclass.Classify.n_values;
+          string_of_int r.Objclass.Classify.n_ops;
+          string_of_int r.Objclass.Classify.n_trivial;
+          string_of_bool r.Objclass.Classify.historyless;
+          string_of_bool r.Objclass.Classify.interfering;
+          cn;
+        ])
+    (rows ());
+  t

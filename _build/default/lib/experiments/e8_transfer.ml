@@ -1,0 +1,48 @@
+(* E8 — "Table 3": Theorem 2.1's transfer principle applied to the
+   corollaries.  Each target solves randomized consensus with one object
+   (f(n) = 1); historyless objects need Omega(sqrt n) of themselves
+   (g(n) from the explicit Lemma 3.6 inversion); so implementing the
+   target from historyless objects needs g(n)/f(n) instances. *)
+
+open Lowerbound
+
+type row = {
+  target : string;
+  n : int;
+  g_n : float;  (** historyless objects required for n-consensus *)
+  implied : float;  (** instances of Y per instance of X *)
+}
+
+let default_ns = [ 16; 64; 256; 1024; 4096 ]
+
+let rows ?(ns = default_ns) () =
+  List.concat_map
+    (fun (claim : Transfer.claim) ->
+      List.map
+        (fun n ->
+          {
+            target = claim.Transfer.target;
+            n;
+            g_n = claim.Transfer.g n;
+            implied = Transfer.instances_required claim ~n;
+          })
+        ns)
+    Transfer.corollaries
+
+let table ?ns () =
+  let t =
+    Stats.Table.create
+      ~header:
+        [ "implemented type X"; "n"; "g(n) historyless"; "implied #Y per X" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          r.target;
+          string_of_int r.n;
+          Printf.sprintf "%.1f" r.g_n;
+          Printf.sprintf "%.0f" r.implied;
+        ])
+    (rows ?ns ());
+  t

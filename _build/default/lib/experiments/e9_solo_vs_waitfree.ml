@@ -1,0 +1,90 @@
+(* E9 — "Figure 7": nondeterministic solo termination is strictly weaker
+   than wait-freedom, measured on the paper's own example (the simple
+   snapshot algorithm of Section 2, here as the double-collect counter
+   reader).
+
+   A solo read finishes in a fixed number of steps; under w concurrent
+   incrementers, the double collect must get lucky, and an adversarial
+   schedule starves it outright.  The collect-based reader is wait-free
+   but pays with non-linearizability (E-note in EXPERIMENTS.md; the
+   directed refutation lives in the test suite). *)
+
+open Objects
+open Objimpl
+
+type row = {
+  writers : int;
+  reader_steps : Stats.Summary.t option;  (** completed reads *)
+  starved : int;  (** runs where the read did not finish in budget *)
+  runs : int;
+}
+
+(* one run: 1 reader (pid 0) + [writers] incrementing processes *)
+let run_once ~writers ~seed ~max_steps =
+  let n = writers + 1 in
+  let workload =
+    (0, [ Counter.read ])
+    :: List.init writers (fun i -> (i + 1, List.init 40 (fun _ -> Counter.inc)))
+  in
+  let outcome =
+    Harness.run Counters.snapshot ~n ~workload
+      ~schedule:(Harness.Random_sched seed) ~max_steps ()
+  in
+  let reader_response =
+    List.find_opt
+      (fun (c : History.call) -> c.History.pid = 0 && c.History.response <> None)
+      (History.calls outcome.Harness.history)
+  in
+  match reader_response with
+  | Some _ -> `Finished outcome.Harness.steps
+  | None -> `Starved
+
+let measure ~writers ~reps ~seed ~max_steps =
+  let finished = ref [] and starved = ref 0 in
+  for i = 1 to reps do
+    match run_once ~writers ~seed:(seed + (i * 7)) ~max_steps with
+    | `Finished steps -> finished := float_of_int steps :: !finished
+    | `Starved -> incr starved
+  done;
+  {
+    writers;
+    reader_steps =
+      (match !finished with [] -> None | xs -> Some (Stats.Summary.of_list xs));
+    starved = !starved;
+    runs = reps;
+  }
+
+let default_writers = [ 0; 1; 2; 4; 8 ]
+
+let rows ?(writers = default_writers) ?(reps = 25) ?(seed = 5)
+    ?(max_steps = 4_000) () =
+  List.map (fun w -> measure ~writers:w ~reps ~seed ~max_steps) writers
+
+let table ?writers ?reps ?seed ?max_steps () =
+  let t =
+    Stats.Table.create
+      ~header:
+        [
+          "concurrent writers";
+          "reader steps (mean)";
+          "reader steps (p90)";
+          "starved runs";
+          "runs";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          string_of_int r.writers;
+          (match r.reader_steps with
+          | Some s -> Printf.sprintf "%.0f" s.Stats.Summary.mean
+          | None -> "-");
+          (match r.reader_steps with
+          | Some s -> Printf.sprintf "%.0f" s.Stats.Summary.p90
+          | None -> "-");
+          string_of_int r.starved;
+          string_of_int r.runs;
+        ])
+    (rows ?writers ?reps ?seed ?max_steps ());
+  t

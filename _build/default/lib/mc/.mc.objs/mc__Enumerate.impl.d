@@ -1,0 +1,1 @@
+lib/mc/enumerate.ml: Config Explore List Objects Printf Proc Sim Value

@@ -1,0 +1,1 @@
+lib/mc/enumerate.mli: Sim

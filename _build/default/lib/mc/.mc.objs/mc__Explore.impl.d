@@ -1,0 +1,1 @@
+lib/mc/explore.ml: Array Config Event List Proc Run Sim Trace

@@ -1,0 +1,1 @@
+lib/mc/valency.ml: Explore List Printf Sim String

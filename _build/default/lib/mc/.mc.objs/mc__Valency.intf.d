@@ -1,0 +1,1 @@
+lib/mc/valency.mli: Sim

@@ -1,0 +1,168 @@
+(* Exhaustive impossibility for bounded protocols: enumerate EVERY
+   deterministic decision-tree protocol of bounded depth for two identical
+   processes over ONE read-write register, and check each against the
+   consensus conditions on all input vectors.
+
+   The paper's starting point — deterministic wait-free consensus from
+   registers is impossible — is usually proved by the FLP/Herlihy
+   bivalence argument (see {!Valency}); here, for protocols of bounded
+   size, it is established by brute force instead: none of the finitely
+   many candidates works, and the checker can say so because bounded trees
+   always terminate, leaving only safety to fail.
+
+   A protocol tree: decide, write a bit and continue, or read and branch
+   on (empty | 0 | 1).  A protocol assigns one tree per input value; both
+   processes run the same assignment (identical processes). *)
+
+open Sim
+
+type tree =
+  | Decide of int
+  | Write of int * tree
+  | Read of tree * tree * tree  (* branch on empty / 0 / 1 *)
+  | Flip of tree * tree  (* internal fair coin: tails / heads *)
+
+let rec tree_size = function
+  | Decide _ -> 1
+  | Write (_, t) -> 1 + tree_size t
+  | Read (a, b, c) -> 1 + tree_size a + tree_size b + tree_size c
+  | Flip (a, b) -> 1 + tree_size a + tree_size b
+
+(** All deterministic trees of depth at most [depth]. *)
+let rec enumerate depth =
+  let decides = [ Decide 0; Decide 1 ] in
+  if depth = 0 then decides
+  else
+    let sub = enumerate (depth - 1) in
+    decides
+    @ List.concat_map (fun t -> [ Write (0, t); Write (1, t) ]) sub
+    @ List.concat_map
+        (fun a ->
+          List.concat_map
+            (fun b -> List.map (fun c -> Read (a, b, c)) sub)
+            sub)
+        sub
+
+(** All trees of depth at most [depth], coin flips included. *)
+let rec enumerate_randomized depth =
+  let decides = [ Decide 0; Decide 1 ] in
+  if depth = 0 then decides
+  else
+    let sub = enumerate_randomized (depth - 1) in
+    decides
+    @ List.concat_map (fun t -> [ Write (0, t); Write (1, t) ]) sub
+    @ List.concat_map
+        (fun a ->
+          List.concat_map
+            (fun b -> List.map (fun c -> Read (a, b, c)) sub)
+            sub)
+        sub
+    @ List.concat_map
+        (fun a -> List.map (fun b -> Flip (a, b)) sub)
+        sub
+
+(** Compile a tree to a process over object 0. *)
+let rec to_proc tree : int Proc.t =
+  match tree with
+  | Decide v -> Proc.decide v
+  | Write (bit, rest) ->
+      Proc.bind
+        (Proc.apply 0 (Objects.Register.write_int bit))
+        (fun _ -> to_proc rest)
+  | Read (on_empty, on_zero, on_one) ->
+      Proc.bind (Proc.apply 0 Objects.Register.read) (fun v ->
+          match v with
+          | Value.Int 0 -> to_proc on_zero
+          | Value.Int _ -> to_proc on_one
+          | _ -> to_proc on_empty)
+  | Flip (tails, heads) ->
+      Proc.bind Proc.flip (fun h -> to_proc (if h then heads else tails))
+
+(* every decision reachable in a solo run from the empty register (coin
+   outcomes enumerated); singleton for deterministic trees *)
+let solo_decisions tree =
+  let config =
+    Config.make ~optypes:[ Objects.Register.optype () ] ~procs:[ to_proc tree ]
+  in
+  let values, truncated = Explore.decidable_values ~max_depth:50 config in
+  assert (not truncated);
+  values
+
+(* the unique solo decision of a deterministic tree *)
+let solo_decision tree =
+  match solo_decisions tree with
+  | [ v ] -> v
+  | vs ->
+      (* randomized tree with several outcomes: no single decision *)
+      invalid_arg
+        (Printf.sprintf "solo_decision: %d reachable outcomes" (List.length vs))
+
+(* exhaustive consensus check of the two-process protocol (t0 for input 0,
+   t1 for input 1) on one input vector *)
+let check_inputs t0 t1 inputs =
+  let tree_of input = if input = 0 then t0 else t1 in
+  let config =
+    Config.make ~optypes:[ Objects.Register.optype () ]
+      ~procs:(List.map (fun i -> to_proc (tree_of i)) inputs)
+  in
+  let result = Explore.search ~max_depth:30 ~inputs config in
+  result.violation = None && not result.truncated
+
+type census = {
+  depth : int;
+  trees : int;
+  valid_solo_0 : int;  (** trees deciding 0 when run alone *)
+  valid_solo_1 : int;
+  candidate_pairs : int;  (** pairs passing the solo-validity filter *)
+  survive_unanimous : int;  (** also correct on (0,0) and (1,1) *)
+  correct : int;  (** also consistent on (0,1) — expected: none *)
+  example_correct : (tree * tree) option;
+}
+
+(** The full census at the given depth.  [correct = 0] is the impossibility
+    statement for this bounded protocol class.
+
+    Factorized for tractability: the unanimous-input checks (0,0) and
+    (1,1) each involve only one of the two trees, so they filter the tree
+    lists independently before the quadratic mixed-input sweep; with
+    identical processes, inputs (0,1) and (1,0) are pid-symmetric, so one
+    mixed check per pair suffices. *)
+let census_of_trees ~depth trees =
+  (* validity on a solo run: EVERY reachable outcome must be the input
+     (for deterministic trees this is the unique decision) *)
+  let v0 = List.filter (fun t -> solo_decisions t = [ 0 ]) trees in
+  let v1 = List.filter (fun t -> solo_decisions t = [ 1 ]) trees in
+  let u0 = List.filter (fun t -> check_inputs t t [ 0; 0 ]) v0 in
+  let u1 = List.filter (fun t -> check_inputs t t [ 1; 1 ]) v1 in
+  let correct = ref 0 in
+  let example = ref None in
+  List.iter
+    (fun t0 ->
+      List.iter
+        (fun t1 ->
+          if check_inputs t0 t1 [ 0; 1 ] then begin
+            incr correct;
+            if !example = None then example := Some (t0, t1)
+          end)
+        u1)
+    u0;
+  {
+    depth;
+    trees = List.length trees;
+    valid_solo_0 = List.length v0;
+    valid_solo_1 = List.length v1;
+    candidate_pairs = List.length v0 * List.length v1;
+    survive_unanimous = List.length u0 * List.length u1;
+    correct = !correct;
+    example_correct = !example;
+  }
+
+(** Census of all deterministic trees of depth <= [depth]. *)
+let census ~depth = census_of_trees ~depth (enumerate depth)
+
+(** Census including coin-flipping trees: consensus may never err on any
+    execution (no Monte Carlo), so the adversary also resolves the coins —
+    bounded randomized protocols fail exactly like deterministic ones,
+    which is why real randomized consensus has unbounded runs. *)
+let census_randomized ~depth =
+  census_of_trees ~depth (enumerate_randomized depth)

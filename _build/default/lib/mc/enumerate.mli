@@ -1,0 +1,51 @@
+(** Exhaustive impossibility for bounded protocols: every deterministic
+    decision-tree protocol of bounded depth for two identical processes
+    over one read-write register, checked against the consensus
+    conditions.  Bounded trees always terminate, so only safety can fail —
+    and for every candidate it does: [census ~depth] reports [correct = 0]. *)
+
+type tree =
+  | Decide of int
+  | Write of int * tree
+  | Read of tree * tree * tree  (** branch on empty / 0 / 1 *)
+  | Flip of tree * tree  (** internal fair coin: tails / heads *)
+
+val tree_size : tree -> int
+
+(** All deterministic trees of depth at most [depth] (14 at depth 1, 2774
+    at depth 2). *)
+val enumerate : int -> tree list
+
+(** All trees of depth at most [depth], coin flips included. *)
+val enumerate_randomized : int -> tree list
+
+val to_proc : tree -> int Sim.Proc.t
+
+(** Every decision reachable on a solo run (coins enumerated). *)
+val solo_decisions : tree -> int list
+
+(** The unique decision of a deterministic tree's solo run; raises on
+    randomized trees with several reachable outcomes. *)
+val solo_decision : tree -> int
+
+(** Exhaustive consensus check of (tree-for-0, tree-for-1) on one input
+    vector: true iff no violation in any interleaving. *)
+val check_inputs : tree -> tree -> int list -> bool
+
+type census = {
+  depth : int;
+  trees : int;
+  valid_solo_0 : int;
+  valid_solo_1 : int;
+  candidate_pairs : int;
+  survive_unanimous : int;
+  correct : int;
+  example_correct : (tree * tree) option;
+}
+
+val census : depth:int -> census
+
+(** Census over coin-flipping trees too: consensus may never err on any
+    execution, so bounded randomized protocols fail exactly like
+    deterministic ones. *)
+val census_randomized : depth:int -> census

@@ -1,0 +1,171 @@
+(* Exhaustive exploration of the execution tree of a configuration: at every
+   node the adversary chooses which enabled process steps, and for internal
+   coin-flip steps *also* chooses the outcome (this is exactly the
+   nondeterminism against which the paper's correctness conditions are
+   stated: no execution may violate consistency or validity).
+
+   Exploration is depth-bounded DFS.  Process states are closures, so we do
+   not hash states; for wait-free protocols the tree is finite and the
+   search is complete, and [truncated] reports whether any path hit the
+   depth bound (i.e. whether the verdict is exhaustive or bounded). *)
+
+open Sim
+
+type 'a violation = {
+  kind : [ `Inconsistent | `Invalid ];
+  trace : 'a Trace.t;  (** the execution leading to the violation *)
+  config : 'a Config.t;
+}
+
+type 'a result = {
+  violation : 'a violation option;
+  visited : int;  (** nodes expanded *)
+  leaves : int;  (** maximal executions reached (all procs decided) *)
+  truncated : bool;  (** some path hit the depth or state budget *)
+  max_depth_seen : int;
+}
+
+(** All single-step successors of [config] for process [pid]: one successor
+    for an [Apply] step, [n] successors for a [Choose] step. *)
+let successors config pid =
+  match config.Config.procs.(pid) with
+  | Proc.Decide _ -> []
+  | Proc.Apply _ -> [ Run.step config ~pid ~coin:(fun _ -> 0) ]
+  | Proc.Choose { n; _ } ->
+      List.init n (fun outcome -> Run.step config ~pid ~coin:(fun _ -> outcome))
+
+let search ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs config =
+  let visited = ref 0 in
+  let leaves = ref 0 in
+  let truncated = ref false in
+  let max_depth_seen = ref 0 in
+  let found : 'a violation option ref = ref None in
+  let exception Stop in
+  let check_events config rev_trace decisions =
+    let values = List.sort_uniq compare decisions in
+    let kind =
+      if List.length values > 1 then Some `Inconsistent
+      else if not (List.for_all (fun v -> List.mem v inputs) values) then
+        Some `Invalid
+      else None
+    in
+    match kind with
+    | None -> ()
+    | Some kind ->
+        found := Some { kind; trace = List.rev rev_trace; config };
+        raise Stop
+  in
+  let rec go config rev_trace decisions depth =
+    incr visited;
+    if depth > !max_depth_seen then max_depth_seen := depth;
+    if !visited > max_states then (
+      truncated := true;
+      ())
+    else
+      match Config.enabled_pids config with
+      | [] -> incr leaves
+      | pids ->
+          if depth >= max_depth then truncated := true
+          else
+            List.iter
+              (fun pid ->
+                let succs = successors config pid in
+                List.iter
+                  (fun (config', events) ->
+                    let decisions' =
+                      List.fold_left
+                        (fun acc ev ->
+                          match ev with
+                          | Event.Decided { value; _ } -> value :: acc
+                          | _ -> acc)
+                        decisions events
+                    in
+                    let rev_trace' = List.rev_append events rev_trace in
+                    check_events config' rev_trace' decisions';
+                    go config' rev_trace' decisions' (depth + 1))
+                  succs)
+              pids
+  in
+  (* decisions already present in the initial configuration (processes may
+     decide without taking a single step) participate in the verdicts *)
+  let initial_decisions = Config.decisions config in
+  (try
+     check_events config [] initial_decisions;
+     go config [] initial_decisions 0
+   with Stop -> ());
+  {
+    violation = !found;
+    visited = !visited;
+    leaves = !leaves;
+    truncated = !truncated;
+    max_depth_seen = !max_depth_seen;
+  }
+
+(* First terminating solo decision of [pid], searching coin outcomes.
+   Cheap probe used to seed [decidable_values]: a solo run that decides
+   witnesses a reachable decision without touching the full tree. *)
+let solo_decision ?(max_steps = 300) ?(max_nodes = 5_000) config ~pid =
+  let nodes = ref 0 in
+  let rec go config steps =
+    incr nodes;
+    if !nodes > max_nodes || steps > max_steps then None
+    else
+      match Config.decision config pid with
+      | Some v -> Some v
+      | None -> (
+          match config.Config.procs.(pid) with
+          | Proc.Decide _ -> assert false
+          | Proc.Apply _ ->
+              let config', _ = Run.step config ~pid ~coin:(fun _ -> 0) in
+              go config' (steps + 1)
+          | Proc.Choose { n; _ } ->
+              let rec try_outcome o =
+                if o >= n then None
+                else
+                  let config', _ = Run.step config ~pid ~coin:(fun _ -> o) in
+                  match go config' (steps + 1) with
+                  | Some _ as found -> found
+                  | None -> try_outcome (o + 1)
+              in
+              try_outcome 0)
+  in
+  go config 0
+
+(** All values decided in some execution reachable from [config] (within the
+    exploration budget).  The second component tells whether the set is
+    exhaustive ([false]) or may be an under-approximation ([true]).
+    Seeded with per-process solo probes, so distinct solo decisions are
+    found without exhausting the budget in one corner of the tree. *)
+let decidable_values ?(max_depth = 60) ?(max_states = 2_000_000) config =
+  let visited = ref 0 in
+  let truncated = ref false in
+  let values = ref [] in
+  let add v = if not (List.mem v !values) then values := v :: !values in
+  (* decisions already present count, and each enabled process's solo
+     probe contributes a cheap reachable-decision witness *)
+  List.iter add (Config.decisions config);
+  List.iter
+    (fun pid ->
+      match solo_decision config ~pid with Some v -> add v | None -> ())
+    (Config.enabled_pids config);
+  let rec go config depth =
+    incr visited;
+    if !visited > max_states || depth >= max_depth then truncated := true
+    else
+      match Config.enabled_pids config with
+      | [] -> ()
+      | pids ->
+          List.iter
+            (fun pid ->
+              List.iter
+                (fun (config', events) ->
+                  List.iter
+                    (function
+                      | Event.Decided { value; _ } -> add value | _ -> ())
+                    events;
+                  go config' (depth + 1))
+                (successors config pid))
+            pids
+  in
+  go config 0;
+  (List.sort compare !values, !truncated)

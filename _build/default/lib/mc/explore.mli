@@ -1,0 +1,44 @@
+(** Exhaustive exploration of the execution tree: the adversary chooses the
+    schedule {e and} the outcomes of internal coin flips, exactly the
+    nondeterminism against which consistency and validity are required.
+
+    Depth-first, depth- and node-bounded; [truncated] reports whether the
+    verdict is exhaustive or merely bounded. *)
+
+open Sim
+
+type 'a violation = {
+  kind : [ `Inconsistent | `Invalid ];
+  trace : 'a Trace.t;
+  config : 'a Config.t;
+}
+
+type 'a result = {
+  violation : 'a violation option;
+  visited : int;
+  leaves : int;  (** maximal executions reached *)
+  truncated : bool;
+  max_depth_seen : int;
+}
+
+(** All single-step successors of [pid]: one for an [Apply], [n] for a
+    [Choose]. *)
+val successors : 'a Config.t -> int -> ('a Config.t * 'a Event.t list) list
+
+val search :
+  ?max_depth:int ->
+  ?max_states:int ->
+  inputs:'a list ->
+  'a Config.t ->
+  'a result
+
+(** First terminating solo decision of [pid], searching coin outcomes — a
+    cheap witness of a reachable decision. *)
+val solo_decision :
+  ?max_steps:int -> ?max_nodes:int -> 'a Config.t -> pid:int -> 'a option
+
+(** All values decided in some reachable execution, and whether the set may
+    be an under-approximation (budget hit).  Seeded with per-process solo
+    probes. *)
+val decidable_values :
+  ?max_depth:int -> ?max_states:int -> 'a Config.t -> 'a list * bool

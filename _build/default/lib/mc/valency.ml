@@ -1,0 +1,61 @@
+(* Valency analysis in the style of the FLP / Herlihy impossibility
+   arguments: a configuration is v-univalent if every reachable decision is
+   v, bivalent if both 0 and 1 are reachable.  Used by the examples and
+   tests to exhibit why deterministic consensus from registers fails, and to
+   sanity-check that correct protocols start bivalent (when inputs differ)
+   and end univalent. *)
+
+type 'a t =
+  | Univalent of 'a
+  | Bivalent of 'a list
+  | Unknown  (** exploration truncated before any decision was reachable *)
+
+let classify ?max_depth ?max_states config =
+  let values, truncated = Explore.decidable_values ?max_depth ?max_states config in
+  match values with
+  | [] -> Unknown
+  | [ v ] when not truncated -> Univalent v
+  | [ _ ] -> Unknown
+  | vs -> Bivalent vs
+
+let is_bivalent ?max_depth ?max_states config =
+  match classify ?max_depth ?max_states config with
+  | Bivalent _ -> true
+  | Univalent _ | Unknown -> false
+
+let to_string value_to_string = function
+  | Univalent v -> Printf.sprintf "univalent(%s)" (value_to_string v)
+  | Bivalent vs ->
+      Printf.sprintf "bivalent{%s}"
+        (String.concat "," (List.map value_to_string vs))
+  | Unknown -> "unknown"
+
+(* The FLP/Herlihy impossibility argument, played greedily: starting from a
+   bivalent configuration, how many steps can an adversary take while
+   keeping the configuration bivalent?  For consensus from registers the
+   answer is "forever" (which is why deterministic wait-free consensus from
+   registers is impossible and randomization is needed); for one
+   compare&swap the answer is 0 — the very first step decides the game. *)
+
+let bivalence_survival ?(max_depth = 12) ?(check_depth = 30)
+    ?(check_states = 200_000) config =
+  let bivalent c =
+    match classify ~max_depth:check_depth ~max_states:check_states c with
+    | Bivalent _ -> true
+    | Univalent _ | Unknown -> false
+  in
+  let rec go config depth =
+    if depth >= max_depth then depth
+    else
+      let next =
+        List.find_map
+          (fun pid ->
+            List.find_map
+              (fun (config', _) ->
+                if bivalent config' then Some config' else None)
+              (Explore.successors config pid))
+          (Sim.Config.enabled_pids config)
+      in
+      match next with None -> depth | Some config' -> go config' (depth + 1)
+  in
+  if bivalent config then go config 0 else 0

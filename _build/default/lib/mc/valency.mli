@@ -1,0 +1,23 @@
+(** FLP/Herlihy-style valency analysis: which decisions are reachable from
+    a configuration. *)
+
+type 'a t =
+  | Univalent of 'a
+  | Bivalent of 'a list
+  | Unknown  (** exploration truncated before the answer was determined *)
+
+val classify : ?max_depth:int -> ?max_states:int -> 'a Sim.Config.t -> 'a t
+val is_bivalent : ?max_depth:int -> ?max_states:int -> 'a Sim.Config.t -> bool
+val to_string : ('a -> string) -> 'a t -> string
+
+(** The FLP/Herlihy argument, played greedily: how many steps (up to
+    [max_depth]) can an adversary take from [config] while keeping it
+    bivalent?  [check_depth]/[check_states] bound each bivalence check.
+    Registers: the adversary survives to any depth (deterministic
+    consensus impossible); one compare&swap: 0. *)
+val bivalence_survival :
+  ?max_depth:int ->
+  ?check_depth:int ->
+  ?check_states:int ->
+  'a Sim.Config.t ->
+  int

@@ -1,0 +1,198 @@
+(* Mutual exclusion — the classical discipline the paper's introduction
+   positions wait-free synchronization *against*, and the source of its
+   proof technique (the Burns-Lynch register lower bound for mutex is the
+   acknowledged ancestor of Section 3's block-write machinery).
+
+   A mutex protocol here is per-process code that runs: entry section ->
+   critical section -> exit section -> done (one session, then the process
+   decides a dummy value).  The critical section is bracketed by ENTER and
+   LEAVE operations on a distinguished occupancy counter object; safety
+   (mutual exclusion) is the invariant "occupancy <= 1 in every reachable
+   configuration", which {!check_exclusion} verifies by exhaustive
+   depth-bounded exploration, and which random stress runs re-check on
+   every step. *)
+
+open Sim
+open Objects
+
+type t = {
+  name : string;
+  optypes : n:int -> Optype.t list;
+  code : n:int -> pid:int -> int Proc.t;
+  cs_obj : int;  (** index of the occupancy counter *)
+  registers : n:int -> int;  (** non-instrumentation objects used *)
+}
+
+(* the instrumentation object: a plain counter *)
+let cs_optype = Counter.optype ()
+let enter = Counter.inc
+let leave = Counter.dec
+
+let occupancy config ~cs_obj =
+  Value.to_int config.Config.objects.(cs_obj)
+
+type verdict =
+  | Safe_to_depth of int  (** no reachable occupancy > 1 within the bound *)
+  | Violation of int Trace.t  (** an interleaving with two in the CS *)
+
+(** Exhaustive depth-bounded search for a mutual-exclusion violation. *)
+let check_exclusion ?(max_depth = 24) (t : t) ~n =
+  let config =
+    Config.make ~optypes:(t.optypes ~n)
+      ~procs:(List.init n (fun pid -> t.code ~n ~pid))
+  in
+  let found = ref None in
+  let exception Stop in
+  let rec go config rev_trace depth =
+    if occupancy config ~cs_obj:t.cs_obj > 1 then begin
+      found := Some (List.rev rev_trace);
+      raise Stop
+    end;
+    if depth < max_depth then
+      List.iter
+        (fun pid ->
+          List.iter
+            (fun (config', events) ->
+              go config' (List.rev_append events rev_trace) (depth + 1))
+            (Mc.Explore.successors config pid))
+        (Config.enabled_pids config)
+  in
+  (try go config [] 0 with Stop -> ());
+  match !found with
+  | Some trace -> Violation trace
+  | None -> Safe_to_depth max_depth
+
+(** Random stress run: every process performs its session under a seeded
+    random scheduler; occupancy is checked after every step.  Returns
+    (max occupancy seen, all sessions completed). *)
+let stress (t : t) ~n ~seed ~max_steps =
+  let config =
+    Config.make ~optypes:(t.optypes ~n)
+      ~procs:(List.init n (fun pid -> t.code ~n ~pid))
+  in
+  let rng = Rng.create seed in
+  let config = ref config and steps = ref 0 and max_occ = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (match Config.enabled_pids !config with
+    | [] -> continue := false
+    | pids ->
+        let pid = List.nth pids (Rng.int rng (List.length pids)) in
+        let config', _ = Run.step !config ~pid ~coin:(fun k -> Rng.int rng k) in
+        config := config';
+        incr steps;
+        max_occ := max !max_occ (occupancy !config ~cs_obj:t.cs_obj);
+        if !steps >= max_steps then continue := false);
+  done;
+  (!max_occ, Config.all_decided !config)
+
+(* ----------------------------------------------------------------- *)
+(* Protocols.  Object 0 is always the occupancy counter.              *)
+
+(* busy-wait on a register until [accept] holds for its value *)
+let await obj accept =
+  let open Proc in
+  repeat_until
+    (let* v = apply obj Register.read in
+     return (if accept v then Some () else None))
+
+let session ~cs_obj ~enter_code ~exit_code =
+  let open Proc in
+  let* () = enter_code in
+  let* _ = apply cs_obj enter in
+  (* the critical section itself: one step inside *)
+  let* _ = apply cs_obj leave in
+  let* () = exit_code in
+  decide 0
+
+(** Peterson's classic 2-process algorithm: two intent flags and a turn
+    register.  Safe (and, on fair schedules, live); 3 registers. *)
+let peterson : t =
+  let flag pid = 1 + pid and turn = 3 in
+  let code ~n:_ ~pid =
+    let open Proc in
+    let other = 1 - pid in
+    let enter_code =
+      let* _ = apply (flag pid) (Register.write_int 1) in
+      let* _ = apply turn (Register.write_int other) in
+      (* spin until the other is not interested or the turn is ours *)
+      repeat_until
+        (let* f = apply (flag other) Register.read in
+         if not (Value.equal f (Value.int 1)) then return (Some ())
+         else
+           let* t = apply turn Register.read in
+           return (if Value.equal t (Value.int pid) then Some () else None))
+    in
+    let exit_code =
+      let* _ = apply (flag pid) (Register.write_int 0) in
+      return ()
+    in
+    session ~cs_obj:0 ~enter_code ~exit_code
+  in
+  {
+    name = "peterson-2";
+    optypes =
+      (fun ~n:_ ->
+        [ cs_optype; Register.optype ~init:(Value.int 0) ();
+          Register.optype ~init:(Value.int 0) ();
+          Register.optype ~init:(Value.int 0) () ]);
+    code;
+    cs_obj = 0;
+    registers = (fun ~n:_ -> 3);
+  }
+
+(** The textbook broken lock: test the flag, then set it — the race
+    between test and set admits two processes in the CS. *)
+let naive_flag : t =
+  let flag = 1 in
+  let code ~n:_ ~pid:_ =
+    let open Proc in
+    let enter_code =
+      let* () = await flag (fun v -> not (Value.equal v (Value.int 1))) in
+      let* _ = apply flag (Register.write_int 1) in
+      return ()
+    in
+    let exit_code =
+      let* _ = apply flag (Register.write_int 0) in
+      return ()
+    in
+    session ~cs_obj:0 ~enter_code ~exit_code
+  in
+  {
+    name = "naive-flag";
+    optypes =
+      (fun ~n:_ -> [ cs_optype; Register.optype ~init:(Value.int 0) () ]);
+    code;
+    cs_obj = 0;
+    registers = (fun ~n:_ -> 1);
+  }
+
+(** Swap spinlock: safe for any n with ONE swap register — a historyless
+    object buys with a single instance what Burns-Lynch says costs n
+    registers.  (A test&set object would do for acquisition but cannot be
+    reset; the swap register models the full acquire/release cycle.) *)
+let tas_lock : t =
+  let lock = 1 in
+  let lock_obj = Swap_register.optype ~init:(Value.int 0) () in
+  let code ~n:_ ~pid:_ =
+    let open Proc in
+    let enter_code =
+      repeat_until
+        (let* old = apply lock Swap_register.(swap (Value.int 1)) in
+         return (if Value.equal old (Value.int 0) then Some () else None))
+    in
+    let exit_code =
+      let* _ = apply lock (Swap_register.write (Value.int 0)) in
+      return ()
+    in
+    session ~cs_obj:0 ~enter_code ~exit_code
+  in
+  {
+    name = "swap-lock";
+    optypes = (fun ~n:_ -> [ cs_optype; lock_obj ]);
+    code;
+    cs_obj = 0;
+    registers = (fun ~n:_ -> 1);
+  }
+
+let all = [ peterson; naive_flag; tas_lock ]

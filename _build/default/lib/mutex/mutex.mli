@@ -1,0 +1,41 @@
+(** Mutual exclusion — the classical discipline the paper positions
+    wait-freedom against, and the home of the Burns–Lynch technique its
+    Section 3 machinery descends from.  One-session protocols with the
+    critical section bracketed by ENTER/LEAVE on an occupancy counter;
+    safety is the invariant "occupancy <= 1", verified exhaustively (depth
+    bounded) and re-checked on every step of random stress runs. *)
+
+open Sim
+
+type t = {
+  name : string;
+  optypes : n:int -> Optype.t list;
+  code : n:int -> pid:int -> int Proc.t;
+  cs_obj : int;  (** index of the occupancy counter *)
+  registers : n:int -> int;  (** non-instrumentation objects used *)
+}
+
+val enter : Op.t
+val leave : Op.t
+val occupancy : int Config.t -> cs_obj:int -> int
+
+type verdict =
+  | Safe_to_depth of int
+  | Violation of int Trace.t  (** an interleaving with two in the CS *)
+
+(** Exhaustive depth-bounded search for a mutual-exclusion violation. *)
+val check_exclusion : ?max_depth:int -> t -> n:int -> verdict
+
+(** Random stress run; returns (max occupancy seen, all sessions done). *)
+val stress : t -> n:int -> seed:int -> max_steps:int -> int * bool
+
+(** Peterson's 2-process algorithm: 3 registers, safe. *)
+val peterson : t
+
+(** The textbook broken test-then-set lock: refuted by the checker. *)
+val naive_flag : t
+
+(** Swap-register spinlock: one historyless object, safe for any n. *)
+val tas_lock : t
+
+val all : t list

@@ -1,0 +1,1 @@
+lib/objclass/classify.ml: Fmt List Optype Sim Value

@@ -1,0 +1,1 @@
+lib/objclass/classify.mli: Format Op Optype Sim Value

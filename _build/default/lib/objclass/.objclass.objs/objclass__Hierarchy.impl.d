@@ -1,0 +1,1 @@
+lib/objclass/hierarchy.ml: List

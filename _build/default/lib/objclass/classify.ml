@@ -1,0 +1,95 @@
+(* The object-type algebra of Section 2, decided by exhaustive checking over
+   finite specs:
+
+   - an operation is *trivial* if applying it never changes the value;
+   - two operations *commute* if the order of application never affects the
+     resulting value;
+   - [f] *overwrites* [f'] if performing f' then f always yields the same
+     value as performing just f (f(f'(x)) = f(x) for all x);
+   - a type is *historyless* if all its nontrivial operations overwrite one
+     another (so its value depends only on the last nontrivial operation);
+   - a set of operations is *interfering* if every pair either commutes or
+     (mutually) overwrites.
+
+   All predicates require the spec to carry [enum_values] and [enum_ops];
+   they raise [Not_finite] otherwise. *)
+
+open Sim
+
+exception Not_finite of string
+
+let domain (ot : Optype.t) =
+  match (ot.enum_values, ot.enum_ops) with
+  | Some values, Some ops -> (values, ops)
+  | _ -> raise (Not_finite ot.name)
+
+let next (ot : Optype.t) v op = fst (Optype.apply ot v op)
+
+let is_trivial (ot : Optype.t) op =
+  let values, _ = domain ot in
+  List.for_all (fun v -> Value.equal (next ot v op) v) values
+
+let commute (ot : Optype.t) f g =
+  let values, _ = domain ot in
+  List.for_all
+    (fun v -> Value.equal (next ot (next ot v f) g) (next ot (next ot v g) f))
+    values
+
+let overwrites (ot : Optype.t) ~f ~f' =
+  let values, _ = domain ot in
+  List.for_all
+    (fun v -> Value.equal (next ot (next ot v f') f) (next ot v f))
+    values
+
+let nontrivial_ops (ot : Optype.t) =
+  let _, ops = domain ot in
+  List.filter (fun op -> not (is_trivial ot op)) ops
+
+(** Historyless: every nontrivial op overwrites every nontrivial op
+    (including itself). *)
+let is_historyless (ot : Optype.t) =
+  let nt = nontrivial_ops ot in
+  List.for_all
+    (fun f -> List.for_all (fun f' -> overwrites ot ~f ~f') nt)
+    nt
+
+(** Interfering (for the full op set of the type): every pair of operations
+    commutes or mutually overwrites. *)
+let is_interfering (ot : Optype.t) =
+  let _, ops = domain ot in
+  List.for_all
+    (fun f ->
+      List.for_all
+        (fun g ->
+          commute ot f g
+          || (overwrites ot ~f ~f':g && overwrites ot ~f:g ~f':f))
+        ops)
+    ops
+
+(** [idempotent op]: applying op twice is the same as once; an idempotent
+    operation overwrites itself (remark in Section 2). *)
+let is_idempotent (ot : Optype.t) op = overwrites ot ~f:op ~f':op
+
+type report = {
+  optype : string;
+  n_values : int;
+  n_ops : int;
+  n_trivial : int;
+  historyless : bool;
+  interfering : bool;
+}
+
+let report (ot : Optype.t) =
+  let values, ops = domain ot in
+  {
+    optype = ot.name;
+    n_values = List.length values;
+    n_ops = List.length ops;
+    n_trivial = List.length ops - List.length (nontrivial_ops ot);
+    historyless = is_historyless ot;
+    interfering = is_interfering ot;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf "%-18s |V|=%-3d |ops|=%-3d trivial=%-2d historyless=%-5b interfering=%b"
+    r.optype r.n_values r.n_ops r.n_trivial r.historyless r.interfering

@@ -1,0 +1,45 @@
+(** The object-type algebra of Section 2, decided by exhaustive checking
+    over finite specs ([enum_values]/[enum_ops] of {!Sim.Optype.t}). *)
+
+open Sim
+
+(** Raised when a spec lacks finite enumerations. *)
+exception Not_finite of string
+
+(** The (values, ops) enumerations; raises {!Not_finite}. *)
+val domain : Optype.t -> Value.t list * Op.t list
+
+(** Trivial: never changes the value. *)
+val is_trivial : Optype.t -> Op.t -> bool
+
+(** Commute: application order never affects the resulting value. *)
+val commute : Optype.t -> Op.t -> Op.t -> bool
+
+(** [overwrites ot ~f ~f']: f (f' x) = f x for all values x. *)
+val overwrites : Optype.t -> f:Op.t -> f':Op.t -> bool
+
+val nontrivial_ops : Optype.t -> Op.t list
+
+(** Historyless: every nontrivial op overwrites every nontrivial op
+    (including itself); the value depends only on the last nontrivial
+    operation. *)
+val is_historyless : Optype.t -> bool
+
+(** Interfering (full op set): every pair commutes or mutually
+    overwrites. *)
+val is_interfering : Optype.t -> bool
+
+(** Idempotent operations overwrite themselves (Section 2 remark). *)
+val is_idempotent : Optype.t -> Op.t -> bool
+
+type report = {
+  optype : string;
+  n_values : int;
+  n_ops : int;
+  n_trivial : int;
+  historyless : bool;
+  interfering : bool;
+}
+
+val report : Optype.t -> report
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,99 @@
+(* The two classifications the paper contrasts:
+
+   - the deterministic wait-free hierarchy (Herlihy 1991): the largest n for
+     which the type solves deterministic wait-free n-process consensus
+     (together with read-write registers);
+   - the randomized space classification this paper proposes: how many
+     instances are needed to solve randomized n-process consensus.
+
+   The table records the *claims*; the experiment harness (E1) validates the
+   upper bounds by running our protocol implementations and cross-checks
+   n=2,3 rows with the model checker. *)
+
+type consensus_number = Finite of int | Infinite
+
+type space_bound = {
+  upper : string;  (** objects sufficient for randomized n-consensus *)
+  lower : string;  (** objects necessary *)
+}
+
+type entry = {
+  name : string;
+  historyless : bool;
+  consensus_number : consensus_number;
+  randomized_space : space_bound;
+  source : string;
+}
+
+let entries =
+  [
+    {
+      name = "register";
+      historyless = true;
+      consensus_number = Finite 1;
+      randomized_space = { upper = "O(n)"; lower = "Omega(sqrt n)" };
+      source = "Aspnes-Herlihy 90 (upper); this paper Thm 3.7 (lower)";
+    };
+    {
+      name = "swap-register";
+      historyless = true;
+      consensus_number = Finite 2;
+      randomized_space = { upper = "O(n)"; lower = "Omega(sqrt n)" };
+      source = "Herlihy 91 (CN); this paper Thm 3.7 (lower)";
+    };
+    {
+      name = "test&set";
+      historyless = true;
+      consensus_number = Finite 2;
+      randomized_space = { upper = "O(n)"; lower = "Omega(sqrt n)" };
+      source = "Herlihy 91 (CN); this paper Thm 3.7 (lower)";
+    };
+    {
+      name = "fetch&add";
+      historyless = false;
+      consensus_number = Finite 2;
+      randomized_space = { upper = "1"; lower = "1" };
+      source = "this paper Thm 4.4";
+    };
+    {
+      name = "fetch&inc";
+      historyless = false;
+      consensus_number = Finite 2;
+      randomized_space = { upper = "1"; lower = "1" };
+      source = "this paper Thm 4.4";
+    };
+    {
+      name = "counter";
+      historyless = false;
+      consensus_number = Finite 1;
+      randomized_space = { upper = "1 (bounded)"; lower = "1" };
+      source = "Aspnes 90, Thm 4.2";
+    };
+    {
+      name = "compare&swap";
+      historyless = false;
+      consensus_number = Infinite;
+      randomized_space = { upper = "1 (bounded)"; lower = "1" };
+      source = "Herlihy 91 Thm 5, Cor 4.1";
+    };
+    {
+      name = "queue";
+      historyless = false;
+      consensus_number = Finite 2;
+      randomized_space = { upper = "O(n) (via registers)"; lower = "1?" };
+      source = "Herlihy 91 (CN 2)";
+    };
+    {
+      name = "sticky";
+      historyless = false;
+      consensus_number = Infinite;
+      randomized_space = { upper = "1"; lower = "1" };
+      source = "Plotkin; Herlihy 91";
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) entries
+
+let consensus_number_to_string = function
+  | Finite n -> string_of_int n
+  | Infinite -> "inf"

@@ -1,0 +1,23 @@
+(** The two classifications the paper contrasts: the deterministic
+    wait-free hierarchy (Herlihy) and the randomized space classification
+    this paper proposes.  The table records the claims; experiment E1
+    validates the upper bounds against running protocols. *)
+
+type consensus_number = Finite of int | Infinite
+
+type space_bound = {
+  upper : string;  (** objects sufficient for randomized n-consensus *)
+  lower : string;  (** objects necessary *)
+}
+
+type entry = {
+  name : string;
+  historyless : bool;
+  consensus_number : consensus_number;
+  randomized_space : space_bound;
+  source : string;
+}
+
+val entries : entry list
+val find : string -> entry option
+val consensus_number_to_string : consensus_number -> string

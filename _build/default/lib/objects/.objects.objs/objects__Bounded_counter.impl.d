@@ -1,0 +1,1 @@
+lib/objects/bounded_counter.ml: Counter Op Optype Printf Sim Value

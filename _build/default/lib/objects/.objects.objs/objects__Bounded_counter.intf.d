@@ -1,0 +1,1 @@
+lib/objects/bounded_counter.mli: Op Optype Sim

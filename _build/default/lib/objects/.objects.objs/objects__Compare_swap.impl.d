@@ -1,0 +1,1 @@
+lib/objects/compare_swap.ml: List Op Optype Sim Value

@@ -1,0 +1,1 @@
+lib/objects/compare_swap.mli: Op Optype Sim Value

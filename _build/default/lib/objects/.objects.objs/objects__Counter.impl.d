@@ -1,0 +1,1 @@
+lib/objects/counter.ml: List Op Optype Printf Sim Value

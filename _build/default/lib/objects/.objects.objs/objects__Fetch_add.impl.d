@@ -1,0 +1,1 @@
+lib/objects/fetch_add.ml: List Op Optype Printf Sim Value

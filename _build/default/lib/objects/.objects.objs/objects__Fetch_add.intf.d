@@ -1,0 +1,1 @@
+lib/objects/fetch_add.mli: Op Optype Sim Value

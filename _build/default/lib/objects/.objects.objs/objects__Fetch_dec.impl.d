@@ -1,0 +1,1 @@
+lib/objects/fetch_dec.ml: Op Optype Sim Value

@@ -1,0 +1,1 @@
+lib/objects/fetch_dec.mli: Op Optype Sim Value

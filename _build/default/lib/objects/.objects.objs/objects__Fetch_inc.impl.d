@@ -1,0 +1,1 @@
+lib/objects/fetch_inc.ml: List Op Optype Printf Sim Value

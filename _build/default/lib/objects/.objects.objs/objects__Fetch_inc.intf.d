@@ -1,0 +1,1 @@
+lib/objects/fetch_inc.mli: Op Optype Sim Value

@@ -1,0 +1,1 @@
+lib/objects/queue_obj.ml: Fun List Op Optype Sim Value

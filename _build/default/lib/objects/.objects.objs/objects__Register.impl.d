@@ -1,0 +1,1 @@
+lib/objects/register.ml: List Op Optype Sim Value

@@ -1,0 +1,1 @@
+lib/objects/register.mli: Op Optype Sim Value

@@ -1,0 +1,1 @@
+lib/objects/specs.ml: Compare_swap Counter Fetch_add Fetch_inc List Optype Queue_obj Register Sim Sticky Swap_register Test_and_set Value

@@ -1,0 +1,1 @@
+lib/objects/specs.mli: Optype Sim Value

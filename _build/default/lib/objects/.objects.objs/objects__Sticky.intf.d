@@ -1,0 +1,1 @@
+lib/objects/sticky.mli: Op Optype Sim Value

@@ -1,0 +1,1 @@
+lib/objects/swap_register.ml: List Op Optype Sim Value

@@ -1,0 +1,1 @@
+lib/objects/swap_register.mli: Op Optype Sim Value

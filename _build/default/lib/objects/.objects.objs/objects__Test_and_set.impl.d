@@ -1,0 +1,1 @@
+lib/objects/test_and_set.ml: Op Optype Sim Value

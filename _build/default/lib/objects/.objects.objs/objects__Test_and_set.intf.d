@@ -1,0 +1,1 @@
+lib/objects/test_and_set.mli: Op Optype Sim Value

@@ -1,0 +1,28 @@
+(* A bounded counter (Section 2): a counter whose value set is a range of
+   integers and whose operations are performed modulo the size of that
+   range.  Theorem 4.2 (Aspnes) solves randomized consensus with a single
+   bounded counter whose range is [-3n, 3n]; [Consensus.Counter_consensus]
+   instantiates exactly that. *)
+
+open Sim
+
+let inc = Counter.inc
+let dec = Counter.dec
+let reset = Counter.reset
+let read = Counter.read
+
+let optype ~lo ~hi () =
+  if lo > hi then invalid_arg "Bounded_counter.optype: empty range";
+  let size = hi - lo + 1 in
+  let wrap v = lo + ((((v - lo) mod size) + size) mod size) in
+  let step value (op : Op.t) =
+    match op.name with
+    | "inc" -> (Value.int (wrap (Value.to_int value + 1)), Value.unit)
+    | "dec" -> (Value.int (wrap (Value.to_int value - 1)), Value.unit)
+    | "reset" -> (Value.int 0, Value.unit)
+    | "read" -> (value, value)
+    | _ -> Optype.bad_op "bounded-counter" op
+  in
+  Optype.make
+    ~name:(Printf.sprintf "bounded-counter[%d,%d]" lo hi)
+    ~init:(Value.int 0) step

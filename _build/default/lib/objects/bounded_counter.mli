@@ -1,0 +1,14 @@
+(** Bounded counters (Section 2): counters whose value set is an integer
+    range, operations modulo the range size.  Theorem 4.2's consensus uses
+    a cursor counter with range linear in n. *)
+
+open Sim
+
+val inc : Op.t
+val dec : Op.t
+val reset : Op.t
+val read : Op.t
+
+(** [optype ~lo ~hi ()]: range [lo..hi] inclusive, initial value 0.
+    Raises [Invalid_argument] when [lo > hi]. *)
+val optype : lo:int -> hi:int -> unit -> Optype.t

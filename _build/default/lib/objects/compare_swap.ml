@@ -1,0 +1,33 @@
+(* A compare&swap register: CAS(expected, new) installs [new] iff the
+   current value equals [expected], and responds with the *old* value either
+   way (so a caller learns whether it succeeded and, if not, who beat it —
+   exactly what Herlihy's one-object consensus protocol needs).
+
+   CAS(a, b) and CAS(b, c) neither commute nor overwrite in general, so the
+   set of COMPARE&SWAP operations is not interfering (Section 2), and the
+   type is far from historyless. *)
+
+open Sim
+
+let cas ~expected ~desired = Op.make "cas" ~arg:(Value.pair expected desired)
+let read = Op.make "read"
+
+let step value (op : Op.t) =
+  match op.name with
+  | "cas" ->
+      let expected, desired = Value.to_pair op.arg in
+      if Value.equal value expected then (desired, value) else (value, value)
+  | "read" -> (value, value)
+  | _ -> Optype.bad_op "compare&swap" op
+
+let optype ?(init = Value.none) () =
+  Optype.make ~name:"compare&swap" ~init step
+
+let finite ?(name = "cas[fin]") ~values () =
+  let init = match values with v :: _ -> v | [] -> Value.none in
+  let pairs =
+    List.concat_map
+      (fun a -> List.map (fun b -> cas ~expected:a ~desired:b) values)
+      values
+  in
+  Optype.make ~name ~init ~enum_values:values ~enum_ops:(read :: pairs) step

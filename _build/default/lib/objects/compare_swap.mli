@@ -1,0 +1,11 @@
+(** Compare&swap registers: CAS(expected, desired) installs [desired] iff
+    the value equals [expected], responding with the {e old} value either
+    way.  Not interfering, not historyless; consensus number infinity. *)
+
+open Sim
+
+val cas : expected:Value.t -> desired:Value.t -> Op.t
+val read : Op.t
+val step : Value.t -> Op.t -> Value.t * Value.t
+val optype : ?init:Value.t -> unit -> Optype.t
+val finite : ?name:string -> values:Value.t list -> unit -> Optype.t

@@ -1,0 +1,41 @@
+(* A shared counter (Section 2, citing Aspnes–Herlihy and Moran–Taubenfeld–
+   Yadin): integer values; INC and DEC adjust by one and respond with a fixed
+   acknowledgement, RESET sets the value to 0, READ reports it.
+
+   INC and DEC commute, but RESET neither commutes with nor is overwritten
+   by them, so the full op set is not interfering; and INC does not
+   overwrite itself, so the type is not historyless. *)
+
+open Sim
+
+let inc = Op.make "inc"
+let dec = Op.make "dec"
+let reset = Op.make "reset"
+let read = Op.make "read"
+
+let step value (op : Op.t) =
+  match op.name with
+  | "inc" -> (Value.int (Value.to_int value + 1), Value.unit)
+  | "dec" -> (Value.int (Value.to_int value - 1), Value.unit)
+  | "reset" -> (Value.int 0, Value.unit)
+  | "read" -> (value, value)
+  | _ -> Optype.bad_op "counter" op
+
+let optype ?(init = 0) () = Optype.make ~name:"counter" ~init:(Value.int init) step
+
+let finite ~modulus () =
+  let wrap v = ((v mod modulus) + modulus) mod modulus in
+  let step value (op : Op.t) =
+    match op.name with
+    | "inc" -> (Value.int (wrap (Value.to_int value + 1)), Value.unit)
+    | "dec" -> (Value.int (wrap (Value.to_int value - 1)), Value.unit)
+    | "reset" -> (Value.int 0, Value.unit)
+    | "read" -> (value, value)
+    | _ -> Optype.bad_op "counter[fin]" op
+  in
+  Optype.make
+    ~name:(Printf.sprintf "counter[mod %d]" modulus)
+    ~init:(Value.int 0)
+    ~enum_values:(List.init modulus Value.int)
+    ~enum_ops:[ read; inc; dec; reset ]
+    step

@@ -1,0 +1,13 @@
+(** Shared counters (Section 2): INC/DEC adjust by one (fixed
+    acknowledgement), RESET zeroes, READ reports.  Not historyless; the
+    full op set is not even interfering (RESET vs INC). *)
+
+open Sim
+
+val inc : Op.t
+val dec : Op.t
+val reset : Op.t
+val read : Op.t
+val step : Value.t -> Op.t -> Value.t * Value.t
+val optype : ?init:int -> unit -> Optype.t
+val finite : modulus:int -> unit -> Optype.t

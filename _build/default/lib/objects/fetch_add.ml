@@ -1,0 +1,40 @@
+(* A fetch&add register: FETCH&ADD(k) responds with the current value and
+   adds k.  All FETCH&ADD operations commute with one another (Section 2),
+   so {FETCH&ADD} is interfering — but FETCH&ADD(k) for k <> 0 does not
+   overwrite anything, so the type is *not* historyless.  This is the
+   distinction the separation results turn on: one fetch&add register solves
+   randomized n-process consensus (Theorem 4.4) while historyless objects
+   need Ω(√n) instances. *)
+
+open Sim
+
+let fetch_add k = Op.make "fetch&add" ~arg:(Value.int k)
+
+(** READ is FETCH&ADD(0); we keep a separate trivial op for clarity. *)
+let read = Op.make "read"
+
+let step value (op : Op.t) =
+  match op.name with
+  | "fetch&add" -> (Value.int (Value.to_int value + Value.to_int op.arg), value)
+  | "read" -> (value, value)
+  | _ -> Optype.bad_op "fetch&add" op
+
+let optype ?(init = 0) () =
+  Optype.make ~name:"fetch&add" ~init:(Value.int init) step
+
+(** Finite spec: fetch&add modulo [m] over values 0..m-1. *)
+let finite ~modulus () =
+  let step value (op : Op.t) =
+    match op.name with
+    | "fetch&add" ->
+        let v = Value.to_int value and k = Value.to_int op.arg in
+        (Value.int (((v + k) mod modulus + modulus) mod modulus), value)
+    | "read" -> (value, value)
+    | _ -> Optype.bad_op "fetch&add[fin]" op
+  in
+  Optype.make
+    ~name:(Printf.sprintf "fetch&add[mod %d]" modulus)
+    ~init:(Value.int 0)
+    ~enum_values:(List.init modulus Value.int)
+    ~enum_ops:(read :: List.init modulus fetch_add)
+    step

@@ -1,0 +1,17 @@
+(** Fetch&add registers: FETCH&ADD(k) responds with the current value and
+    adds k.  Interfering (adds commute) but {e not} historyless — the
+    distinction the separation results turn on (Theorem 4.4 vs
+    Theorem 3.7). *)
+
+open Sim
+
+val fetch_add : int -> Op.t
+
+(** READ is FETCH&ADD(0); kept as a separate trivial operation. *)
+val read : Op.t
+
+val step : Value.t -> Op.t -> Value.t * Value.t
+val optype : ?init:int -> unit -> Optype.t
+
+(** Finite spec: fetch&add modulo [modulus]. *)
+val finite : modulus:int -> unit -> Optype.t

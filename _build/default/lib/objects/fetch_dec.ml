@@ -1,0 +1,15 @@
+(* Fetch&decrement register; see {!Fetch_inc}. *)
+
+open Sim
+
+let fetch_dec = Op.make "fetch&dec"
+let read = Op.make "read"
+
+let step value (op : Op.t) =
+  match op.name with
+  | "fetch&dec" -> (Value.int (Value.to_int value - 1), value)
+  | "read" -> (value, value)
+  | _ -> Optype.bad_op "fetch&dec" op
+
+let optype ?(init = 0) () =
+  Optype.make ~name:"fetch&dec" ~init:(Value.int init) step

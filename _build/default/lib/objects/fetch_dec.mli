@@ -1,0 +1,8 @@
+(** Fetch&decrement registers; see {!Fetch_inc}. *)
+
+open Sim
+
+val fetch_dec : Op.t
+val read : Op.t
+val step : Value.t -> Op.t -> Value.t * Value.t
+val optype : ?init:int -> unit -> Optype.t

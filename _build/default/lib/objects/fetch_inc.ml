@@ -1,0 +1,31 @@
+(* Fetch&increment / fetch&decrement registers (Theorem 4.4 names all
+   three): FETCH&INC responds with the current value and adds one; the
+   decrement variant subtracts one.  Each is a restriction of fetch&add. *)
+
+open Sim
+
+let fetch_inc = Op.make "fetch&inc"
+let read = Op.make "read"
+
+let step value (op : Op.t) =
+  match op.name with
+  | "fetch&inc" -> (Value.int (Value.to_int value + 1), value)
+  | "read" -> (value, value)
+  | _ -> Optype.bad_op "fetch&inc" op
+
+let optype ?(init = 0) () =
+  Optype.make ~name:"fetch&inc" ~init:(Value.int init) step
+
+let finite ~modulus () =
+  let step value (op : Op.t) =
+    match op.name with
+    | "fetch&inc" -> (Value.int ((Value.to_int value + 1) mod modulus), value)
+    | "read" -> (value, value)
+    | _ -> Optype.bad_op "fetch&inc[fin]" op
+  in
+  Optype.make
+    ~name:(Printf.sprintf "fetch&inc[mod %d]" modulus)
+    ~init:(Value.int 0)
+    ~enum_values:(List.init modulus Value.int)
+    ~enum_ops:[ read; fetch_inc ]
+    step

@@ -1,0 +1,10 @@
+(** Fetch&increment registers (Theorem 4.4 lists them alongside fetch&add
+    and fetch&decrement). *)
+
+open Sim
+
+val fetch_inc : Op.t
+val read : Op.t
+val step : Value.t -> Op.t -> Value.t * Value.t
+val optype : ?init:int -> unit -> Optype.t
+val finite : modulus:int -> unit -> Optype.t

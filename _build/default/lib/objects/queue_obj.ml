@@ -1,0 +1,59 @@
+(* A FIFO queue — the classic consensus-number-2 object of the wait-free
+   hierarchy (Herlihy [20], which the paper's separation results are set
+   against).  ENQ(v) appends, DEQ removes and responds with the head (or
+   the empty marker).  Neither historyless nor interfering: two ENQs
+   neither commute nor overwrite. *)
+
+open Sim
+
+let enq v = Op.make "enq" ~arg:v
+let deq = Op.make "deq"
+let read = Op.make "read"
+
+let empty_marker = Value.none
+
+let step value (op : Op.t) =
+  let items = Value.to_list value in
+  match op.Op.name with
+  | "enq" -> (Value.list (items @ [ op.Op.arg ]), Value.unit)
+  | "deq" -> (
+      match items with
+      | [] -> (value, empty_marker)
+      | head :: rest -> (Value.list rest, head))
+  | "read" -> (value, value)
+  | _ -> Optype.bad_op "queue" op
+
+let optype ?(init = []) () =
+  Optype.make ~name:"queue" ~init:(Value.list init) step
+
+(** Finite spec: queues over item set [items] with capacity [cap]; ENQ on
+    a full queue is a no-op (keeps the domain closed). *)
+let finite ?(cap = 2) ~items () =
+  let step value (op : Op.t) =
+    let current = Value.to_list value in
+    match op.Op.name with
+    | "enq" ->
+        if List.length current >= cap then (value, Value.unit)
+        else (Value.list (current @ [ op.Op.arg ]), Value.unit)
+    | "deq" -> (
+        match current with
+        | [] -> (value, empty_marker)
+        | head :: rest -> (Value.list rest, head))
+    | "read" -> (value, value)
+    | _ -> Optype.bad_op "queue[fin]" op
+  in
+  let rec values_of_len len =
+    if len = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun shorter -> List.map (fun item -> item :: shorter) items)
+        (values_of_len (len - 1))
+  in
+  let all_values =
+    List.concat_map values_of_len (List.init (cap + 1) Fun.id)
+    |> List.map Value.list
+  in
+  Optype.make ~name:"queue" ~init:(Value.list [])
+    ~enum_values:all_values
+    ~enum_ops:((read :: deq :: []) @ List.map enq items)
+    step

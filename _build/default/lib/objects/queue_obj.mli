@@ -1,0 +1,20 @@
+(** A FIFO queue — the classic consensus-number-2 object of the wait-free
+    hierarchy.  Neither historyless nor interfering. *)
+
+open Sim
+
+val enq : Value.t -> Op.t
+val deq : Op.t
+val read : Op.t
+
+(** Response of DEQ on an empty queue. *)
+val empty_marker : Value.t
+
+val step : Value.t -> Op.t -> Value.t * Value.t
+
+(** An unbounded queue, optionally pre-filled. *)
+val optype : ?init:Value.t list -> unit -> Optype.t
+
+(** Finite spec: item set [items], capacity [cap] (ENQ on full is a
+    no-op, keeping the domain closed). *)
+val finite : ?cap:int -> items:Value.t list -> unit -> Optype.t

@@ -1,0 +1,28 @@
+(* A read-write register (Section 2): READ responds with the value; WRITE(x)
+   sets the value to x.  The value set may be any set — our registers hold
+   arbitrary [Value.t], i.e. they are "unbounded size" in the paper's sense.
+
+   Operations: WRITE overwrites WRITE, and READ is trivial, so the type is
+   historyless; {READ, WRITE} is also interfering. *)
+
+open Sim
+
+let read = Op.make "read"
+let write v = Op.make "write" ~arg:v
+let write_int i = write (Value.int i)
+
+let step value (op : Op.t) =
+  match op.name with
+  | "read" -> (value, value)
+  | "write" -> (op.arg, Value.unit)
+  | _ -> Optype.bad_op "register" op
+
+let optype ?(init = Value.none) () =
+  Optype.make ~name:"register" ~init step
+
+(** Finite-domain spec over values [vs] (for exhaustive classification). *)
+let finite ?(name = "register[fin]") ~values () =
+  let init = match values with v :: _ -> v | [] -> Value.none in
+  Optype.make ~name ~init ~enum_values:values
+    ~enum_ops:(read :: List.map write values)
+    step

@@ -1,0 +1,16 @@
+(** Read-write registers (Section 2): READ responds with the value,
+    WRITE(x) installs x.  Unbounded value set; historyless and
+    interfering. *)
+
+open Sim
+
+val read : Op.t
+val write : Value.t -> Op.t
+val write_int : int -> Op.t
+val step : Value.t -> Op.t -> Value.t * Value.t
+
+(** An unbounded register (default initial value {!Value.none}). *)
+val optype : ?init:Value.t -> unit -> Optype.t
+
+(** A finite-domain spec over [values] for exhaustive classification. *)
+val finite : ?name:string -> values:Value.t list -> unit -> Optype.t

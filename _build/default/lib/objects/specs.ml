@@ -1,0 +1,24 @@
+(* Finite-domain specs of every object type, for exhaustive classification
+   by [Objclass.Classify].  Domains are kept small (classification is cubic
+   in |ops| x |values|) but large enough to distinguish the types: e.g. a
+   two-valued fetch&add would degenerate. *)
+
+open Sim
+
+let small_ints n = List.init n Value.int
+
+let all : Optype.t list =
+  [
+    Register.finite ~name:"register" ~values:(small_ints 3) ();
+    Swap_register.finite ~name:"swap-register" ~values:(small_ints 3) ();
+    Test_and_set.finite ();
+    Fetch_add.finite ~modulus:5 ();
+    Fetch_inc.finite ~modulus:5 ();
+    Counter.finite ~modulus:5 ();
+    Compare_swap.finite ~name:"compare&swap" ~values:(small_ints 3) ();
+    Queue_obj.finite ~cap:2 ~items:(small_ints 2) ();
+    Sticky.finite ~values:(small_ints 2) ();
+  ]
+
+let find name =
+  List.find_opt (fun (ot : Optype.t) -> ot.name = name) all

@@ -1,0 +1,8 @@
+(** Finite-domain specs of every object type, for exhaustive
+    classification by [Objclass.Classify]. *)
+
+open Sim
+
+val small_ints : int -> Value.t list
+val all : Optype.t list
+val find : string -> Optype.t option

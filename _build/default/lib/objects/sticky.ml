@@ -1,0 +1,29 @@
+(* A sticky bit / consensus object (Plotkin): PROPOSE(v) installs v if the
+   object is still empty and responds with the value that stuck.  One such
+   object IS an n-process binary consensus object, so its consensus number
+   is infinite; it is neither historyless (a later PROPOSE does not
+   overwrite an earlier one — quite the opposite) nor interfering. *)
+
+open Sim
+
+let propose v = Op.make "propose" ~arg:v
+let propose_int i = propose (Value.int i)
+let read = Op.make "read"
+
+let step value (op : Op.t) =
+  match op.Op.name with
+  | "propose" -> (
+      match value with
+      | Value.Opt None -> (Value.some op.Op.arg, op.Op.arg)
+      | Value.Opt (Some v) -> (value, v)
+      | _ -> Optype.bad_op "sticky" op)
+  | "read" -> (value, value)
+  | _ -> Optype.bad_op "sticky" op
+
+let optype () = Optype.make ~name:"sticky" ~init:Value.none step
+
+let finite ~values () =
+  Optype.make ~name:"sticky" ~init:Value.none
+    ~enum_values:(Value.none :: List.map Value.some values)
+    ~enum_ops:(read :: List.map propose values)
+    step

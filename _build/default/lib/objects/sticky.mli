@@ -1,0 +1,12 @@
+(** A sticky bit / consensus object: PROPOSE(v) installs v if empty and
+    responds with the value that stuck.  Consensus number infinity;
+    neither historyless nor interfering. *)
+
+open Sim
+
+val propose : Value.t -> Op.t
+val propose_int : int -> Op.t
+val read : Op.t
+val step : Value.t -> Op.t -> Value.t * Value.t
+val optype : unit -> Optype.t
+val finite : values:Value.t list -> unit -> Optype.t

@@ -1,0 +1,27 @@
+(* A swap register: SWAP(x) sets the value to x and responds with the old
+   value.  We also expose READ and WRITE, matching the paper's example of the
+   interfering set {READ, WRITE, SWAP}.  All the nontrivial operations
+   (writes and swaps) overwrite one another, so the type is historyless. *)
+
+open Sim
+
+let read = Op.make "read"
+let write v = Op.make "write" ~arg:v
+let swap v = Op.make "swap" ~arg:v
+let swap_int i = swap (Value.int i)
+
+let step value (op : Op.t) =
+  match op.name with
+  | "read" -> (value, value)
+  | "write" -> (op.arg, Value.unit)
+  | "swap" -> (op.arg, value)
+  | _ -> Optype.bad_op "swap-register" op
+
+let optype ?(init = Value.none) () =
+  Optype.make ~name:"swap-register" ~init step
+
+let finite ?(name = "swap[fin]") ~values () =
+  let init = match values with v :: _ -> v | [] -> Value.none in
+  Optype.make ~name ~init ~enum_values:values
+    ~enum_ops:((read :: List.map write values) @ List.map swap values)
+    step

@@ -1,0 +1,13 @@
+(** Swap registers: SWAP(x) installs x and responds with the old value;
+    READ and WRITE also provided ({READ, WRITE, SWAP} is the paper's
+    example of an interfering set).  Historyless. *)
+
+open Sim
+
+val read : Op.t
+val write : Value.t -> Op.t
+val swap : Value.t -> Op.t
+val swap_int : int -> Op.t
+val step : Value.t -> Op.t -> Value.t * Value.t
+val optype : ?init:Value.t -> unit -> Optype.t
+val finite : ?name:string -> values:Value.t list -> unit -> Optype.t

@@ -1,0 +1,22 @@
+(* A test&set register (Section 2): values {0,1}, initially 0.  TEST&SET
+   responds with the current value and sets it to 1.  Setting to 1 is
+   idempotent, so TEST&SET overwrites itself: the type is historyless. *)
+
+open Sim
+
+let test_and_set = Op.make "test&set"
+let read = Op.make "read"
+
+let step value (op : Op.t) =
+  match op.name with
+  | "test&set" -> (Value.int 1, value)
+  | "read" -> (value, value)
+  | _ -> Optype.bad_op "test&set" op
+
+let optype () = Optype.make ~name:"test&set" ~init:(Value.int 0) step
+
+let finite () =
+  Optype.make ~name:"test&set" ~init:(Value.int 0)
+    ~enum_values:[ Value.int 0; Value.int 1 ]
+    ~enum_ops:[ read; test_and_set ]
+    step

@@ -1,0 +1,13 @@
+(** Test&set registers (Section 2): values {0,1}, initially 0; TEST&SET
+    responds with the current value and sets 1.  Historyless (setting 1 is
+    idempotent). *)
+
+open Sim
+
+val test_and_set : Op.t
+val read : Op.t
+val step : Value.t -> Op.t -> Value.t * Value.t
+val optype : unit -> Optype.t
+
+(** The (already finite) spec with enumerations attached. *)
+val finite : unit -> Optype.t

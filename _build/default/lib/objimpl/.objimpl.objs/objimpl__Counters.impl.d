@@ -1,0 +1,1 @@
+lib/objimpl/counters.ml: Fun Implementation List Objects Op Optype Proc Register Sim Value

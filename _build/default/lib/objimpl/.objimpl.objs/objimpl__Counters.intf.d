@@ -1,0 +1,1 @@
+lib/objimpl/counters.mli: Implementation Optype Sim

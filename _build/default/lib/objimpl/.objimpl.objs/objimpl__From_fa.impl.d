@@ -1,0 +1,1 @@
+lib/objimpl/from_fa.ml: Counters Fetch_add Fetch_inc Implementation Objects Op Optype Proc Sim Value

@@ -1,0 +1,1 @@
+lib/objimpl/from_fa.mli: Implementation Sim

@@ -1,0 +1,1 @@
+lib/objimpl/from_universal.ml: Compare_swap Fetch_add Implementation Objects Op Optype Proc Sim Swap_register Test_and_set Value

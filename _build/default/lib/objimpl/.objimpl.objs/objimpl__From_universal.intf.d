@@ -1,0 +1,1 @@
+lib/objimpl/from_universal.mli: Implementation Sim

@@ -1,0 +1,1 @@
+lib/objimpl/harness.ml: Array Fun History Implementation Linearize List Op Optype Proc Rng Sim Value

@@ -1,0 +1,1 @@
+lib/objimpl/harness.mli: History Implementation Linearize Op Sim

@@ -1,0 +1,1 @@
+lib/objimpl/history.ml: Fmt Hashtbl List Op Sim Value

@@ -1,0 +1,1 @@
+lib/objimpl/history.mli: Format Op Sim Value

@@ -1,0 +1,1 @@
+lib/objimpl/implementation.ml: List Op Optype Proc Sim Value

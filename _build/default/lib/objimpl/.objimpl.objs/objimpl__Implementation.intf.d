@@ -1,0 +1,1 @@
+lib/objimpl/implementation.mli: Op Optype Proc Sim Value

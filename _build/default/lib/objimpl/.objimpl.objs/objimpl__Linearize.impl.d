@@ -1,0 +1,1 @@
+lib/objimpl/linearize.ml: History List Optype Sim Value

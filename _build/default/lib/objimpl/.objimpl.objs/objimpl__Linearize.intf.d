@@ -1,0 +1,1 @@
+lib/objimpl/linearize.mli: History Optype Sim

@@ -1,0 +1,1 @@
+lib/objimpl/snapshot.mli: Implementation Op Optype Proc Sim Value

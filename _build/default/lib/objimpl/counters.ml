@@ -1,0 +1,104 @@
+(* Counters from read-write registers — the implemented object behind
+   Corollary 4.3: deterministic counter implementations from O(n)
+   registers exist (Aspnes-Herlihy, Moran-Taubenfeld-Yadin), which is why
+   counters cannot deterministically solve 2-process consensus, and yet
+   one *bounded counter* solves randomized consensus; implementing a
+   counter from historyless objects therefore costs Omega(sqrt n).
+
+   Two register counters, sharing the layout "register i is written only
+   by process i and holds Pair (net count, version)":
+
+   - [collect]: READ sums a single collect.  Simple, wait-free — and NOT
+     linearizable once increments and decrements mix: a collect can pair
+     a pre-increment segment with a post-decrement one and return a value
+     the counter never held.  The test suite exhibits the violating
+     history and the checker rejects it.
+
+   - [snapshot]: READ repeats the collect until two consecutive collects
+     are identical (versions included).  A stable double collect is an
+     atomic snapshot (nothing moved in between), so the sum linearizes at
+     any point between the two collects.  Correct — but only
+     solo-terminating, not wait-free: concurrent writers can starve the
+     reader forever.  This is precisely the paper's Section 2 example of
+     nondeterministic solo termination being strictly weaker than
+     (randomized) wait-freedom. *)
+
+open Sim
+open Objects
+
+let reg ~n:_ = Register.optype ~init:(Value.pair (Value.int 0) (Value.int 0)) ()
+
+let base ~n = List.init n (fun _ -> reg ~n)
+
+(* decode a register cell *)
+let cell v =
+  match v with
+  | Value.Pair (Value.Int count, Value.Int version) -> (count, version)
+  | _ -> (0, 0)
+
+let bump ~pid ~delta : Value.t Proc.t =
+  let open Proc in
+  let* own = apply pid Register.read in
+  let count, version = cell own in
+  let* _ =
+    apply pid
+      (Register.write (Value.pair (Value.int (count + delta)) (Value.int (version + 1))))
+  in
+  return Value.unit
+
+let collect_once ~n : (int * int list) Proc.t =
+  let open Proc in
+  let* cells = map_list (fun j -> apply j Register.read) (List.init n Fun.id) in
+  let decoded = List.map cell cells in
+  return
+    ( List.fold_left (fun acc (c, _) -> acc + c) 0 decoded,
+      List.map snd decoded )
+
+(* the sequential spec both implementations claim: a counter without
+   RESET (the implementations do not support it) *)
+let spec =
+  let step value (op : Op.t) =
+    match op.Op.name with
+    | "inc" -> (Value.int (Value.to_int value + 1), Value.unit)
+    | "dec" -> (Value.int (Value.to_int value - 1), Value.unit)
+    | "read" -> (value, value)
+    | _ -> Optype.bad_op "counter(inc/dec/read)" op
+  in
+  Optype.make ~name:"counter(inc/dec/read)" ~init:(Value.int 0) step
+
+let procedure_collect ~n ~pid (op : Op.t) : Value.t Proc.t =
+  let open Proc in
+  match op.Op.name with
+  | "inc" -> bump ~pid ~delta:1
+  | "dec" -> bump ~pid ~delta:(-1)
+  | "read" ->
+      let* sum, _ = collect_once ~n in
+      return (Value.int sum)
+  | _ -> Optype.bad_op "collect-counter" op
+
+let procedure_snapshot ~n ~pid (op : Op.t) : Value.t Proc.t =
+  let open Proc in
+  match op.Op.name with
+  | "inc" -> bump ~pid ~delta:1
+  | "dec" -> bump ~pid ~delta:(-1)
+  | "read" ->
+      let rec stabilize previous =
+        let* sum, versions = collect_once ~n in
+        match previous with
+        | Some (prev_sum, prev_versions)
+          when prev_versions = versions && prev_sum = sum ->
+            return (Value.int sum)
+        | _ -> stabilize (Some (sum, versions))
+      in
+      stabilize None
+  | _ -> Optype.bad_op "snapshot-counter" op
+
+let collect =
+  Implementation.make ~name:"collect-counter" ~spec ~base
+    ~procedure:(fun ~n ~pid op -> procedure_collect ~n ~pid op)
+    ~progress:Implementation.Wait_free
+
+let snapshot =
+  Implementation.make ~name:"snapshot-counter" ~spec ~base
+    ~procedure:(fun ~n ~pid op -> procedure_snapshot ~n ~pid op)
+    ~progress:Implementation.Solo_terminating

@@ -1,0 +1,15 @@
+(** Counters from single-writer read-write registers (the object of
+    Corollary 4.3): the single-collect reader [collect] is wait-free but
+    {e not} linearizable once increments and decrements mix; the
+    double-collect reader [snapshot] is linearizable but only
+    solo-terminating — the paper's Section 2 example of solo termination
+    being strictly weaker than wait-freedom. *)
+
+open Sim
+
+(** The implemented sequential spec: a counter with inc/dec/read. *)
+val spec : Optype.t
+
+val base : n:int -> Optype.t list
+val collect : Implementation.t
+val snapshot : Implementation.t

@@ -1,0 +1,8 @@
+(** Theorem 4.4's reduction, verbatim: a counter from a single fetch&add
+    register (INC = F&A(+1), DEC = F&A(-1), READ = F&A(0)); plus the
+    honest inc-only counter a fetch&inc register gives. *)
+
+val spec : Sim.Optype.t
+val counter_from_fetch_add : Implementation.t
+val inc_only_spec : Sim.Optype.t
+val inc_counter_from_fetch_inc : Implementation.t

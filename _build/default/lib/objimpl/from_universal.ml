@@ -1,0 +1,49 @@
+(* Implementations out of stronger primitives:
+
+   - a fetch&add register from ONE compare&swap register (lock-free CAS
+     retry loop) — deterministically possible because compare&swap is
+     universal; contrast with Corollary 4.5: from *historyless* objects
+     the same target costs Omega(sqrt n) instances even randomized;
+   - a test&set register from ONE swap register — the two types sit at
+     the same consensus level (2), and here the implementation is a
+     single wait-free operation. *)
+
+open Sim
+open Objects
+
+let fa_spec =
+  Optype.rename (Fetch_add.optype ()) "fetch&add(spec)"
+
+let fetch_add_from_cas =
+  let procedure ~n:_ ~pid:_ (op : Op.t) : Value.t Proc.t =
+    let open Proc in
+    match op.Op.name with
+    | "read" -> apply 0 Compare_swap.read
+    | "fetch&add" ->
+        let k = Value.to_int op.Op.arg in
+        let rec retry () =
+          let* current = apply 0 Compare_swap.read in
+          let desired = Value.int (Value.to_int current + k) in
+          let* old = apply 0 (Compare_swap.cas ~expected:current ~desired) in
+          if Value.equal old current then return current else retry ()
+        in
+        retry ()
+    | _ -> Optype.bad_op "fa-from-cas" op
+  in
+  Implementation.make ~name:"fetch&add-from-cas" ~spec:fa_spec
+    ~base:(fun ~n:_ -> [ Compare_swap.optype ~init:(Value.int 0) () ])
+    ~procedure ~progress:Implementation.Lock_free
+
+let tas_spec = Optype.rename (Test_and_set.optype ()) "test&set(spec)"
+
+let test_and_set_from_swap =
+  let procedure ~n:_ ~pid:_ (op : Op.t) : Value.t Proc.t =
+    let open Proc in
+    match op.Op.name with
+    | "read" -> apply 0 Swap_register.read
+    | "test&set" -> apply 0 (Swap_register.swap (Value.int 1))
+    | _ -> Optype.bad_op "tas-from-swap" op
+  in
+  Implementation.make ~name:"test&set-from-swap" ~spec:tas_spec
+    ~base:(fun ~n:_ -> [ Swap_register.optype ~init:(Value.int 0) () ])
+    ~procedure ~progress:Implementation.Wait_free

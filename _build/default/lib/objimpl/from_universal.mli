@@ -1,0 +1,8 @@
+(** Implementations out of stronger primitives: fetch&add from one
+    compare&swap register (lock-free), test&set from one swap register
+    (wait-free) — the deterministic counterpoint to Corollaries 4.1/4.5. *)
+
+val fa_spec : Sim.Optype.t
+val fetch_add_from_cas : Implementation.t
+val tas_spec : Sim.Optype.t
+val test_and_set_from_swap : Implementation.t

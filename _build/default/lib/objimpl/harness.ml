@@ -1,0 +1,137 @@
+(* Driving implementations with concurrent workloads and recording the
+   history of invocations and responses.
+
+   Each process is given a planned sequence of operations on the
+   implemented object; the harness interleaves the *base-object steps* of
+   the procedures under a seeded random (or fixed) schedule, recording an
+   invocation event when a call starts and a response event when its
+   procedure decides.  The recorded {!History.t} is then judged by
+   {!Linearize.check} against the implementation's sequential spec. *)
+
+open Sim
+
+type outcome = {
+  history : History.t;
+  steps : int;
+  completed : bool;  (** every planned call responded *)
+}
+
+type schedule = Random_sched of int  (** seed *) | Fixed of int list
+
+(* per-process driver state *)
+type slot = {
+  mutable current : Value.t Proc.t option;  (** in-flight procedure *)
+  mutable call_id : int;  (** id of the in-flight call *)
+  mutable remaining : Op.t list;
+}
+
+let run (impl : Implementation.t) ~n ~workload ~schedule
+    ?(max_steps = 100_000) () =
+  let optypes = Array.of_list (impl.Implementation.base ~n) in
+  let objects = Array.map (fun (ot : Optype.t) -> ot.Optype.init) optypes in
+  let slots =
+    Array.init n (fun pid ->
+        {
+          current = None;
+          call_id = -1;
+          remaining =
+            (match List.assoc_opt pid workload with Some ops -> ops | None -> []);
+        })
+  in
+  let history = ref [] in
+  let next_call_id = ref 0 in
+  let rng =
+    match schedule with Random_sched seed -> Rng.create seed | Fixed _ -> Rng.create 0
+  in
+  let fixed = ref (match schedule with Fixed pids -> pids | Random_sched _ -> []) in
+  (* start the next call of [pid] if idle and work remains *)
+  let refill pid =
+    let slot = slots.(pid) in
+    match (slot.current, slot.remaining) with
+    | None, op :: rest ->
+        let id = !next_call_id in
+        incr next_call_id;
+        slot.current <- Some (impl.Implementation.procedure ~n ~pid op);
+        slot.call_id <- id;
+        slot.remaining <- rest;
+        history := History.Inv { call = id; pid; op } :: !history
+    | _ -> ()
+  in
+  Array.iteri (fun pid _ -> refill pid) slots;
+  let active () =
+    List.filter
+      (fun pid -> slots.(pid).current <> None)
+      (List.init n Fun.id)
+  in
+  let steps = ref 0 in
+  let step pid =
+    let slot = slots.(pid) in
+    match slot.current with
+    | None -> ()
+    | Some proc -> (
+        incr steps;
+        match proc with
+        | Proc.Decide value ->
+            history :=
+              History.Res { call = slot.call_id; pid; value } :: !history;
+            slot.current <- None;
+            refill pid
+        | Proc.Apply { obj; op; k } ->
+            let value', resp = Optype.apply optypes.(obj) objects.(obj) op in
+            objects.(obj) <- value';
+            slot.current <- Some (k resp)
+        | Proc.Choose { n = outcomes; k } ->
+            slot.current <- Some (k (Rng.int rng outcomes)))
+  in
+  let rec loop () =
+    if !steps >= max_steps then ()
+    else
+      match schedule with
+      | Fixed _ -> (
+          match !fixed with
+          | [] -> ()
+          | pid :: rest ->
+              fixed := rest;
+              step pid;
+              loop ())
+      | Random_sched _ -> (
+          match active () with
+          | [] -> ()
+          | pids ->
+              step (List.nth pids (Rng.int rng (List.length pids)));
+              loop ())
+  in
+  loop ();
+  (* drain: a Decide that has not been consumed yet still responds *)
+  Array.iteri
+    (fun pid slot ->
+      match slot.current with
+      | Some (Proc.Decide value) ->
+          history := History.Res { call = slot.call_id; pid; value } :: !history;
+          slot.current <- None
+      | _ -> ())
+    slots;
+  let history = List.rev !history in
+  {
+    history;
+    steps = !steps;
+    completed =
+      Array.for_all
+        (fun slot -> slot.current = None && slot.remaining = [])
+        slots;
+  }
+
+(** Run and check in one go: the verdict of {!Linearize.check} on the
+    recorded history (complete calls only). *)
+let run_and_check impl ~n ~workload ~schedule ?max_steps () =
+  let outcome = run impl ~n ~workload ~schedule ?max_steps () in
+  (outcome, Linearize.check impl.Implementation.spec outcome.history)
+
+(** A random mixed workload: [calls] operations per process drawn from
+    [ops] (by index). *)
+let random_workload ~n ~calls ~ops ~seed =
+  let rng = Rng.create seed in
+  List.init n (fun pid ->
+      ( pid,
+        List.init calls (fun _ -> List.nth ops (Rng.int rng (List.length ops)))
+      ))

@@ -1,0 +1,37 @@
+(** Drive an implementation with a concurrent workload, record the
+    history, and judge it with the linearizability checker. *)
+
+open Sim
+
+type outcome = {
+  history : History.t;
+  steps : int;
+  completed : bool;  (** every planned call responded *)
+}
+
+type schedule = Random_sched of int  (** seed *) | Fixed of int list
+
+(** [run impl ~n ~workload ~schedule ()] interleaves the base-object steps
+    of the per-process planned calls ([workload]: pid to operation list)
+    under the schedule. *)
+val run :
+  Implementation.t ->
+  n:int ->
+  workload:(int * Op.t list) list ->
+  schedule:schedule ->
+  ?max_steps:int ->
+  unit ->
+  outcome
+
+val run_and_check :
+  Implementation.t ->
+  n:int ->
+  workload:(int * Op.t list) list ->
+  schedule:schedule ->
+  ?max_steps:int ->
+  unit ->
+  outcome * Linearize.verdict
+
+(** [calls] operations per process, drawn uniformly from [ops]. *)
+val random_workload :
+  n:int -> calls:int -> ops:Op.t list -> seed:int -> (int * Op.t list) list

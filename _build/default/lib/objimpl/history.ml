@@ -1,0 +1,68 @@
+(* Concurrent histories, in the sense of Herlihy-Wing linearizability
+   (the correctness condition Section 2 assumes of all objects): a
+   real-time-ordered sequence of invocation and response events of
+   operations on one implemented object. *)
+
+open Sim
+
+type event =
+  | Inv of { call : int; pid : int; op : Op.t }
+  | Res of { call : int; pid : int; value : Value.t }
+
+type t = event list  (* in real-time order *)
+
+type call = {
+  id : int;
+  pid : int;
+  op : Op.t;
+  response : Value.t option;  (** [None]: the call never returned *)
+  inv_index : int;  (** position of the invocation in the history *)
+  res_index : int option;
+}
+
+let calls (history : t) =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun idx ev ->
+      match ev with
+      | Inv { call; pid; op } ->
+          Hashtbl.replace tbl call
+            {
+              id = call;
+              pid;
+              op;
+              response = None;
+              inv_index = idx;
+              res_index = None;
+            }
+      | Res { call; value; _ } -> (
+          match Hashtbl.find_opt tbl call with
+          | Some c ->
+              Hashtbl.replace tbl call
+                { c with response = Some value; res_index = Some idx }
+          | None -> invalid_arg "History.calls: response without invocation"))
+    history;
+  Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+  |> List.sort (fun a b -> compare a.inv_index b.inv_index)
+
+let complete_calls history =
+  List.filter (fun c -> c.response <> None) (calls history)
+
+let is_complete history = List.for_all (fun c -> c.response <> None) (calls history)
+
+(** [precedes a b]: call [a] returned before call [b] was invoked (the
+    real-time order linearizability must respect). *)
+let precedes a b =
+  match a.res_index with Some r -> r < b.inv_index | None -> false
+
+let pp ppf (history : t) =
+  List.iter
+    (fun ev ->
+      match ev with
+      | Inv { call; pid; op } ->
+          Fmt.pf ppf "  [%d] P%d invokes %s@." call pid (Op.to_string op)
+      | Res { call; pid; value } ->
+          Fmt.pf ppf "  [%d] P%d returns %s@." call pid (Value.to_string value))
+    history
+
+let to_string history = Fmt.str "%a" pp history

@@ -1,0 +1,31 @@
+(** Concurrent histories (Herlihy–Wing): real-time-ordered invocation and
+    response events of operations on one implemented object. *)
+
+open Sim
+
+type event =
+  | Inv of { call : int; pid : int; op : Op.t }
+  | Res of { call : int; pid : int; value : Value.t }
+
+type t = event list
+
+type call = {
+  id : int;
+  pid : int;
+  op : Op.t;
+  response : Value.t option;  (** [None]: never returned *)
+  inv_index : int;
+  res_index : int option;
+}
+
+(** All calls, ordered by invocation. *)
+val calls : t -> call list
+
+val complete_calls : t -> call list
+val is_complete : t -> bool
+
+(** Real-time precedence: [a] returned before [b] was invoked. *)
+val precedes : call -> call -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

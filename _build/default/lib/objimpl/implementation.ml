@@ -1,0 +1,44 @@
+(* Implementations of one object type from others — "an implementation of
+   an object X is a set of objects Y_1 .. Y_m representing X together with
+   procedures F_1 .. F_n called by processes P_1 .. P_n to execute
+   operations on X" (Section 2), packaged.
+
+   The [spec] is the implemented type's *sequential* specification; the
+   [Harness] runs concurrent workloads through [procedure] and the
+   {!Linearize} checker decides whether the recorded history is
+   explainable by [spec] — linearizability exactly as Section 2 requires
+   of all objects. *)
+
+open Sim
+
+type progress =
+  | Wait_free  (** every call finishes in bounded own-steps *)
+  | Lock_free  (** some call always finishes (non-blocking) *)
+  | Solo_terminating
+      (** finishes when run alone — nondeterministic solo termination
+          without wait-freedom, the paper's snapshot example *)
+
+type t = {
+  name : string;
+  spec : Optype.t;  (** sequential specification of the implemented type *)
+  base : n:int -> Optype.t list;  (** base objects for n processes *)
+  procedure : n:int -> pid:int -> Op.t -> Value.t Proc.t;
+      (** the procedure process [pid] runs to apply an operation *)
+  progress : progress;
+  instances : n:int -> int;  (** base objects used, for Thm 2.1 talk *)
+}
+
+let progress_to_string = function
+  | Wait_free -> "wait-free"
+  | Lock_free -> "lock-free"
+  | Solo_terminating -> "solo-terminating"
+
+let make ~name ~spec ~base ~procedure ~progress =
+  {
+    name;
+    spec;
+    base;
+    procedure;
+    progress;
+    instances = (fun ~n -> List.length (base ~n));
+  }

@@ -1,0 +1,30 @@
+(** Implementations of one object type from others (Section 2), packaged
+    for the {!Harness} and the {!Linearize} checker. *)
+
+open Sim
+
+type progress =
+  | Wait_free
+  | Lock_free
+  | Solo_terminating
+      (** nondeterministic solo termination without wait-freedom — the
+          paper's snapshot example *)
+
+type t = {
+  name : string;
+  spec : Optype.t;  (** sequential specification of the implemented type *)
+  base : n:int -> Optype.t list;
+  procedure : n:int -> pid:int -> Op.t -> Value.t Proc.t;
+  progress : progress;
+  instances : n:int -> int;
+}
+
+val progress_to_string : progress -> string
+
+val make :
+  name:string ->
+  spec:Optype.t ->
+  base:(n:int -> Optype.t list) ->
+  procedure:(n:int -> pid:int -> Op.t -> Value.t Proc.t) ->
+  progress:progress ->
+  t

@@ -1,0 +1,65 @@
+(* A linearizability checker in the Wing-Gong style: a complete concurrent
+   history is linearizable w.r.t. a sequential specification (an
+   [Sim.Optype.t]) iff the calls can be ordered into a legal sequential
+   execution that respects real-time precedence.
+
+   Search: repeatedly pick a minimal unlinearized call (no other
+   unlinearized call's response precedes its invocation), apply its
+   operation to the current specification state; accept the branch if the
+   recorded response matches; backtrack otherwise.  Exponential in the
+   worst case, fine for the harness's history sizes; a node budget turns
+   pathological instances into an explicit [Unknown]. *)
+
+open Sim
+
+type verdict =
+  | Linearizable of History.call list  (** a witness order *)
+  | Not_linearizable
+  | Unknown  (** node budget exhausted *)
+
+let check ?(max_nodes = 2_000_000) (spec : Optype.t) (history : History.t) =
+  let calls = History.complete_calls history in
+  let nodes = ref 0 in
+  let exception Budget in
+  (* candidates among [pending] that can be linearized next *)
+  let minimal pending =
+    List.filter
+      (fun c ->
+        not (List.exists (fun d -> d.History.id <> c.History.id && History.precedes d c) pending))
+      pending
+  in
+  let rec go state pending acc =
+    incr nodes;
+    if !nodes > max_nodes then raise Budget;
+    match pending with
+    | [] -> Some (List.rev acc)
+    | _ ->
+        let rec try_candidates = function
+          | [] -> None
+          | c :: rest -> (
+              let state', resp = Optype.apply spec state c.History.op in
+              let matches =
+                match c.History.response with
+                | Some r -> Value.equal r resp
+                | None -> false
+              in
+              if not matches then try_candidates rest
+              else
+                let pending' =
+                  List.filter (fun d -> d.History.id <> c.History.id) pending
+                in
+                match go state' pending' (c :: acc) with
+                | Some _ as found -> found
+                | None -> try_candidates rest)
+        in
+        try_candidates (minimal pending)
+  in
+  match go spec.Optype.init calls [] with
+  | Some order -> Linearizable order
+  | None -> Not_linearizable
+  | exception Budget -> Unknown
+
+let is_linearizable ?max_nodes spec history =
+  match check ?max_nodes spec history with
+  | Linearizable _ -> true
+  | Not_linearizable | Unknown -> false

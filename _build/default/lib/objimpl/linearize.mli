@@ -1,0 +1,15 @@
+(** A Wing–Gong-style linearizability checker: is a complete concurrent
+    history explainable by a sequential specification, respecting
+    real-time order? *)
+
+open Sim
+
+type verdict =
+  | Linearizable of History.call list  (** a witness linearization *)
+  | Not_linearizable
+  | Unknown  (** node budget exhausted *)
+
+(** Checks the {e complete} calls of the history against [spec]. *)
+val check : ?max_nodes:int -> Optype.t -> History.t -> verdict
+
+val is_linearizable : ?max_nodes:int -> Optype.t -> History.t -> bool

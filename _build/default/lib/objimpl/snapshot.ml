@@ -1,0 +1,78 @@
+(* The atomic snapshot object from single-writer registers — the paper's
+   own Section 2 example: "the simple snapshot algorithm following
+   Observation 1 in [3] is not (randomized) wait-free, but satisfies the
+   nondeterministic solo termination property."
+
+   Sequential spec: n segments.  UPDATE(i, v) installs v into segment i
+   (callable by process i); SCAN returns all segments atomically.
+
+   Implementation: register i holds Pair (value_i, version_i), written
+   only by process i — workloads must respect the single-writer
+   discipline (process i updates only segment i), as in [3].  UPDATE
+   writes value and bumped version.  SCAN
+   collects repeatedly until two consecutive collects agree on every
+   version; the stable double collect happened with no interleaved
+   update, so it is an atomic snapshot.  A solo SCAN needs exactly two
+   collects; under concurrent updates it can retry forever. *)
+
+open Sim
+open Objects
+
+let update ~seg v = Op.make "update" ~arg:(Value.pair (Value.int seg) v)
+let scan = Op.make "scan"
+
+let spec ~n =
+  let step value (op : Op.t) =
+    match op.Op.name with
+    | "scan" -> (value, value)
+    | "update" ->
+        let seg, v = Value.to_pair op.Op.arg in
+        let seg = Value.to_int seg in
+        let segments = Value.to_list value in
+        let segments' = List.mapi (fun i x -> if i = seg then v else x) segments in
+        (Value.list segments', Value.unit)
+    | _ -> Optype.bad_op "snapshot(spec)" op
+  in
+  Optype.make ~name:"snapshot(spec)"
+    ~init:(Value.list (List.init n (fun _ -> Value.none)))
+    step
+
+let base ~n =
+  List.init n (fun _ ->
+      Register.optype ~init:(Value.pair Value.none (Value.int 0)) ())
+
+let cell v =
+  match v with
+  | Value.Pair (x, Value.Int version) -> (x, version)
+  | _ -> (Value.none, 0)
+
+let procedure ~n ~pid:_ (op : Op.t) : Value.t Proc.t =
+  let open Proc in
+  match op.Op.name with
+  | "update" ->
+      let seg, v = Value.to_pair op.Op.arg in
+      let seg = Value.to_int seg in
+      let* own = apply seg Register.read in
+      let _, version = cell own in
+      let* _ =
+        apply seg (Register.write (Value.pair v (Value.int (version + 1))))
+      in
+      return Value.unit
+  | "scan" ->
+      let collect () =
+        map_list (fun j -> apply j Register.read) (List.init n Fun.id)
+      in
+      let rec stabilize prev_versions =
+        let* cells = collect () in
+        let decoded = List.map cell cells in
+        let versions = List.map snd decoded in
+        if prev_versions = Some versions then
+          return (Value.list (List.map fst decoded))
+        else stabilize (Some versions)
+      in
+      stabilize None
+  | _ -> Optype.bad_op "snapshot-impl" op
+
+let implementation ~n =
+  Implementation.make ~name:"snapshot-from-registers" ~spec:(spec ~n) ~base
+    ~procedure ~progress:Implementation.Solo_terminating

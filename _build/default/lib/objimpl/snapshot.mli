@@ -1,0 +1,16 @@
+(** The atomic snapshot object from single-writer registers — the paper's
+    own example of an algorithm with nondeterministic solo termination
+    that is not wait-free.  Workloads must respect the single-writer
+    discipline: process i updates only segment i. *)
+
+open Sim
+
+val update : seg:int -> Value.t -> Op.t
+val scan : Op.t
+
+(** Sequential spec: n segments, UPDATE(i,v) / SCAN. *)
+val spec : n:int -> Optype.t
+
+val base : n:int -> Optype.t list
+val procedure : n:int -> pid:int -> Op.t -> Value.t Proc.t
+val implementation : n:int -> Implementation.t

@@ -1,0 +1,1 @@
+lib/sim/checker.pp.ml: Config Fmt List Trace

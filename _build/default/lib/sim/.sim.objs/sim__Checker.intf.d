@@ -1,0 +1,1 @@
+lib/sim/checker.pp.mli: Config Format Trace

@@ -1,0 +1,1 @@
+lib/sim/config.pp.ml: Array Fmt Fun List Optype Proc Value

@@ -1,0 +1,1 @@
+lib/sim/event.pp.ml: Fmt Op Printf Value

@@ -1,0 +1,1 @@
+lib/sim/event.pp.mli: Format Op Value

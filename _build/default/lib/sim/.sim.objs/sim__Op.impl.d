@@ -1,0 +1,1 @@
+lib/sim/op.pp.ml: Fmt Ppx_deriving_runtime Printf Value

@@ -1,0 +1,1 @@
+lib/sim/optype.pp.ml: Op Value

@@ -1,0 +1,1 @@
+lib/sim/optype.pp.mli: Op Value

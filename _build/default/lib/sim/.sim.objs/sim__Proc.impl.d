@@ -1,0 +1,1 @@
+lib/sim/proc.pp.ml: Fmt Op Value

@@ -1,0 +1,1 @@
+lib/sim/proc.pp.mli: Format Op Value

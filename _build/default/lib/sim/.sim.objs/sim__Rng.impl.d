@@ -1,0 +1,1 @@
+lib/sim/rng.pp.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/sim/run.pp.ml: Array Config Event List Optype Proc Sched Trace

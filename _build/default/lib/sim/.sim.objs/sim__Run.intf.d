@@ -1,0 +1,1 @@
+lib/sim/run.pp.mli: Config Event Sched Trace

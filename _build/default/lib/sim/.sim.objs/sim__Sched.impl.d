@@ -1,0 +1,1 @@
+lib/sim/sched.pp.ml: Array Config List Printf Rng

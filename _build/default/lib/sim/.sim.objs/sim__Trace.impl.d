@@ -1,0 +1,1 @@
+lib/sim/trace.pp.ml: Event Fmt List String

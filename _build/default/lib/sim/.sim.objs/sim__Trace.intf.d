@@ -1,0 +1,1 @@
+lib/sim/trace.pp.mli: Event Format Op Value

@@ -1,0 +1,1 @@
+lib/sim/trace_io.pp.ml: Event List Op Printf String Trace Value

@@ -1,0 +1,20 @@
+(** The consensus correctness conditions of Section 2, checked on runs:
+    consistency (all decisions equal) and validity (every decision is some
+    process's input). *)
+
+type verdict = {
+  consistent : bool;
+  valid : bool;
+  n_decided : int;
+  values : int list;  (** distinct decided values *)
+}
+
+val check : inputs:int list -> decisions:int list -> verdict
+val ok : verdict -> bool
+
+(** The adversary's goal: both 0 and 1 (or any two values) decided. *)
+val inconsistent : decisions:int list -> bool
+
+val of_config : inputs:int list -> int Config.t -> verdict
+val of_trace : inputs:int list -> int Trace.t -> verdict
+val pp : Format.formatter -> verdict -> unit

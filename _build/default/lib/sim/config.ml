@@ -1,0 +1,89 @@
+(* A configuration (Section 2): the value of every shared object plus the
+   state of every process.  Configurations here are persistent: [step]-style
+   updates in [Run.pure] copy the arrays, so the model checker and the
+   lower-bound adversaries can hold many configurations at once.
+
+   [halted] supports crash-failure injection: a halted process performs no
+   further steps (the paper's "a process may become faulty at a given point
+   in an execution"). *)
+
+type 'a t = {
+  optypes : Optype.t array;  (** type of each shared object, fixed *)
+  objects : Value.t array;  (** current value of each shared object *)
+  procs : 'a Proc.t array;  (** current state of each process *)
+  halted : bool array;  (** crash-failure flags *)
+}
+
+let make ~optypes ~procs =
+  let optypes = Array.of_list optypes in
+  {
+    optypes;
+    objects = Array.map (fun (ot : Optype.t) -> ot.init) optypes;
+    procs = Array.of_list procs;
+    halted = Array.make (List.length procs) false;
+  }
+
+let n_objects t = Array.length t.objects
+let n_procs t = Array.length t.procs
+
+let copy t =
+  {
+    t with
+    objects = Array.copy t.objects;
+    procs = Array.copy t.procs;
+    halted = Array.copy t.halted;
+  }
+
+let decision t pid = Proc.decision t.procs.(pid)
+let is_decided t pid = Proc.is_decided t.procs.(pid)
+let is_halted t pid = t.halted.(pid)
+
+(** A process is enabled if it is neither decided nor crashed. *)
+let is_enabled t pid = (not (is_decided t pid)) && not (is_halted t pid)
+
+let enabled_pids t =
+  List.filter (is_enabled t) (List.init (n_procs t) Fun.id)
+
+let all_decided t =
+  let rec go i =
+    i >= n_procs t || ((is_decided t i || is_halted t i) && go (i + 1))
+  in
+  go 0
+
+let decisions t =
+  List.filter_map (fun pid -> decision t pid) (List.init (n_procs t) Fun.id)
+
+(** Crash process [pid]: it takes no further steps. *)
+let halt t pid =
+  let t = copy t in
+  t.halted.(pid) <- true;
+  t
+
+(** Append a process in state [state]; returns the new configuration and the
+    new process's id.  Used by the lower-bound adversaries to introduce
+    clones (whose states are snapshots of existing processes). *)
+let add_proc t state =
+  let n = n_procs t in
+  let procs = Array.make (n + 1) state in
+  Array.blit t.procs 0 procs 0 n;
+  let halted = Array.make (n + 1) false in
+  Array.blit t.halted 0 halted 0 n;
+  ({ t with procs; halted }, n)
+
+(** [pending t pid] is the shared-memory operation [pid] is poised at. *)
+let pending t pid = Proc.pending t.procs.(pid)
+
+(** Process ids poised at object [obj] (their next step applies to it). *)
+let poised_at t obj =
+  List.filter
+    (fun pid ->
+      is_enabled t pid
+      && match pending t pid with Some (o, _) -> o = obj | None -> false)
+    (List.init (n_procs t) Fun.id)
+
+let pp pp_decision ppf t =
+  Fmt.pf ppf "@[<v>objects: %a@,procs: %a@]"
+    Fmt.(array ~sep:sp Value.pp_compact)
+    t.objects
+    Fmt.(array ~sep:sp (Proc.pp pp_decision))
+    t.procs

@@ -1,0 +1,56 @@
+(** Configurations (Section 2): the value of every shared object plus the
+    state of every process, persistent (updates copy), with crash-failure
+    flags. *)
+
+type 'a t = {
+  optypes : Optype.t array;
+  objects : Value.t array;
+  procs : 'a Proc.t array;
+  halted : bool array;
+}
+
+(** [make ~optypes ~procs] is the initial configuration: objects at their
+    initial values, no process halted. *)
+val make : optypes:Optype.t list -> procs:'a Proc.t list -> 'a t
+
+val n_objects : 'a t -> int
+val n_procs : 'a t -> int
+val copy : 'a t -> 'a t
+
+(** {1 Process status} *)
+
+val decision : 'a t -> int -> 'a option
+val is_decided : 'a t -> int -> bool
+val is_halted : 'a t -> int -> bool
+
+(** Enabled: neither decided nor crashed. *)
+val is_enabled : 'a t -> int -> bool
+
+val enabled_pids : 'a t -> int list
+
+(** Every process decided or halted. *)
+val all_decided : 'a t -> bool
+
+val decisions : 'a t -> 'a list
+
+(** {1 Mutation (persistent)} *)
+
+(** Crash a process: it takes no further steps. *)
+val halt : 'a t -> int -> 'a t
+
+(** Append a process in the given state; returns the new configuration and
+    the new pid.  Used by the lower-bound adversaries to introduce
+    clones. *)
+val add_proc : 'a t -> 'a Proc.t -> 'a t * int
+
+(** {1 Poisedness} *)
+
+(** The shared-memory operation the process is poised at, if any (trivial
+    or not; see [Lowerbound.Triviality] for the paper's notion). *)
+val pending : 'a t -> int -> (int * Op.t) option
+
+(** Enabled processes whose next step applies to the given object. *)
+val poised_at : 'a t -> int -> int list
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

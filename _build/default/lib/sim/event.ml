@@ -1,0 +1,31 @@
+(* One step of an execution, as recorded in traces.  [Decided] is emitted in
+   addition to the step that caused the decision, so traces carry decisions
+   explicitly. *)
+
+type 'a t =
+  | Applied of { pid : int; obj : int; op : Op.t; resp : Value.t }
+  | Coin of { pid : int; n : int; outcome : int }
+  | Decided of { pid : int; value : 'a }
+  | Halted of { pid : int }
+
+let pid = function
+  | Applied { pid; _ } | Coin { pid; _ } | Decided { pid; _ }
+  | Halted { pid } ->
+      pid
+
+let to_string value_to_string = function
+  | Applied { pid; obj; op; resp } ->
+      Printf.sprintf "P%d: obj%d.%s -> %s" pid obj (Op.to_string op)
+        (Value.to_string resp)
+  | Coin { pid; n; outcome } -> Printf.sprintf "P%d: coin %d/%d" pid outcome n
+  | Decided { pid; value } ->
+      Printf.sprintf "P%d: decide %s" pid (value_to_string value)
+  | Halted { pid } -> Printf.sprintf "P%d: halt" pid
+
+let pp pp_decision ppf = function
+  | Applied { pid; obj; op; resp } ->
+      Fmt.pf ppf "P%d: obj%d.%s -> %a" pid obj (Op.to_string op)
+        Value.pp_compact resp
+  | Coin { pid; n; outcome } -> Fmt.pf ppf "P%d: coin %d/%d" pid outcome n
+  | Decided { pid; value } -> Fmt.pf ppf "P%d: decide %a" pid pp_decision value
+  | Halted { pid } -> Fmt.pf ppf "P%d: halt" pid

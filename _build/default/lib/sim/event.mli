@@ -1,0 +1,11 @@
+(** One step of an execution, as recorded in traces. *)
+
+type 'a t =
+  | Applied of { pid : int; obj : int; op : Op.t; resp : Value.t }
+  | Coin of { pid : int; n : int; outcome : int }
+  | Decided of { pid : int; value : 'a }
+  | Halted of { pid : int }
+
+val pid : 'a t -> int
+val to_string : ('a -> string) -> 'a t -> string
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

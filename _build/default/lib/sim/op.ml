@@ -1,0 +1,14 @@
+(* An operation applied to a shared object: a name plus an argument value.
+   Examples: {name="read"; arg=Unit}, {name="write"; arg=Int 3},
+   {name="cas"; arg=Pair (old, new_)}. *)
+
+type t = { name : string; arg : Value.t }
+[@@deriving show { with_path = false }, eq, ord]
+
+let make ?(arg = Value.Unit) name = { name; arg }
+
+let to_string { name; arg } =
+  if Value.is_unit arg then name
+  else Printf.sprintf "%s(%s)" name (Value.to_string arg)
+
+let pp_compact ppf op = Fmt.string ppf (to_string op)

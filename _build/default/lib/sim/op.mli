@@ -1,0 +1,20 @@
+(** An operation applied to a shared object: a name plus an argument.
+
+    Examples: [make "read"], [make "write" ~arg:(Value.int 3)],
+    [make "cas" ~arg:(Value.pair old_ new_)]. *)
+
+type t = { name : string; arg : Value.t }
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [make ?arg name] is the operation [name] with argument [arg]
+    (default {!Value.Unit}). *)
+val make : ?arg:Value.t -> string -> t
+
+(** Compact rendering, e.g. ["write(3)"]. *)
+val to_string : t -> string
+
+val pp_compact : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(* An object type in the sense of Section 2 of the paper: a set of possible
+   values, an initial value, and a transition function giving, for the
+   current value and an applied operation, the new value and the response.
+
+   Transition functions here are deterministic (every object the paper names
+   is); nondeterministic objects are not needed for any construction.
+
+   [enum_values] / [enum_ops] optionally enumerate a finite value domain and
+   a finite generating set of operations.  They exist so that the
+   classification predicates of the paper ([Objclass.Classify]: trivial,
+   commute, overwrite, historyless, interfering) can be *decided* by
+   exhaustive checking rather than asserted. *)
+
+type t = {
+  name : string;
+  init : Value.t;
+  step : Value.t -> Op.t -> Value.t * Value.t;
+      (** [step value op] is [(new_value, response)]. *)
+  enum_values : Value.t list option;
+  enum_ops : Op.t list option;
+}
+
+exception Bad_op of { optype : string; op : Op.t }
+
+let bad_op optype op = raise (Bad_op { optype; op })
+
+let make ?enum_values ?enum_ops ~name ~init step =
+  { name; init; step; enum_values; enum_ops }
+
+let apply t value op = t.step value op
+
+(** A variant of the type with a different initial value. *)
+let with_init t init = { t with init }
+
+(** A variant restricted to (or just relabelled with) a new name. *)
+let rename t name = { t with name }

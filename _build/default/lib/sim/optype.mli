@@ -1,0 +1,39 @@
+(** Object types, in the sense of Section 2 of the paper: a value set, an
+    initial value, and a deterministic transition function giving response
+    and successor value for each operation.
+
+    [enum_values]/[enum_ops] optionally enumerate a finite value domain and
+    a finite generating operation set so that the classification predicates
+    of the paper (trivial, commute, overwrite, historyless, interfering —
+    see [Objclass.Classify]) can be {e decided} by exhaustive checking. *)
+
+type t = {
+  name : string;
+  init : Value.t;
+  step : Value.t -> Op.t -> Value.t * Value.t;
+      (** [step value op] is [(new_value, response)]. *)
+  enum_values : Value.t list option;
+  enum_ops : Op.t list option;
+}
+
+(** Raised by transition functions on operations outside the type. *)
+exception Bad_op of { optype : string; op : Op.t }
+
+val bad_op : string -> Op.t -> 'a
+
+val make :
+  ?enum_values:Value.t list ->
+  ?enum_ops:Op.t list ->
+  name:string ->
+  init:Value.t ->
+  (Value.t -> Op.t -> Value.t * Value.t) ->
+  t
+
+(** [apply t value op] is [t.step value op]. *)
+val apply : t -> Value.t -> Op.t -> Value.t * Value.t
+
+(** The same type with a different initial value. *)
+val with_init : t -> Value.t -> t
+
+(** The same type relabelled. *)
+val rename : t -> string -> t

@@ -1,0 +1,84 @@
+(* A process is a sequential thread of control, represented as a *pure step
+   machine*: a free monad over the three step shapes of the paper's model —
+   apply an operation to a shared object, flip a coin (an internal step), or
+   decide (return from the procedure).
+
+   Because a ['a t] is an immutable value, a process state can be snapshotted,
+   compared for progress, and — crucially for the Section 3.1 lower bound —
+   *cloned*: a clone of process P poised to write is literally a copy of P's
+   state value. *)
+
+type 'a t =
+  | Apply of { obj : int; op : Op.t; k : Value.t -> 'a t }
+      (** Poised to apply [op] to object [obj]; [k] consumes the response. *)
+  | Choose of { n : int; k : int -> 'a t }
+      (** Internal coin flip with [n] equally likely outcomes in [0..n-1]. *)
+  | Decide of 'a  (** The procedure has returned [('a)]. *)
+
+let decide v = Decide v
+let return = decide
+
+let rec bind m f =
+  match m with
+  | Decide v -> f v
+  | Apply { obj; op; k } -> Apply { obj; op; k = (fun r -> bind (k r) f) }
+  | Choose { n; k } -> Choose { n; k = (fun i -> bind (k i) f) }
+
+let ( let* ) = bind
+let map m f = bind m (fun x -> return (f x))
+let ( let+ ) = map
+
+(** [apply obj op] performs one shared-memory operation and yields its
+    response. *)
+let apply obj op = Apply { obj; op; k = decide }
+
+(** [choose n] yields a uniformly random integer in [0..n-1]. *)
+let choose n =
+  if n < 1 then invalid_arg "Proc.choose: n must be positive";
+  Choose { n; k = decide }
+
+(** [flip] yields a fair coin flip. *)
+let flip = Choose { n = 2; k = (fun i -> decide (i = 1)) }
+
+let is_decided = function Decide _ -> true | _ -> false
+let decision = function Decide v -> Some v | _ -> None
+
+(** The pending shared-memory operation, if the process is poised at one. *)
+let pending = function
+  | Apply { obj; op; _ } -> Some (obj, op)
+  | Choose _ | Decide _ -> None
+
+let pp pp_decision ppf = function
+  | Apply { obj; op; _ } ->
+      Fmt.pf ppf "poised<obj%d.%s>" obj (Op.to_string op)
+  | Choose { n; _ } -> Fmt.pf ppf "coin<%d>" n
+  | Decide v -> Fmt.pf ppf "decided<%a>" pp_decision v
+
+(* Control-flow helpers used throughout the protocol library. *)
+
+(** [repeat_until body] runs [body] repeatedly until it yields [Some v]. *)
+let rec repeat_until body =
+  let* outcome = body in
+  match outcome with Some v -> return v | None -> repeat_until body
+
+(** Monadic iteration over a list. *)
+let rec iter_list f = function
+  | [] -> return ()
+  | x :: rest ->
+      let* () = f x in
+      iter_list f rest
+
+(** Monadic map over a list, left to right. *)
+let rec map_list f = function
+  | [] -> return []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_list f rest in
+      return (y :: ys)
+
+(** [for_ lo hi f] runs [f lo], ..., [f hi] in order. *)
+let rec for_ lo hi f =
+  if lo > hi then return ()
+  else
+    let* () = f lo in
+    for_ (lo + 1) hi f

@@ -1,0 +1,59 @@
+(** Processes as pure step machines.
+
+    A protocol is a value of type ['a t]: a free monad over the three step
+    shapes of the paper's model — apply an operation to a shared object,
+    flip a coin (an internal step), decide (return from the procedure).
+    Values of this type are immutable, so process states can be
+    snapshotted, compared, and — crucially for the Section 3.1 lower
+    bound — {e cloned} by plain copying. *)
+
+type 'a t =
+  | Apply of { obj : int; op : Op.t; k : Value.t -> 'a t }
+      (** Poised to apply [op] to object [obj]; [k] consumes the
+          response. *)
+  | Choose of { n : int; k : int -> 'a t }
+      (** Internal coin flip with [n] equally likely outcomes in
+          [0 .. n-1]. *)
+  | Decide of 'a  (** The procedure has returned. *)
+
+(** {1 Monadic interface} *)
+
+val decide : 'a -> 'a t
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val map : 'a t -> ('a -> 'b) -> 'b t
+val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+
+(** [apply obj op] performs one shared-memory operation and yields its
+    response. *)
+val apply : int -> Op.t -> Value.t t
+
+(** [choose n] yields a uniformly random integer in [0 .. n-1].  Raises
+    [Invalid_argument] if [n < 1]. *)
+val choose : int -> int t
+
+(** A fair coin flip. *)
+val flip : bool t
+
+(** {1 Inspection} *)
+
+val is_decided : 'a t -> bool
+val decision : 'a t -> 'a option
+
+(** The pending shared-memory operation, if the process's next step is an
+    [Apply]. *)
+val pending : 'a t -> (int * Op.t) option
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+
+(** {1 Control-flow helpers} *)
+
+(** [repeat_until body] runs [body] repeatedly until it yields [Some v]. *)
+val repeat_until : 'a option t -> 'a t
+
+val iter_list : ('a -> unit t) -> 'a list -> unit t
+val map_list : ('a -> 'b t) -> 'a list -> 'b list t
+
+(** [for_ lo hi f] runs [f lo], ..., [f hi] in order. *)
+val for_ : int -> int -> (int -> unit t) -> unit t

@@ -1,0 +1,23 @@
+(** SplitMix64: a small, fast pseudorandom generator implemented in-repo so
+    every measurement is reproducible from a seed independent of the OCaml
+    stdlib. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, bound).  Raises [Invalid_argument] if [bound <= 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Derive an independent generator. *)
+val split : t -> t
+
+(** Fisher–Yates shuffle, in place. *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,108 @@
+(* Schedulers are the adversaries of the model: at each step they pick which
+   enabled process moves next, and they resolve coin flips.  In the paper's
+   strong-adversary model the scheduler observes the full configuration; our
+   [choose] accordingly receives it.
+
+   Coin flips in *measurement* runs are random (honest coins, adversarial
+   scheduling); the model checker and the lower-bound machinery bypass
+   schedulers entirely and drive [Run.step] directly, enumerating outcomes. *)
+
+type 'a t = {
+  name : string;
+  choose : 'a Config.t -> step:int -> int option;
+      (** Pick an enabled process id, or [None] to stop the run. *)
+  coin : pid:int -> n:int -> int;
+      (** Resolve a coin flip with [n] outcomes for process [pid]. *)
+}
+
+let fair_coin rng ~pid:_ ~n = Rng.int rng n
+
+(** Cycle through processes in id order, skipping decided/halted ones. *)
+let round_robin ?(seed = 1) () =
+  let rng = Rng.create seed in
+  let cursor = ref 0 in
+  let choose config ~step:_ =
+    let n = Config.n_procs config in
+    let rec find tried i =
+      if tried >= n then None
+      else if Config.is_enabled config i then (
+        cursor := (i + 1) mod n;
+        Some i)
+      else find (tried + 1) ((i + 1) mod n)
+    in
+    find 0 (!cursor mod n)
+  in
+  { name = "round-robin"; choose; coin = fair_coin rng }
+
+(** Uniformly random enabled process each step; coins are fair. *)
+let random ~seed =
+  let rng = Rng.create seed in
+  let choose config ~step:_ =
+    match Config.enabled_pids config with
+    | [] -> None
+    | pids -> Some (List.nth pids (Rng.int rng (List.length pids)))
+  in
+  { name = Printf.sprintf "random(seed=%d)" seed; choose; coin = fair_coin rng }
+
+(** Run a single process solo; everyone else is stalled.  Used to measure
+    solo executions and to test (nondeterministic) solo termination. *)
+let solo ~pid ~seed =
+  let rng = Rng.create seed in
+  let choose config ~step:_ =
+    if Config.is_enabled config pid then Some pid else None
+  in
+  { name = Printf.sprintf "solo(P%d)" pid; choose; coin = fair_coin rng }
+
+(** Replay a recorded schedule: a fixed list of pids, then stop.  Skips a
+    scheduled pid silently if it is no longer enabled (decided earlier than
+    the recording expected), which keeps replays robust. *)
+let replay ~pids ~seed =
+  let rng = Rng.create seed in
+  let remaining = ref pids in
+  let rec choose config ~step =
+    match !remaining with
+    | [] -> None
+    | pid :: rest ->
+        remaining := rest;
+        if Config.is_enabled config pid then Some pid
+        else choose config ~step
+  in
+  { name = "replay"; choose; coin = fair_coin rng }
+
+(** An adaptive adversary built from a user decision function. *)
+let adaptive ~name ~seed f =
+  let rng = Rng.create seed in
+  let choose config ~step = f rng config ~step in
+  { name; choose; coin = fair_coin rng }
+
+(** Adversary that tries to maximize contention: always schedules, among
+    enabled processes, one poised at the object most processes are poised
+    at.  A useful stress scheduler for randomized protocols. *)
+let contention ~seed =
+  let rng = Rng.create seed in
+  let choose config ~step:_ =
+    let pids = Config.enabled_pids config in
+    match pids with
+    | [] -> None
+    | _ ->
+        let n_obj = Config.n_objects config in
+        let counts = Array.make (max 1 n_obj) 0 in
+        List.iter
+          (fun pid ->
+            match Config.pending config pid with
+            | Some (obj, _) -> counts.(obj) <- counts.(obj) + 1
+            | None -> ())
+          pids;
+        let crowded =
+          List.filter
+            (fun pid ->
+              match Config.pending config pid with
+              | Some (obj, _) ->
+                  counts.(obj) = Array.fold_left max 0 counts
+              | None -> false)
+            pids
+        in
+        let pool = if crowded = [] then pids else crowded in
+        Some (List.nth pool (Rng.int rng (List.length pool)))
+  in
+  { name = "contention"; choose; coin = fair_coin rng }

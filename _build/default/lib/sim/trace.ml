@@ -1,0 +1,48 @@
+(* An execution trace: the sequence of events, in execution order.  Traces
+   are built in reverse by the runners and reversed once at the end. *)
+
+type 'a t = 'a Event.t list
+
+let empty : 'a t = []
+let of_events evs : 'a t = evs
+let events (t : 'a t) = t
+let length (t : 'a t) = List.length t
+let append (a : 'a t) (b : 'a t) : 'a t = a @ b
+let concat (ts : 'a t list) : 'a t = List.concat ts
+
+let steps (t : 'a t) =
+  List.filter
+    (function Event.Applied _ | Event.Coin _ -> true | _ -> false)
+    t
+  |> List.length
+
+let applied_ops (t : 'a t) =
+  List.filter_map
+    (function
+      | Event.Applied { pid; obj; op; resp } -> Some (pid, obj, op, resp)
+      | _ -> None)
+    t
+
+let decisions (t : 'a t) =
+  List.filter_map
+    (function
+      | Event.Decided { pid; value } -> Some (pid, value) | _ -> None)
+    t
+
+let coins (t : 'a t) =
+  List.filter_map
+    (function
+      | Event.Coin { pid; n; outcome } -> Some (pid, n, outcome) | _ -> None)
+    t
+
+let pids (t : 'a t) =
+  List.sort_uniq compare (List.map Event.pid t)
+
+(** Events performed by one process, in order. *)
+let by_pid (t : 'a t) pid = List.filter (fun e -> Event.pid e = pid) t
+
+let pp pp_decision ppf (t : 'a t) =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut (Event.pp pp_decision)) t
+
+let to_string value_to_string (t : 'a t) =
+  String.concat "\n" (List.map (Event.to_string value_to_string) t)

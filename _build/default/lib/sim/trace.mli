@@ -1,0 +1,27 @@
+(** Execution traces: event sequences in execution order. *)
+
+type 'a t = 'a Event.t list
+
+val empty : 'a t
+val of_events : 'a Event.t list -> 'a t
+val events : 'a t -> 'a Event.t list
+val length : 'a t -> int
+val append : 'a t -> 'a t -> 'a t
+val concat : 'a t list -> 'a t
+
+(** Number of steps ([Applied] + [Coin]; decisions and halts are not
+    steps). *)
+val steps : 'a t -> int
+
+val applied_ops : 'a t -> (int * int * Op.t * Value.t) list
+val decisions : 'a t -> (int * 'a) list
+val coins : 'a t -> (int * int * int) list
+
+(** Pids appearing in the trace, sorted. *)
+val pids : 'a t -> int list
+
+(** Events of one process, in order. *)
+val by_pid : 'a t -> int -> 'a Event.t list
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+val to_string : ('a -> string) -> 'a t -> string

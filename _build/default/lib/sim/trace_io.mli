@@ -1,0 +1,21 @@
+(** Durable witness artifacts: serialize and parse traces in a stable,
+    line-oriented text format, so counterexample executions can be saved,
+    diffed and reloaded.  Symbols must not contain whitespace or the
+    delimiters [,;)\]] (every symbol this repository uses qualifies). *)
+
+exception Parse_error of string
+
+val encode_value : Value.t -> string
+
+(** Raises {!Parse_error} on malformed input. *)
+val decode_value : string -> Value.t
+
+val to_text : encode_decision:('a -> string) -> 'a Trace.t -> string
+val of_text : decode_decision:(string -> 'a) -> string -> 'a Trace.t
+
+(** Convenience for int-decision (binary consensus) traces. *)
+val to_text_int : int Trace.t -> string
+
+val of_text_int : string -> int Trace.t
+val save_int : path:string -> int Trace.t -> unit
+val load_int : path:string -> int Trace.t

@@ -1,0 +1,51 @@
+(* Values stored in shared objects and carried by operations.
+
+   The paper's lower bound holds for objects of unbounded size, so the value
+   domain is deliberately open-ended: integers of arbitrary magnitude,
+   symbols, pairs and options let protocols store anything they like without
+   the framework imposing a bit-width. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Sym of string
+  | Pair of t * t
+  | Opt of t option
+  | List of t list
+[@@deriving show { with_path = false }, eq, ord]
+
+let unit = Unit
+let bool b = Bool b
+let int i = Int i
+let sym s = Sym s
+let pair a b = Pair (a, b)
+let none = Opt None
+let some v = Opt (Some v)
+let list vs = List vs
+
+exception Type_error of { expected : string; got : t }
+
+let type_error expected got = raise (Type_error { expected; got })
+
+let to_int = function Int i -> i | v -> type_error "Int" v
+let to_bool = function Bool b -> b | v -> type_error "Bool" v
+let to_sym = function Sym s -> s | v -> type_error "Sym" v
+let to_pair = function Pair (a, b) -> (a, b) | v -> type_error "Pair" v
+let to_opt = function Opt o -> o | v -> type_error "Opt" v
+let to_list = function List vs -> vs | v -> type_error "List" v
+
+let is_unit = function Unit -> true | _ -> false
+
+(* Compact rendering for traces: [show] is verbose, this is for humans. *)
+let rec to_string = function
+  | Unit -> "()"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Sym s -> s
+  | Pair (a, b) -> Printf.sprintf "(%s,%s)" (to_string a) (to_string b)
+  | Opt None -> "_"
+  | Opt (Some v) -> Printf.sprintf "[%s]" (to_string v)
+  | List vs -> Printf.sprintf "{%s}" (String.concat ";" (List.map to_string vs))
+
+let pp_compact ppf v = Fmt.string ppf (to_string v)

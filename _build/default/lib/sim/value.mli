@@ -1,0 +1,51 @@
+(** Values stored in shared objects and carried by operations.
+
+    The paper's lower bound holds for objects of unbounded size; the value
+    domain is correspondingly open-ended (arbitrary integers, symbols,
+    pairs, options), so no protocol is ever constrained by a bit-width. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Sym of string
+  | Pair of t * t
+  | Opt of t option
+  | List of t list
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Constructors} *)
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val sym : string -> t
+val pair : t -> t -> t
+val none : t
+val some : t -> t
+val list : t list -> t
+
+(** {1 Accessors}
+
+    Each raises {!Type_error} when the value has a different shape. *)
+
+exception Type_error of { expected : string; got : t }
+
+val to_int : t -> int
+val to_bool : t -> bool
+val to_sym : t -> string
+val to_pair : t -> t * t
+val to_opt : t -> t option
+val to_list : t -> t list
+val is_unit : t -> bool
+
+(** {1 Rendering} *)
+
+(** Compact one-line rendering used in traces. *)
+val to_string : t -> string
+
+val pp_compact : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(* Descriptive statistics for the experiment harness: enough to report the
+   shape of a distribution (mean, spread, quantiles, a normal-approximation
+   confidence interval) without external dependencies. *)
+
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+}
+
+let of_list = function
+  | [] -> invalid_arg "Summary.of_list: empty sample"
+  | xs ->
+      let n = List.length xs in
+      let fn = float_of_int n in
+      let mean = List.fold_left ( +. ) 0.0 xs /. fn in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. fn
+      in
+      let sorted = List.sort compare xs in
+      let quantile q =
+        let idx = int_of_float (q *. float_of_int (n - 1)) in
+        List.nth sorted idx
+      in
+      {
+        n;
+        mean;
+        stddev = sqrt var;
+        min = List.hd sorted;
+        max = List.nth sorted (n - 1);
+        median = quantile 0.5;
+        p90 = quantile 0.9;
+      }
+
+let of_ints xs = of_list (List.map float_of_int xs)
+
+(** Normal-approximation 95% confidence interval on the mean. *)
+let ci95 t =
+  let half = 1.96 *. t.stddev /. sqrt (float_of_int t.n) in
+  (t.mean -. half, t.mean +. half)
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d mean=%.1f sd=%.1f med=%.1f p90=%.1f [%.1f,%.1f]" t.n t.mean
+    t.stddev t.median t.p90 t.min t.max

@@ -1,0 +1,21 @@
+(** Descriptive statistics for the experiment harness. *)
+
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+}
+
+(** Raises [Invalid_argument] on an empty sample. *)
+val of_list : float list -> t
+
+val of_ints : int list -> t
+
+(** Normal-approximation 95% confidence interval on the mean. *)
+val ci95 : t -> float * float
+
+val pp : Format.formatter -> t -> unit

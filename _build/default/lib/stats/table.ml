@@ -1,0 +1,33 @@
+(* Aligned plain-text tables: every experiment prints its rows through
+   this, so bench output reads like the tables in EXPERIMENTS.md. *)
+
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- row :: t.rows
+
+let widths t =
+  let all = t.header :: List.rev t.rows in
+  List.mapi
+    (fun i _ ->
+      List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+    t.header
+
+let render t =
+  let ws = widths t in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> cell ^ String.make (List.nth ws i - String.length cell) ' ')
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') ws)
+  in
+  String.concat "\n" (line t.header :: sep :: List.rev_map line t.rows)
+
+let print t = print_endline (render t)

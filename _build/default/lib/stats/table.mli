@@ -1,0 +1,12 @@
+(** Aligned plain-text tables; experiment output is printed through
+    this so it reads like the tables in EXPERIMENTS.md. *)
+
+type t
+
+val create : header:string list -> t
+
+(** Raises [Invalid_argument] on wrong arity. *)
+val add_row : t -> string list -> unit
+
+val render : t -> string
+val print : t -> unit

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Checker Consensus Counter_consensus Protocol Sched Sim

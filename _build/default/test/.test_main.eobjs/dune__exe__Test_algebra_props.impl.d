@@ -1,0 +1,1 @@
+test/test_algebra_props.ml: List Objclass Op Optype Printf QCheck QCheck_alcotest Sim String Value

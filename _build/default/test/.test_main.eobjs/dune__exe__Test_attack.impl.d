@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Attack Bounds Builder Checker Config Consensus Event Flawed List Lowerbound Op Protocol Sim Solo Tas2 Trace Triviality Value

@@ -1,0 +1,1 @@
+test/test_certify.ml: Alcotest Attack Builder Checker Consensus Flawed List Lowerbound Protocol Sim Trace

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Checker Event Sim Trace

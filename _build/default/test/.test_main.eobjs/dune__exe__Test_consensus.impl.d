@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Cas_consensus Checker Config Consensus Counter_consensus Fa_consensus Fmt Gen List Protocol QCheck QCheck_alcotest Registry Rng Run Rw_consensus Sched Sim Swap2 Tas2

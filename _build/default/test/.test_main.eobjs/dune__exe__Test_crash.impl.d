@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Checker Config Consensus Counter_consensus Event Experiments Fa_consensus Gen List Protocol QCheck QCheck_alcotest Rng Run Rw_consensus Sched Sim Trace

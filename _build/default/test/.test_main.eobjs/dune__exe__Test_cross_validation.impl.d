@@ -1,0 +1,1 @@
+test/test_cross_validation.ml: Alcotest Array Attack Checker Consensus List Lowerbound Mc Objects Protocol Rng Sim

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Config Enumerate Explore List Mc Objects Proc Sim

@@ -1,0 +1,1 @@
+test/test_general_attack.ml: Alcotest Build_interruptible Builder Checker Config Consensus Flawed Fun General_attack Interruptible List Lowerbound Protocol Sim Trace

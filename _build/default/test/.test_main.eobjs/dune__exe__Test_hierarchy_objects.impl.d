@@ -1,0 +1,1 @@
+test/test_hierarchy_objects.ml: Alcotest Checker Consensus List Mc Objclass Objects Optype Protocol Queue2 Queue_obj Rng Run Sched Sim Specs Sticky Sticky_consensus Value

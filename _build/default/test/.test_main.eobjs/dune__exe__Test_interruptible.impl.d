@@ -1,0 +1,1 @@
+test/test_interruptible.ml: Alcotest Build_interruptible Builder Config Consensus Flawed Fun General_attack Interruptible List Lowerbound Protocol Sim

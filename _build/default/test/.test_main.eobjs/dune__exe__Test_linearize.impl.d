@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest History Linearize List Objects Objimpl Optype Printf Sim Value

@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Cas_consensus Consensus Counter_consensus Fa_consensus Flawed List Mc Protocol Run Rw_consensus Sim String Swap2 Tas2 Trace

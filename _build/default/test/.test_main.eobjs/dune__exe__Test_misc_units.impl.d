@@ -1,0 +1,1 @@
+test/test_misc_units.ml: Alcotest Cas_consensus Consensus Fa_consensus List Lowerbound Objects Optype Protocol QCheck QCheck_alcotest Registry Sched Side Sim Tas2 Value Walk_core

@@ -1,0 +1,1 @@
+test/test_mutex.ml: Alcotest Event List Mutex Op Sim Trace

@@ -1,0 +1,1 @@
+test/test_objclass.ml: Alcotest Fetch_add List Objclass Objects Op Optype Printf Register Sim Specs Test_and_set Value

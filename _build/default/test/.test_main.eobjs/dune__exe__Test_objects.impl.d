@@ -1,0 +1,1 @@
+test/test_objects.ml: Alcotest Bounded_counter Compare_swap Counter Fetch_add Fetch_dec Fetch_inc Objects Op Optype Register Rng Sim Swap_register Test_and_set Value

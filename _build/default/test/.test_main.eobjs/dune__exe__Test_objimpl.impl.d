@@ -1,0 +1,1 @@
+test/test_objimpl.ml: Alcotest Counter Counters Fetch_add From_fa From_universal Harness History Implementation Linearize List Objects Objimpl Rng Sim Snapshot Test_and_set Value

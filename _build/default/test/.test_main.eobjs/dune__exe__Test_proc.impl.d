@@ -1,0 +1,1 @@
+test/test_proc.ml: Alcotest Array Config List Objects Op Proc Register Run Sim Value

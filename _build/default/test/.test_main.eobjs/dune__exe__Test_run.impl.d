@@ -1,0 +1,1 @@
+test/test_run.ml: Alcotest Bool Config Gen List Objects Proc QCheck QCheck_alcotest Register Run Sched Sim Trace Value

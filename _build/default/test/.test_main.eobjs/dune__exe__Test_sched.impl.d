@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Config List Objects Proc Register Run Sched Sim Trace

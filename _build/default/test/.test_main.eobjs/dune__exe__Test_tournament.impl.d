@@ -1,0 +1,1 @@
+test/test_tournament.ml: Alcotest Checker Config Consensus List Lowerbound Op Protocol Rng Run Sched Sim Solo Tas_tournament Trace Value

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Astring_contains Event List Op Sim Trace Value

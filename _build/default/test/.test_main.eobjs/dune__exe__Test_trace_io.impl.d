@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Consensus Event Filename List Lowerbound Op QCheck QCheck_alcotest Sim Sys Trace Trace_io Value

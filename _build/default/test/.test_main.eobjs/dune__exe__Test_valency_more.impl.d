@@ -1,0 +1,1 @@
+test/test_valency_more.ml: Alcotest Cas_consensus Consensus Mc Protocol Rw_consensus Tas2

@@ -1,0 +1,63 @@
+(* The staleness-slack ablation: the default counter consensus is safe in
+   every run; the no-slack variant wraps its bounded cursor and violates
+   consistency readily. *)
+
+open Sim
+open Consensus
+
+let test_no_slack_breaks () =
+  let p = Counter_consensus.protocol_with_slack ~slack:0 in
+  let found = ref false in
+  (try
+     for seed = 1 to 100 do
+       let inputs = [ 0; 1; 0; 1 ] in
+       let report =
+         Protocol.run_once ~max_steps:200_000 p ~inputs
+           ~sched:(Sched.contention ~seed)
+       in
+       if not (Checker.ok report.Protocol.verdict) then begin
+         found := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "wrap-around violation found" true !found
+
+let test_default_slack_safe () =
+  let p = Counter_consensus.protocol_with_slack ~slack:1 in
+  for seed = 1 to 60 do
+    let inputs = [ 0; 1; 0; 1 ] in
+    let report =
+      Protocol.run_once ~max_steps:200_000 p ~inputs
+        ~sched:(Sched.contention ~seed)
+    in
+    if not (Checker.ok report.Protocol.verdict) then
+      Alcotest.failf "default slack violated at seed %d" seed
+  done
+
+let test_extra_slack_also_safe () =
+  let p = Counter_consensus.protocol_with_slack ~slack:2 in
+  for seed = 1 to 20 do
+    let report =
+      Protocol.run_once ~max_steps:200_000 p ~inputs:[ 0; 1; 1 ]
+        ~sched:(Sched.contention ~seed)
+    in
+    Alcotest.(check bool) "safe" true (Checker.ok report.Protocol.verdict)
+  done
+
+let test_ranges () =
+  let objects slack n =
+    match (Counter_consensus.protocol_with_slack ~slack).Protocol.optypes ~n with
+    | [ _; _; cursor ] -> cursor.Sim.Optype.name
+    | _ -> Alcotest.fail "expected three counters"
+  in
+  Alcotest.(check string) "no slack range" "bounded-counter[-12,12]" (objects 0 4);
+  Alcotest.(check string) "default range" "bounded-counter[-16,16]" (objects 1 4)
+
+let suite =
+  [
+    Alcotest.test_case "no slack breaks" `Quick test_no_slack_breaks;
+    Alcotest.test_case "default slack safe" `Quick test_default_slack_safe;
+    Alcotest.test_case "extra slack safe" `Quick test_extra_slack_also_safe;
+    Alcotest.test_case "cursor ranges" `Quick test_ranges;
+  ]

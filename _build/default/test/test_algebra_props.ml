@@ -1,0 +1,148 @@
+(* Property tests of the Section 2 object algebra over *random* object
+   types: generate arbitrary transition tables over a small value domain
+   and check that the classification predicates satisfy the algebra's
+   meta-theorems.  These pin the implementation to the definitions rather
+   than to the handful of concrete primitives. *)
+
+open Sim
+
+(* a random object type over values 0..k-1: each op is a random function
+   table; the response is always the old value *)
+let random_optype ~k ~n_ops tables =
+  let values = List.init k Value.int in
+  let ops =
+    List.init n_ops (fun i -> Op.make (Printf.sprintf "op%d" i))
+  in
+  let step value (op : Op.t) =
+    let idx =
+      int_of_string (String.sub op.Op.name 2 (String.length op.Op.name - 2))
+    in
+    let table = List.nth tables idx in
+    (Value.int (List.nth table (Value.to_int value)), value)
+  in
+  Optype.make ~name:"random" ~init:(Value.int 0) ~enum_values:values
+    ~enum_ops:ops step
+
+let gen_tables ~k ~n_ops =
+  QCheck.Gen.(list_size (return n_ops) (list_size (return k) (int_bound (k - 1))))
+
+let arb_tables ~k ~n_ops = QCheck.make (gen_tables ~k ~n_ops)
+
+let k = 4
+let n_ops = 3
+
+let with_random_ot f tables =
+  let ot = random_optype ~k ~n_ops tables in
+  let _, ops = Objclass.Classify.domain ot in
+  f ot ops
+
+(* trivial operations commute with every operation *)
+let prop_trivial_commutes =
+  QCheck.Test.make ~name:"trivial ops commute with everything" ~count:100
+    (arb_tables ~k ~n_ops)
+    (with_random_ot (fun ot ops ->
+         List.for_all
+           (fun f ->
+             (not (Objclass.Classify.is_trivial ot f))
+             || List.for_all (fun g -> Objclass.Classify.commute ot f g) ops)
+           ops))
+  |> QCheck_alcotest.to_alcotest
+
+(* trivial operations are overwritten by every operation *)
+let prop_trivial_overwritten =
+  QCheck.Test.make ~name:"everything overwrites a trivial op" ~count:100
+    (arb_tables ~k ~n_ops)
+    (with_random_ot (fun ot ops ->
+         List.for_all
+           (fun f ->
+             (not (Objclass.Classify.is_trivial ot f))
+             || List.for_all
+                  (fun g -> Objclass.Classify.overwrites ot ~f:g ~f':f)
+                  ops)
+           ops))
+  |> QCheck_alcotest.to_alcotest
+
+(* f idempotent iff f overwrites itself (the Section 2 remark) *)
+let prop_idempotent_self_overwrite =
+  QCheck.Test.make ~name:"idempotent = self-overwriting" ~count:100
+    (arb_tables ~k ~n_ops)
+    (with_random_ot (fun ot ops ->
+         List.for_all
+           (fun f ->
+             Objclass.Classify.is_idempotent ot f
+             = Objclass.Classify.overwrites ot ~f ~f':f)
+           ops))
+  |> QCheck_alcotest.to_alcotest
+
+(* commuting is symmetric *)
+let prop_commute_symmetric =
+  QCheck.Test.make ~name:"commute symmetric" ~count:100 (arb_tables ~k ~n_ops)
+    (with_random_ot (fun ot ops ->
+         List.for_all
+           (fun f ->
+             List.for_all
+               (fun g ->
+                 Objclass.Classify.commute ot f g
+                 = Objclass.Classify.commute ot g f)
+               ops)
+           ops))
+  |> QCheck_alcotest.to_alcotest
+
+(* THE defining property: on a historyless type, the value after any
+   nonempty sequence of nontrivial operations equals the value after just
+   the last one *)
+let prop_historyless_last_op_wins =
+  QCheck.Test.make ~name:"historyless: value = last nontrivial op" ~count:200
+    (QCheck.pair (arb_tables ~k ~n_ops)
+       (QCheck.list_of_size QCheck.Gen.(1 -- 6) (QCheck.int_bound (n_ops - 1))))
+    (fun (tables, op_idxs) ->
+      let ot = random_optype ~k ~n_ops tables in
+      let _, ops = Objclass.Classify.domain ot in
+      QCheck.assume (Objclass.Classify.is_historyless ot);
+      let nontrivial =
+        List.filter (fun o -> not (Objclass.Classify.is_trivial ot o)) ops
+      in
+      QCheck.assume (nontrivial <> []);
+      let seq =
+        List.map
+          (fun i -> List.nth nontrivial (i mod List.length nontrivial))
+          op_idxs
+      in
+      let final =
+        List.fold_left
+          (fun v op -> fst (Optype.apply ot v op))
+          ot.Optype.init seq
+      in
+      let last = List.nth seq (List.length seq - 1) in
+      let direct = fst (Optype.apply ot ot.Optype.init last) in
+      Value.equal final direct)
+  |> QCheck_alcotest.to_alcotest
+
+(* interfering sets are closed under the pairwise conditions, mechanically:
+   if a type is interfering, every pair really commutes or mutually
+   overwrites (re-checked directly against the transition function) *)
+let prop_interfering_pairs =
+  QCheck.Test.make ~name:"interfering: every pair commutes or overwrites"
+    ~count:100 (arb_tables ~k ~n_ops)
+    (with_random_ot (fun ot ops ->
+         (not (Objclass.Classify.is_interfering ot))
+         || List.for_all
+              (fun f ->
+                List.for_all
+                  (fun g ->
+                    Objclass.Classify.commute ot f g
+                    || (Objclass.Classify.overwrites ot ~f ~f':g
+                       && Objclass.Classify.overwrites ot ~f:g ~f':f))
+                  ops)
+              ops))
+  |> QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    prop_trivial_commutes;
+    prop_trivial_overwritten;
+    prop_idempotent_self_overwrite;
+    prop_commute_symmetric;
+    prop_historyless_last_op_wins;
+    prop_interfering_pairs;
+  ]

@@ -1,0 +1,69 @@
+(* Soundness of the adversaries: against *correct* protocols they must
+   fail with an error — they can never fabricate a violation, because
+   every step of a constructed execution goes through the ordinary runner
+   and the verdict is recomputed by the checker.  (cas-1 and sticky-1 are
+   exhaustively verified for small n in test_mc, so a "successful" attack
+   on them would be a soundness bug in the framework itself.) *)
+
+open Consensus
+open Lowerbound
+
+let assert_attack_fails (p : Protocol.t) =
+  match Attack.run p with
+  | Error _ -> ()
+  | Ok o ->
+      if Attack.succeeded o then
+        Alcotest.failf "%s: identical-process attack fabricated a violation!"
+          p.Protocol.name
+      (* a consistent outcome would also be wrong: the driver must not
+         report success without an inconsistency *)
+      else
+        Alcotest.failf "%s: attack returned Ok on a correct protocol"
+          p.Protocol.name
+
+let assert_general_fails (p : Protocol.t) =
+  match General_attack.run ~processes:12 p with
+  | Error _ -> ()
+  | Ok o ->
+      if General_attack.succeeded o then
+        Alcotest.failf "%s: general attack fabricated a violation!"
+          p.Protocol.name
+      else
+        Alcotest.failf "%s: general attack returned Ok on a correct protocol"
+          p.Protocol.name
+
+let test_identical_attack_on_correct () =
+  (* identical-process, correct protocols *)
+  List.iter assert_attack_fails
+    [ Cas_consensus.protocol; Sticky_consensus.protocol ]
+
+let test_identical_attack_on_randomized_correct () =
+  (* the randomized single-object protocols are identical too; the attack
+     must not break them either (searches may exhaust, constructions must
+     fail — never a fabricated witness) *)
+  List.iter assert_attack_fails
+    [ Fa_consensus.protocol; Counter_consensus.protocol ]
+
+let test_general_attack_on_correct () =
+  List.iter assert_general_fails
+    [ Cas_consensus.protocol; Sticky_consensus.protocol ]
+
+(* even when given absurdly many processes, no fabrication *)
+let test_attack_large_budget () =
+  match General_attack.run ~processes:60 Cas_consensus.protocol with
+  | Error _ -> ()
+  | Ok o ->
+      Alcotest.(check bool) "no fabricated violation" false
+        (General_attack.succeeded o)
+
+let suite =
+  [
+    Alcotest.test_case "identical attack vs correct deterministic" `Quick
+      test_identical_attack_on_correct;
+    Alcotest.test_case "identical attack vs correct randomized" `Quick
+      test_identical_attack_on_randomized_correct;
+    Alcotest.test_case "general attack vs correct" `Quick
+      test_general_attack_on_correct;
+    Alcotest.test_case "general attack, large budget" `Quick
+      test_attack_large_budget;
+  ]

@@ -1,0 +1,80 @@
+open Lowerbound
+
+let test_closed_forms () =
+  Alcotest.(check int) "r=1" 1 (Bounds.identical_process_bound 1);
+  Alcotest.(check int) "r=2" 3 (Bounds.identical_process_bound 2);
+  Alcotest.(check int) "r=3" 7 (Bounds.identical_process_bound 3);
+  Alcotest.(check int) "threshold r=3" 8 (Bounds.identical_attack_threshold 3);
+  Alcotest.(check int) "general r=1" 4 (Bounds.general_process_bound 1);
+  Alcotest.(check int) "general r=3" 30 (Bounds.general_process_bound 3)
+
+let test_inversions () =
+  (* registers_needed_identical is the inverse of the bound *)
+  List.iter
+    (fun n ->
+      let r = Bounds.registers_needed_identical n in
+      Alcotest.(check bool)
+        (Printf.sprintf "ident inverse n=%d" n)
+        true
+        (Bounds.identical_process_bound r >= n
+        && (r = 1 || Bounds.identical_process_bound (r - 1) < n)))
+    [ 1; 2; 5; 10; 50; 1000 ];
+  List.iter
+    (fun n ->
+      let r = Bounds.objects_needed_general n in
+      Alcotest.(check bool)
+        (Printf.sprintf "general inverse n=%d" n)
+        true
+        (Bounds.general_process_bound r >= n
+        && (r = 1 || Bounds.general_process_bound (r - 1) < n)))
+    [ 1; 4; 14; 30; 100; 10_000 ]
+
+let test_sqrt_shape () =
+  (* the lower-bound curve grows like sqrt n: doubling n scales r by ~sqrt 2 *)
+  let r1 = Bounds.objects_needed_general 10_000 in
+  let r2 = Bounds.objects_needed_general 40_000 in
+  let ratio = float_of_int r2 /. float_of_int r1 in
+  Alcotest.(check bool) "4x processes ~ 2x objects" true
+    (ratio > 1.8 && ratio < 2.2)
+
+let test_transfer_arithmetic () =
+  let claim =
+    {
+      Transfer.target = "x";
+      substrate = "y";
+      f = (fun _ -> 2);
+      g = (fun n -> float_of_int n);
+    }
+  in
+  Alcotest.(check bool) "g/f" true
+    (Transfer.instances_required claim ~n:10 = 5.0)
+
+let test_transfer_lower_bound_curve () =
+  (* explicit inversion of 3r^2 + r > n matches objects_needed_general
+     within one object *)
+  List.iter
+    (fun n ->
+      let continuous = Transfer.historyless_lower_bound n in
+      let discrete = Bounds.objects_needed_general n in
+      Alcotest.(check bool)
+        (Printf.sprintf "curves agree n=%d" n)
+        true
+        (abs_float (ceil continuous -. float_of_int discrete) <= 1.0))
+    [ 10; 100; 1000; 100_000 ]
+
+let test_corollaries_all_single_object () =
+  List.iter
+    (fun (c : Transfer.claim) ->
+      Alcotest.(check int) (c.Transfer.target ^ " f=1") 1 (c.Transfer.f 64))
+    Transfer.corollaries
+
+let suite =
+  [
+    Alcotest.test_case "closed forms" `Quick test_closed_forms;
+    Alcotest.test_case "inversions" `Quick test_inversions;
+    Alcotest.test_case "sqrt shape" `Quick test_sqrt_shape;
+    Alcotest.test_case "transfer arithmetic" `Quick test_transfer_arithmetic;
+    Alcotest.test_case "transfer curve" `Quick test_transfer_lower_bound_curve;
+    Alcotest.test_case "corollaries single-object" `Quick
+      test_corollaries_all_single_object;
+  ]

@@ -1,0 +1,46 @@
+open Sim
+
+let test_consistent () =
+  let v = Checker.check ~inputs:[ 0; 1 ] ~decisions:[ 1; 1; 1 ] in
+  Alcotest.(check bool) "consistent" true v.Checker.consistent;
+  Alcotest.(check bool) "valid" true v.Checker.valid;
+  Alcotest.(check int) "count" 3 v.Checker.n_decided;
+  Alcotest.(check bool) "ok" true (Checker.ok v)
+
+let test_inconsistent () =
+  let v = Checker.check ~inputs:[ 0; 1 ] ~decisions:[ 0; 1 ] in
+  Alcotest.(check bool) "not consistent" false v.Checker.consistent;
+  Alcotest.(check bool) "still valid" true v.Checker.valid;
+  Alcotest.(check bool) "inconsistent detects" true
+    (Checker.inconsistent ~decisions:[ 0; 1 ])
+
+let test_invalid () =
+  let v = Checker.check ~inputs:[ 1; 1 ] ~decisions:[ 0 ] in
+  Alcotest.(check bool) "consistent" true v.Checker.consistent;
+  Alcotest.(check bool) "invalid" false v.Checker.valid;
+  Alcotest.(check bool) "not ok" false (Checker.ok v)
+
+let test_empty_decisions () =
+  let v = Checker.check ~inputs:[ 0; 1 ] ~decisions:[] in
+  Alcotest.(check bool) "vacuously ok" true (Checker.ok v);
+  Alcotest.(check bool) "not inconsistent" false (Checker.inconsistent ~decisions:[])
+
+let test_of_trace () =
+  let trace : int Trace.t =
+    Trace.of_events
+      [
+        Event.Decided { pid = 0; value = 0 };
+        Event.Decided { pid = 1; value = 1 };
+      ]
+  in
+  let v = Checker.of_trace ~inputs:[ 0; 1 ] trace in
+  Alcotest.(check bool) "trace inconsistency" false v.Checker.consistent
+
+let suite =
+  [
+    Alcotest.test_case "consistent run" `Quick test_consistent;
+    Alcotest.test_case "inconsistent run" `Quick test_inconsistent;
+    Alcotest.test_case "invalid run" `Quick test_invalid;
+    Alcotest.test_case "no decisions" `Quick test_empty_decisions;
+    Alcotest.test_case "of_trace" `Quick test_of_trace;
+  ]

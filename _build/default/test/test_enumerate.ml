@@ -1,0 +1,88 @@
+(* Exhaustive bounded-protocol impossibility, and the model-checker
+   regression it uncovered (initial decisions must be checked). *)
+
+open Sim
+open Mc
+
+let test_tree_counts () =
+  Alcotest.(check int) "depth 0" 2 (List.length (Enumerate.enumerate 0));
+  Alcotest.(check int) "depth 1" 14 (List.length (Enumerate.enumerate 1));
+  Alcotest.(check int) "depth 2" 2774 (List.length (Enumerate.enumerate 2))
+
+let test_tree_semantics () =
+  let open Enumerate in
+  Alcotest.(check int) "decide" 0 (solo_decision (Decide 0));
+  Alcotest.(check int) "write then decide" 1 (solo_decision (Write (0, Decide 1)));
+  (* read from the empty register takes the empty branch *)
+  Alcotest.(check int) "read empty branch" 0
+    (solo_decision (Read (Decide 0, Decide 1, Decide 1)));
+  Alcotest.(check int) "write then read own" 1
+    (solo_decision (Write (1, Read (Decide 0, Decide 0, Decide 1))))
+
+let test_census_depth1_impossible () =
+  let c = Enumerate.census ~depth:1 in
+  Alcotest.(check int) "no correct protocol" 0 c.Enumerate.correct;
+  Alcotest.(check bool) "no example" true (c.Enumerate.example_correct = None);
+  Alcotest.(check int) "pairs checked" 49 c.Enumerate.candidate_pairs
+
+let test_census_depth0 () =
+  let c = Enumerate.census ~depth:0 in
+  Alcotest.(check int) "one candidate pair (D0, D1)" 1 c.Enumerate.candidate_pairs;
+  Alcotest.(check int) "and it is inconsistent" 0 c.Enumerate.correct
+
+let test_census_randomized_depth1 () =
+  let c = Enumerate.census_randomized ~depth:1 in
+  Alcotest.(check int) "18 trees with coins" 18 c.Enumerate.trees;
+  Alcotest.(check int) "coins do not help" 0 c.Enumerate.correct
+
+let test_flip_semantics () =
+  let open Enumerate in
+  (* a flipping tree reaches both outcomes solo *)
+  Alcotest.(check (list int)) "both reachable" [ 0; 1 ]
+    (solo_decisions (Flip (Decide 0, Decide 1)));
+  (* and is therefore rejected by the validity filter *)
+  match solo_decision (Flip (Decide 0, Decide 1)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of a two-outcome tree"
+
+(* the regression: a protocol where both processes decide instantly with
+   different values has an inconsistent execution of zero steps — the
+   checker must see it *)
+let test_mc_initial_decisions () =
+  let config =
+    Config.make
+      ~optypes:[ Objects.Register.optype () ]
+      ~procs:[ Proc.decide 0; Proc.decide 1 ]
+  in
+  match (Explore.search ~inputs:[ 0; 1 ] config).Explore.violation with
+  | Some { kind = `Inconsistent; _ } -> ()
+  | _ -> Alcotest.fail "missed the zero-step inconsistency"
+
+let test_mc_initial_invalid () =
+  let config =
+    Config.make ~optypes:[] ~procs:[ Proc.decide 7 ]
+  in
+  match (Explore.search ~inputs:[ 0 ] config).Explore.violation with
+  | Some { kind = `Invalid; _ } -> ()
+  | _ -> Alcotest.fail "missed the zero-step validity violation"
+
+(* sanity: a known-broken depth-1 pair is caught by check_inputs *)
+let test_check_inputs_catches () =
+  let open Enumerate in
+  let t0 = Read (Decide 0, Decide 0, Decide 1) in
+  let t1 = Read (Decide 1, Decide 0, Decide 1) in
+  (* both read the empty register concurrently and decide their inputs *)
+  Alcotest.(check bool) "mixed inputs refuted" false (check_inputs t0 t1 [ 0; 1 ])
+
+let suite =
+  [
+    Alcotest.test_case "tree counts" `Quick test_tree_counts;
+    Alcotest.test_case "tree semantics" `Quick test_tree_semantics;
+    Alcotest.test_case "depth-1 census: impossible" `Quick test_census_depth1_impossible;
+    Alcotest.test_case "depth-0 census" `Quick test_census_depth0;
+    Alcotest.test_case "randomized census depth 1" `Quick test_census_randomized_depth1;
+    Alcotest.test_case "flip semantics" `Quick test_flip_semantics;
+    Alcotest.test_case "MC checks initial decisions" `Quick test_mc_initial_decisions;
+    Alcotest.test_case "MC checks initial validity" `Quick test_mc_initial_invalid;
+    Alcotest.test_case "check_inputs catches races" `Quick test_check_inputs_catches;
+  ]

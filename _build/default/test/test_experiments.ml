@@ -1,0 +1,128 @@
+(* Smoke tests for the experiment drivers: every table renders, has the
+   declared arity, and carries the paper's headline shapes. *)
+
+let rendered table =
+  let s = Stats.Table.render table in
+  Alcotest.(check bool) "nonempty" true (String.length s > 0);
+  s
+
+let test_e1 () =
+  let rows = Experiments.E1_separation.rows ~reps:3 () in
+  Alcotest.(check int) "six primitives" 6 (List.length rows);
+  (* historyless column matches the paper *)
+  List.iter
+    (fun (r : Experiments.E1_separation.row) ->
+      let expected =
+        List.mem r.Experiments.E1_separation.primitive
+          [ "register"; "swap-register"; "test&set" ]
+      in
+      Alcotest.(check bool) r.Experiments.E1_separation.primitive expected
+        r.Experiments.E1_separation.historyless)
+    rows;
+  ignore (rendered (Experiments.E1_separation.table ~reps:3 ()))
+
+let test_e2 () =
+  let rows = Experiments.E2_identical_lb.rows ~max_r:3 () in
+  Alcotest.(check bool) "has rows" true (List.length rows >= 6);
+  List.iter
+    (fun (r : Experiments.E2_identical_lb.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s broken" r.Experiments.E2_identical_lb.protocol)
+        true r.Experiments.E2_identical_lb.broke;
+      Alcotest.(check bool) "within threshold" true
+        (r.Experiments.E2_identical_lb.processes_used
+        <= r.Experiments.E2_identical_lb.threshold))
+    rows
+
+let test_e3 () =
+  let rows = Experiments.E3_general_lb.rows ~max_r:2 () in
+  Alcotest.(check bool) "has rows" true (List.length rows >= 4);
+  List.iter
+    (fun (r : Experiments.E3_general_lb.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s broken" r.Experiments.E3_general_lb.protocol)
+        true r.Experiments.E3_general_lb.broke)
+    rows
+
+let test_e4 () =
+  let rows = Experiments.E4_space.rows () in
+  (* the separation shape: single-object protocols flat, registers linear,
+     lower bound in between and growing *)
+  List.iter
+    (fun (r : Experiments.E4_space.row) ->
+      Alcotest.(check int) "fa flat" 1 r.Experiments.E4_space.fa_objects;
+      Alcotest.(check int) "cas flat" 1 r.Experiments.E4_space.cas_objects;
+      Alcotest.(check int) "counter flat" 3 r.Experiments.E4_space.counter_objects;
+      Alcotest.(check int) "registers linear" (3 * r.Experiments.E4_space.n)
+        r.Experiments.E4_space.rw_registers;
+      Alcotest.(check bool) "lb below upper" true
+        (r.Experiments.E4_space.historyless_lb
+        <= r.Experiments.E4_space.rw_registers))
+    rows;
+  (* lower bound grows without bound *)
+  let last = List.nth rows (List.length rows - 1) in
+  Alcotest.(check bool) "lb grows" true (last.Experiments.E4_space.historyless_lb > 5)
+
+let test_e5 () =
+  let rows = Experiments.E5_work.rows ~ns:[ 2; 4 ] ~reps:3 ~seed:1 () in
+  Alcotest.(check int) "two ns" 2 (List.length rows);
+  List.iter
+    (fun (r : Experiments.E5_work.row) ->
+      Alcotest.(check int) "four protocols" 4
+        (List.length r.Experiments.E5_work.per_protocol))
+    rows
+
+let test_e6 () =
+  let rows = Experiments.E6_coin.rows ~ns:[ 2 ] ~ks:[ 1; 2 ] ~reps:5 ~seed:1 () in
+  Alcotest.(check bool) "has rows" true (List.length rows >= 1);
+  List.iter
+    (fun (r : Experiments.E6_coin.row) ->
+      Alcotest.(check bool) "agreement is a probability" true
+        (r.Experiments.E6_coin.agreement >= 0.0
+        && r.Experiments.E6_coin.agreement <= 1.0))
+    rows
+
+let test_e6_quadratic_shape () =
+  (* flips grow superlinearly in the barrier: k=3 costs much more than k=1 *)
+  let flips k =
+    match Experiments.E6_coin.measure ~n:4 ~k ~reps:15 ~seed:2 with
+    | Some r -> r.Experiments.E6_coin.mean_flips
+    | None -> Alcotest.fail "coin did not finish"
+  in
+  let f1 = flips 1 and f3 = flips 3 in
+  Alcotest.(check bool) "k=3 much more than k=1" true (f3 > 3.0 *. f1)
+
+let test_e7 () =
+  let rows = Experiments.E7_classify.rows () in
+  Alcotest.(check int) "all specs" (List.length Objects.Specs.all) (List.length rows)
+
+let test_e8 () =
+  let rows = Experiments.E8_transfer.rows ~ns:[ 16; 64 ] () in
+  Alcotest.(check int) "3 corollaries x 2 ns" 6 (List.length rows);
+  List.iter
+    (fun (r : Experiments.E8_transfer.row) ->
+      Alcotest.(check bool) "implied >= 1" true (r.Experiments.E8_transfer.implied >= 1.0))
+    rows
+
+let test_all_registry () =
+  Alcotest.(check int) "fourteen experiments" 14 (List.length Experiments.All.specs);
+  List.iter
+    (fun (s : Experiments.All.spec) ->
+      match Experiments.All.find s.Experiments.All.id with
+      | Some s' -> Alcotest.(check string) "find roundtrip" s.Experiments.All.id s'.Experiments.All.id
+      | None -> Alcotest.failf "lost experiment %s" s.Experiments.All.id)
+    Experiments.All.specs
+
+let suite =
+  [
+    Alcotest.test_case "e1 separation" `Slow test_e1;
+    Alcotest.test_case "e2 identical lb" `Quick test_e2;
+    Alcotest.test_case "e3 general lb" `Quick test_e3;
+    Alcotest.test_case "e4 space shape" `Quick test_e4;
+    Alcotest.test_case "e5 work" `Slow test_e5;
+    Alcotest.test_case "e6 coin" `Slow test_e6;
+    Alcotest.test_case "e6 quadratic shape" `Slow test_e6_quadratic_shape;
+    Alcotest.test_case "e7 classify" `Quick test_e7;
+    Alcotest.test_case "e8 transfer" `Quick test_e8;
+    Alcotest.test_case "experiment registry" `Quick test_all_registry;
+  ]

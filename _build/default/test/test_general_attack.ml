@@ -1,0 +1,169 @@
+(* The general-case machinery (Section 3.2): Lemma 3.4's constructor
+   produces valid interruptible executions with the claimed excess
+   capacity; Lemma 3.5/3.6's splicer turns them into inconsistent
+   executions for every flawed historyless-object protocol. *)
+
+open Sim
+open Consensus
+open Lowerbound
+
+let targets =
+  [
+    Flawed.unanimous ~style:Flawed.Rw ~r:1;
+    Flawed.unanimous ~style:Flawed.Rw ~r:2;
+    Flawed.unanimous ~style:Flawed.Rw ~r:3;
+    Flawed.unanimous ~style:Flawed.Swapping ~r:2;
+    Flawed.unanimous ~style:Flawed.Swapping ~r:3;
+    Flawed.first_writer ~r:1;
+    Flawed.first_writer ~r:2;
+    Flawed.coin_retry ~style:Flawed.Rw ~r:2;
+    Flawed.mixed ~r:2;
+    Flawed.mixed ~r:3;
+  ]
+
+let test_breaks_all_targets () =
+  List.iter
+    (fun (p : Protocol.t) ->
+      match General_attack.run p with
+      | Error e ->
+          Alcotest.failf "%s: %s" p.Protocol.name
+            (General_attack.error_to_string e)
+      | Ok o ->
+          if not (General_attack.succeeded o) then
+            Alcotest.failf "%s: consistent execution" p.Protocol.name;
+          let ds = List.map snd (Trace.decisions o.General_attack.trace) in
+          Alcotest.(check bool)
+            (p.Protocol.name ^ " decides both") true
+            (List.mem 0 ds && List.mem 1 ds);
+          Alcotest.(check bool)
+            (p.Protocol.name ^ " stays valid") true
+            o.General_attack.verdict.Checker.valid)
+    targets
+
+(* Lemma 3.4's output satisfies Definition 3.1 and Definition 3.2, checked
+   independently by the validators. *)
+let build_witness (p : Protocol.t) ~m =
+  let inputs = List.init m (fun pid -> if pid < m / 2 then 0 else 1) in
+  let config = Protocol.initial_config p ~inputs in
+  let objs = List.init (Config.n_objects config) Fun.id in
+  let scratch = Builder.create ~config ~inputs in
+  let pset = List.init (m / 2) Fun.id in
+  let r = List.length objs in
+  ( config,
+    Build_interruptible.construct scratch ~all_objects:objs ~vset:[]
+      ~pset ~uset:objs ~e:r )
+
+let test_witness_validates () =
+  List.iter
+    (fun (p : Protocol.t) ->
+      let m = General_attack.default_processes (Protocol.space p ~n:2) in
+      let config, result = build_witness p ~m in
+      match Interruptible.validate ~config result.Build_interruptible.witness with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: Def 3.1 violated: %s" p.Protocol.name msg)
+    targets
+
+let test_witness_excess_capacity () =
+  List.iter
+    (fun (p : Protocol.t) ->
+      let r = Protocol.space p ~n:2 in
+      let m = General_attack.default_processes r in
+      let config, result = build_witness p ~m in
+      let w = result.Build_interruptible.witness in
+      (* the released reservations provide excess capacity e = r for the
+         all-objects U, relative to the witness's future steppers *)
+      let objs = List.init r Fun.id in
+      Alcotest.(check bool)
+        (p.Protocol.name ^ " excess capacity")
+        true
+        (Interruptible.has_excess_capacity ~config
+           { w with Interruptible.pset = Interruptible.participants w }
+           ~uset:objs ~e:0);
+      (* released processes may have run in pieces *before* their
+         reservation, but never serve as block writers (those retire), and
+         their pids/objects are in range *)
+      let bwriter_pids =
+        List.concat_map
+          (fun pc -> List.map snd pc.Interruptible.bwriters)
+          w.Interruptible.pieces
+      in
+      List.iter
+        (fun (obj, pids) ->
+          List.iter
+            (fun pid ->
+              if List.mem pid bwriter_pids then
+                Alcotest.failf "%s: released P%d is a block writer"
+                  p.Protocol.name pid;
+              if pid < 0 || pid >= Config.n_procs config then
+                Alcotest.failf "%s: released pid out of range" p.Protocol.name)
+            pids;
+          if obj < 0 || obj >= r then
+            Alcotest.failf "%s: released object out of range" p.Protocol.name)
+        result.Build_interruptible.released)
+    targets
+
+(* decider of alpha has input 0: validity of the interruptible execution *)
+let test_witness_decides_own_side () =
+  List.iter
+    (fun (p : Protocol.t) ->
+      let m = General_attack.default_processes (Protocol.space p ~n:2) in
+      let _, result = build_witness p ~m in
+      let w = result.Build_interruptible.witness in
+      Alcotest.(check int) (p.Protocol.name ^ " alpha decides 0") 0 w.Interruptible.decides;
+      Alcotest.(check bool)
+        (p.Protocol.name ^ " decider is in P")
+        true
+        (w.Interruptible.decider < m / 2))
+    targets
+
+(* pieces have strictly growing object sets, first set empty *)
+let test_witness_structure () =
+  let p = Flawed.unanimous ~style:Flawed.Rw ~r:3 in
+  let m = General_attack.default_processes 3 in
+  let _, result = build_witness p ~m in
+  let w = result.Build_interruptible.witness in
+  Alcotest.(check (list int)) "initial set empty" [] w.Interruptible.init_set;
+  let sizes =
+    List.map
+      (fun pc -> List.length pc.Interruptible.vset)
+      w.Interruptible.pieces
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sizes strictly increase" true (increasing sizes)
+
+(* the minimum process count at which the attack lands is at most the
+   paper's 3r^2 + r plus our slack, and grows with r *)
+let test_minimum_processes_shape () =
+  let min_for r =
+    let p = Flawed.unanimous ~style:Flawed.Rw ~r in
+    match General_attack.minimum_processes p with
+    | Some m -> m
+    | None -> Alcotest.failf "no breaking process count found for r=%d" r
+  in
+  let m1 = min_for 1 and m2 = min_for 2 and m3 = min_for 3 in
+  Alcotest.(check bool) "monotone in r" true (m1 <= m2 && m2 <= m3);
+  Alcotest.(check bool) "within bound + slack" true
+    (m3 <= General_attack.default_processes 3)
+
+(* works with an explicit (larger) process budget too *)
+let test_explicit_processes () =
+  let p = Flawed.unanimous ~style:Flawed.Rw ~r:2 in
+  match General_attack.run ~processes:40 p with
+  | Ok o ->
+      Alcotest.(check bool) "succeeds with 40" true (General_attack.succeeded o);
+      Alcotest.(check int) "used 40" 40 o.General_attack.processes_used
+  | Error e -> Alcotest.failf "error: %s" (General_attack.error_to_string e)
+
+let suite =
+  [
+    Alcotest.test_case "breaks all flawed targets" `Quick test_breaks_all_targets;
+    Alcotest.test_case "witness satisfies Def 3.1" `Quick test_witness_validates;
+    Alcotest.test_case "witness excess capacity" `Quick test_witness_excess_capacity;
+    Alcotest.test_case "alpha decides its side" `Quick test_witness_decides_own_side;
+    Alcotest.test_case "piece structure" `Quick test_witness_structure;
+    Alcotest.test_case "minimum processes shape" `Quick test_minimum_processes_shape;
+    Alcotest.test_case "explicit process budget" `Quick test_explicit_processes;
+  ]

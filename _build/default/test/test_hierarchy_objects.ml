@@ -1,0 +1,107 @@
+(* The added hierarchy objects (queue, sticky bit): semantics,
+   classification, and their consensus protocols — including exhaustive
+   model checking. *)
+
+open Sim
+open Objects
+open Consensus
+
+let veq = Alcotest.testable Value.pp_compact Value.equal
+
+let test_queue_fifo () =
+  let q = Queue_obj.optype () in
+  let v, _ = Optype.apply q q.Optype.init (Queue_obj.enq (Value.int 1)) in
+  let v, _ = Optype.apply q v (Queue_obj.enq (Value.int 2)) in
+  let v, first = Optype.apply q v Queue_obj.deq in
+  Alcotest.check veq "fifo head" (Value.int 1) first;
+  let v, second = Optype.apply q v Queue_obj.deq in
+  Alcotest.check veq "fifo second" (Value.int 2) second;
+  let _, empty = Optype.apply q v Queue_obj.deq in
+  Alcotest.check veq "empty marker" Queue_obj.empty_marker empty
+
+let test_queue_prefill () =
+  let q = Queue_obj.optype ~init:[ Queue2.winner; Queue2.loser ] () in
+  let v, first = Optype.apply q q.Optype.init Queue_obj.deq in
+  Alcotest.check veq "winner first" Queue2.winner first;
+  let _, second = Optype.apply q v Queue_obj.deq in
+  Alcotest.check veq "loser second" Queue2.loser second
+
+let test_sticky_sticks () =
+  let s = Sticky.optype () in
+  let v, r1 = Optype.apply s s.Optype.init (Sticky.propose_int 1) in
+  Alcotest.check veq "first proposal sticks" (Value.int 1) r1;
+  let v2, r2 = Optype.apply s v (Sticky.propose_int 0) in
+  Alcotest.check veq "second gets first's value" (Value.int 1) r2;
+  Alcotest.check veq "state unchanged" v v2
+
+let test_classification () =
+  let spec name =
+    match Specs.find name with
+    | Some s -> s
+    | None -> Alcotest.failf "no spec %s" name
+  in
+  let q = spec "queue" and s = spec "sticky" in
+  Alcotest.(check bool) "queue not historyless" false
+    (Objclass.Classify.is_historyless q);
+  Alcotest.(check bool) "queue not interfering" false
+    (Objclass.Classify.is_interfering q);
+  Alcotest.(check bool) "sticky not historyless" false
+    (Objclass.Classify.is_historyless s);
+  Alcotest.(check bool) "sticky not interfering" false
+    (Objclass.Classify.is_interfering s);
+  (* enqueues neither commute nor overwrite *)
+  let e0 = Queue_obj.enq (Value.int 0) and e1 = Queue_obj.enq (Value.int 1) in
+  Alcotest.(check bool) "enqs do not commute" false (Objclass.Classify.commute q e0 e1);
+  Alcotest.(check bool) "enq does not overwrite" false
+    (Objclass.Classify.overwrites q ~f:e0 ~f':e1)
+
+let assert_clean name result =
+  (match result.Mc.Explore.violation with
+  | Some _ -> Alcotest.failf "%s: violation found" name
+  | None -> ());
+  if result.Mc.Explore.truncated then Alcotest.failf "%s: truncated" name
+
+let test_queue2_exhaustive () =
+  List.iter
+    (fun inputs ->
+      let config = Protocol.initial_config Queue2.protocol ~inputs in
+      assert_clean "queue2" (Mc.Explore.search ~max_depth:40 ~inputs config))
+    [ [ 0; 1 ]; [ 1; 0 ]; [ 0; 0 ]; [ 1; 1 ] ]
+
+let test_sticky_exhaustive () =
+  List.iter
+    (fun inputs ->
+      let config = Protocol.initial_config Sticky_consensus.protocol ~inputs in
+      assert_clean "sticky" (Mc.Explore.search ~max_depth:40 ~inputs config))
+    [ [ 0; 1 ]; [ 1; 1 ]; [ 0; 1; 1 ]; [ 1; 0; 0 ] ]
+
+let test_sticky_many_processes () =
+  for seed = 1 to 10 do
+    let rng = Rng.create (seed * 41) in
+    let inputs = List.init 10 (fun _ -> Rng.int rng 2) in
+    let report =
+      Protocol.run_once Sticky_consensus.protocol ~inputs
+        ~sched:(Sched.random ~seed)
+    in
+    Alcotest.(check bool) "safe" true (Checker.ok report.Protocol.verdict);
+    Alcotest.(check bool) "done" true
+      (report.Protocol.result.Run.outcome = Run.All_decided)
+  done
+
+(* sticky-bit consensus kills bivalence instantly, like cas *)
+let test_sticky_bivalence () =
+  let config = Protocol.initial_config Sticky_consensus.protocol ~inputs:[ 0; 1 ] in
+  Alcotest.(check int) "survival 0" 0
+    (Mc.Valency.bivalence_survival ~max_depth:6 config)
+
+let suite =
+  [
+    Alcotest.test_case "queue fifo" `Quick test_queue_fifo;
+    Alcotest.test_case "queue prefill" `Quick test_queue_prefill;
+    Alcotest.test_case "sticky sticks" `Quick test_sticky_sticks;
+    Alcotest.test_case "classification" `Quick test_classification;
+    Alcotest.test_case "queue2 exhaustive" `Quick test_queue2_exhaustive;
+    Alcotest.test_case "sticky exhaustive" `Quick test_sticky_exhaustive;
+    Alcotest.test_case "sticky n=10" `Quick test_sticky_many_processes;
+    Alcotest.test_case "sticky bivalence" `Quick test_sticky_bivalence;
+  ]

@@ -1,0 +1,122 @@
+(* The Definition 3.1/3.2 validators reject malformed witnesses: negative
+   tests complementing the positive ones in test_general_attack. *)
+
+open Sim
+open Consensus
+open Lowerbound
+
+let target = Flawed.unanimous ~style:Flawed.Rw ~r:2
+
+let good_witness () =
+  let m = General_attack.default_processes 2 in
+  let inputs = List.init m (fun pid -> if pid < m / 2 then 0 else 1) in
+  let config = Protocol.initial_config target ~inputs in
+  let scratch = Builder.create ~config ~inputs in
+  let result =
+    Build_interruptible.construct scratch ~all_objects:[ 0; 1 ] ~vset:[]
+      ~pset:(List.init (m / 2) Fun.id)
+      ~uset:[ 0; 1 ] ~e:2
+  in
+  (config, result.Build_interruptible.witness)
+
+let expect_error what witness config =
+  match Interruptible.validate ~config witness with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "validator accepted %s" what
+
+let test_accepts_good () =
+  let config, w = good_witness () in
+  match Interruptible.validate ~config w with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "rejected good witness: %s" msg
+
+let test_rejects_empty () =
+  let config, w = good_witness () in
+  expect_error "no pieces" { w with Interruptible.pieces = [] } config
+
+let test_rejects_wrong_initial_set () =
+  let config, w = good_witness () in
+  expect_error "wrong initial set"
+    { w with Interruptible.init_set = [ 0 ] }
+    config
+
+let test_rejects_non_increasing () =
+  let config, w = good_witness () in
+  match w.Interruptible.pieces with
+  | first :: _ :: _ ->
+      (* duplicate the first piece: object sets no longer strictly grow *)
+      expect_error "non-increasing sets"
+        { w with Interruptible.pieces = [ first; first ] }
+        config
+  | _ -> Alcotest.fail "expected a multi-piece witness"
+
+let test_rejects_wrong_decider () =
+  let config, w = good_witness () in
+  expect_error "wrong claimed decision"
+    { w with Interruptible.decides = 1 - w.Interruptible.decides }
+    config
+
+let test_rejects_stepping_writer () =
+  let config, w = good_witness () in
+  match w.Interruptible.pieces with
+  | first :: rest when first.Interruptible.bwriters = [] && rest <> [] ->
+      (* inject a later block writer into the first piece's body *)
+      let second = List.hd rest in
+      (match second.Interruptible.bwriters with
+      | (_, pid) :: _ ->
+          let first' =
+            {
+              first with
+              Interruptible.body =
+                first.Interruptible.body
+                @ [ { Interruptible.pid; coin = None } ];
+            }
+          in
+          (* writer steps *before* its block write is fine; writer stepping
+             in a *later* piece is what must be rejected — craft that *)
+          let second' =
+            {
+              second with
+              Interruptible.body =
+                second.Interruptible.body
+                @ [ { Interruptible.pid; coin = None } ];
+            }
+          in
+          ignore first';
+          expect_error "block writer stepping after its write"
+            { w with Interruptible.pieces = first :: second' :: List.tl rest }
+            config
+      | [] -> Alcotest.fail "second piece has no writers")
+  | _ -> Alcotest.fail "unexpected witness shape"
+
+let test_participants () =
+  let _, w = good_witness () in
+  let ps = Interruptible.participants w in
+  Alcotest.(check bool) "nonempty" true (ps <> []);
+  Alcotest.(check bool) "decider participates" true
+    (List.mem w.Interruptible.decider ps);
+  Alcotest.(check bool) "sorted unique" true
+    (List.sort_uniq compare ps = ps)
+
+let test_replay_reaches_decision () =
+  let config, w = good_witness () in
+  let b =
+    Builder.create ~config
+      ~inputs:(List.init (Config.n_procs config) (fun _ -> 0))
+  in
+  Interruptible.replay b w;
+  Alcotest.(check (option int)) "decider decided as claimed"
+    (Some w.Interruptible.decides)
+    (Config.decision (Builder.config b) w.Interruptible.decider)
+
+let suite =
+  [
+    Alcotest.test_case "accepts good witness" `Quick test_accepts_good;
+    Alcotest.test_case "rejects empty" `Quick test_rejects_empty;
+    Alcotest.test_case "rejects wrong initial set" `Quick test_rejects_wrong_initial_set;
+    Alcotest.test_case "rejects non-increasing sets" `Quick test_rejects_non_increasing;
+    Alcotest.test_case "rejects wrong decision claim" `Quick test_rejects_wrong_decider;
+    Alcotest.test_case "rejects stepping block writer" `Quick test_rejects_stepping_writer;
+    Alcotest.test_case "participants" `Quick test_participants;
+    Alcotest.test_case "replay reaches decision" `Quick test_replay_reaches_decision;
+  ]

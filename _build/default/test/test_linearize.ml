@@ -1,0 +1,143 @@
+(* The linearizability checker on hand-crafted histories. *)
+
+open Sim
+open Objimpl
+
+let reg_spec = Objects.Register.finite ~values:[ Value.int 0; Value.int 1; Value.int 2 ] ()
+
+let inv call pid op = History.Inv { call; pid; op }
+let res call pid value = History.Res { call; pid; value }
+
+let write v = Objects.Register.write (Value.int v)
+let read = Objects.Register.read
+
+(* sequential: write 1, read 1 *)
+let test_sequential_ok () =
+  let h =
+    [
+      inv 0 0 (write 1);
+      res 0 0 Value.unit;
+      inv 1 1 read;
+      res 1 1 (Value.int 1);
+    ]
+  in
+  Alcotest.(check bool) "linearizable" true (Linearize.is_linearizable reg_spec h)
+
+(* read overlapping a write may return old or new value *)
+let test_overlap_both_ok () =
+  List.iter
+    (fun v ->
+      let h =
+        [
+          inv 0 0 (write 1);
+          inv 1 1 read;
+          res 1 1 (Value.int v);
+          res 0 0 Value.unit;
+        ]
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "overlapping read=%d" v)
+        true
+        (Linearize.is_linearizable reg_spec h))
+    [ 0; 1 ]
+
+(* stale read after the write completed: not linearizable *)
+let test_stale_read () =
+  let h =
+    [
+      inv 0 0 (write 1);
+      res 0 0 Value.unit;
+      inv 1 1 read;
+      res 1 1 (Value.int 0);
+    ]
+  in
+  match Linearize.check reg_spec h with
+  | Linearize.Not_linearizable -> ()
+  | Linearize.Linearizable _ -> Alcotest.fail "accepted a stale read"
+  | Linearize.Unknown -> Alcotest.fail "budget on a 2-call history?"
+
+(* new-old inversion between two reads: not linearizable *)
+let test_new_old_inversion () =
+  let h =
+    [
+      inv 0 0 (write 1);
+      inv 1 1 read;
+      res 1 1 (Value.int 1);
+      inv 2 1 read;
+      res 2 1 (Value.int 0);
+      res 0 0 Value.unit;
+    ]
+  in
+  match Linearize.check reg_spec h with
+  | Linearize.Not_linearizable -> ()
+  | _ -> Alcotest.fail "accepted a new-old inversion"
+
+(* incomplete calls are ignored *)
+let test_incomplete_ignored () =
+  let h = [ inv 0 0 (write 1); inv 1 1 read; res 1 1 (Value.int 0) ] in
+  Alcotest.(check bool) "pending write not forced" true
+    (Linearize.is_linearizable reg_spec h)
+
+(* the witness order is a legal linearization: responses replay *)
+let test_witness_order () =
+  let h =
+    [
+      inv 0 0 (write 2);
+      inv 1 1 read;
+      res 0 0 Value.unit;
+      res 1 1 (Value.int 2);
+      inv 2 0 read;
+      res 2 0 (Value.int 2);
+    ]
+  in
+  match Linearize.check reg_spec h with
+  | Linearize.Linearizable order ->
+      Alcotest.(check int) "all calls in witness" 3 (List.length order);
+      let final =
+        List.fold_left
+          (fun state (c : History.call) ->
+            let state', resp = Optype.apply reg_spec state c.History.op in
+            (match c.History.response with
+            | Some r ->
+                Alcotest.(check bool) "response replays" true (Value.equal r resp)
+            | None -> ());
+            state')
+          reg_spec.Optype.init order
+      in
+      Alcotest.(check bool) "final state" true (Value.equal final (Value.int 2))
+  | _ -> Alcotest.fail "expected linearizable"
+
+let test_history_calls () =
+  let h =
+    [ inv 0 0 read; inv 1 1 read; res 1 1 (Value.int 0); res 0 0 (Value.int 0) ]
+  in
+  let calls = History.calls h in
+  Alcotest.(check int) "two calls" 2 (List.length calls);
+  Alcotest.(check bool) "complete" true (History.is_complete h);
+  match calls with
+  | [ a; b ] ->
+      Alcotest.(check bool) "no precedence when overlapping" false
+        (History.precedes a b || History.precedes b a)
+  | _ -> Alcotest.fail "calls"
+
+let test_precedes () =
+  let h =
+    [ inv 0 0 read; res 0 0 (Value.int 0); inv 1 1 read; res 1 1 (Value.int 0) ]
+  in
+  match History.calls h with
+  | [ a; b ] ->
+      Alcotest.(check bool) "a precedes b" true (History.precedes a b);
+      Alcotest.(check bool) "b not precedes a" false (History.precedes b a)
+  | _ -> Alcotest.fail "calls"
+
+let suite =
+  [
+    Alcotest.test_case "sequential ok" `Quick test_sequential_ok;
+    Alcotest.test_case "overlapping read both values" `Quick test_overlap_both_ok;
+    Alcotest.test_case "stale read rejected" `Quick test_stale_read;
+    Alcotest.test_case "new-old inversion rejected" `Quick test_new_old_inversion;
+    Alcotest.test_case "incomplete calls ignored" `Quick test_incomplete_ignored;
+    Alcotest.test_case "witness order replays" `Quick test_witness_order;
+    Alcotest.test_case "history calls" `Quick test_history_calls;
+    Alcotest.test_case "precedes" `Quick test_precedes;
+  ]

@@ -1,0 +1,36 @@
+let () =
+  Alcotest.run "randsync"
+    [
+      ("value", Test_value.suite);
+      ("rng", Test_rng.suite);
+      ("objects", Test_objects.suite);
+      ("objclass", Test_objclass.suite);
+      ("algebra-props", Test_algebra_props.suite);
+      ("hierarchy-objects", Test_hierarchy_objects.suite);
+      ("crash", Test_crash.suite);
+      ("tournament", Test_tournament.suite);
+      ("mutex", Test_mutex.suite);
+      ("misc-units", Test_misc_units.suite);
+      ("ablation", Test_ablation.suite);
+      ("cross-validation", Test_cross_validation.suite);
+      ("proc", Test_proc.suite);
+      ("trace", Test_trace.suite);
+      ("trace-io", Test_trace_io.suite);
+      ("checker", Test_checker.suite);
+      ("sched", Test_sched.suite);
+      ("run", Test_run.suite);
+      ("consensus", Test_consensus.suite);
+      ("mc", Test_mc.suite);
+      ("attack", Test_attack.suite);
+      ("general-attack", Test_general_attack.suite);
+      ("certify", Test_certify.suite);
+      ("attack-soundness", Test_attack_soundness.suite);
+      ("interruptible", Test_interruptible.suite);
+      ("stats", Test_stats.suite);
+      ("bounds", Test_bounds.suite);
+      ("valency-more", Test_valency_more.suite);
+      ("enumerate", Test_enumerate.suite);
+      ("linearize", Test_linearize.suite);
+      ("objimpl", Test_objimpl.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,141 @@
+(* Unit coverage for the smaller corners: Side, Optype helpers, Walk_core
+   parameters, fetch&add field encoding (property), Protocol helpers and
+   the registry. *)
+
+open Sim
+open Consensus
+open Lowerbound
+
+(* ---- Side ---- *)
+
+let mk_side () =
+  Side.make ~regs:[ 2; 0 ]
+    ~writers:[ (0, 10); (2, 11) ]
+    ~runner:10 ~coins:[ 1; 0 ] ~decides:0
+
+let test_side_normalizes () =
+  let s = mk_side () in
+  Alcotest.(check (list int)) "regs sorted" [ 0; 2 ] s.Side.regs;
+  Alcotest.(check int) "card" 2 (Side.card s);
+  Alcotest.(check bool) "mem" true (Side.mem s 2);
+  Alcotest.(check bool) "not mem" false (Side.mem s 1)
+
+let test_side_subset () =
+  let small = Side.make ~regs:[ 0 ] ~writers:[ (0, 1) ] ~runner:1 ~coins:[] ~decides:1 in
+  let big = mk_side () in
+  Alcotest.(check bool) "subset" true (Side.subset small big);
+  Alcotest.(check bool) "not superset" false (Side.subset big small);
+  Alcotest.(check bool) "reflexive" true (Side.subset big big)
+
+let test_side_writers_outside () =
+  let a = mk_side () in
+  let b = Side.make ~regs:[ 0 ] ~writers:[ (0, 5) ] ~runner:5 ~coins:[] ~decides:1 in
+  Alcotest.(check (list (pair int int))) "outside" [ (2, 11) ]
+    (Side.writers_outside a ~other:b)
+
+let test_side_rejects_malformed () =
+  let bad () =
+    Side.make ~regs:[ 0; 1 ] ~writers:[ (0, 1) ] ~runner:1 ~coins:[] ~decides:0
+  in
+  match bad () with
+  | exception Assert_failure _ -> ()
+  | _ -> Alcotest.fail "accepted writer/regs arity mismatch"
+
+(* ---- Optype helpers ---- *)
+
+let test_optype_with_init () =
+  let reg = Objects.Register.optype () in
+  let reg5 = Optype.with_init reg (Value.int 5) in
+  Alcotest.(check bool) "init changed" true (Value.equal reg5.Optype.init (Value.int 5));
+  Alcotest.(check string) "name kept" reg.Optype.name reg5.Optype.name
+
+let test_optype_rename () =
+  let reg = Optype.rename (Objects.Register.optype ()) "renamed" in
+  Alcotest.(check string) "renamed" "renamed" reg.Optype.name
+
+(* ---- Walk_core parameters ---- *)
+
+let test_walk_parameters () =
+  Alcotest.(check int) "barrier 3n" 24 (Walk_core.barrier ~n:8);
+  Alcotest.(check int) "band n" 8 (Walk_core.band ~n:8);
+  Alcotest.(check bool) "range covers barrier + slack" true
+    (Walk_core.cursor_range ~n:8 > Walk_core.barrier ~n:8 + 8)
+
+(* ---- fetch&add encoding roundtrip ---- *)
+
+let prop_fa_encoding_roundtrip =
+  QCheck.Test.make ~name:"f&a field encoding roundtrips" ~count:300
+    QCheck.(
+      quad (int_range 1 16) (int_range 0 16) (int_range 0 16) (int_range (-64) 64))
+    (fun (n, v0, v1, c) ->
+      QCheck.assume (v0 <= n && v1 <= n && abs c <= 4 * n);
+      let x =
+        Fa_consensus.init_value ~n + v0
+        + (v1 * Fa_consensus.votes1_mul ~n)
+        + (c * Fa_consensus.cursor_mul ~n)
+      in
+      Fa_consensus.decode ~n x = (v0, v1, c))
+  |> QCheck_alcotest.to_alcotest
+
+(* ---- Protocol helpers ---- *)
+
+let test_run_many_and_mean () =
+  let reports =
+    Protocol.run_many Cas_consensus.protocol ~inputs:[ 0; 1 ]
+      ~mk_sched:(fun seed -> Sched.random ~seed)
+      ~seed:1 ~reps:5
+  in
+  Alcotest.(check int) "five reports" 5 (List.length reports);
+  match Protocol.mean_steps reports with
+  | Some m -> Alcotest.(check bool) "positive mean" true (m > 0.0)
+  | None -> Alcotest.fail "no completed runs"
+
+let test_registry () =
+  Alcotest.(check bool) "finds cas" true (Registry.find "cas-1" <> None);
+  Alcotest.(check bool) "unknown is None" true (Registry.find "nope" = None);
+  (* names unique *)
+  let names = List.map (fun (p : Protocol.t) -> p.Protocol.name) Registry.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_initial_config_validates_n () =
+  match Protocol.initial_config Tas2.protocol ~inputs:[ 0; 1; 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted n=3 for a 2-process protocol"
+
+(* ---- value compare transitivity (qcheck) ---- *)
+
+let small_value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.unit;
+        map Value.bool bool;
+        map Value.int (int_bound 5);
+        map (fun b -> Value.some (Value.bool b)) bool;
+        map2 (fun a b -> Value.pair (Value.int a) (Value.int b)) (int_bound 3) (int_bound 3);
+      ])
+
+let prop_compare_transitive =
+  QCheck.Test.make ~name:"Value.compare transitive" ~count:500
+    (QCheck.make QCheck.Gen.(triple small_value_gen small_value_gen small_value_gen))
+    (fun (a, b, c) ->
+      let ( <= ) x y = Value.compare x y <= 0 in
+      not (a <= b && b <= c) || a <= c)
+  |> QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    Alcotest.test_case "side normalizes" `Quick test_side_normalizes;
+    Alcotest.test_case "side subset" `Quick test_side_subset;
+    Alcotest.test_case "side writers_outside" `Quick test_side_writers_outside;
+    Alcotest.test_case "side rejects malformed" `Quick test_side_rejects_malformed;
+    Alcotest.test_case "optype with_init" `Quick test_optype_with_init;
+    Alcotest.test_case "optype rename" `Quick test_optype_rename;
+    Alcotest.test_case "walk parameters" `Quick test_walk_parameters;
+    prop_fa_encoding_roundtrip;
+    Alcotest.test_case "run_many / mean_steps" `Quick test_run_many_and_mean;
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "initial_config validates n" `Quick test_initial_config_validates_n;
+    prop_compare_transitive;
+  ]

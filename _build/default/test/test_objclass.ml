@@ -1,0 +1,127 @@
+(* The paper's Section 2 classification claims, decided exhaustively over
+   the finite specs. *)
+
+open Sim
+open Objects
+
+let check = Alcotest.(check bool)
+
+let spec name =
+  match Specs.find name with
+  | Some ot -> ot
+  | None -> Alcotest.failf "no finite spec for %s" name
+
+let test_read_trivial () =
+  List.iter
+    (fun (ot : Optype.t) ->
+      let _, ops = Objclass.Classify.domain ot in
+      List.iter
+        (fun (op : Op.t) ->
+          if op.name = "read" then
+            check
+              (Printf.sprintf "read trivial on %s" ot.name)
+              true
+              (Objclass.Classify.is_trivial ot op))
+        ops)
+    Specs.all
+
+let test_writes_overwrite () =
+  let reg = spec "register" in
+  let w1 = Register.write (Value.int 1) and w2 = Register.write (Value.int 2) in
+  check "w1 overwrites w2" true (Objclass.Classify.overwrites reg ~f:w1 ~f':w2);
+  check "w2 overwrites w1" true (Objclass.Classify.overwrites reg ~f:w2 ~f':w1);
+  check "writes do not commute" false (Objclass.Classify.commute reg w1 w2)
+
+let test_fa_commutes_not_overwrites () =
+  let fa = spec "fetch&add[mod 5]" in
+  let a1 = Fetch_add.fetch_add 1 and a2 = Fetch_add.fetch_add 2 in
+  check "adds commute" true (Objclass.Classify.commute fa a1 a2);
+  check "add does not overwrite add" false
+    (Objclass.Classify.overwrites fa ~f:a1 ~f':a2);
+  check "nonzero add not idempotent" false
+    (Objclass.Classify.is_idempotent fa a1);
+  check "zero add idempotent" true
+    (Objclass.Classify.is_idempotent fa (Fetch_add.fetch_add 0))
+
+let test_tas_idempotent () =
+  let tas = spec "test&set" in
+  check "t&s idempotent" true
+    (Objclass.Classify.is_idempotent tas Test_and_set.test_and_set)
+
+(* The headline matrix: historyless / interfering per type, matching the
+   paper's prose exactly. *)
+let expected =
+  [
+    (* name, historyless, interfering *)
+    ("register", true, true);
+    ("swap-register", true, true);
+    ("test&set", true, true);
+    ("fetch&add[mod 5]", false, true);
+    ("fetch&inc[mod 5]", false, true);
+    ("counter[mod 5]", false, false);
+    ("compare&swap", false, false);
+  ]
+
+let test_matrix () =
+  List.iter
+    (fun (name, historyless, interfering) ->
+      let ot = spec name in
+      check
+        (Printf.sprintf "%s historyless" name)
+        historyless
+        (Objclass.Classify.is_historyless ot);
+      check
+        (Printf.sprintf "%s interfering" name)
+        interfering
+        (Objclass.Classify.is_interfering ot))
+    expected
+
+let test_report_consistent () =
+  List.iter
+    (fun ot ->
+      let r = Objclass.Classify.report ot in
+      check "report matches predicates"
+        (Objclass.Classify.is_historyless ot)
+        r.Objclass.Classify.historyless)
+    Specs.all
+
+let test_not_finite () =
+  let reg = Register.optype () in
+  match Objclass.Classify.is_historyless reg with
+  | exception Objclass.Classify.Not_finite _ -> ()
+  | _ -> Alcotest.fail "expected Not_finite on unbounded register"
+
+let test_hierarchy_table () =
+  (* hierarchy's historyless column agrees with the decided classification *)
+  List.iter
+    (fun (e : Objclass.Hierarchy.entry) ->
+      let spec_name =
+        match e.name with
+        | "fetch&add" -> Some "fetch&add[mod 5]"
+        | "fetch&inc" -> Some "fetch&inc[mod 5]"
+        | "counter" -> Some "counter[mod 5]"
+        | "register" | "swap-register" | "test&set" | "compare&swap" ->
+            Some e.name
+        | _ -> None
+      in
+      match spec_name with
+      | None -> ()
+      | Some s ->
+          check
+            (Printf.sprintf "hierarchy vs classify: %s" e.name)
+            e.historyless
+            (Objclass.Classify.is_historyless (spec s)))
+    Objclass.Hierarchy.entries
+
+let suite =
+  [
+    Alcotest.test_case "read is trivial everywhere" `Quick test_read_trivial;
+    Alcotest.test_case "writes overwrite" `Quick test_writes_overwrite;
+    Alcotest.test_case "fetch&add commutes, no overwrite" `Quick
+      test_fa_commutes_not_overwrites;
+    Alcotest.test_case "test&set idempotent" `Quick test_tas_idempotent;
+    Alcotest.test_case "classification matrix" `Quick test_matrix;
+    Alcotest.test_case "report consistent" `Quick test_report_consistent;
+    Alcotest.test_case "infinite spec rejected" `Quick test_not_finite;
+    Alcotest.test_case "hierarchy table agrees" `Quick test_hierarchy_table;
+  ]

@@ -1,0 +1,119 @@
+open Sim
+open Objects
+
+let veq = Alcotest.testable Value.pp_compact Value.equal
+
+let step ot v op = Optype.apply ot v op
+
+let test_register () =
+  let ot = Register.optype () in
+  Alcotest.check veq "init" Value.none ot.Optype.init;
+  let v, r = step ot Value.none (Register.write_int 5) in
+  Alcotest.check veq "write sets" (Value.int 5) v;
+  Alcotest.check veq "write acks unit" Value.unit r;
+  let v', r' = step ot v Register.read in
+  Alcotest.check veq "read keeps" (Value.int 5) v';
+  Alcotest.check veq "read returns" (Value.int 5) r'
+
+let test_register_bad_op () =
+  let ot = Register.optype () in
+  match step ot Value.none (Op.make "bogus") with
+  | exception Optype.Bad_op _ -> ()
+  | _ -> Alcotest.fail "expected Bad_op"
+
+let test_swap () =
+  let ot = Swap_register.optype () in
+  let v, old = step ot ot.Optype.init (Swap_register.swap_int 1) in
+  Alcotest.check veq "swap installs" (Value.int 1) v;
+  Alcotest.check veq "swap returns old" Value.none old;
+  let v2, old2 = step ot v (Swap_register.swap_int 2) in
+  Alcotest.check veq "swap installs 2" (Value.int 2) v2;
+  Alcotest.check veq "swap returns 1" (Value.int 1) old2
+
+let test_tas () =
+  let ot = Test_and_set.optype () in
+  let v, r = step ot ot.Optype.init Test_and_set.test_and_set in
+  Alcotest.check veq "first gets 0" (Value.int 0) r;
+  Alcotest.check veq "sets to 1" (Value.int 1) v;
+  let v2, r2 = step ot v Test_and_set.test_and_set in
+  Alcotest.check veq "second gets 1" (Value.int 1) r2;
+  Alcotest.check veq "stays 1" (Value.int 1) v2
+
+let test_fetch_add () =
+  let ot = Fetch_add.optype () in
+  let v, old = step ot ot.Optype.init (Fetch_add.fetch_add 5) in
+  Alcotest.check veq "returns old" (Value.int 0) old;
+  Alcotest.check veq "adds" (Value.int 5) v;
+  let v2, old2 = step ot v (Fetch_add.fetch_add (-2)) in
+  Alcotest.check veq "returns 5" (Value.int 5) old2;
+  Alcotest.check veq "subtracts" (Value.int 3) v2;
+  let v3, old3 = step ot v2 (Fetch_add.fetch_add 0) in
+  Alcotest.check veq "f&a(0) reads" (Value.int 3) old3;
+  Alcotest.check veq "f&a(0) keeps" (Value.int 3) v3
+
+let test_fetch_inc_dec () =
+  let inc = Fetch_inc.optype () and dec = Fetch_dec.optype () in
+  let v, old = step inc inc.Optype.init Fetch_inc.fetch_inc in
+  Alcotest.check veq "inc old" (Value.int 0) old;
+  Alcotest.check veq "inc new" (Value.int 1) v;
+  let v', old' = step dec dec.Optype.init Fetch_dec.fetch_dec in
+  Alcotest.check veq "dec old" (Value.int 0) old';
+  Alcotest.check veq "dec new" (Value.int (-1)) v'
+
+let test_cas () =
+  let ot = Compare_swap.optype () in
+  let desired = Value.some (Value.int 9) in
+  let v, old = step ot ot.Optype.init (Compare_swap.cas ~expected:Value.none ~desired) in
+  Alcotest.check veq "cas succeeds" desired v;
+  Alcotest.check veq "cas returns old" Value.none old;
+  let v2, old2 =
+    step ot v (Compare_swap.cas ~expected:Value.none ~desired:(Value.some (Value.int 4)))
+  in
+  Alcotest.check veq "cas fails keeps" desired v2;
+  Alcotest.check veq "cas fail returns current" desired old2
+
+let test_counter () =
+  let ot = Counter.optype () in
+  let v, _ = step ot ot.Optype.init Counter.inc in
+  let v, _ = step ot v Counter.inc in
+  let v, _ = step ot v Counter.dec in
+  Alcotest.check veq "inc inc dec = 1" (Value.int 1) v;
+  let v, r = step ot v Counter.read in
+  Alcotest.check veq "read" (Value.int 1) r;
+  let v, _ = step ot v Counter.reset in
+  Alcotest.check veq "reset" (Value.int 0) v
+
+let test_bounded_counter_wraps () =
+  let ot = Bounded_counter.optype ~lo:(-2) ~hi:2 () in
+  (* from hi, inc wraps to lo: modulo the range size, as the paper defines *)
+  let v, _ = step ot (Value.int 2) Counter.inc in
+  Alcotest.check veq "wrap up" (Value.int (-2)) v;
+  let v, _ = step ot (Value.int (-2)) Counter.dec in
+  Alcotest.check veq "wrap down" (Value.int 2) v
+
+let test_bounded_counter_range () =
+  let ot = Bounded_counter.optype ~lo:(-3) ~hi:3 () in
+  (* 100 random incs/decs never leave the range *)
+  let rng = Rng.create 2 in
+  let v = ref ot.Optype.init in
+  for _ = 1 to 100 do
+    let op = if Rng.bool rng then Counter.inc else Counter.dec in
+    let v', _ = step ot !v op in
+    v := v';
+    let i = Value.to_int !v in
+    if i < -3 || i > 3 then Alcotest.failf "escaped range: %d" i
+  done
+
+let suite =
+  [
+    Alcotest.test_case "register" `Quick test_register;
+    Alcotest.test_case "register bad op" `Quick test_register_bad_op;
+    Alcotest.test_case "swap" `Quick test_swap;
+    Alcotest.test_case "test&set" `Quick test_tas;
+    Alcotest.test_case "fetch&add" `Quick test_fetch_add;
+    Alcotest.test_case "fetch&inc/dec" `Quick test_fetch_inc_dec;
+    Alcotest.test_case "compare&swap" `Quick test_cas;
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "bounded counter wraps" `Quick test_bounded_counter_wraps;
+    Alcotest.test_case "bounded counter range" `Quick test_bounded_counter_range;
+  ]

@@ -1,0 +1,263 @@
+(* Object implementations end to end: the harness records histories, the
+   checker judges them; correct implementations always pass, the flawed
+   collect counter is refuted by a directed schedule, and the snapshot
+   reader demonstrates solo-termination-without-wait-freedom. *)
+
+open Sim
+open Objects
+open Objimpl
+
+let counter_ops = [ Counter.inc; Counter.dec; Counter.read ]
+
+let test_collect_counter_inc_only_linearizable () =
+  (* increments-only: sums collected register by register are always
+     explainable (counts move by +1) *)
+  for seed = 1 to 20 do
+    let workload =
+      Harness.random_workload ~n:3 ~calls:4 ~ops:[ Counter.inc; Counter.read ]
+        ~seed
+    in
+    let outcome, verdict =
+      Harness.run_and_check Counters.collect ~n:3 ~workload
+        ~schedule:(Harness.Random_sched seed) ()
+    in
+    Alcotest.(check bool) "completed" true outcome.Harness.completed;
+    match verdict with
+    | Linearize.Linearizable _ -> ()
+    | Linearize.Not_linearizable ->
+        Alcotest.failf "inc-only collect counter refuted (seed %d):\n%s" seed
+          (History.to_string outcome.Harness.history)
+    | Linearize.Unknown -> Alcotest.fail "checker budget"
+  done
+
+(* The directed interleaving from the module documentation: inc completes,
+   then dec runs inside a reader's collect window; the reader returns -1,
+   a value the counter never held. *)
+let test_collect_counter_refuted () =
+  let workload = [ (0, [ Counter.inc ]); (1, [ Counter.read; Counter.dec ]); (2, [ Counter.read ]) ] in
+  let schedule =
+    Harness.Fixed
+      ([ 2 ] (* reader collects reg0 = 0 *)
+      @ [ 0; 0; 0 ] (* P0's inc completes *)
+      @ [ 1; 1; 1; 1 ] (* P1's read completes (returns 1) *)
+      @ [ 1; 1; 1 ] (* P1's dec completes *)
+      @ [ 2; 2; 2 ] (* reader collects reg1 = -1, reg2 = 0, returns -1 *))
+  in
+  let outcome, verdict =
+    Harness.run_and_check Counters.collect ~n:3 ~workload ~schedule ()
+  in
+  Alcotest.(check bool) "completed" true outcome.Harness.completed;
+  (* the reader really returned -1 *)
+  let reader_response =
+    List.find_map
+      (fun (c : History.call) ->
+        if c.History.pid = 2 then c.History.response else None)
+      (History.complete_calls outcome.Harness.history)
+  in
+  Alcotest.(check bool) "reader saw -1" true
+    (reader_response = Some (Value.int (-1)));
+  match verdict with
+  | Linearize.Not_linearizable -> ()
+  | Linearize.Linearizable _ ->
+      Alcotest.failf "accepted the impossible history:\n%s"
+        (History.to_string outcome.Harness.history)
+  | Linearize.Unknown -> Alcotest.fail "checker budget"
+
+let test_snapshot_counter_linearizable () =
+  for seed = 1 to 20 do
+    let workload = Harness.random_workload ~n:3 ~calls:4 ~ops:counter_ops ~seed in
+    let outcome, verdict =
+      Harness.run_and_check Counters.snapshot ~n:3 ~workload
+        ~schedule:(Harness.Random_sched (seed * 3)) ()
+    in
+    Alcotest.(check bool) "completed" true outcome.Harness.completed;
+    match verdict with
+    | Linearize.Linearizable _ -> ()
+    | _ ->
+        Alcotest.failf "snapshot counter refuted (seed %d):\n%s" seed
+          (History.to_string outcome.Harness.history)
+  done
+
+(* the same adversarial window that breaks collect does NOT break
+   snapshot: the reader retries and returns a consistent value *)
+let test_snapshot_counter_survives_directed () =
+  let workload = [ (0, [ Counter.inc ]); (1, [ Counter.read; Counter.dec ]); (2, [ Counter.read ]) ] in
+  let schedule =
+    Harness.Fixed
+      ([ 2 ] @ [ 0; 0; 0 ] @ [ 1; 1; 1; 1; 1; 1; 1 ] @ [ 1; 1; 1 ]
+      @ [ 2; 2; 2; 2; 2; 2; 2; 2; 2; 2; 2 ])
+  in
+  let outcome, verdict =
+    Harness.run_and_check Counters.snapshot ~n:3 ~workload ~schedule ()
+  in
+  match verdict with
+  | Linearize.Linearizable _ -> ()
+  | Linearize.Not_linearizable ->
+      Alcotest.failf "snapshot counter broke:\n%s"
+        (History.to_string outcome.Harness.history)
+  | Linearize.Unknown -> Alcotest.fail "checker budget"
+
+(* solo termination vs wait-freedom, both directions *)
+let test_snapshot_read_solo_terminates () =
+  let workload = [ (0, [ Counter.read ]) ] in
+  let outcome, verdict =
+    Harness.run_and_check Counters.snapshot ~n:2 ~workload
+      ~schedule:(Harness.Fixed [ 0; 0; 0; 0; 0 ]) ()
+  in
+  Alcotest.(check bool) "solo read finishes in 5 steps" true
+    outcome.Harness.completed;
+  match verdict with
+  | Linearize.Linearizable _ -> ()
+  | _ -> Alcotest.fail "solo read wrong"
+
+let test_snapshot_read_starved_by_writer () =
+  let k = 30 in
+  let workload =
+    [ (0, [ Counter.read ]); (1, List.init k (fun _ -> Counter.inc)) ]
+  in
+  (* each round: the reader's two-register collect straddles a complete
+     increment, so its double collect never stabilizes *)
+  let round = [ 0; 1; 1; 1; 0 ] in
+  let schedule = Harness.Fixed (List.concat (List.init k (fun _ -> round))) in
+  let outcome = Harness.run Counters.snapshot ~n:2 ~workload ~schedule () in
+  Alcotest.(check bool) "reader starved" false outcome.Harness.completed;
+  let reader_responded =
+    List.exists
+      (fun (c : History.call) -> c.History.pid = 0 && c.History.response <> None)
+      (History.calls outcome.Harness.history)
+  in
+  Alcotest.(check bool) "reader never responded" false reader_responded
+
+let test_fa_from_cas () =
+  let ops = [ Fetch_add.fetch_add 1; Fetch_add.fetch_add (-2); Fetch_add.read ] in
+  for seed = 1 to 20 do
+    let workload = Harness.random_workload ~n:3 ~calls:4 ~ops ~seed in
+    let outcome, verdict =
+      Harness.run_and_check From_universal.fetch_add_from_cas ~n:3 ~workload
+        ~schedule:(Harness.Random_sched (seed * 11)) ()
+    in
+    Alcotest.(check bool) "completed" true outcome.Harness.completed;
+    match verdict with
+    | Linearize.Linearizable _ -> ()
+    | _ ->
+        Alcotest.failf "fa-from-cas refuted (seed %d):\n%s" seed
+          (History.to_string outcome.Harness.history)
+  done
+
+let test_tas_from_swap () =
+  let ops = [ Test_and_set.test_and_set; Test_and_set.read ] in
+  for seed = 1 to 20 do
+    let workload = Harness.random_workload ~n:3 ~calls:3 ~ops ~seed in
+    let outcome, verdict =
+      Harness.run_and_check From_universal.test_and_set_from_swap ~n:3 ~workload
+        ~schedule:(Harness.Random_sched (seed * 13)) ()
+    in
+    Alcotest.(check bool) "completed" true outcome.Harness.completed;
+    match verdict with
+    | Linearize.Linearizable _ -> ()
+    | _ -> Alcotest.failf "tas-from-swap refuted (seed %d)" seed
+  done;
+  (* exactly one test&set wins across processes *)
+  let workload =
+    [ (0, [ Test_and_set.test_and_set ]); (1, [ Test_and_set.test_and_set ]);
+      (2, [ Test_and_set.test_and_set ]) ]
+  in
+  let outcome =
+    Harness.run From_universal.test_and_set_from_swap ~n:3 ~workload
+      ~schedule:(Harness.Random_sched 5) ()
+  in
+  let zeros =
+    List.filter
+      (fun (c : History.call) -> c.History.response = Some (Value.int 0))
+      (History.complete_calls outcome.Harness.history)
+  in
+  Alcotest.(check int) "one winner" 1 (List.length zeros)
+
+let test_snapshot_object () =
+  let n = 3 in
+  let impl = Snapshot.implementation ~n in
+  for seed = 1 to 15 do
+    (* single-writer discipline: process i updates only segment i *)
+    let rng = Rng.create (seed * 17) in
+    let workload =
+      List.init n (fun pid ->
+          ( pid,
+            List.init 3 (fun _ ->
+                if Rng.bool rng then
+                  Snapshot.update ~seg:pid (Value.int (Rng.int rng 10))
+                else Snapshot.scan) ))
+    in
+    let outcome, verdict =
+      Harness.run_and_check impl ~n ~workload
+        ~schedule:(Harness.Random_sched (seed * 19)) ()
+    in
+    Alcotest.(check bool) "completed" true outcome.Harness.completed;
+    match verdict with
+    | Linearize.Linearizable _ -> ()
+    | _ ->
+        Alcotest.failf "snapshot object refuted (seed %d):\n%s" seed
+          (History.to_string outcome.Harness.history)
+  done
+
+(* Theorem 4.4's reduction: a counter from ONE fetch&add register; each
+   counter op is a single atomic base step, so every history whatsoever is
+   linearizable *)
+let test_counter_from_fa () =
+  for seed = 1 to 20 do
+    let workload = Harness.random_workload ~n:4 ~calls:5 ~ops:counter_ops ~seed in
+    let outcome, verdict =
+      Harness.run_and_check From_fa.counter_from_fetch_add ~n:4 ~workload
+        ~schedule:(Harness.Random_sched (seed * 29)) ()
+    in
+    Alcotest.(check bool) "completed" true outcome.Harness.completed;
+    match verdict with
+    | Linearize.Linearizable _ -> ()
+    | _ ->
+        Alcotest.failf "counter-from-fa refuted (seed %d):\n%s" seed
+          (History.to_string outcome.Harness.history)
+  done;
+  Alcotest.(check int) "one base object" 1
+    (From_fa.counter_from_fetch_add.Implementation.instances ~n:4)
+
+let test_inc_counter_from_fi () =
+  for seed = 1 to 10 do
+    let workload =
+      Harness.random_workload ~n:3 ~calls:4 ~ops:[ Counter.inc ] ~seed
+    in
+    let outcome, verdict =
+      Harness.run_and_check From_fa.inc_counter_from_fetch_inc ~n:3 ~workload
+        ~schedule:(Harness.Random_sched (seed * 31)) ()
+    in
+    Alcotest.(check bool) "completed" true outcome.Harness.completed;
+    match verdict with
+    | Linearize.Linearizable _ -> ()
+    | _ -> Alcotest.failf "inc-counter-from-f&i refuted (seed %d)" seed
+  done
+
+let test_instances_counts () =
+  Alcotest.(check int) "collect counter uses n" 4
+    (Counters.collect.Implementation.instances ~n:4);
+  Alcotest.(check int) "fa-from-cas uses 1" 1
+    (From_universal.fetch_add_from_cas.Implementation.instances ~n:4)
+
+let suite =
+  [
+    Alcotest.test_case "collect counter, inc-only ok" `Quick
+      test_collect_counter_inc_only_linearizable;
+    Alcotest.test_case "collect counter refuted (directed)" `Quick
+      test_collect_counter_refuted;
+    Alcotest.test_case "snapshot counter linearizable" `Quick
+      test_snapshot_counter_linearizable;
+    Alcotest.test_case "snapshot counter survives directed" `Quick
+      test_snapshot_counter_survives_directed;
+    Alcotest.test_case "snapshot read solo-terminates" `Quick
+      test_snapshot_read_solo_terminates;
+    Alcotest.test_case "snapshot read starved by writer" `Quick
+      test_snapshot_read_starved_by_writer;
+    Alcotest.test_case "fetch&add from cas" `Quick test_fa_from_cas;
+    Alcotest.test_case "test&set from swap" `Quick test_tas_from_swap;
+    Alcotest.test_case "snapshot object" `Quick test_snapshot_object;
+    Alcotest.test_case "counter from fetch&add (Thm 4.4)" `Quick test_counter_from_fa;
+    Alcotest.test_case "inc-counter from fetch&inc" `Quick test_inc_counter_from_fi;
+    Alcotest.test_case "instance counts" `Quick test_instances_counts;
+  ]

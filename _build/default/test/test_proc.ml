@@ -1,0 +1,115 @@
+open Sim
+open Objects
+
+(* drive a proc through a private little machine for testing combinators *)
+let run_proc ?(coins = []) proc ~optypes =
+  let config = Config.make ~optypes ~procs:[ proc ] in
+  let rec go config coins steps =
+    if steps > 10_000 then Alcotest.fail "proc did not terminate";
+    match Config.decision config 0 with
+    | Some v -> v
+    | None ->
+        let coin, coins =
+          match (config.Config.procs.(0), coins) with
+          | Proc.Choose _, c :: rest -> (c, rest)
+          | Proc.Choose _, [] -> Alcotest.fail "ran out of coins"
+          | _, coins -> (0, coins)
+        in
+        let config', _ = Run.step config ~pid:0 ~coin:(fun _ -> coin) in
+        go config' coins (steps + 1)
+  in
+  go config coins 0
+
+let regs n = List.init n (fun _ -> Register.optype ())
+
+let test_bind_sequences () =
+  let open Proc in
+  let proc =
+    let* _ = apply 0 (Register.write_int 4) in
+    let* v = apply 0 Register.read in
+    decide (Value.to_int v * 10)
+  in
+  Alcotest.(check int) "write then read" 40 (run_proc proc ~optypes:(regs 1))
+
+let test_map () =
+  let open Proc in
+  let proc =
+    let+ v = apply 0 Register.read in
+    match v with Value.Opt None -> 99 | _ -> 0
+  in
+  Alcotest.(check int) "map over response" 99 (run_proc proc ~optypes:(regs 1))
+
+let test_flip_and_choose () =
+  let open Proc in
+  let proc =
+    let* heads = flip in
+    let* k = choose 3 in
+    decide ((if heads then 10 else 0) + k)
+  in
+  Alcotest.(check int) "coins consumed in order" 12
+    (run_proc proc ~coins:[ 1; 2 ] ~optypes:[]);
+  Alcotest.(check int) "tails" 1 (run_proc proc ~coins:[ 0; 1 ] ~optypes:[])
+
+let test_choose_invalid () =
+  match Proc.choose 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "choose 0 accepted"
+
+let test_iter_map_list () =
+  let open Proc in
+  let proc =
+    let* () =
+      iter_list (fun i -> map (apply i (Register.write_int i)) ignore) [ 0; 1; 2 ]
+    in
+    let* vals = map_list (fun i -> apply i Register.read) [ 0; 1; 2 ] in
+    decide (List.fold_left (fun acc v -> acc + Value.to_int v) 0 vals)
+  in
+  Alcotest.(check int) "iter+map over registers" 3 (run_proc proc ~optypes:(regs 3))
+
+let test_for_ () =
+  let open Proc in
+  let proc =
+    let* () = for_ 0 4 (fun i -> map (apply 0 (Register.write_int i)) ignore) in
+    let* v = apply 0 Register.read in
+    decide (Value.to_int v)
+  in
+  Alcotest.(check int) "for_ runs in order" 4 (run_proc proc ~optypes:(regs 1))
+
+let test_repeat_until () =
+  let open Proc in
+  let proc =
+    repeat_until
+      (let* heads = flip in
+       return (if heads then Some 7 else None))
+  in
+  Alcotest.(check int) "repeat until heads" 7
+    (run_proc proc ~coins:[ 0; 0; 1 ] ~optypes:[])
+
+let test_pending () =
+  let open Proc in
+  let p = apply 3 Register.read in
+  (match Proc.pending p with
+  | Some (3, op) -> Alcotest.(check string) "op name" "read" op.Op.name
+  | _ -> Alcotest.fail "pending mismatch");
+  Alcotest.(check bool) "decide has no pending" true (Proc.pending (decide 0) = None);
+  Alcotest.(check bool) "flip has no pending" true (Proc.pending flip = None)
+
+let test_decision () =
+  Alcotest.(check (option int)) "decision of decide" (Some 5)
+    (Proc.decision (Proc.decide 5));
+  Alcotest.(check bool) "is_decided" true (Proc.is_decided (Proc.decide 5));
+  Alcotest.(check bool) "apply not decided" false
+    (Proc.is_decided (Proc.apply 0 Register.read))
+
+let suite =
+  [
+    Alcotest.test_case "bind sequences" `Quick test_bind_sequences;
+    Alcotest.test_case "map" `Quick test_map;
+    Alcotest.test_case "flip and choose" `Quick test_flip_and_choose;
+    Alcotest.test_case "choose rejects non-positive" `Quick test_choose_invalid;
+    Alcotest.test_case "iter_list/map_list" `Quick test_iter_map_list;
+    Alcotest.test_case "for_" `Quick test_for_;
+    Alcotest.test_case "repeat_until" `Quick test_repeat_until;
+    Alcotest.test_case "pending" `Quick test_pending;
+    Alcotest.test_case "decision accessors" `Quick test_decision;
+  ]

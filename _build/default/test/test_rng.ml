@@ -1,0 +1,81 @@
+open Sim
+
+let test_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 13 in
+    if x < 0 || x >= 13 then Alcotest.failf "out of range: %d" x
+  done
+
+let test_uniformity () =
+  let rng = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  let reps = 100_000 in
+  for _ = 1 to reps do
+    let x = Rng.int rng 10 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = reps / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d count %d far from %d" i c expected)
+    buckets
+
+let test_bool_balance () =
+  let rng = Rng.create 3 in
+  let trues = ref 0 in
+  let reps = 50_000 in
+  for _ = 1 to reps do
+    if Rng.bool rng then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int reps in
+  if ratio < 0.47 || ratio > 0.53 then
+    Alcotest.failf "bool ratio %.3f not near 0.5" ratio
+
+let test_float_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 Fun.id in
+  let orig = Array.copy arr in
+  Rng.shuffle rng arr;
+  Alcotest.(check bool) "same multiset" true
+    (List.sort compare (Array.to_list arr) = Array.to_list orig);
+  Alcotest.(check bool) "actually shuffled" true (arr <> orig)
+
+let test_split_independent () =
+  let rng = Rng.create 17 in
+  let a = Rng.split rng and b = Rng.split rng in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic by seed" `Quick test_deterministic;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "int range" `Quick test_range;
+    Alcotest.test_case "uniformity" `Quick test_uniformity;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "split independent" `Quick test_split_independent;
+  ]

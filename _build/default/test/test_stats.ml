@@ -1,0 +1,66 @@
+let approx msg a b = if abs_float (a -. b) > 1e-9 then Alcotest.failf "%s: %f <> %f" msg a b
+
+let test_summary_basics () =
+  let s = Stats.Summary.of_list [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  approx "mean" 3.0 s.Stats.Summary.mean;
+  approx "median" 3.0 s.Stats.Summary.median;
+  approx "min" 1.0 s.Stats.Summary.min;
+  approx "max" 5.0 s.Stats.Summary.max;
+  approx "stddev" (sqrt 2.0) s.Stats.Summary.stddev;
+  Alcotest.(check int) "n" 5 s.Stats.Summary.n
+
+let test_summary_singleton () =
+  let s = Stats.Summary.of_list [ 42.0 ] in
+  approx "mean" 42.0 s.Stats.Summary.mean;
+  approx "sd" 0.0 s.Stats.Summary.stddev;
+  approx "p90" 42.0 s.Stats.Summary.p90
+
+let test_summary_empty () =
+  match Stats.Summary.of_list [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted empty sample"
+
+let test_of_ints () =
+  let s = Stats.Summary.of_ints [ 2; 4; 6 ] in
+  approx "mean" 4.0 s.Stats.Summary.mean
+
+let test_ci () =
+  let s = Stats.Summary.of_list (List.init 100 (fun i -> float_of_int (i mod 10))) in
+  let lo, hi = Stats.Summary.ci95 s in
+  Alcotest.(check bool) "mean inside CI" true
+    (lo <= s.Stats.Summary.mean && s.Stats.Summary.mean <= hi);
+  Alcotest.(check bool) "CI nonempty" true (lo < hi)
+
+let test_table_render () =
+  let t = Stats.Table.create ~header:[ "a"; "bb" ] in
+  Stats.Table.add_row t [ "xxx"; "y" ];
+  Stats.Table.add_row t [ "z"; "wwww" ];
+  let s = Stats.Table.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header+sep+2 rows" 4 (List.length lines);
+  (* all lines same width *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths);
+  (* row order preserved *)
+  Alcotest.(check bool) "xxx before z" true
+    (match lines with _ :: _ :: r1 :: r2 :: _ ->
+       Astring_contains.contains r1 "xxx" && Astring_contains.contains r2 "wwww"
+     | _ -> false)
+
+let test_table_arity () =
+  let t = Stats.Table.create ~header:[ "a"; "b" ] in
+  match Stats.Table.add_row t [ "only-one" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted wrong arity"
+
+let suite =
+  [
+    Alcotest.test_case "summary basics" `Quick test_summary_basics;
+    Alcotest.test_case "summary singleton" `Quick test_summary_singleton;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "of_ints" `Quick test_of_ints;
+    Alcotest.test_case "ci95" `Quick test_ci;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity" `Quick test_table_arity;
+  ]

@@ -1,0 +1,43 @@
+open Sim
+
+let ev_apply pid obj = Event.Applied { pid; obj; op = Op.make "read"; resp = Value.unit }
+let ev_coin pid = Event.Coin { pid; n = 2; outcome = 1 }
+let ev_decide pid v = Event.Decided { pid; value = v }
+
+let sample : int Trace.t =
+  Trace.of_events
+    [ ev_apply 0 0; ev_coin 1; ev_apply 1 1; ev_decide 1 7; ev_apply 0 1 ]
+
+let test_steps () =
+  (* Decided events are not steps *)
+  Alcotest.(check int) "steps" 4 (Trace.steps sample);
+  Alcotest.(check int) "length" 5 (Trace.length sample)
+
+let test_decompositions () =
+  Alcotest.(check int) "applied ops" 3 (List.length (Trace.applied_ops sample));
+  Alcotest.(check (list (pair int int))) "decisions" [ (1, 7) ] (Trace.decisions sample);
+  Alcotest.(check int) "coins" 1 (List.length (Trace.coins sample));
+  Alcotest.(check (list int)) "pids" [ 0; 1 ] (Trace.pids sample)
+
+let test_by_pid () =
+  Alcotest.(check int) "P0 events" 2 (List.length (Trace.by_pid sample 0));
+  Alcotest.(check int) "P1 events" 3 (List.length (Trace.by_pid sample 1))
+
+let test_append_concat () =
+  let t2 = Trace.append sample sample in
+  Alcotest.(check int) "append" 10 (Trace.length t2);
+  Alcotest.(check int) "concat" 15 (Trace.length (Trace.concat [ sample; sample; sample ]))
+
+let test_to_string () =
+  let s = Trace.to_string string_of_int sample in
+  Alcotest.(check bool) "mentions decide" true
+    (Astring_contains.contains s "decide 7")
+
+let suite =
+  [
+    Alcotest.test_case "steps vs length" `Quick test_steps;
+    Alcotest.test_case "decompositions" `Quick test_decompositions;
+    Alcotest.test_case "by_pid" `Quick test_by_pid;
+    Alcotest.test_case "append/concat" `Quick test_append_concat;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+  ]

@@ -1,0 +1,73 @@
+open Sim
+
+let check = Alcotest.(check bool)
+
+let test_equal () =
+  check "int eq" true (Value.equal (Value.int 3) (Value.int 3));
+  check "int neq" false (Value.equal (Value.int 3) (Value.int 4));
+  check "pair eq" true
+    (Value.equal
+       (Value.pair (Value.int 1) (Value.bool true))
+       (Value.pair (Value.int 1) (Value.bool true)));
+  check "opt eq" true (Value.equal Value.none (Value.Opt None));
+  check "cross-type neq" false (Value.equal (Value.int 0) (Value.bool false))
+
+let test_accessors () =
+  Alcotest.(check int) "to_int" 7 (Value.to_int (Value.int 7));
+  check "to_bool" true (Value.to_bool (Value.bool true));
+  Alcotest.(check string) "to_sym" "x" (Value.to_sym (Value.sym "x"));
+  (match Value.to_pair (Value.pair (Value.int 1) (Value.int 2)) with
+  | Value.Int 1, Value.Int 2 -> ()
+  | _ -> Alcotest.fail "to_pair");
+  check "to_opt none" true (Value.to_opt Value.none = None)
+
+let test_accessor_errors () =
+  Alcotest.check_raises "to_int on bool"
+    (Value.Type_error { expected = "Int"; got = Value.bool true })
+    (fun () -> ignore (Value.to_int (Value.bool true)));
+  Alcotest.check_raises "to_pair on unit"
+    (Value.Type_error { expected = "Pair"; got = Value.unit })
+    (fun () -> ignore (Value.to_pair Value.unit))
+
+let test_to_string () =
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.int 42));
+  Alcotest.(check string) "unit" "()" (Value.to_string Value.unit);
+  Alcotest.(check string) "pair" "(1,true)"
+    (Value.to_string (Value.pair (Value.int 1) (Value.bool true)));
+  Alcotest.(check string) "none" "_" (Value.to_string Value.none);
+  Alcotest.(check string) "some" "[7]"
+    (Value.to_string (Value.some (Value.int 7)))
+
+let test_compare_total () =
+  (* compare is a total order consistent with equal *)
+  let vs =
+    [
+      Value.unit;
+      Value.bool false;
+      Value.bool true;
+      Value.int (-1);
+      Value.int 5;
+      Value.sym "a";
+      Value.pair (Value.int 1) (Value.int 2);
+      Value.none;
+      Value.some (Value.int 1);
+    ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c = Value.compare a b in
+          check "eq iff compare 0" (Value.equal a b) (c = 0);
+          check "antisym" true (Value.compare b a = -c))
+        vs)
+    vs
+
+let suite =
+  [
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "accessor errors" `Quick test_accessor_errors;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "compare total order" `Quick test_compare_total;
+  ]
