@@ -11,6 +11,13 @@
       code path (simulator step costs, one consensus run per protocol,
       one adversary construction per lower bound, one exhaustive model
       check).  Run with `--bench` (also included in a default full run).
+
+   3. The parallel-speedup scenario (`--par-bench`): wall-clock time of
+      the general attack sweep, the attack seed sweep, and the
+      partitioned model-checking frontier at 1, 2 and 4 domains, with a
+      column asserting that every jobs count produced identical results.
+      `--jobs N` runs the experiment harness itself on a pool of N
+      domains (0 = one per core).
 *)
 
 open Bechamel
@@ -119,6 +126,98 @@ let macro_tests =
       (nf (fun () -> Mutex.check_exclusion ~max_depth:14 Mutex.peterson ~n:2));
   ]
 
+(* --- parallel speedup: sequential vs. Par pools on the hot sweeps ----- *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* One scenario = one workload as a function of the (optional) pool.  The
+   workload must return plain data (no closures) so results from
+   different jobs counts can be compared structurally; the "identical"
+   column is the determinism claim, measured. *)
+let add_scenario table name work =
+  let seq_result, seq_time = wall (fun () -> work None) in
+  Stats.Table.add_row table
+    [ name; "seq"; Printf.sprintf "%.3f" seq_time; "1.00x"; "-" ];
+  List.iter
+    (fun jobs ->
+      let result, time =
+        wall (fun () -> Par.with_pool ~jobs (fun pool -> work (Some pool)))
+      in
+      Stats.Table.add_row table
+        [
+          name;
+          string_of_int jobs;
+          Printf.sprintf "%.3f" time;
+          Printf.sprintf "%.2fx" (seq_time /. time);
+          string_of_bool (result = seq_result);
+        ])
+    [ 2; 4 ]
+
+let par_bench () =
+  let table =
+    Stats.Table.create
+      ~header:[ "scenario"; "jobs"; "seconds"; "speedup"; "identical" ]
+  in
+  (* the general attack sweep: one Lemma 3.6 construction per (r, style)
+     cell at register counts big enough to cost ~0.5 s each — the E3
+     workload pushed into the parameter regime the parallel engine is
+     for.  6 coarse independent cells saturate 4 domains. *)
+  add_scenario table "general-attack-sweep" (fun pool ->
+      Lowerbound.General_attack.sweep ?pool
+        (List.concat_map
+           (fun r ->
+             [
+               Consensus.Flawed.unanimous ~style:Consensus.Flawed.Rw ~r;
+               Consensus.Flawed.unanimous ~style:Consensus.Flawed.Swapping ~r;
+             ])
+           [ 10; 13; 16 ])
+      |> List.map (fun (name, result) ->
+             ( name,
+               match result with
+               | Ok o ->
+                   Ok
+                     ( o.Lowerbound.General_attack.processes_used,
+                       o.Lowerbound.General_attack.registers,
+                       o.Lowerbound.General_attack.pieces_alpha,
+                       o.Lowerbound.General_attack.pieces_beta,
+                       Sim.Trace.steps o.Lowerbound.General_attack.trace,
+                       Lowerbound.General_attack.succeeded o )
+               | Error e ->
+                   Error (Lowerbound.General_attack.error_to_string e) )));
+  (* randomized-restart seed sweep of the identical-process adversary:
+     thousands of tiny tasks, the chunked queue's amortization case *)
+  add_scenario table "attack-seed-sweep" (fun pool ->
+      Lowerbound.Attack.seed_sweep ?pool
+        ~seeds:(List.init 8192 (fun i -> i + 1))
+        (Consensus.Flawed.unanimous ~style:Consensus.Flawed.Rw ~r:4)
+      |> List.map (fun (seed, result) ->
+             ( seed,
+               match result with
+               | Ok o ->
+                   Ok
+                     ( Sim.Trace.steps o.Lowerbound.Attack.trace,
+                       Lowerbound.Attack.succeeded o )
+               | Error e -> Error (Lowerbound.Attack.error_to_string e) )));
+  (* partitioned model-checking frontier: few but heavy subtree tasks *)
+  add_scenario table "mc-frontier-fa-n3" (fun pool ->
+      let config =
+        Consensus.Protocol.initial_config Consensus.Fa_consensus.protocol
+          ~inputs:[ 0; 1; 1 ]
+      in
+      let r =
+        Mc.Explore.search_par ?pool ~max_depth:15 ~max_states:8_000_000
+          ~inputs:[ 0; 1 ] config
+      in
+      ( r.Mc.Explore.visited,
+        r.Mc.Explore.leaves,
+        r.Mc.Explore.truncated,
+        r.Mc.Explore.max_depth_seen,
+        r.Mc.Explore.violation = None ));
+  Stats.Table.print table
+
 let run_bechamel tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -156,6 +255,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let bench_only = List.mem "--bench" args in
+  let par_bench_only = List.mem "--par-bench" args in
   let only =
     let rec find = function
       | "--only" :: id :: _ -> Some id
@@ -164,21 +264,43 @@ let () =
     in
     find args
   in
-  if not bench_only then begin
-    match only with
-    | Some id -> (
-        match Experiments.All.find id with
-        | Some s ->
-            Printf.printf "\n=== %s: %s ===\n\n"
-              (String.uppercase_ascii s.Experiments.All.id)
-              s.Experiments.All.title;
-            Stats.Table.print (s.Experiments.All.run ~quick)
-        | None ->
-            Printf.eprintf "unknown experiment %S (known: e1..e8)\n" id;
-            exit 1)
-    | None -> Experiments.All.run_all ~quick ()
-  end;
-  if bench_only || (only = None && not quick) then begin
-    print_endline "\n=== Bechamel micro/macro benchmarks (ns per run) ===\n";
-    run_bechamel (micro_tests @ macro_tests)
+  let jobs =
+    let rec find = function
+      | "--jobs" :: n :: _ -> int_of_string_opt n
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    match find args with
+    | Some 0 -> Some (Par.default_jobs ())
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None
+  in
+  let with_jobs f =
+    match jobs with
+    | None -> f None
+    | Some jobs -> Par.with_pool ~jobs (fun pool -> f (Some pool))
+  in
+  if par_bench_only then begin
+    print_endline "\n=== Parallel speedup (wall clock, determinism checked) ===\n";
+    par_bench ()
+  end
+  else begin
+    if not bench_only then
+      with_jobs (fun pool ->
+          match only with
+          | Some id -> (
+              match Experiments.All.find id with
+              | Some s ->
+                  Printf.printf "\n=== %s: %s ===\n\n"
+                    (String.uppercase_ascii s.Experiments.All.id)
+                    s.Experiments.All.title;
+                  Stats.Table.print (s.Experiments.All.run ~pool ~quick)
+              | None ->
+                  Printf.eprintf "unknown experiment %S (known: e1..e8)\n" id;
+                  exit 1)
+          | None -> Experiments.All.run_all ?pool ~quick ());
+    if bench_only || (only = None && not quick) then begin
+      print_endline "\n=== Bechamel micro/macro benchmarks (ns per run) ===\n";
+      run_bechamel (micro_tests @ macro_tests)
+    end
   end

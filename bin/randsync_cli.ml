@@ -26,6 +26,21 @@ let seed_arg =
   let doc = "PRNG seed for scheduler and coins." in
   Arg.(value & opt int 1 & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains for parallel search (1 = sequential; 0 = one per \
+     core).  Results are bit-identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* [None] → no pool (sequential); [Some 0] → recommended domain count. *)
+let with_jobs jobs f =
+  match jobs with
+  | None -> f None
+  | Some j ->
+      let jobs = if j = 0 then None else Some j in
+      Par.with_pool ?jobs (fun pool -> f (Some pool))
+
 (* ------------------------------------------------------------------ list *)
 
 let list_cmd =
@@ -128,7 +143,15 @@ let attack_cmd =
     let doc = "Save the counterexample execution to FILE (Trace_io format)." in
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
   in
-  let run name general show_trace do_certify save =
+  let seeds_arg =
+    let doc =
+      "Run the identical-process attack once per seed in 1..N (each seed \
+       randomizes the solo witness search), in parallel under --jobs, and \
+       keep the shortest successful witness."
+    in
+    Arg.(value & opt int 0 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let run name general show_trace do_certify save seeds jobs =
     match find_protocol name with
     | Error e ->
         prerr_endline e;
@@ -163,7 +186,30 @@ let attack_cmd =
               else exit 2
         end
         else begin
-          match Lowerbound.Attack.run p with
+          let outcome =
+            if seeds <= 0 then Lowerbound.Attack.run p
+            else begin
+              let sweep =
+                with_jobs jobs (fun pool ->
+                    Lowerbound.Attack.seed_sweep ?pool
+                      ~seeds:(List.init seeds (fun i -> i + 1))
+                      p)
+              in
+              match Lowerbound.Attack.best_witness sweep with
+              | Some (seed, o) ->
+                  Fmt.pr "seed sweep 1..%d: best witness from seed %d (%d \
+                          steps)@."
+                    seeds seed
+                    (Sim.Trace.steps o.Lowerbound.Attack.trace);
+                  Ok o
+              | None -> (
+                  (* no seed succeeded; surface the unrandomized error *)
+                  match List.assoc_opt 1 sweep with
+                  | Some r -> r
+                  | None -> Lowerbound.Attack.run p)
+            end
+          in
+          match outcome with
           | Error e ->
               prerr_endline (Lowerbound.Attack.error_to_string e);
               exit 1
@@ -193,12 +239,12 @@ let attack_cmd =
        ~doc:"Construct a lower-bound counterexample against a protocol")
     Term.(
       const run $ protocol_arg $ general_arg $ trace_arg $ certify_arg
-      $ save_arg)
+      $ save_arg $ seeds_arg $ jobs_arg)
 
 (* -------------------------------------------------------------------- mc *)
 
 let mc_cmd =
-  let run name inputs depth =
+  let run name inputs depth jobs =
     match find_protocol name with
     | Error e ->
         prerr_endline e;
@@ -209,7 +255,13 @@ let mc_cmd =
           |> List.map int_of_string
         in
         let config = Consensus.Protocol.initial_config p ~inputs in
-        let result = Mc.Explore.search ~max_depth:depth ~inputs config in
+        let result =
+          with_jobs jobs (fun pool ->
+              match pool with
+              | None -> Mc.Explore.search ~max_depth:depth ~inputs config
+              | Some pool ->
+                  Mc.Explore.search_par ~pool ~max_depth:depth ~inputs config)
+        in
         Fmt.pr "visited=%d leaves=%d truncated=%b max-depth=%d@."
           result.Mc.Explore.visited result.Mc.Explore.leaves
           result.Mc.Explore.truncated result.Mc.Explore.max_depth_seen;
@@ -229,7 +281,8 @@ let mc_cmd =
     Term.(
       const run $ protocol_arg
       $ Arg.(value & opt string "0,1" & info [ "inputs" ] ~doc:"inputs")
-      $ Arg.(value & opt int 40 & info [ "depth" ] ~doc:"depth bound"))
+      $ Arg.(value & opt int 40 & info [ "depth" ] ~doc:"depth bound")
+      $ jobs_arg)
 
 (* ----------------------------------------------------------------- trace *)
 
@@ -270,7 +323,7 @@ let classify_cmd =
 (* ----------------------------------------------------------------- sweep *)
 
 let sweep_cmd =
-  let run id quick =
+  let run id quick jobs =
     match Experiments.All.find id with
     | None ->
         prerr_endline ("unknown experiment " ^ id ^ " (known: e1..e8)");
@@ -278,14 +331,16 @@ let sweep_cmd =
     | Some s ->
         Fmt.pr "=== %s: %s ===@.@." (String.uppercase_ascii s.Experiments.All.id)
           s.Experiments.All.title;
-        Stats.Table.print (s.Experiments.All.run ~quick)
+        Stats.Table.print
+          (with_jobs jobs (fun pool -> s.Experiments.All.run ~pool ~quick))
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Regenerate one experiment table (e1..e8)")
     Term.(
       const run
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
-      $ Arg.(value & flag & info [ "quick" ] ~doc:"smaller parameters"))
+      $ Arg.(value & flag & info [ "quick" ] ~doc:"smaller parameters")
+      $ jobs_arg)
 
 let main =
   let doc = "Randomized synchronization space-complexity toolkit (Fich-Herlihy-Shavit, PODC'93)" in

@@ -71,10 +71,10 @@ let finish b ~n_objects ~nominal_n =
   }
 
 let run ?(nominal_n = 64) ?(max_solo_steps = 5_000) ?(max_solo_nodes = 500_000)
-    (p : Consensus.Protocol.t) =
+    ?rng (p : Consensus.Protocol.t) =
   if not p.Consensus.Protocol.identical then Error Not_identical
   else begin
-    Combine.search_budget := (max_solo_steps, max_solo_nodes);
+    Combine.set_search_budget (max_solo_steps, max_solo_nodes);
     let optypes = p.Consensus.Protocol.optypes ~n:nominal_n in
     let n_objects = List.length optypes in
     let code input = p.Consensus.Protocol.code ~n:nominal_n ~pid:0 ~input in
@@ -82,7 +82,7 @@ let run ?(nominal_n = 64) ?(max_solo_steps = 5_000) ?(max_solo_nodes = 500_000)
     let solo pid expected =
       match
         Solo.terminating ~max_steps:max_solo_steps ~max_nodes:max_solo_nodes
-          config ~pid
+          ?rng config ~pid
       with
       | None -> Error (No_solo_termination pid)
       | Some { decision = Some d; _ } when d <> expected ->
@@ -136,6 +136,41 @@ let run ?(nominal_n = 64) ?(max_solo_steps = 5_000) ?(max_solo_nodes = 500_000)
 
 (** Did the attack produce a genuine violation? *)
 let succeeded outcome = not outcome.verdict.Checker.consistent
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweeps.
+
+   The construction itself is sequential; what parallelizes is the search
+   *around* it: randomized-restart seeds for the solo witness searches
+   (each seed shuffles the coin-outcome order and can land on a different,
+   often shorter, witness) and batches of target protocols.  Tasks are
+   independent — all shared construction state (the Combine search budget)
+   is domain-local — and results come back in input order, so a sweep's
+   output is bit-identical for any [?pool]. *)
+
+let seed_sweep ?pool ?nominal_n ?max_solo_steps ?max_solo_nodes ~seeds p =
+  Par.map ?pool
+    (fun seed ->
+      ( seed,
+        run ?nominal_n ?max_solo_steps ?max_solo_nodes ~rng:(Rng.create seed) p
+      ))
+    seeds
+
+let best_witness results =
+  List.fold_left
+    (fun best (seed, result) ->
+      match result with
+      | Ok o when succeeded o -> (
+          let len = Trace.steps o.trace in
+          match best with
+          | Some (_, best_len) when best_len <= len -> best
+          | _ -> Some ((seed, o), len))
+      | Ok _ | Error _ -> best)
+    None results
+  |> Option.map fst
+
+let sweep ?pool ps =
+  Par.map ?pool (fun p -> (p.Consensus.Protocol.name, run p)) ps
 
 (* ------------------------------------------------------------------ *)
 (* Certification: realize the attack's execution from a *fresh* start.

@@ -24,15 +24,42 @@ type error =
 
 val error_to_string : error -> string
 
+(** With [rng], the solo witness searches try coin outcomes in shuffled
+    order (randomized restarts); a fixed generator is deterministic. *)
 val run :
   ?nominal_n:int ->
   ?max_solo_steps:int ->
   ?max_solo_nodes:int ->
+  ?rng:Rng.t ->
   Consensus.Protocol.t ->
   (outcome, error) result
 
 (** True iff the outcome's execution is genuinely inconsistent. *)
 val succeeded : outcome -> bool
+
+(** [seed_sweep ?pool ~seeds p] runs the attack once per seed — each seed
+    randomizes the solo witness search — across the pool's domains.
+    Results are in [seeds] order and bit-identical for any [?pool]. *)
+val seed_sweep :
+  ?pool:Par.Pool.t ->
+  ?nominal_n:int ->
+  ?max_solo_steps:int ->
+  ?max_solo_nodes:int ->
+  seeds:int list ->
+  Consensus.Protocol.t ->
+  (int * (outcome, error) result) list
+
+(** Shortest successful witness of a sweep (ties: earliest seed in sweep
+    order). *)
+val best_witness :
+  (int * (outcome, error) result) list -> (int * outcome) option
+
+(** Run the attack against a batch of protocols in parallel; results in
+    input order. *)
+val sweep :
+  ?pool:Par.Pool.t ->
+  Consensus.Protocol.t list ->
+  (string * (outcome, error) result) list
 
 (** Realize the attack's execution from a fresh start: all processes
     (clones included) present from the initial configuration, each clone

@@ -39,10 +39,14 @@ let run_witness b (side : Side.t) ~within =
   let stop config pid = Solo.poised_outside within config pid in
   Builder.run_coins b ~pid:side.Side.runner ~coins:side.Side.coins ~stop ()
 
-let search_budget = ref (5_000, 500_000)
+(* Domain-local, not a plain ref: [Par] runs attack constructions on
+   several domains at once, each entitled to its own budget. *)
+let search_budget = Domain.DLS.new_key (fun () -> (5_000, 500_000))
+let set_search_budget b = Domain.DLS.set search_budget b
+let get_search_budget () = Domain.DLS.get search_budget
 
 let solo_search config ~pid =
-  let max_steps, max_nodes = !search_budget in
+  let max_steps, max_nodes = get_search_budget () in
   Solo.terminating ~max_steps ~max_nodes config ~pid
 
 (* Execute a block write on a scratch copy of the configuration (pure

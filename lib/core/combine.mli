@@ -10,7 +10,11 @@ exception Attack_failed of string
 
 val fail : ('a, unit, string, 'b) format4 -> 'a
 
-(** Budget for internal solo searches: (max_steps, max_nodes). *)
-val search_budget : (int * int) ref
+(** Budget for internal solo searches: (max_steps, max_nodes).  Stored
+    domain-locally so parallel attack sweeps don't race on it; set it on
+    the domain that runs the construction (the attack drivers do). *)
+val set_search_budget : int * int -> unit
+
+val get_search_budget : unit -> int * int
 
 val combine : Builder.t -> Side.t -> Side.t -> unit

@@ -29,6 +29,19 @@ val run : ?processes:int -> Consensus.Protocol.t -> (outcome, error) result
 val succeeded : outcome -> bool
 
 (** Smallest (even) process count at which the attack lands, searched
-    upward. *)
+    upward.  With [?pool], candidate counts are evaluated in parallel
+    batches; the result is identical to the sequential scan. *)
 val minimum_processes :
-  ?start:int -> ?limit:int -> Consensus.Protocol.t -> int option
+  ?pool:Par.Pool.t ->
+  ?start:int ->
+  ?limit:int ->
+  Consensus.Protocol.t ->
+  int option
+
+(** Run the attack against a batch of protocols in parallel; results in
+    input order. *)
+val sweep :
+  ?pool:Par.Pool.t ->
+  ?processes:int ->
+  Consensus.Protocol.t list ->
+  (string * (outcome, error) result) list

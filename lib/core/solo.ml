@@ -21,8 +21,21 @@ type 'a found = {
 }
 
 let search ?(max_steps = 2_000) ?(max_nodes = 200_000)
-    ?(stop = fun _config _pid -> false) (config : 'a Config.t) ~pid =
+    ?(stop = fun _config _pid -> false) ?rng (config : 'a Config.t) ~pid =
   let nodes = ref 0 in
+  (* With [rng], coin outcomes at each Choose node are tried in a
+     shuffled order instead of 0..n-1: a randomized restart of the same
+     complete search.  Different seeds reach different witnesses (and can
+     escape pathological corners of the tree); a fixed seed is fully
+     deterministic, which is what the parallel seed sweeps rely on. *)
+  let outcome_order n =
+    match rng with
+    | None -> Array.init n Fun.id
+    | Some rng ->
+        let order = Array.init n Fun.id in
+        Rng.shuffle rng order;
+        order
+  in
   (* rev_coins accumulates outcomes; returns the goal description *)
   let rec go config rev_coins steps =
     incr nodes;
@@ -43,21 +56,23 @@ let search ?(max_steps = 2_000) ?(max_nodes = 200_000)
           let config', _ = Run.step config ~pid ~coin:(fun _ -> 0) in
           go config' rev_coins (steps + 1)
       | Proc.Choose { n; _ } ->
-          let rec try_outcome o =
-            if o >= n then None
+          let order = outcome_order n in
+          let rec try_outcome idx =
+            if idx >= n then None
             else
+              let o = order.(idx) in
               let config', _ = Run.step config ~pid ~coin:(fun _ -> o) in
               match go config' (o :: rev_coins) (steps + 1) with
               | Some _ as found -> found
-              | None -> try_outcome (o + 1)
+              | None -> try_outcome (idx + 1)
           in
           try_outcome 0
   in
   go config [] 0
 
 (** A terminating solo execution (decision goal only). *)
-let terminating ?max_steps ?max_nodes config ~pid =
-  search ?max_steps ?max_nodes config ~pid
+let terminating ?max_steps ?max_nodes ?rng config ~pid =
+  search ?max_steps ?max_nodes ?rng config ~pid
 
 (** Goal predicate: pid is poised at a nontrivial operation on an object
     outside [inside].  Combine with the implicit decided-goal to get

@@ -13,18 +13,27 @@ type 'a found = {
 }
 
 (** Goal: pid decided, or [stop config pid] holds (checked before each
-    step). *)
+    step).  With [rng], coin outcomes at each node are tried in a
+    shuffled order — a randomized restart of the same complete search,
+    deterministic for a fixed generator state (used by the parallel seed
+    sweeps in {!Attack}). *)
 val search :
   ?max_steps:int ->
   ?max_nodes:int ->
   ?stop:('a Config.t -> int -> bool) ->
+  ?rng:Rng.t ->
   'a Config.t ->
   pid:int ->
   'a found option
 
 (** Decision goal only. *)
 val terminating :
-  ?max_steps:int -> ?max_nodes:int -> 'a Config.t -> pid:int -> 'a found option
+  ?max_steps:int ->
+  ?max_nodes:int ->
+  ?rng:Rng.t ->
+  'a Config.t ->
+  pid:int ->
+  'a found option
 
 (** Goal predicate: poised at a nontrivial operation on an object outside
     [inside] — Lemma 3.4's "until decided or poised at an object in

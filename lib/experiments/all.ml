@@ -1,10 +1,16 @@
 (* The full experiment harness: every table/figure of EXPERIMENTS.md, in
-   order, with a [quick] mode for CI-speed runs. *)
+   order, with a [quick] mode for CI-speed runs.
+
+   [pool] fans an experiment's independent cells out across domains; the
+   parallelized experiments (e2, e3, e4, e14 — see EXPERIMENTS.md) derive
+   every cell's parameters and seeds before dispatch, so the produced
+   table is bit-identical for any pool, [None] included.  The other
+   experiments ignore the pool. *)
 
 type spec = {
   id : string;
   title : string;
-  run : quick:bool -> Stats.Table.t;
+  run : pool:Par.Pool.t option -> quick:bool -> Stats.Table.t;
 }
 
 let specs =
@@ -12,28 +18,28 @@ let specs =
     {
       id = "e1";
       title = "Table 1 - Section 4 separation (primitive x power)";
-      run = (fun ~quick -> E1_separation.table ~reps:(if quick then 5 else 30) ());
+      run = (fun ~pool:_ ~quick -> E1_separation.table ~reps:(if quick then 5 else 30) ());
     };
     {
       id = "e2";
       title = "Figure 2 - identical-process lower bound witnesses (Thm 3.3)";
-      run = (fun ~quick -> E2_identical_lb.table ~max_r:(if quick then 3 else 4) ());
+      run = (fun ~pool ~quick -> E2_identical_lb.table ?pool ~max_r:(if quick then 3 else 4) ());
     };
     {
       id = "e3";
       title = "Figure 3 - general historyless lower bound witnesses (Lemma 3.6)";
-      run = (fun ~quick -> E3_general_lb.table ~max_r:(if quick then 2 else 3) ());
+      run = (fun ~pool ~quick -> E3_general_lb.table ?pool ~max_r:(if quick then 2 else 3) ());
     };
     {
       id = "e4";
       title = "Figure 4 - space for randomized n-consensus, upper vs lower";
-      run = (fun ~quick:_ -> E4_space.table ());
+      run = (fun ~pool ~quick:_ -> E4_space.table ?pool ());
     };
     {
       id = "e5";
       title = "Figure 5 - expected work to consensus under a random adversary";
       run =
-        (fun ~quick ->
+        (fun ~pool:_ ~quick ->
           if quick then E5_work.table ~ns:[ 2; 4; 8 ] ~reps:5 ()
           else E5_work.table ());
     };
@@ -41,25 +47,25 @@ let specs =
       id = "e6";
       title = "Figure 6 - shared-coin random walk: flips and agreement";
       run =
-        (fun ~quick ->
+        (fun ~pool:_ ~quick ->
           if quick then E6_coin.table ~ns:[ 2; 4 ] ~reps:10 ()
           else E6_coin.table ());
     };
     {
       id = "e7";
       title = "Table 2 - object algebra, classified exhaustively";
-      run = (fun ~quick:_ -> E7_classify.table ());
+      run = (fun ~pool:_ ~quick:_ -> E7_classify.table ());
     };
     {
       id = "e8";
       title = "Table 3 - Theorem 2.1 transfer to Corollaries 4.1/4.3/4.5";
-      run = (fun ~quick:_ -> E8_transfer.table ());
+      run = (fun ~pool:_ ~quick:_ -> E8_transfer.table ());
     };
     {
       id = "e9";
       title = "Figure 7 - solo termination vs wait-freedom (snapshot reader)";
       run =
-        (fun ~quick ->
+        (fun ~pool:_ ~quick ->
           if quick then E9_solo_vs_waitfree.table ~writers:[ 0; 2 ] ~reps:8 ()
           else E9_solo_vs_waitfree.table ());
     };
@@ -67,7 +73,7 @@ let specs =
       id = "e10";
       title = "Figure 8 - FLP bivalence survival: why randomization is needed";
       run =
-        (fun ~quick ->
+        (fun ~pool:_ ~quick ->
           if quick then E10_bivalence.table ~probe:6 ()
           else E10_bivalence.table ());
     };
@@ -75,7 +81,7 @@ let specs =
       id = "e11";
       title = "Figure 9 - crash-fault tolerance of the randomized protocols";
       run =
-        (fun ~quick ->
+        (fun ~pool:_ ~quick ->
           if quick then E11_crash.table ~n:4 ~fs:[ 0; 2 ] ~reps:5 ()
           else E11_crash.table ());
     };
@@ -84,7 +90,7 @@ let specs =
       title =
         "Table 4 - exhaustive impossibility: every bounded register protocol fails";
       run =
-        (fun ~quick ->
+        (fun ~pool:_ ~quick ->
           if quick then
             E12_impossibility.table ~depths:[ 0; 1 ] ~randomized_depths:[ 1 ] ()
           else E12_impossibility.table ());
@@ -93,25 +99,25 @@ let specs =
       id = "e13";
       title = "Table 5 - mutual exclusion: the classical foil, checked";
       run =
-        (fun ~quick ->
+        (fun ~pool:_ ~quick ->
           if quick then E13_mutex.table ~reps:3 () else E13_mutex.table ());
     };
     {
       id = "e14";
       title = "Table 6 - ablation: the cursor staleness slack is load-bearing";
       run =
-        (fun ~quick ->
-          if quick then E14_ablation.table ~ns:[ 2; 4 ] ~reps:15 ()
-          else E14_ablation.table ());
+        (fun ~pool ~quick ->
+          if quick then E14_ablation.table ?pool ~ns:[ 2; 4 ] ~reps:15 ()
+          else E14_ablation.table ?pool ());
     };
   ]
 
 let find id = List.find_opt (fun s -> s.id = id) specs
 
-let run_all ?(quick = false) () =
+let run_all ?pool ?(quick = false) () =
   List.iter
     (fun s ->
       Printf.printf "\n=== %s: %s ===\n\n" (String.uppercase_ascii s.id) s.title;
-      Stats.Table.print (s.run ~quick);
+      Stats.Table.print (s.run ~pool ~quick);
       print_newline ())
     specs

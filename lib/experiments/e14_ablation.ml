@@ -33,12 +33,14 @@ let measure ~n ~slack ~reps ~seed =
   done;
   { n; slack; violations = !violations; runs = reps }
 
-let rows ?(ns = [ 2; 4; 8 ]) ?(reps = 60) ?(seed = 1) () =
-  List.concat_map
-    (fun n -> [ measure ~n ~slack:0 ~reps ~seed; measure ~n ~slack:1 ~reps ~seed ])
-    ns
+(* One cell = one (n, slack) batch of [reps] adversarial runs.  Each
+   cell's scheduler seeds are a pure function of [seed] and the rep
+   index, so fanning cells out over [?pool] cannot change any count. *)
+let rows ?pool ?(ns = [ 2; 4; 8 ]) ?(reps = 60) ?(seed = 1) () =
+  let cells = List.concat_map (fun n -> [ (n, 0); (n, 1) ]) ns in
+  Par.map ?pool (fun (n, slack) -> measure ~n ~slack ~reps ~seed) cells
 
-let table ?ns ?reps ?seed () =
+let table ?pool ?ns ?reps ?seed () =
   let t =
     Stats.Table.create
       ~header:[ "n"; "cursor range"; "slack"; "violations / runs" ]
@@ -52,5 +54,5 @@ let table ?ns ?reps ?seed () =
           (if r.slack = 0 then "none (ablated)" else "n (default)");
           Printf.sprintf "%d / %d" r.violations r.runs;
         ])
-    (rows ?ns ?reps ?seed ());
+    (rows ?pool ?ns ?reps ?seed ());
   t

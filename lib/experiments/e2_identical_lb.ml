@@ -30,33 +30,39 @@ let targets r =
   ]
   @ (if r >= 2 then [ Flawed.mixed ~r ] else [])
 
-let rows ?(max_r = 4) () =
-  List.concat_map
-    (fun r ->
-      List.filter_map
-        (fun (p : Protocol.t) ->
-          match Attack.run p with
-          | Error _ -> None
-          | Ok o ->
-              let certified =
-                match Attack.certify p o with
-                | Ok _ -> "yes"
-                | Error _ -> "no (responses leak history)"
-              in
-              Some
-                {
-                  r;
-                  protocol = p.Protocol.name;
-                  processes_used = o.Attack.processes_used;
-                  threshold = Bounds.identical_attack_threshold r;
-                  witness_steps = Sim.Trace.steps o.Attack.trace;
-                  broke = Attack.succeeded o;
-                  certified;
-                })
-        (targets r))
-    (List.init max_r (fun i -> i + 1))
+(* One cell = one (r, protocol) adversary construction + certification;
+   cells are independent, so [?pool] fans them out across domains.  The
+   cell list and the result order are fixed before dispatch — the table
+   is bit-identical for any [?pool]. *)
+let rows ?pool ?(max_r = 4) () =
+  let cells =
+    List.concat_map
+      (fun r -> List.map (fun p -> (r, p)) (targets r))
+      (List.init max_r (fun i -> i + 1))
+  in
+  let cell (r, (p : Protocol.t)) =
+    match Attack.run p with
+    | Error _ -> None
+    | Ok o ->
+        let certified =
+          match Attack.certify p o with
+          | Ok _ -> "yes"
+          | Error _ -> "no (responses leak history)"
+        in
+        Some
+          {
+            r;
+            protocol = p.Protocol.name;
+            processes_used = o.Attack.processes_used;
+            threshold = Bounds.identical_attack_threshold r;
+            witness_steps = Sim.Trace.steps o.Attack.trace;
+            broke = Attack.succeeded o;
+            certified;
+          }
+  in
+  List.filter_map Fun.id (Par.map ?pool cell cells)
 
-let table ?max_r () =
+let table ?pool ?max_r () =
   let t =
     Stats.Table.create
       ~header:
@@ -82,5 +88,5 @@ let table ?max_r () =
           string_of_bool row.broke;
           row.certified;
         ])
-    (rows ?max_r ());
+    (rows ?pool ?max_r ());
   t

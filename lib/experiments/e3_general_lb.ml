@@ -26,33 +26,39 @@ let targets r =
     Flawed.first_writer ~r;
   ]
 
-let rows ?(max_r = 3) () =
-  List.concat_map
-    (fun r ->
-      List.map
-        (fun (p : Protocol.t) ->
-          let min_processes = General_attack.minimum_processes p in
-          let pieces, witness_steps, broke =
-            match General_attack.run p with
-            | Ok o ->
-                ( Some (o.General_attack.pieces_alpha, o.General_attack.pieces_beta),
-                  Some (Sim.Trace.steps o.General_attack.trace),
-                  General_attack.succeeded o )
-            | Error _ -> (None, None, false)
-          in
-          {
-            r;
-            protocol = p.Protocol.name;
-            min_processes;
-            paper_bound = Bounds.general_process_bound r;
-            pieces;
-            witness_steps;
-            broke;
-          })
-        (targets r))
-    (List.init max_r (fun i -> i + 1))
+(* One cell = one (r, protocol): a minimum-process scan plus one default
+   construction.  Cells fan out across [?pool]'s domains; the inner scan
+   stays sequential (the pool is not reentrant), which is the right grain
+   anyway — cells dominate the cost and there are plenty of them. *)
+let rows ?pool ?(max_r = 3) () =
+  let cells =
+    List.concat_map
+      (fun r -> List.map (fun p -> (r, p)) (targets r))
+      (List.init max_r (fun i -> i + 1))
+  in
+  let cell (r, (p : Protocol.t)) =
+    let min_processes = General_attack.minimum_processes p in
+    let pieces, witness_steps, broke =
+      match General_attack.run p with
+      | Ok o ->
+          ( Some (o.General_attack.pieces_alpha, o.General_attack.pieces_beta),
+            Some (Sim.Trace.steps o.General_attack.trace),
+            General_attack.succeeded o )
+      | Error _ -> (None, None, false)
+    in
+    {
+      r;
+      protocol = p.Protocol.name;
+      min_processes;
+      paper_bound = Bounds.general_process_bound r;
+      pieces;
+      witness_steps;
+      broke;
+    }
+  in
+  Par.map ?pool cell cells
 
-let table ?max_r () =
+let table ?pool ?max_r () =
   let t =
     Stats.Table.create
       ~header:
@@ -80,5 +86,5 @@ let table ?max_r () =
           (match row.witness_steps with Some s -> string_of_int s | None -> "-");
           string_of_bool row.broke;
         ])
-    (rows ?max_r ());
+    (rows ?pool ?max_r ());
   t

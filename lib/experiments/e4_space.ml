@@ -31,9 +31,11 @@ let row n =
 
 let default_ns = [ 2; 4; 8; 16; 32; 64; 128; 256 ]
 
-let rows ?(ns = default_ns) () = List.map row ns
+(* Mostly arithmetic, but [Protocol.space] instantiates each protocol at
+   each n; one task per n keeps the cells independent. *)
+let rows ?pool ?(ns = default_ns) () = Par.map ?pool row ns
 
-let table ?ns () =
+let table ?pool ?ns () =
   let t =
     Stats.Table.create
       ~header:
@@ -59,5 +61,5 @@ let table ?ns () =
           string_of_int r.historyless_lb;
           string_of_int r.identical_lb;
         ])
-    (rows ?ns ());
+    (rows ?pool ?ns ());
   t

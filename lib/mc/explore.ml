@@ -34,7 +34,13 @@ let successors config pid =
   | Proc.Choose { n; _ } ->
       List.init n (fun outcome -> Run.step config ~pid ~coin:(fun _ -> outcome))
 
-let search ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs config =
+(* The DFS engine, parameterized by an execution prefix ([rev_trace] and
+   the [decisions] accumulated so far) so that the same code serves both
+   the whole-tree search ([search], empty prefix) and the per-subtree
+   tasks of the partitioned search ([search_par], prefix = the root step
+   leading into the subtree).  [max_depth_seen] and depth bounds are
+   relative to the given root configuration. *)
+let search_from ~max_depth ~max_states ~inputs ~rev_trace ~decisions config =
   let visited = ref 0 in
   let leaves = ref 0 in
   let truncated = ref false in
@@ -86,12 +92,9 @@ let search ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs config =
                   succs)
               pids
   in
-  (* decisions already present in the initial configuration (processes may
-     decide without taking a single step) participate in the verdicts *)
-  let initial_decisions = Config.decisions config in
   (try
-     check_events config [] initial_decisions;
-     go config [] initial_decisions 0
+     check_events config rev_trace decisions;
+     go config rev_trace decisions 0
    with Stop -> ());
   {
     violation = !found;
@@ -100,6 +103,80 @@ let search ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs config =
     truncated = !truncated;
     max_depth_seen = !max_depth_seen;
   }
+
+let search ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs config =
+  (* decisions already present in the initial configuration (processes may
+     decide without taking a single step) participate in the verdicts *)
+  search_from ~max_depth ~max_states ~inputs ~rev_trace:[]
+    ~decisions:(Config.decisions config) config
+
+(* Partitioned search: the root's successor configurations — one task per
+   (enabled pid, successor), in the sequential traversal order — are
+   explored as independent bounded DFS runs across the pool's domains,
+   and their [result] records merged in task order.
+
+   Merge semantics, field by field (root contributes the "1 +" / "+ 1"):
+   - [visited]   = 1 + sum of subtree visits;
+   - [leaves]    = sum of subtree leaves (the root itself is the only
+                   leaf when nothing is enabled, handled before
+                   partitioning);
+   - [max_depth_seen] = 1 + max over subtrees (each task measures depth
+                   relative to its subtree root, which sits at depth 1);
+   - [truncated] = any subtree truncated, or the merged visit count
+                   exceeds [max_states];
+   - [violation] = the first violating subtree in task order; within a
+                   subtree the DFS finds its first violation in the same
+                   order as the sequential search, so the reported
+                   witness is exactly [search]'s.
+
+   The merge is a pure fold over deterministic per-task results, so the
+   outcome is bit-identical for any [?pool] (including [None]).  On
+   violation-free trees whose state budget is not the binding constraint,
+   every field equals the sequential [search]'s (pinned by the
+   determinism test suite); when a violation exists, [search] stops at
+   first blood while the partitioned runs still finish their subtrees, so
+   the merged statistics deterministically cover more of the tree. *)
+let search_par ?pool ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs config
+    =
+  let initial_decisions = Config.decisions config in
+  let root =
+    search_from ~max_depth:0 ~max_states ~inputs ~rev_trace:[]
+      ~decisions:initial_decisions config
+  in
+  if root.violation <> None || Config.enabled_pids config = [] || max_depth = 0
+  then root
+  else begin
+    let tasks =
+      List.concat_map
+        (fun pid -> successors config pid)
+        (Config.enabled_pids config)
+    in
+    let explore_subtree (config', events) =
+      let decisions' =
+        List.fold_left
+          (fun acc ev ->
+            match ev with
+            | Event.Decided { value; _ } -> value :: acc
+            | _ -> acc)
+          initial_decisions events
+      in
+      search_from ~max_depth:(max_depth - 1) ~max_states ~inputs
+        ~rev_trace:(List.rev events) ~decisions:decisions' config'
+    in
+    let subtrees = Par.map ?pool explore_subtree tasks in
+    let visited =
+      List.fold_left (fun acc r -> acc + r.visited) 1 subtrees
+    in
+    {
+      violation = List.find_map (fun r -> r.violation) subtrees;
+      visited;
+      leaves = List.fold_left (fun acc r -> acc + r.leaves) 0 subtrees;
+      truncated =
+        List.exists (fun r -> r.truncated) subtrees || visited > max_states;
+      max_depth_seen =
+        1 + List.fold_left (fun acc r -> max acc r.max_depth_seen) 0 subtrees;
+    }
+  end
 
 (* First terminating solo decision of [pid], searching coin outcomes.
    Cheap probe used to seed [decidable_values]: a solo run that decides

@@ -32,6 +32,25 @@ val search :
   'a Config.t ->
   'a result
 
+(** Partitioned frontier search: the root's successor configurations are
+    explored as independent bounded DFS tasks across [?pool]'s domains
+    and the per-subtree [result] records merged in the sequential
+    traversal order.  The merge is deterministic — bit-identical for any
+    [?pool], including [None] — and on violation-free trees whose state
+    budget does not bind, every field ([visited], [leaves], [truncated],
+    [max_depth_seen]) equals the sequential [search]'s.  A reported
+    violation is always the same witness [search] finds; in that case
+    [search] stops early while the partitioned subtrees run to
+    completion, so the merged statistics deterministically cover more of
+    the tree. *)
+val search_par :
+  ?pool:Par.Pool.t ->
+  ?max_depth:int ->
+  ?max_states:int ->
+  inputs:'a list ->
+  'a Config.t ->
+  'a result
+
 (** First terminating solo decision of [pid], searching coin outcomes — a
     cheap witness of a reachable decision. *)
 val solo_decision :

@@ -1,0 +1,193 @@
+(* A small domain pool tuned for the workloads in this repo: batches of a
+   few dozen to a few thousand coarse, pure tasks (one adversary
+   construction, one bounded DFS subtree, one experiment cell).
+
+   Shape: [jobs - 1] persistent worker domains plus the submitting domain
+   all drain the same batch.  A batch is an atomic cursor over task
+   indices; workers claim [chunk] indices at a time with [fetch_and_add],
+   so there is no per-task locking and no work-stealing machinery — for
+   coarse tasks a shared cursor is contention-free enough and keeps the
+   whole scheduler small enough to audit.
+
+   Determinism: the pool never decides *what* a task computes, only *when*
+   it runs.  Task [i] writes slot [i]; reductions happen after the barrier
+   in index order; seeded tasks receive generators derived before
+   dispatch.  Failure: task bodies passed to [for_] are wrapped so a raise
+   marks the slot and never escapes a worker domain (an escaped exception
+   would kill the domain and hang every later barrier); after the barrier
+   the lowest-indexed failure is re-raised on the caller. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "RANDSYNC_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+module Pool = struct
+  type batch = {
+    n : int;
+    body : int -> unit;  (* never raises: wrapped by [for_] *)
+    chunk : int;
+    next : int Atomic.t;  (* the work queue: next unclaimed task index *)
+    completed : int Atomic.t;
+  }
+
+  type t = {
+    jobs : int;
+    mutex : Mutex.t;
+    work_ready : Condition.t;
+    work_done : Condition.t;
+    mutable generation : int;  (* bumped once per batch *)
+    mutable current : batch option;  (* the in-flight batch, if any *)
+    mutable stopping : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  let jobs t = t.jobs
+
+  (* Claim and run chunks until the batch cursor is exhausted.  Runs on
+     workers and on the submitting domain alike. *)
+  let drain t b =
+    let rec loop () =
+      let k = Atomic.fetch_and_add b.next b.chunk in
+      if k < b.n then begin
+        let hi = min b.n (k + b.chunk) in
+        for i = k to hi - 1 do
+          b.body i
+        done;
+        ignore (Atomic.fetch_and_add b.completed (hi - k));
+        loop ()
+      end
+    in
+    loop ();
+    if Atomic.get b.completed >= b.n then begin
+      (* possibly the last finisher: wake the submitter *)
+      Mutex.lock t.mutex;
+      Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex
+    end
+
+  let rec worker t last_generation =
+    Mutex.lock t.mutex;
+    while (not t.stopping) && t.generation = last_generation do
+      Condition.wait t.work_ready t.mutex
+    done;
+    let stop = t.stopping in
+    let generation = t.generation in
+    let b = t.current in
+    Mutex.unlock t.mutex;
+    if not stop then begin
+      (match b with Some b -> drain t b | None -> ());
+      worker t generation
+    end
+
+  let create ?jobs:j () =
+    let jobs = match j with Some j -> max 1 j | None -> default_jobs () in
+    let t =
+      {
+        jobs;
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        generation = 0;
+        current = None;
+        stopping = false;
+        workers = [];
+      }
+    in
+    t.workers <-
+      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+    t
+
+  (* [body] must not raise (enforced by [for_]'s wrapper). *)
+  let run_exn_free t ~n body =
+    if n > 0 then begin
+      if t.jobs = 1 || n = 1 || t.stopping then
+        for i = 0 to n - 1 do
+          body i
+        done
+      else begin
+        let chunk = max 1 (n / (t.jobs * 4)) in
+        let b =
+          { n; body; chunk; next = Atomic.make 0; completed = Atomic.make 0 }
+        in
+        Mutex.lock t.mutex;
+        t.current <- Some b;
+        t.generation <- t.generation + 1;
+        Condition.broadcast t.work_ready;
+        Mutex.unlock t.mutex;
+        drain t b;
+        Mutex.lock t.mutex;
+        while Atomic.get b.completed < b.n do
+          Condition.wait t.work_done t.mutex
+        done;
+        t.current <- None;
+        Mutex.unlock t.mutex
+      end
+    end
+
+  let for_ t ~n body =
+    (* first failing task by index, so the surfaced exception matches a
+       sequential left-to-right run no matter which domain hit it first *)
+    let failure = Atomic.make None in
+    let rec record i exn bt =
+      let seen = Atomic.get failure in
+      let better =
+        match seen with None -> true | Some (j, _, _) -> i < j
+      in
+      if better && not (Atomic.compare_and_set failure seen (Some (i, exn, bt)))
+      then record i exn bt
+    in
+    run_exn_free t ~n (fun i ->
+        try body i
+        with exn -> record i exn (Printexc.get_raw_backtrace ()));
+    match Atomic.get failure with
+    | None -> ()
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.stopping <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+end
+
+let with_pool ?jobs f =
+  let pool = Pool.create ?jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let for_tasks ?pool ~n body =
+  match pool with
+  | None ->
+      (* sequential baseline: plain loop, exceptions propagate at the
+         first failing index — exactly what [Pool.for_] reproduces *)
+      for i = 0 to n - 1 do
+        body i
+      done
+  | Some p -> Pool.for_ p ~n body
+
+let mapi_array ?pool f xs =
+  let n = Array.length xs in
+  let out = Array.make n None in
+  for_tasks ?pool ~n (fun i -> out.(i) <- Some (f i xs.(i)));
+  Array.map
+    (function Some y -> y | None -> assert false (* all slots filled *))
+    out
+
+let map_array ?pool f xs = mapi_array ?pool (fun _ x -> f x) xs
+
+let mapi ?pool f xs = Array.to_list (mapi_array ?pool f (Array.of_list xs))
+let map ?pool f xs = mapi ?pool (fun _ x -> f x) xs
+
+let map_reduce ?pool ~map ~reduce ~init xs =
+  let mapped = map_array ?pool map (Array.of_list xs) in
+  Array.fold_left reduce init mapped
+
+let map_seeded ?pool ~seed f xs =
+  let arr = Array.of_list xs in
+  let rngs = Sim.Rng.split_n (Sim.Rng.create seed) (Array.length arr) in
+  Array.to_list (mapi_array ?pool (fun i x -> f rngs.(i) x) arr)

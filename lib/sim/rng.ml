@@ -33,6 +33,15 @@ let float t =
     its own stream. *)
 let split t = create (Int64.to_int (next_int64 t))
 
+(** [split_n t n] derives [n] independent generators by splitting [t]
+    sequentially.  The derivation consumes exactly [n] draws of [t], so the
+    result depends only on [t]'s state and [n] — this is the deterministic
+    per-task seeding used by [Par]: generator [i] is the same no matter how
+    many domains later consume it or in which order tasks are scheduled. *)
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
 (** Fisher–Yates shuffle of an array, in place. *)
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do

@@ -19,5 +19,12 @@ val float : t -> float
 (** Derive an independent generator. *)
 val split : t -> t
 
+(** [split_n t n] derives [n] independent generators by [n] sequential
+    splits of [t].  Generator [i] depends only on [t]'s state and [i], so a
+    parallel harness can hand stream [i] to task [i] and get bit-identical
+    results regardless of domain count or scheduling.  Raises
+    [Invalid_argument] on a negative count. *)
+val split_n : t -> int -> t array
+
 (** Fisher–Yates shuffle, in place. *)
 val shuffle : t -> 'a array -> unit

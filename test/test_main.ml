@@ -33,4 +33,5 @@ let () =
       ("linearize", Test_linearize.suite);
       ("objimpl", Test_objimpl.suite);
       ("experiments", Test_experiments.suite);
+      ("par", Test_par.suite);
     ]

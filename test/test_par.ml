@@ -1,0 +1,127 @@
+(* Property tests for the Par domain-pool subsystem: ordering
+   preservation, exception propagation (a raising task must not hang the
+   pool, and the surfaced exception must be the sequential one), edge
+   cases, and deterministic per-task seeding. *)
+
+let with_pools jobs_list f =
+  List.iter
+    (fun jobs -> Par.with_pool ~jobs (fun pool -> f ~jobs (Some pool)))
+    jobs_list;
+  f ~jobs:0 None (* jobs:0 marks the no-pool sequential baseline *)
+
+let test_map_matches_list_map () =
+  let prop =
+    QCheck.Test.make ~name:"Par.map = List.map under any pool" ~count:30
+      QCheck.(pair (small_list int) (int_range 1 8))
+      (fun (xs, jobs) ->
+        let f x = (x * 31) + 7 in
+        let expected = List.map f xs in
+        Par.with_pool ~jobs (fun pool -> Par.map ~pool f xs = expected))
+  in
+  QCheck.Test.check_exn prop
+
+let test_mapi_indices () =
+  let xs = List.init 100 (fun i -> 100 - i) in
+  with_pools [ 1; 2; 8 ] (fun ~jobs:_ pool ->
+      let got = Par.mapi ?pool (fun i x -> (i, x)) xs in
+      Alcotest.(check bool)
+        "indices in order" true
+        (got = List.mapi (fun i x -> (i, x)) xs))
+
+let test_map_reduce_ordering () =
+  (* string concatenation is not commutative: any reordering of the
+     reduce shows up immediately *)
+  let xs = List.init 50 string_of_int in
+  let expected = String.concat "" xs in
+  with_pools [ 1; 2; 3; 8 ] (fun ~jobs:_ pool ->
+      let got =
+        Par.map_reduce ?pool ~map:Fun.id ~reduce:( ^ ) ~init:"" xs
+      in
+      Alcotest.(check string) "ordered reduce" expected got)
+
+let test_empty_and_singleton () =
+  with_pools [ 1; 2; 8 ] (fun ~jobs:_ pool ->
+      Alcotest.(check (list int)) "empty" [] (Par.map ?pool (fun x -> x) []);
+      Alcotest.(check (list int))
+        "singleton" [ 42 ]
+        (Par.map ?pool (fun x -> x * 42) [ 1 ]);
+      Alcotest.(check int)
+        "empty reduce" 9
+        (Par.map_reduce ?pool ~map:Fun.id ~reduce:( + ) ~init:9 []))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  (* several tasks raise; the lowest-indexed one must surface — the same
+     exception a sequential left-to-right run reports *)
+  with_pools [ 1; 2; 8 ] (fun ~jobs:_ pool ->
+      match
+        Par.map ?pool
+          (fun i -> if i mod 3 = 2 then raise (Boom i) else i)
+          (List.init 30 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> Alcotest.(check int) "lowest failing index" 2 i)
+
+let test_pool_survives_exceptions () =
+  (* a raising batch must not wedge the pool: the next batch still runs *)
+  Par.with_pool ~jobs:4 (fun pool ->
+      (try
+         ignore
+           (Par.map ~pool (fun i -> if i > 5 then failwith "boom" else i)
+              (List.init 64 Fun.id))
+       with Failure _ -> ());
+      let xs = List.init 64 Fun.id in
+      Alcotest.(check (list int))
+        "pool alive after exception" (List.map succ xs)
+        (Par.map ~pool succ xs))
+
+let test_pool_for_runs_all_tasks () =
+  Par.with_pool ~jobs:4 (fun pool ->
+      let hits = Atomic.make 0 in
+      Par.Pool.for_ pool ~n:1000 (fun _ -> Atomic.incr hits);
+      Alcotest.(check int) "every task ran once" 1000 (Atomic.get hits))
+
+let test_shutdown_degrades_gracefully () =
+  let pool = Par.Pool.create ~jobs:4 () in
+  Par.Pool.shutdown pool;
+  (* a shut-down pool must not hang or crash late callers *)
+  let out = ref 0 in
+  Par.Pool.for_ pool ~n:10 (fun i -> if i = 9 then out := 9);
+  Alcotest.(check int) "sequential fallback ran" 9 !out;
+  Par.Pool.shutdown pool
+
+let test_map_seeded_deterministic () =
+  let draws rng _x = List.init 5 (fun _ -> Sim.Rng.int rng 1_000_000) in
+  let xs = List.init 40 Fun.id in
+  let reference = Par.map_seeded ~seed:123 draws xs in
+  with_pools [ 1; 2; 8 ] (fun ~jobs:_ pool ->
+      Alcotest.(check bool)
+        "seeded streams independent of pool" true
+        (Par.map_seeded ?pool ~seed:123 draws xs = reference));
+  (* a different root seed must give different streams *)
+  Alcotest.(check bool)
+    "seed matters" true
+    (Par.map_seeded ~seed:124 draws xs <> reference)
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "default jobs >= 1" true (Par.default_jobs () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "map = List.map (qcheck)" `Quick test_map_matches_list_map;
+    Alcotest.test_case "mapi preserves indices" `Quick test_mapi_indices;
+    Alcotest.test_case "map_reduce order-sensitive reduce" `Quick
+      test_map_reduce_ordering;
+    Alcotest.test_case "empty / singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "exception: lowest index wins" `Quick
+      test_exception_propagation;
+    Alcotest.test_case "pool survives raising batch" `Quick
+      test_pool_survives_exceptions;
+    Alcotest.test_case "for_ runs every task" `Quick test_pool_for_runs_all_tasks;
+    Alcotest.test_case "shutdown degrades to sequential" `Quick
+      test_shutdown_degrades_gracefully;
+    Alcotest.test_case "map_seeded pool-independent" `Quick
+      test_map_seeded_deterministic;
+    Alcotest.test_case "default_jobs sane" `Quick test_default_jobs_positive;
+  ]

@@ -68,6 +68,78 @@ let test_split_independent () =
   let ys = List.init 10 (fun _ -> Rng.int b 1000) in
   Alcotest.(check bool) "split streams differ" true (xs <> ys)
 
+let test_golden_stream () =
+  (* pinned SplitMix64 outputs: any change to the generator breaks every
+     recorded experiment seed, so it must be deliberate *)
+  let rng = Rng.create 42 in
+  Alcotest.(check (list int))
+    "seed 42 stream"
+    [ 637706; 446145; 381929; 127882; 981625; 494531; 812462; 887954 ]
+    (List.init 8 (fun _ -> Rng.int rng 1_000_000))
+
+let draws rng k = List.init k (fun _ -> Rng.int rng 1_000_000)
+
+let test_split_after_draw_matches_reference () =
+  (* a split consumes exactly one parent draw, so the child derived after
+     k draws depends only on the seed and k — the interleaving of child
+     consumption with later parent activity is irrelevant *)
+  let reference =
+    let r = Rng.create 99 in
+    ignore (draws r 5);
+    let child = Rng.split r in
+    draws child 10
+  in
+  (* same construction, but the parent keeps drawing and splitting before
+     the child is ever consumed *)
+  let interleaved =
+    let r = Rng.create 99 in
+    ignore (draws r 5);
+    let child = Rng.split r in
+    ignore (draws r 7);
+    ignore (Rng.split r);
+    draws child 10
+  in
+  Alcotest.(check (list int)) "child stream fixed at split" reference interleaved
+
+let test_split_child_does_not_disturb_parent () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  let child_a = Rng.split a and child_b = Rng.split b in
+  ignore (draws child_a 50);
+  (* consuming child_a heavily must leave parent a in lock-step with b *)
+  Alcotest.(check (list int)) "parents in lock-step" (draws b 10) (draws a 10);
+  ignore child_b
+
+let test_split_n_matches_sequential_splits () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let children = Rng.split_n a 6 in
+  let manual = Array.init 6 (fun _ -> Rng.split b) in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "child %d stream" i)
+        (draws manual.(i) 5) (draws c 5))
+    children;
+  (* both parents advanced by exactly 6 draws: next values agree *)
+  Alcotest.(check (list int)) "parent state equal" (draws b 5) (draws a 5)
+
+let test_split_n_edge_cases () =
+  let r = Rng.create 1 in
+  Alcotest.(check int) "zero children" 0 (Array.length (Rng.split_n r 0));
+  (match Rng.split_n r (-1) with
+  | _ -> Alcotest.fail "negative count must be rejected"
+  | exception Invalid_argument _ -> ());
+  let children = Rng.split_n (Rng.create 5) 8 in
+  let streams = Array.to_list (Array.map (fun c -> draws c 5) children) in
+  Alcotest.(check int)
+    "pairwise distinct child streams" 8
+    (List.length (List.sort_uniq compare streams))
+
+let test_copy_is_independent () =
+  let a = Rng.create 31 in
+  ignore (draws a 3);
+  let b = Rng.copy a in
+  Alcotest.(check (list int)) "copy replays" (draws a 10) (draws b 10)
+
 let suite =
   [
     Alcotest.test_case "deterministic by seed" `Quick test_deterministic;
@@ -78,4 +150,13 @@ let suite =
     Alcotest.test_case "float range" `Quick test_float_range;
     Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
     Alcotest.test_case "split independent" `Quick test_split_independent;
+    Alcotest.test_case "golden stream (seed 42)" `Quick test_golden_stream;
+    Alcotest.test_case "split-after-draw reference" `Quick
+      test_split_after_draw_matches_reference;
+    Alcotest.test_case "child does not disturb parent" `Quick
+      test_split_child_does_not_disturb_parent;
+    Alcotest.test_case "split_n = sequential splits" `Quick
+      test_split_n_matches_sequential_splits;
+    Alcotest.test_case "split_n edge cases" `Quick test_split_n_edge_cases;
+    Alcotest.test_case "copy independent" `Quick test_copy_is_independent;
   ]
