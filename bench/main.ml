@@ -218,6 +218,151 @@ let par_bench () =
         r.Mc.Explore.violation = None ));
   Stats.Table.print table
 
+(* --- transposition-table benchmark: nodes and wall-clock per dedup mode - *)
+
+let dedup_name = function
+  | `Off -> "off"
+  | `Exact -> "exact"
+  | `Symmetric -> "symmetric"
+
+let violation_name (r : int Mc.Explore.result) =
+  match r.Mc.Explore.violation with
+  | None -> "none"
+  | Some v -> (
+      match v.Mc.Explore.kind with
+      | `Inconsistent -> "inconsistent"
+      | `Invalid -> "invalid")
+
+(* Each scenario is one protocol instance explored under all three dedup
+   modes.  The verdict (violation found and its kind) must be identical
+   across modes — that equality is asserted, not just reported.  The
+   identical-process unanimous-input scenarios are where [`Symmetric]
+   shines: every interleaving of interchangeable processes collapses. *)
+let mc_bench_scenarios () =
+  [
+    ( "unanimous-rw-r1-n3",
+      Consensus.Flawed.unanimous ~style:Consensus.Flawed.Rw ~r:1,
+      [ 0; 0; 0 ],
+      20 );
+    ("first-writer-r2-n3", Consensus.Flawed.first_writer ~r:2, [ 0; 0; 0 ], 20);
+    ( "unanimous-rw-r2-n3",
+      Consensus.Flawed.unanimous ~style:Consensus.Flawed.Rw ~r:2,
+      [ 0; 0; 0 ],
+      24 );
+    ( "unanimous-rw-r2-n3-mixed",
+      Consensus.Flawed.unanimous ~style:Consensus.Flawed.Rw ~r:2,
+      [ 0; 0; 1 ],
+      20 );
+    ( "coin-rw-r2-n2",
+      Consensus.Flawed.coin_retry ~style:Consensus.Flawed.Rw ~r:2,
+      [ 0; 0 ],
+      12 );
+    ("cas-n2-mixed", Consensus.Cas_consensus.protocol, [ 0; 1 ], 30);
+  ]
+
+let mc_bench () =
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "scenario";
+          "dedup";
+          "visited";
+          "leaves";
+          "table hits";
+          "seconds";
+          "nodes vs off";
+          "verdict";
+        ]
+  in
+  let json_scenarios =
+    List.map
+      (fun (name, p, inputs, max_depth) ->
+        let config = Consensus.Protocol.initial_config p ~inputs in
+        let runs =
+          List.map
+            (fun dedup ->
+              let r, secs =
+                wall (fun () ->
+                    Mc.Explore.search ~dedup ~max_depth ~inputs config)
+              in
+              (dedup, r, secs))
+            [ `Off; `Exact; `Symmetric ]
+        in
+        let off_result, _ =
+          match runs with (_, r, s) :: _ -> (r, s) | [] -> assert false
+        in
+        List.iter
+          (fun (dedup, (r : int Mc.Explore.result), secs) ->
+            if violation_name r <> violation_name off_result then begin
+              Printf.eprintf
+                "mc-bench: VERDICT MISMATCH on %s: %s=%s but off=%s\n" name
+                (dedup_name dedup) (violation_name r)
+                (violation_name off_result);
+              exit 1
+            end;
+            Stats.Table.add_row table
+              [
+                name;
+                dedup_name dedup;
+                string_of_int r.Mc.Explore.visited;
+                string_of_int r.Mc.Explore.leaves;
+                string_of_int r.Mc.Explore.table_hits;
+                Printf.sprintf "%.4f" secs;
+                Printf.sprintf "%.1fx"
+                  (float_of_int off_result.Mc.Explore.visited
+                  /. float_of_int (max 1 r.Mc.Explore.visited));
+                violation_name r;
+              ])
+          runs;
+        let mode_json (dedup, (r : int Mc.Explore.result), secs) =
+          Printf.sprintf
+            {|        { "dedup": %S, "visited": %d, "leaves": %d, "table_hits": %d, "truncated": %b, "seconds": %.6f, "verdict": %S }|}
+            (dedup_name dedup) r.Mc.Explore.visited r.Mc.Explore.leaves
+            r.Mc.Explore.table_hits r.Mc.Explore.truncated secs
+            (violation_name r)
+        in
+        let symmetric_result =
+          match runs with
+          | [ _; _; (_, r, _) ] -> r
+          | _ -> assert false
+        in
+        Printf.sprintf
+          {|    {
+      "scenario": %S,
+      "inputs": [%s],
+      "max_depth": %d,
+      "node_reduction_symmetric_vs_off": %.1f,
+      "modes": [
+%s
+      ]
+    }|}
+          name
+          (String.concat ", " (List.map string_of_int inputs))
+          max_depth
+          (float_of_int off_result.Mc.Explore.visited
+          /. float_of_int (max 1 symmetric_result.Mc.Explore.visited))
+          (String.concat ",\n" (List.map mode_json runs)))
+      (mc_bench_scenarios ())
+  in
+  Stats.Table.print table;
+  let json =
+    Printf.sprintf
+      {|{
+  "benchmark": "mc transposition table",
+  "verdicts_agree": true,
+  "scenarios": [
+%s
+  ]
+}
+|}
+      (String.concat ",\n" json_scenarios)
+  in
+  let oc = open_out "BENCH_mc.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "\nwrote BENCH_mc.json"
+
 let run_bechamel tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -256,6 +401,7 @@ let () =
   let quick = List.mem "--quick" args in
   let bench_only = List.mem "--bench" args in
   let par_bench_only = List.mem "--par-bench" args in
+  let mc_bench_only = List.mem "--mc-bench" args in
   let only =
     let rec find = function
       | "--only" :: id :: _ -> Some id
@@ -280,7 +426,12 @@ let () =
     | None -> f None
     | Some jobs -> Par.with_pool ~jobs (fun pool -> f (Some pool))
   in
-  if par_bench_only then begin
+  if mc_bench_only then begin
+    print_endline
+      "\n=== Transposition table (nodes + wall clock per dedup mode) ===\n";
+    mc_bench ()
+  end
+  else if par_bench_only then begin
     print_endline "\n=== Parallel speedup (wall clock, determinism checked) ===\n";
     par_bench ()
   end

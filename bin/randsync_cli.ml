@@ -244,7 +244,7 @@ let attack_cmd =
 (* -------------------------------------------------------------------- mc *)
 
 let mc_cmd =
-  let run name inputs depth jobs =
+  let run name inputs depth dedup jobs =
     match find_protocol name with
     | Error e ->
         prerr_endline e;
@@ -254,17 +254,31 @@ let mc_cmd =
           String.split_on_char ',' inputs |> List.map String.trim
           |> List.map int_of_string
         in
+        let dedup =
+          match dedup with
+          | "off" -> `Off
+          | "exact" -> `Exact
+          | "symmetric" -> `Symmetric
+          | s ->
+              prerr_endline
+                (Printf.sprintf
+                   "unknown --dedup %S (expected off | exact | symmetric)" s);
+              exit 1
+        in
         let config = Consensus.Protocol.initial_config p ~inputs in
         let result =
           with_jobs jobs (fun pool ->
               match pool with
-              | None -> Mc.Explore.search ~max_depth:depth ~inputs config
+              | None ->
+                  Mc.Explore.search ~dedup ~max_depth:depth ~inputs config
               | Some pool ->
-                  Mc.Explore.search_par ~pool ~max_depth:depth ~inputs config)
+                  Mc.Explore.search_par ~pool ~dedup ~max_depth:depth ~inputs
+                    config)
         in
-        Fmt.pr "visited=%d leaves=%d truncated=%b max-depth=%d@."
+        Fmt.pr "visited=%d leaves=%d table-hits=%d truncated=%b max-depth=%d@."
           result.Mc.Explore.visited result.Mc.Explore.leaves
-          result.Mc.Explore.truncated result.Mc.Explore.max_depth_seen;
+          result.Mc.Explore.table_hits result.Mc.Explore.truncated
+          result.Mc.Explore.max_depth_seen;
         (match result.Mc.Explore.violation with
         | None -> print_endline "no violation found"
         | Some v ->
@@ -282,6 +296,14 @@ let mc_cmd =
       const run $ protocol_arg
       $ Arg.(value & opt string "0,1" & info [ "inputs" ] ~doc:"inputs")
       $ Arg.(value & opt int 40 & info [ "depth" ] ~doc:"depth bound")
+      $ Arg.(
+          value
+          & opt string "off"
+          & info [ "dedup" ]
+              ~doc:
+                "transposition-table dedup: off, exact, or symmetric \
+                 (symmetric additionally collapses permutations of \
+                 interchangeable processes)")
       $ jobs_arg)
 
 (* ----------------------------------------------------------------- trace *)

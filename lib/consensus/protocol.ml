@@ -19,7 +19,14 @@ type t = {
 
 let space t ~n = List.length (t.optypes ~n)
 
-(** The initial configuration for the given inputs (one per process). *)
+(** The initial configuration for the given inputs (one per process).
+
+    Initial state fingerprints are seeded so that [Mc.Explore]'s
+    [`Symmetric] dedup is sound for any packaged protocol: for [identical]
+    protocols two processes share an initial term iff they share an input,
+    so the input seeds the fingerprint (and same-input processes become
+    interchangeable); for pid-dependent code every process gets a distinct
+    pid seed, making [`Symmetric] degrade safely to per-slot matching. *)
 let initial_config t ~inputs =
   let n = List.length inputs in
   if not (t.supports_n n) then
@@ -28,7 +35,10 @@ let initial_config t ~inputs =
   let procs =
     List.mapi (fun pid input -> t.code ~n ~pid ~input) inputs
   in
-  Config.make ~optypes:(t.optypes ~n) ~procs
+  let fp_seeds =
+    List.mapi (fun pid input -> if t.identical then input else pid) inputs
+  in
+  Config.make_seeded ~fp_seeds ~optypes:(t.optypes ~n) ~procs
 
 type run_report = {
   result : int Run.result;

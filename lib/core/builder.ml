@@ -22,6 +22,7 @@ open Sim
 
 type writer_snapshot = {
   w_state : int Proc.t;  (** pre-step state of the last nontrivial writer *)
+  w_fp : Fingerprint.t;  (** the writer's fingerprint at that same moment *)
   w_input : int;
   w_pid : int;
   w_steps : int;  (** steps the writer had completed before that op *)
@@ -104,6 +105,7 @@ let step t ~pid ?coin () =
       Hashtbl.replace t.last_writer obj
         {
           w_state = t.config.Config.procs.(pid);
+          w_fp = Config.fingerprint t.config pid;
           w_input = input_of t pid;
           w_pid = pid;
           w_steps = steps_of t pid;
@@ -121,9 +123,11 @@ let step t ~pid ?coin () =
 
 (** Add a clone: a fresh process whose state is [state] (a snapshot of
     process [origin] after [cutoff] of its steps) and whose input is the
-    origin's input.  Returns the clone's pid. *)
-let add_clone t ~state ~input ~origin ~cutoff =
-  let config', pid = Config.add_proc t.config state in
+    origin's input.  Returns the clone's pid.  [fp] is the origin's
+    fingerprint at the snapshot moment, so clone and origin stay
+    fingerprint-equal exactly when they are state-equal. *)
+let add_clone t ~state ~fp ~input ~origin ~cutoff =
+  let config', pid = Config.add_proc ~fp t.config state in
   t.config <- config';
   t.inputs <- (pid, input) :: t.inputs;
   t.genealogy <- { clone = pid; origin; cutoff } :: t.genealogy;
@@ -134,8 +138,9 @@ let add_clone t ~state ~input ~origin ~cutoff =
     nontrivial operation on [obj] has been recorded. *)
 let clone_last_writer t ~obj =
   match Hashtbl.find_opt t.last_writer obj with
-  | Some { w_state; w_input; w_pid; w_steps } ->
-      add_clone t ~state:w_state ~input:w_input ~origin:w_pid ~cutoff:w_steps
+  | Some { w_state; w_fp; w_input; w_pid; w_steps } ->
+      add_clone t ~state:w_state ~fp:w_fp ~input:w_input ~origin:w_pid
+        ~cutoff:w_steps
   | None ->
       invalid_arg
         (Printf.sprintf "Builder.clone_last_writer: no write recorded on obj %d" obj)
@@ -144,6 +149,7 @@ let clone_last_writer t ~obj =
 let clone_of t ~pid =
   add_clone t
     ~state:t.config.Config.procs.(pid)
+    ~fp:(Config.fingerprint t.config pid)
     ~input:(input_of t pid) ~origin:pid ~cutoff:(steps_of t pid)
 
 (** A block write (Section 3): one nontrivial operation on each object in

@@ -42,9 +42,17 @@ val restore : t -> snapshot -> unit
 val step : t -> pid:int -> ?coin:int -> unit -> unit
 
 (** Add a clone with the given state, input and lineage; returns its
-    pid. *)
+    pid.  [fp] must be the origin's fingerprint at the snapshot moment
+    (see [Sim.Fingerprint]) so clone and origin stay fingerprint-equal
+    exactly when they are state-equal. *)
 val add_clone :
-  t -> state:int Proc.t -> input:int -> origin:int -> cutoff:int -> int
+  t ->
+  state:int Proc.t ->
+  fp:Fingerprint.t ->
+  input:int ->
+  origin:int ->
+  cutoff:int ->
+  int
 
 (** A clone poised to re-perform the last nontrivial operation on the
     object; raises if none was recorded. *)

@@ -45,3 +45,17 @@ val sweep :
   ?processes:int ->
   Consensus.Protocol.t list ->
   (string * (outcome, error) result) list
+
+(** Independent cross-check by exhaustive model checking: search the
+    protocol's execution tree on a small mixed-input instance
+    ([?processes], default 2, split half-and-half) and report the
+    [Mc.Explore] result — a violation in it confirms, by an unrelated
+    method, that the protocol is genuinely attackable.  [?dedup] defaults
+    to [`Symmetric], sound for any packaged protocol. *)
+val confirm :
+  ?dedup:Mc.Explore.dedup ->
+  ?processes:int ->
+  ?max_depth:int ->
+  ?max_states:int ->
+  Consensus.Protocol.t ->
+  int Mc.Explore.result

@@ -17,16 +17,22 @@
 
 type row = { coins : bool; census : Mc.Enumerate.census }
 
-let rows ?(depths = [ 0; 1; 2 ]) ?(randomized_depths = [ 1; 2 ]) () =
+(* [dedup] reaches every model-checking call of the census; [`Symmetric]
+   (the default) is sound here because each tree is a function of the
+   input — see [Mc.Enumerate.check_inputs]. *)
+let rows ?dedup ?(depths = [ 0; 1; 2 ]) ?(randomized_depths = [ 1; 2 ]) () =
+  let census ~coins depth =
+    Mc.Enumerate.census_of_trees ?dedup ~depth
+      (Mc.Enumerate.enumerate_trees ~coins depth)
+  in
   List.map
-    (fun depth -> { coins = false; census = Mc.Enumerate.census ~depth })
+    (fun depth -> { coins = false; census = census ~coins:false depth })
     depths
   @ List.map
-      (fun depth ->
-        { coins = true; census = Mc.Enumerate.census_randomized ~depth })
+      (fun depth -> { coins = true; census = census ~coins:true depth })
       randomized_depths
 
-let table ?depths ?randomized_depths () =
+let table ?dedup ?depths ?randomized_depths () =
   let t =
     Stats.Table.create
       ~header:
@@ -50,5 +56,5 @@ let table ?depths ?randomized_depths () =
           string_of_int r.Mc.Enumerate.survive_unanimous;
           string_of_int r.Mc.Enumerate.correct;
         ])
-    (rows ?depths ?randomized_depths ());
+    (rows ?dedup ?depths ?randomized_depths ());
   t

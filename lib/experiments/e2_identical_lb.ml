@@ -19,6 +19,11 @@ type row = {
   witness_steps : int;
   broke : bool;
   certified : string;  (** "yes" / reason *)
+  mc_confirms : bool option;
+      (** independent exhaustive check on a 2-process instance of the same
+          protocol ([Mc.Explore] with [`Symmetric] dedup — sound, the
+          processes are identical): [Some true] iff the model checker also
+          reaches a violation; [None] for cells too large to check *)
 }
 
 let targets r =
@@ -49,6 +54,19 @@ let rows ?pool ?(max_r = 4) () =
           | Ok _ -> "yes"
           | Error _ -> "no (responses leak history)"
         in
+        (* r=1 instances are small enough for an exhaustive 2-process
+           cross-check of the adversary's verdict by an unrelated method *)
+        let mc_confirms =
+          if r > 1 then None
+          else
+            let inputs = [ 0; 1 ] in
+            let config = Protocol.initial_config p ~inputs in
+            let res =
+              Mc.Explore.search ~dedup:`Symmetric ~max_depth:16
+                ~max_states:300_000 ~inputs config
+            in
+            Some (res.Mc.Explore.violation <> None)
+        in
         Some
           {
             r;
@@ -58,6 +76,7 @@ let rows ?pool ?(max_r = 4) () =
             witness_steps = Sim.Trace.steps o.Attack.trace;
             broke = Attack.succeeded o;
             certified;
+            mc_confirms;
           }
   in
   List.filter_map Fun.id (Par.map ?pool cell cells)
@@ -74,6 +93,7 @@ let table ?pool ?max_r () =
           "witness steps";
           "broken";
           "certified";
+          "mc confirms";
         ]
   in
   List.iter
@@ -87,6 +107,9 @@ let table ?pool ?max_r () =
           string_of_int row.witness_steps;
           string_of_bool row.broke;
           row.certified;
+          (match row.mc_confirms with
+          | Some b -> string_of_bool b
+          | None -> "-");
         ])
     (rows ?pool ?max_r ());
   t

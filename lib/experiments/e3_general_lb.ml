@@ -17,6 +17,10 @@ type row = {
   pieces : (int * int) option;  (** pieces of alpha/beta at default budget *)
   witness_steps : int option;
   broke : bool;
+  mc_confirms : bool option;
+      (** independent [Mc.Explore] cross-check on a 2-process instance:
+          [Some true] iff the model checker also reaches a violation;
+          [None] when the cell is too large to check exhaustively *)
 }
 
 let targets r =
@@ -46,6 +50,14 @@ let rows ?pool ?(max_r = 3) () =
             General_attack.succeeded o )
       | Error _ -> (None, None, false)
     in
+    (* the r=1 cells are small enough for an exhaustive 2-process
+       cross-check; the transposition table keeps it cheap *)
+    let mc_confirms =
+      if r > 1 then None
+      else
+        let res = General_attack.confirm ~dedup:`Symmetric p in
+        Some (res.Mc.Explore.violation <> None)
+    in
     {
       r;
       protocol = p.Protocol.name;
@@ -54,6 +66,7 @@ let rows ?pool ?(max_r = 3) () =
       pieces;
       witness_steps;
       broke;
+      mc_confirms;
     }
   in
   Par.map ?pool cell cells
@@ -70,6 +83,7 @@ let table ?pool ?max_r () =
           "pieces a/b";
           "witness steps";
           "broken";
+          "mc confirms";
         ]
   in
   List.iter
@@ -85,6 +99,9 @@ let table ?pool ?max_r () =
           | None -> "-");
           (match row.witness_steps with Some s -> string_of_int s | None -> "-");
           string_of_bool row.broke;
+          (match row.mc_confirms with
+          | Some b -> string_of_bool b
+          | None -> "-");
         ])
     (rows ?pool ?max_r ());
   t

@@ -16,9 +16,29 @@ type row = {
   cas_objects : int;
   historyless_lb : int;  (** smallest r with 3r^2 + r >= n *)
   identical_lb : int;  (** smallest r with r^2 - r + 1 >= n *)
+  mc_safe : bool option;
+      (** bounded-safety cross-check of the register upper bound: the
+          rw-3n protocol at this [n] admits no violation within a small
+          exhaustive search ([Mc.Explore], [`Symmetric] dedup).  [None]
+          for [n] beyond exhaustive reach. *)
 }
 
 let row n =
+  (* the upper-bound protocol's space numbers are claims about a protocol
+     that must actually BE safe; for the smallest n the model checker
+     verifies that directly (depth-bounded, so a `no violation` here is
+     bounded safety, not a proof) *)
+  let mc_safe =
+    if n > 3 then None
+    else
+      let inputs = List.init n (fun i -> i mod 2) in
+      let config = Protocol.initial_config Rw_consensus.protocol ~inputs in
+      let res =
+        Mc.Explore.search ~dedup:`Symmetric ~max_depth:8 ~max_states:50_000
+          ~inputs config
+      in
+      Some (res.Mc.Explore.violation = None)
+  in
   {
     n;
     rw_registers = Protocol.space Rw_consensus.protocol ~n;
@@ -27,6 +47,7 @@ let row n =
     cas_objects = Protocol.space Cas_consensus.protocol ~n;
     historyless_lb = Bounds.objects_needed_general n;
     identical_lb = Bounds.registers_needed_identical n;
+    mc_safe;
   }
 
 let default_ns = [ 2; 4; 8; 16; 32; 64; 128; 256 ]
@@ -47,6 +68,7 @@ let table ?pool ?ns () =
           "cas (Herlihy)";
           "historyless LB";
           "identical-proc LB";
+          "mc-safe (bounded)";
         ]
   in
   List.iter
@@ -60,6 +82,7 @@ let table ?pool ?ns () =
           string_of_int r.cas_objects;
           string_of_int r.historyless_lb;
           string_of_int r.identical_lb;
+          (match r.mc_safe with Some b -> string_of_bool b | None -> "-");
         ])
     (rows ?pool ?ns ());
   t

@@ -28,12 +28,15 @@ let rec tree_size = function
   | Read (a, b, c) -> 1 + tree_size a + tree_size b + tree_size c
   | Flip (a, b) -> 1 + tree_size a + tree_size b
 
-(** All deterministic trees of depth at most [depth]. *)
-let rec enumerate depth =
+(* One generator for both tree classes: the deterministic and randomized
+   enumerations differ only in whether the [Flip] constructor is offered,
+   so a single recursion parameterized on [coins] replaces the two
+   previously duplicated copies. *)
+let rec enumerate_trees ~coins depth =
   let decides = [ Decide 0; Decide 1 ] in
   if depth = 0 then decides
   else
-    let sub = enumerate (depth - 1) in
+    let sub = enumerate_trees ~coins (depth - 1) in
     decides
     @ List.concat_map (fun t -> [ Write (0, t); Write (1, t) ]) sub
     @ List.concat_map
@@ -42,24 +45,17 @@ let rec enumerate depth =
             (fun b -> List.map (fun c -> Read (a, b, c)) sub)
             sub)
         sub
+    @ (if coins then
+         List.concat_map
+           (fun a -> List.map (fun b -> Flip (a, b)) sub)
+           sub
+       else [])
+
+(** All deterministic trees of depth at most [depth]. *)
+let enumerate depth = enumerate_trees ~coins:false depth
 
 (** All trees of depth at most [depth], coin flips included. *)
-let rec enumerate_randomized depth =
-  let decides = [ Decide 0; Decide 1 ] in
-  if depth = 0 then decides
-  else
-    let sub = enumerate_randomized (depth - 1) in
-    decides
-    @ List.concat_map (fun t -> [ Write (0, t); Write (1, t) ]) sub
-    @ List.concat_map
-        (fun a ->
-          List.concat_map
-            (fun b -> List.map (fun c -> Read (a, b, c)) sub)
-            sub)
-        sub
-    @ List.concat_map
-        (fun a -> List.map (fun b -> Flip (a, b)) sub)
-        sub
+let enumerate_randomized depth = enumerate_trees ~coins:true depth
 
 (** Compile a tree to a process over object 0. *)
 let rec to_proc tree : int Proc.t =
@@ -97,15 +93,21 @@ let solo_decision tree =
       invalid_arg
         (Printf.sprintf "solo_decision: %d reachable outcomes" (List.length vs))
 
-(* exhaustive consensus check of the two-process protocol (t0 for input 0,
-   t1 for input 1) on one input vector *)
-let check_inputs t0 t1 inputs =
+(* Exhaustive consensus check of the two-process protocol (t0 for input 0,
+   t1 for input 1) on one input vector.
+
+   [`Symmetric] dedup is sound here unconditionally: each process's tree
+   is a function of its input alone, so seeding the fingerprints by input
+   makes fingerprint-equal slots state-equal across slots — same-input
+   processes run the same tree and are genuinely interchangeable. *)
+let check_inputs ?(dedup = `Symmetric) t0 t1 inputs =
   let tree_of input = if input = 0 then t0 else t1 in
   let config =
-    Config.make ~optypes:[ Objects.Register.optype () ]
+    Config.make_seeded ~fp_seeds:inputs
+      ~optypes:[ Objects.Register.optype () ]
       ~procs:(List.map (fun i -> to_proc (tree_of i)) inputs)
   in
-  let result = Explore.search ~max_depth:30 ~inputs config in
+  let result = Explore.search ~dedup ~max_depth:30 ~inputs config in
   result.violation = None && not result.truncated
 
 type census = {
@@ -127,20 +129,20 @@ type census = {
     lists independently before the quadratic mixed-input sweep; with
     identical processes, inputs (0,1) and (1,0) are pid-symmetric, so one
     mixed check per pair suffices. *)
-let census_of_trees ~depth trees =
+let census_of_trees ?dedup ~depth trees =
   (* validity on a solo run: EVERY reachable outcome must be the input
      (for deterministic trees this is the unique decision) *)
   let v0 = List.filter (fun t -> solo_decisions t = [ 0 ]) trees in
   let v1 = List.filter (fun t -> solo_decisions t = [ 1 ]) trees in
-  let u0 = List.filter (fun t -> check_inputs t t [ 0; 0 ]) v0 in
-  let u1 = List.filter (fun t -> check_inputs t t [ 1; 1 ]) v1 in
+  let u0 = List.filter (fun t -> check_inputs ?dedup t t [ 0; 0 ]) v0 in
+  let u1 = List.filter (fun t -> check_inputs ?dedup t t [ 1; 1 ]) v1 in
   let correct = ref 0 in
   let example = ref None in
   List.iter
     (fun t0 ->
       List.iter
         (fun t1 ->
-          if check_inputs t0 t1 [ 0; 1 ] then begin
+          if check_inputs ?dedup t0 t1 [ 0; 1 ] then begin
             incr correct;
             if !example = None then example := Some (t0, t1)
           end)

@@ -12,6 +12,11 @@ type tree =
 
 val tree_size : tree -> int
 
+(** All trees of depth at most [depth]; [coins] decides whether the
+    [Flip] constructor is offered.  {!enumerate} and
+    {!enumerate_randomized} are the two instantiations. *)
+val enumerate_trees : coins:bool -> int -> tree list
+
 (** All deterministic trees of depth at most [depth] (14 at depth 1, 2774
     at depth 2). *)
 val enumerate : int -> tree list
@@ -29,8 +34,12 @@ val solo_decisions : tree -> int list
 val solo_decision : tree -> int
 
 (** Exhaustive consensus check of (tree-for-0, tree-for-1) on one input
-    vector: true iff no violation in any interleaving. *)
-val check_inputs : tree -> tree -> int list -> bool
+    vector: true iff no violation in any interleaving.  [dedup] defaults
+    to [`Symmetric], which is sound here unconditionally: a process's
+    tree is a function of its input alone and the fingerprints are seeded
+    by input, so fingerprint-equal slots are state-equal (see
+    [Explore]). *)
+val check_inputs : ?dedup:Explore.dedup -> tree -> tree -> int list -> bool
 
 type census = {
   depth : int;
@@ -42,6 +51,11 @@ type census = {
   correct : int;
   example_correct : (tree * tree) option;
 }
+
+(** Census of an explicit tree list (as produced by {!enumerate_trees});
+    the [dedup] knob reaches every [check_inputs] call. *)
+val census_of_trees :
+  ?dedup:Explore.dedup -> depth:int -> tree list -> census
 
 val census : depth:int -> census
 

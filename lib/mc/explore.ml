@@ -4,12 +4,41 @@
    nondeterminism against which the paper's correctness conditions are
    stated: no execution may violate consistency or validity).
 
-   Exploration is depth-bounded DFS.  Process states are closures, so we do
-   not hash states; for wait-free protocols the tree is finite and the
-   search is complete, and [truncated] reports whether any path hit the
-   depth bound (i.e. whether the verdict is exhaustive or bounded). *)
+   Exploration is depth-bounded DFS.  Process states are closures and
+   cannot be hashed directly — but they never need to be: a process is a
+   deterministic step machine, so its state is fully determined by its
+   initial protocol term and the sequence of responses / coin outcomes it
+   consumed, and [Config.fps] maintains a 64-bit hash of exactly that
+   history (see [Sim.Fingerprint]).  The optional transposition table
+   ([~dedup]) keys on (object values, per-process fingerprints) and
+   memoizes "subtree violation-free up to remaining depth d", collapsing
+   the configurations that different interleavings reach redundantly:
+
+   - [`Off]       — the plain DFS (the baseline; bit-identical to the
+                    pre-table checker).
+   - [`Exact]     — per-slot fingerprints: two configurations are merged
+                    when every process consumed the same history and the
+                    objects hold the same values.  Always sound.
+   - [`Symmetric] — additionally sorts the per-process fingerprints, so
+                    permutations of interchangeable processes collapse to
+                    one state.  Sound exactly when fingerprint equality
+                    implies state equality *across* process slots: either
+                    all processes start from one protocol term (identical
+                    processes with one input — the Theorem 3.3 setting),
+                    or the initial fingerprints of differing terms were
+                    distinguished via [Config.make ~fp_seeds] (what
+                    [Consensus.Protocol.initial_config] does).
+
+   Memoized skips of *complete* (exhaustively clean) subtrees never affect
+   the verdict or [truncated]; skips of depth-bounded entries conservatively
+   set [truncated].  The DFS inner loop allocates only the successor
+   configuration and one choice-path cell per step: witness traces are
+   reconstructed by replaying the recorded (pid, outcome) choice path only
+   when a violation is actually found. *)
 
 open Sim
+
+type dedup = [ `Off | `Exact | `Symmetric ]
 
 type 'a violation = {
   kind : [ `Inconsistent | `Invalid ];
@@ -23,6 +52,7 @@ type 'a result = {
   leaves : int;  (** maximal executions reached (all procs decided) *)
   truncated : bool;  (** some path hit the depth or state budget *)
   max_depth_seen : int;
+  table_hits : int;  (** subtrees skipped via the transposition table *)
 }
 
 (** All single-step successors of [config] for process [pid]: one successor
@@ -34,84 +64,179 @@ let successors config pid =
   | Proc.Choose { n; _ } ->
       List.init n (fun outcome -> Run.step config ~pid ~coin:(fun _ -> outcome))
 
-(* The DFS engine, parameterized by an execution prefix ([rev_trace] and
-   the [decisions] accumulated so far) so that the same code serves both
-   the whole-tree search ([search], empty prefix) and the per-subtree
-   tasks of the partitioned search ([search_par], prefix = the root step
-   leading into the subtree).  [max_depth_seen] and depth bounds are
-   relative to the given root configuration. *)
-let search_from ~max_depth ~max_states ~inputs ~rev_trace ~decisions config =
+(* --- the transposition table ----------------------------------------- *)
+
+module Key = struct
+  type t = {
+    hash : int;
+    objs : Value.t array;  (** shared with the (immutable) configuration *)
+    fps : int array;  (** per-slot fingerprints; sorted under [`Symmetric] *)
+  }
+
+  let equal a b =
+    a.hash = b.hash
+    && Array.length a.fps = Array.length b.fps
+    && Array.length a.objs = Array.length b.objs
+    && (let rec ints i = i < 0 || (a.fps.(i) = b.fps.(i) && ints (i - 1)) in
+        ints (Array.length a.fps - 1))
+    &&
+    let rec vals i =
+      i < 0 || (Value.equal a.objs.(i) b.objs.(i) && vals (i - 1))
+    in
+    vals (Array.length a.objs - 1)
+
+  let hash k = k.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(* "Violation-free up to remaining depth [depth]"; [complete] once the
+   subtree has been exhausted without hitting any bound (a horizon-free
+   fact: revisits may skip it at any remaining depth). *)
+type entry = { mutable depth : int; mutable complete : bool }
+
+(* The DFS configurations are persistent (never mutated after [step]), so
+   the key can share [objects] — and, under [`Exact], [fps] — with the
+   configuration instead of copying. *)
+let key_of_config ~symmetric (config : 'a Config.t) =
+  let fps =
+    if symmetric then begin
+      let fps = Array.copy config.Config.fps in
+      Array.sort (compare : int -> int -> int) fps;
+      fps
+    end
+    else config.Config.fps
+  in
+  let h = ref (Array.length fps) in
+  Array.iter (fun fp -> h := Fingerprint.mix !h fp) fps;
+  Array.iter
+    (fun v -> h := Fingerprint.mix !h (Fingerprint.value_hash v))
+    config.Config.objects;
+  { Key.hash = !h; objs = config.Config.objects; fps }
+
+(* The DFS engine, parameterized by an execution prefix (the reversed
+   (pid, coin-outcome) choice path [rev_choices] from [replay_root] and the
+   [decisions] visible so far) so that the same code serves both the
+   whole-tree search ([search], empty prefix) and the per-subtree tasks of
+   the partitioned search ([search_par], prefix = the root step leading
+   into the subtree).  [max_depth_seen] and depth bounds are relative to
+   the given root configuration.
+
+   Witness traces are *lazy*: the DFS records only the choice path and
+   re-executes it from [replay_root] (with full event collection) when a
+   violation is actually found — the violation-free tree never allocates
+   events or trace segments. *)
+let search_from ~dedup ~max_depth ~max_states ~inputs ~replay_root ~rev_choices
+    ~decisions config =
   let visited = ref 0 in
   let leaves = ref 0 in
-  let truncated = ref false in
+  let table_hits = ref 0 in
+  (* counts truncation points so subtree completeness is a before/after
+     comparison, not a sticky boolean *)
+  let trunc = ref 0 in
   let max_depth_seen = ref 0 in
   let found : 'a violation option ref = ref None in
   let exception Stop in
-  let check_events config rev_trace decisions =
-    let values = List.sort_uniq compare decisions in
-    let kind =
-      if List.length values > 1 then Some `Inconsistent
-      else if not (List.for_all (fun v -> List.mem v inputs) values) then
-        Some `Invalid
-      else None
-    in
-    match kind with
-    | None -> ()
-    | Some kind ->
-        found := Some { kind; trace = List.rev rev_trace; config };
-        raise Stop
+  let table =
+    match dedup with `Off -> None | `Exact | `Symmetric -> Some (Tbl.create 1024)
   in
-  let rec go config rev_trace decisions depth =
+  let symmetric = dedup = `Symmetric in
+  let rebuild_trace rev_choices =
+    let rec replay config rev_events = function
+      | [] -> List.rev rev_events
+      | (pid, outcome) :: rest ->
+          let config', events = Run.step config ~pid ~coin:(fun _ -> outcome) in
+          replay config' (List.rev_append events rev_events) rest
+    in
+    replay replay_root [] (List.rev rev_choices)
+  in
+  let stop kind config rev_choices =
+    found := Some { kind; trace = rebuild_trace rev_choices; config };
+    raise Stop
+  in
+  (* the prefix's decisions (processes may decide without taking a single
+     step in this subtree) participate in the verdicts; also seeds the
+     distinct-decided-values accumulator for the incremental path checks *)
+  let check_prefix () =
+    let values = List.sort_uniq compare decisions in
+    if List.length values > 1 then stop `Inconsistent config rev_choices
+    else if not (List.for_all (fun v -> List.mem v inputs) values) then
+      stop `Invalid config rev_choices;
+    values
+  in
+  let rec go config rev_choices distinct depth =
     incr visited;
     if depth > !max_depth_seen then max_depth_seen := depth;
-    if !visited > max_states then (
-      truncated := true;
-      ())
+    if !visited > max_states then incr trunc
+    else if not (Config.exists_enabled config) then incr leaves
+    else if depth >= max_depth then incr trunc
     else
-      match Config.enabled_pids config with
-      | [] -> incr leaves
-      | pids ->
-          if depth >= max_depth then truncated := true
-          else
-            List.iter
-              (fun pid ->
-                let succs = successors config pid in
-                List.iter
-                  (fun (config', events) ->
-                    let decisions' =
-                      List.fold_left
-                        (fun acc ev ->
-                          match ev with
-                          | Event.Decided { value; _ } -> value :: acc
-                          | _ -> acc)
-                        decisions events
-                    in
-                    let rev_trace' = List.rev_append events rev_trace in
-                    check_events config' rev_trace' decisions';
-                    go config' rev_trace' decisions' (depth + 1))
-                  succs)
-              pids
+      match table with
+      | None -> expand config rev_choices distinct depth
+      | Some tbl -> (
+          let rd = max_depth - depth in
+          let key = key_of_config ~symmetric config in
+          match Tbl.find_opt tbl key with
+          | Some e when e.complete -> incr table_hits
+          | Some e when e.depth >= rd ->
+              incr table_hits;
+              (* clean to a horizon at least as deep as ours, but the tree
+                 extends beyond it: a re-exploration could not have been
+                 exhaustive either *)
+              incr trunc
+          | shallow ->
+              let trunc0 = !trunc in
+              expand config rev_choices distinct depth;
+              (* no violation below (Stop would have escaped) *)
+              let complete = !trunc = trunc0 in
+              (match shallow with
+              | Some e ->
+                  e.depth <- max e.depth rd;
+                  if complete then e.complete <- true
+              | None -> Tbl.replace tbl key { depth = rd; complete }))
+  and expand config rev_choices distinct depth =
+    Config.iter_enabled config (fun pid ->
+        match config.Config.procs.(pid) with
+        | Proc.Decide _ -> assert false (* not enabled *)
+        | Proc.Apply _ -> child config rev_choices distinct depth pid 0
+        | Proc.Choose { n; _ } ->
+            for outcome = 0 to n - 1 do
+              child config rev_choices distinct depth pid outcome
+            done)
+  and child config rev_choices distinct depth pid outcome =
+    let config' = Run.step_quiet config ~pid ~coin:(fun _ -> outcome) in
+    let rev_choices' = (pid, outcome) :: rev_choices in
+    let distinct' =
+      match Config.decision config' pid with
+      | None -> distinct
+      | Some v ->
+          if List.mem v distinct then distinct
+          else if distinct <> [] then stop `Inconsistent config' rev_choices'
+          else if not (List.mem v inputs) then stop `Invalid config' rev_choices'
+          else v :: distinct
+    in
+    go config' rev_choices' distinct' (depth + 1)
   in
   (try
-     check_events config rev_trace decisions;
-     go config rev_trace decisions 0
+     let distinct = check_prefix () in
+     go config rev_choices distinct 0
    with Stop -> ());
   {
     violation = !found;
     visited = !visited;
     leaves = !leaves;
-    truncated = !truncated;
+    truncated = !trunc > 0;
     max_depth_seen = !max_depth_seen;
+    table_hits = !table_hits;
   }
 
-let search ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs config =
-  (* decisions already present in the initial configuration (processes may
-     decide without taking a single step) participate in the verdicts *)
-  search_from ~max_depth ~max_states ~inputs ~rev_trace:[]
-    ~decisions:(Config.decisions config) config
+let search ?(dedup = `Off) ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs
+    config =
+  search_from ~dedup ~max_depth ~max_states ~inputs ~replay_root:config
+    ~rev_choices:[] ~decisions:(Config.decisions config) config
 
 (* Partitioned search: the root's successor configurations — one task per
-   (enabled pid, successor), in the sequential traversal order — are
+   (enabled pid, coin outcome), in the sequential traversal order — are
    explored as independent bounded DFS runs across the pool's domains,
    and their [result] records merged in task order.
 
@@ -124,6 +249,10 @@ let search ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs config =
                    relative to its subtree root, which sits at depth 1);
    - [truncated] = any subtree truncated, or the merged visit count
                    exceeds [max_states];
+   - [table_hits] = sum of subtree hits (with [~dedup] each task owns a
+                   private transposition table — domains share nothing —
+                   so the counts differ from the sequential [search]'s
+                   single shared table, deterministically);
    - [violation] = the first violating subtree in task order; within a
                    subtree the DFS finds its first violation in the same
                    order as the sequential search, so the reported
@@ -132,41 +261,40 @@ let search ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs config =
    The merge is a pure fold over deterministic per-task results, so the
    outcome is bit-identical for any [?pool] (including [None]).  On
    violation-free trees whose state budget is not the binding constraint,
-   every field equals the sequential [search]'s (pinned by the
-   determinism test suite); when a violation exists, [search] stops at
-   first blood while the partitioned runs still finish their subtrees, so
-   the merged statistics deterministically cover more of the tree. *)
-let search_par ?pool ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs config
-    =
-  let initial_decisions = Config.decisions config in
+   every field except [table_hits] equals the sequential [search]'s under
+   [`Off] (pinned by the determinism test suite); when a violation exists,
+   [search] stops at first blood while the partitioned runs still finish
+   their subtrees, so the merged statistics deterministically cover more
+   of the tree. *)
+let search_par ?pool ?(dedup = `Off) ?(max_depth = 60)
+    ?(max_states = 2_000_000) ~inputs config =
   let root =
-    search_from ~max_depth:0 ~max_states ~inputs ~rev_trace:[]
-      ~decisions:initial_decisions config
+    search_from ~dedup:`Off ~max_depth:0 ~max_states ~inputs
+      ~replay_root:config ~rev_choices:[]
+      ~decisions:(Config.decisions config) config
   in
-  if root.violation <> None || Config.enabled_pids config = [] || max_depth = 0
+  if root.violation <> None || not (Config.exists_enabled config)
+     || max_depth = 0
   then root
   else begin
     let tasks =
       List.concat_map
-        (fun pid -> successors config pid)
+        (fun pid ->
+          match config.Config.procs.(pid) with
+          | Proc.Decide _ -> []
+          | Proc.Apply _ -> [ (pid, 0) ]
+          | Proc.Choose { n; _ } -> List.init n (fun outcome -> (pid, outcome)))
         (Config.enabled_pids config)
     in
-    let explore_subtree (config', events) =
-      let decisions' =
-        List.fold_left
-          (fun acc ev ->
-            match ev with
-            | Event.Decided { value; _ } -> value :: acc
-            | _ -> acc)
-          initial_decisions events
-      in
-      search_from ~max_depth:(max_depth - 1) ~max_states ~inputs
-        ~rev_trace:(List.rev events) ~decisions:decisions' config'
+    let explore_subtree (pid, outcome) =
+      let config' = Run.step_quiet config ~pid ~coin:(fun _ -> outcome) in
+      search_from ~dedup ~max_depth:(max_depth - 1) ~max_states ~inputs
+        ~replay_root:config
+        ~rev_choices:[ (pid, outcome) ]
+        ~decisions:(Config.decisions config') config'
     in
     let subtrees = Par.map ?pool explore_subtree tasks in
-    let visited =
-      List.fold_left (fun acc r -> acc + r.visited) 1 subtrees
-    in
+    let visited = List.fold_left (fun acc r -> acc + r.visited) 1 subtrees in
     {
       violation = List.find_map (fun r -> r.violation) subtrees;
       visited;
@@ -175,6 +303,7 @@ let search_par ?pool ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs config
         List.exists (fun r -> r.truncated) subtrees || visited > max_states;
       max_depth_seen =
         1 + List.fold_left (fun acc r -> max acc r.max_depth_seen) 0 subtrees;
+      table_hits = List.fold_left (fun acc r -> acc + r.table_hits) 0 subtrees;
     }
   end
 
@@ -193,13 +322,12 @@ let solo_decision ?(max_steps = 300) ?(max_nodes = 5_000) config ~pid =
           match config.Config.procs.(pid) with
           | Proc.Decide _ -> assert false
           | Proc.Apply _ ->
-              let config', _ = Run.step config ~pid ~coin:(fun _ -> 0) in
-              go config' (steps + 1)
+              go (Run.step_quiet config ~pid ~coin:(fun _ -> 0)) (steps + 1)
           | Proc.Choose { n; _ } ->
               let rec try_outcome o =
                 if o >= n then None
                 else
-                  let config', _ = Run.step config ~pid ~coin:(fun _ -> o) in
+                  let config' = Run.step_quiet config ~pid ~coin:(fun _ -> o) in
                   match go config' (steps + 1) with
                   | Some _ as found -> found
                   | None -> try_outcome (o + 1)
@@ -221,28 +349,24 @@ let decidable_values ?(max_depth = 60) ?(max_states = 2_000_000) config =
   (* decisions already present count, and each enabled process's solo
      probe contributes a cheap reachable-decision witness *)
   List.iter add (Config.decisions config);
-  List.iter
-    (fun pid ->
-      match solo_decision config ~pid with Some v -> add v | None -> ())
-    (Config.enabled_pids config);
+  Config.iter_enabled config (fun pid ->
+      match solo_decision config ~pid with Some v -> add v | None -> ());
   let rec go config depth =
     incr visited;
     if !visited > max_states || depth >= max_depth then truncated := true
     else
-      match Config.enabled_pids config with
-      | [] -> ()
-      | pids ->
-          List.iter
-            (fun pid ->
-              List.iter
-                (fun (config', events) ->
-                  List.iter
-                    (function
-                      | Event.Decided { value; _ } -> add value | _ -> ())
-                    events;
-                  go config' (depth + 1))
-                (successors config pid))
-            pids
+      Config.iter_enabled config (fun pid ->
+          match config.Config.procs.(pid) with
+          | Proc.Decide _ -> assert false
+          | Proc.Apply _ -> visit config depth pid 0
+          | Proc.Choose { n; _ } ->
+              for outcome = 0 to n - 1 do
+                visit config depth pid outcome
+              done)
+  and visit config depth pid outcome =
+    let config' = Run.step_quiet config ~pid ~coin:(fun _ -> outcome) in
+    (match Config.decision config' pid with Some v -> add v | None -> ());
+    go config' (depth + 1)
   in
   go config 0;
   (List.sort compare !values, !truncated)

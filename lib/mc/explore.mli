@@ -3,9 +3,23 @@
     nondeterminism against which consistency and validity are required.
 
     Depth-first, depth- and node-bounded; [truncated] reports whether the
-    verdict is exhaustive or merely bounded. *)
+    verdict is exhaustive or merely bounded.
+
+    [~dedup] enables the transposition table over incremental state
+    fingerprints (see [Sim.Fingerprint] and DESIGN.md for the soundness
+    argument): [`Exact] merges configurations whose object values and
+    per-slot process fingerprints coincide; [`Symmetric] additionally
+    sorts the per-process fingerprints so permutations of interchangeable
+    processes collapse to one state — sound when all processes run one
+    protocol term with one input (the identical-processes setting of
+    Theorem 3.3), or when differing initial terms were distinguished via
+    [Config.make ~fp_seeds] (as [Consensus.Protocol.initial_config] does).
+    Dedup never changes the violation verdict or the reported witness; it
+    changes only the node counts ([visited], [leaves]) and wall-clock. *)
 
 open Sim
+
+type dedup = [ `Off | `Exact | `Symmetric ]
 
 type 'a violation = {
   kind : [ `Inconsistent | `Invalid ];
@@ -19,6 +33,7 @@ type 'a result = {
   leaves : int;  (** maximal executions reached *)
   truncated : bool;
   max_depth_seen : int;
+  table_hits : int;  (** subtrees skipped via the transposition table *)
 }
 
 (** All single-step successors of [pid]: one for an [Apply], [n] for a
@@ -26,6 +41,7 @@ type 'a result = {
 val successors : 'a Config.t -> int -> ('a Config.t * 'a Event.t list) list
 
 val search :
+  ?dedup:dedup ->
   ?max_depth:int ->
   ?max_states:int ->
   inputs:'a list ->
@@ -37,14 +53,18 @@ val search :
     and the per-subtree [result] records merged in the sequential
     traversal order.  The merge is deterministic — bit-identical for any
     [?pool], including [None] — and on violation-free trees whose state
-    budget does not bind, every field ([visited], [leaves], [truncated],
-    [max_depth_seen]) equals the sequential [search]'s.  A reported
-    violation is always the same witness [search] finds; in that case
-    [search] stops early while the partitioned subtrees run to
-    completion, so the merged statistics deterministically cover more of
-    the tree. *)
+    budget does not bind, every field equals the sequential [search]'s
+    under [`Off].  With [~dedup] each subtree task owns a private
+    transposition table (nothing is shared across domains), so the node
+    counts differ from the sequential search's shared-table run —
+    deterministically — while the violation verdict and witness stay
+    identical.  A reported violation is always the same witness [search]
+    finds; in that case [search] stops early while the partitioned
+    subtrees run to completion, so the merged statistics deterministically
+    cover more of the tree. *)
 val search_par :
   ?pool:Par.Pool.t ->
+  ?dedup:dedup ->
   ?max_depth:int ->
   ?max_states:int ->
   inputs:'a list ->

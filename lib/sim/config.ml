@@ -5,23 +5,51 @@
 
    [halted] supports crash-failure injection: a halted process performs no
    further steps (the paper's "a process may become faulty at a given point
-   in an execution"). *)
+   in an execution").
+
+   [fps] carries one incrementally maintained {!Fingerprint.t} per process
+   ([Run.step] mixes in every consumed response / coin outcome), giving the
+   model checker an O(1)-per-step hashable key for states whose process
+   components are otherwise unhashable closures. *)
 
 type 'a t = {
   optypes : Optype.t array;  (** type of each shared object, fixed *)
   objects : Value.t array;  (** current value of each shared object *)
   procs : 'a Proc.t array;  (** current state of each process *)
   halted : bool array;  (** crash-failure flags *)
+  fps : Fingerprint.t array;  (** per-process consumed-history fingerprints *)
 }
 
-let make ~optypes ~procs =
+let make_with_seeds fp_seeds ~optypes ~procs =
   let optypes = Array.of_list optypes in
+  let n = List.length procs in
+  let fps =
+    match fp_seeds with
+    | None -> Array.make n Fingerprint.initial
+    | Some seeds ->
+        if List.length seeds <> n then
+          invalid_arg "Config.make: fp_seeds length <> number of processes";
+        Array.of_list
+          (List.map (fun s -> Fingerprint.mix Fingerprint.initial s) seeds)
+  in
   {
     optypes;
     objects = Array.map (fun (ot : Optype.t) -> ot.init) optypes;
     procs = Array.of_list procs;
-    halted = Array.make (List.length procs) false;
+    halted = Array.make n false;
+    fps;
   }
+
+let make ~optypes ~procs = make_with_seeds None ~optypes ~procs
+
+(** [make] with the initial fingerprints seeded, distinguishing processes
+    whose initial protocol terms differ (e.g. by input value): fingerprint
+    equality then implies state equality across processes, the
+    precondition of [Mc.Explore]'s [`Symmetric] canonicalization.  Under
+    plain [make] all processes start from [Fingerprint.initial] and only
+    same-slot fingerprint comparisons are meaningful. *)
+let make_seeded ~fp_seeds ~optypes ~procs =
+  make_with_seeds (Some fp_seeds) ~optypes ~procs
 
 let n_objects t = Array.length t.objects
 let n_procs t = Array.length t.procs
@@ -32,26 +60,44 @@ let copy t =
     objects = Array.copy t.objects;
     procs = Array.copy t.procs;
     halted = Array.copy t.halted;
+    fps = Array.copy t.fps;
   }
 
 let decision t pid = Proc.decision t.procs.(pid)
 let is_decided t pid = Proc.is_decided t.procs.(pid)
 let is_halted t pid = t.halted.(pid)
+let fingerprint t pid = t.fps.(pid)
 
 (** A process is enabled if it is neither decided nor crashed. *)
 let is_enabled t pid = (not (is_decided t pid)) && not (is_halted t pid)
 
-let enabled_pids t =
-  List.filter (is_enabled t) (List.init (n_procs t) Fun.id)
+(** Index-iterating enabled-process traversal, ascending pid order; the
+    model checker's inner loop uses these instead of materializing
+    [enabled_pids] at every node. *)
+let iter_enabled t f =
+  for pid = 0 to n_procs t - 1 do
+    if is_enabled t pid then f pid
+  done
 
-let all_decided t =
-  let rec go i =
-    i >= n_procs t || ((is_decided t i || is_halted t i) && go (i + 1))
-  in
+let exists_enabled t =
+  let rec go pid = pid < n_procs t && (is_enabled t pid || go (pid + 1)) in
   go 0
 
+let enabled_pids t =
+  let acc = ref [] in
+  for pid = n_procs t - 1 downto 0 do
+    if is_enabled t pid then acc := pid :: !acc
+  done;
+  !acc
+
+let all_decided t = not (exists_enabled t)
+
 let decisions t =
-  List.filter_map (fun pid -> decision t pid) (List.init (n_procs t) Fun.id)
+  let acc = ref [] in
+  for pid = n_procs t - 1 downto 0 do
+    match decision t pid with Some v -> acc := v :: !acc | None -> ()
+  done;
+  !acc
 
 (** Crash process [pid]: it takes no further steps. *)
 let halt t pid =
@@ -61,25 +107,34 @@ let halt t pid =
 
 (** Append a process in state [state]; returns the new configuration and the
     new process's id.  Used by the lower-bound adversaries to introduce
-    clones (whose states are snapshots of existing processes). *)
-let add_proc t state =
+    clones (whose states are snapshots of existing processes).  [?fp], when
+    given, is the fingerprint of the origin whose state was snapshotted, so
+    the clone's fingerprint stays consistent with its state. *)
+let add_proc ?fp t state =
   let n = n_procs t in
   let procs = Array.make (n + 1) state in
   Array.blit t.procs 0 procs 0 n;
   let halted = Array.make (n + 1) false in
   Array.blit t.halted 0 halted 0 n;
-  ({ t with procs; halted }, n)
+  let fps =
+    Array.make (n + 1) (match fp with Some f -> f | None -> Fingerprint.initial)
+  in
+  Array.blit t.fps 0 fps 0 n;
+  ({ t with procs; halted; fps }, n)
 
 (** [pending t pid] is the shared-memory operation [pid] is poised at. *)
 let pending t pid = Proc.pending t.procs.(pid)
 
 (** Process ids poised at object [obj] (their next step applies to it). *)
 let poised_at t obj =
-  List.filter
-    (fun pid ->
+  let acc = ref [] in
+  for pid = n_procs t - 1 downto 0 do
+    if
       is_enabled t pid
-      && match pending t pid with Some (o, _) -> o = obj | None -> false)
-    (List.init (n_procs t) Fun.id)
+      && match pending t pid with Some (o, _) -> o = obj | None -> false
+    then acc := pid :: !acc
+  done;
+  !acc
 
 let pp pp_decision ppf t =
   Fmt.pf ppf "@[<v>objects: %a@,procs: %a@]"

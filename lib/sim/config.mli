@@ -1,17 +1,29 @@
 (** Configurations (Section 2): the value of every shared object plus the
     state of every process, persistent (updates copy), with crash-failure
-    flags. *)
+    flags and per-process state fingerprints (see {!Fingerprint}). *)
 
 type 'a t = {
   optypes : Optype.t array;
   objects : Value.t array;
   procs : 'a Proc.t array;
   halted : bool array;
+  fps : Fingerprint.t array;
+      (** consumed-history fingerprint per process, maintained by
+          [Run.step]; hashes the process state (see [Mc.Explore]) *)
 }
 
 (** [make ~optypes ~procs] is the initial configuration: objects at their
-    initial values, no process halted. *)
+    initial values, no process halted, all fingerprints at
+    [Fingerprint.initial]. *)
 val make : optypes:Optype.t list -> procs:'a Proc.t list -> 'a t
+
+(** [make] with seeded initial fingerprints ([fp_seeds], one int per
+    process): seeds distinguish processes whose initial protocol terms
+    differ — required for [Mc.Explore]'s [`Symmetric] dedup to be sound
+    on non-identical process vectors; see
+    [Consensus.Protocol.initial_config]. *)
+val make_seeded :
+  fp_seeds:int list -> optypes:Optype.t list -> procs:'a Proc.t list -> 'a t
 
 val n_objects : 'a t -> int
 val n_procs : 'a t -> int
@@ -23,8 +35,18 @@ val decision : 'a t -> int -> 'a option
 val is_decided : 'a t -> int -> bool
 val is_halted : 'a t -> int -> bool
 
+(** The process's current consumed-history fingerprint. *)
+val fingerprint : 'a t -> int -> Fingerprint.t
+
 (** Enabled: neither decided nor crashed. *)
 val is_enabled : 'a t -> int -> bool
+
+(** [iter_enabled t f] applies [f] to every enabled pid in ascending
+    order, allocating nothing — the model checker's inner loop. *)
+val iter_enabled : 'a t -> (int -> unit) -> unit
+
+(** Whether any process is enabled ([not (all_decided t)], allocation-free). *)
+val exists_enabled : 'a t -> bool
 
 val enabled_pids : 'a t -> int list
 
@@ -39,9 +61,10 @@ val decisions : 'a t -> 'a list
 val halt : 'a t -> int -> 'a t
 
 (** Append a process in the given state; returns the new configuration and
-    the new pid.  Used by the lower-bound adversaries to introduce
-    clones. *)
-val add_proc : 'a t -> 'a Proc.t -> 'a t * int
+    the new pid.  Used by the lower-bound adversaries to introduce clones;
+    [?fp] carries over the fingerprint of the origin whose state was
+    snapshotted. *)
+val add_proc : ?fp:Fingerprint.t -> 'a t -> 'a Proc.t -> 'a t * int
 
 (** {1 Poisedness} *)
 

@@ -1,0 +1,18 @@
+(** Incremental state fingerprints for deterministic step machines.
+
+    A process state is fully determined by (initial protocol term,
+    sequence of responses and coin outcomes consumed), so hashing the
+    consumed-input history hashes the state — in O(1) per step.  Used by
+    [Mc.Explore]'s transposition table; maintained by [Run.step]. *)
+
+type t = int
+
+(** SplitMix64-finalizer combination of a running fingerprint and one
+    consumed input (a hashed response, or a coin outcome). *)
+val mix : t -> int -> t
+
+(** Fingerprint of a process that has consumed nothing yet. *)
+val initial : t
+
+(** Structural hash of a value, for mixing in operation responses. *)
+val value_hash : Value.t -> int

@@ -23,21 +23,25 @@ type 'a result = {
 exception Step_disabled of int
 
 (* Shared core: compute the successor state of process [pid] plus the events
-   of that step, given the (already current) object array. *)
+   of that step, given the (already current) object array.  Also returns the
+   process's updated consumed-history fingerprint (see [Fingerprint]): the
+   response is mixed in on [Apply], the outcome on [Choose]. *)
 let step_events (config : 'a Config.t) ~pid ~coin ~objects =
   match config.procs.(pid) with
   | Proc.Decide _ -> raise (Step_disabled pid)
   | Proc.Apply { obj; op; k } ->
       let value, resp = Optype.apply config.optypes.(obj) objects.(obj) op in
       let proc' = k resp in
+      let fp' = Fingerprint.mix config.fps.(pid) (Fingerprint.value_hash resp) in
       let ev = Event.Applied { pid; obj; op; resp } in
-      (proc', Some (obj, value), ev)
+      (proc', fp', Some (obj, value), ev)
   | Proc.Choose { n; k } ->
       let outcome = coin n in
       if outcome < 0 || outcome >= n then
         invalid_arg "Run.step: coin outcome out of range";
       let proc' = k outcome in
-      (proc', None, Event.Coin { pid; n; outcome })
+      let fp' = Fingerprint.mix config.fps.(pid) outcome in
+      (proc', fp', None, Event.Coin { pid; n; outcome })
 
 (** Pure step: returns the successor configuration and the events emitted
     (the step itself, plus [Decided] if the process just decided).  Raises
@@ -45,13 +49,14 @@ let step_events (config : 'a Config.t) ~pid ~coin ~objects =
     caller decides who is allowed to move. *)
 let step (config : 'a Config.t) ~pid ~coin =
   let config' = Config.copy config in
-  let proc', write_back, ev =
+  let proc', fp', write_back, ev =
     step_events config ~pid ~coin ~objects:config'.objects
   in
   (match write_back with
   | Some (obj, value) -> config'.objects.(obj) <- value
   | None -> ());
   config'.procs.(pid) <- proc';
+  config'.fps.(pid) <- fp';
   let events =
     match Proc.decision proc' with
     | Some value -> [ ev; Event.Decided { pid; value } ]
@@ -59,15 +64,40 @@ let step (config : 'a Config.t) ~pid ~coin =
   in
   (config', events)
 
+(** Pure step without event construction — same successor configuration as
+    {!step}, nothing else allocated beyond the configuration copy.  The
+    model checker's happy path: whether the process just decided (and what
+    it decided) is read back off the configuration. *)
+let step_quiet (config : 'a Config.t) ~pid ~coin =
+  let config' = Config.copy config in
+  (match config.procs.(pid) with
+  | Proc.Decide _ -> raise (Step_disabled pid)
+  | Proc.Apply { obj; op; k } ->
+      let value, resp =
+        Optype.apply config.optypes.(obj) config'.objects.(obj) op
+      in
+      config'.objects.(obj) <- value;
+      config'.procs.(pid) <- k resp;
+      config'.fps.(pid) <-
+        Fingerprint.mix config.fps.(pid) (Fingerprint.value_hash resp)
+  | Proc.Choose { n; k } ->
+      let outcome = coin n in
+      if outcome < 0 || outcome >= n then
+        invalid_arg "Run.step: coin outcome out of range";
+      config'.procs.(pid) <- k outcome;
+      config'.fps.(pid) <- Fingerprint.mix config.fps.(pid) outcome);
+  config'
+
 (* In-place step on a private copy owned by [exec_fast]. *)
 let step_inplace (config : 'a Config.t) ~pid ~coin =
-  let proc', write_back, ev =
+  let proc', fp', write_back, ev =
     step_events config ~pid ~coin ~objects:config.objects
   in
   (match write_back with
   | Some (obj, value) -> config.objects.(obj) <- value
   | None -> ());
   config.procs.(pid) <- proc';
+  config.fps.(pid) <- fp';
   match Proc.decision proc' with
   | Some value -> [ ev; Event.Decided { pid; value } ]
   | None -> [ ev ]

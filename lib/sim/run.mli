@@ -24,6 +24,11 @@ exception Step_disabled of int
 val step :
   'a Config.t -> pid:int -> coin:(int -> int) -> 'a Config.t * 'a Event.t list
 
+(** {!step} without event construction: same successor configuration,
+    nothing allocated beyond the configuration copy.  The model checker's
+    happy path; decisions are read back off the configuration. *)
+val step_quiet : 'a Config.t -> pid:int -> coin:(int -> int) -> 'a Config.t
+
 (** Drive a scheduler for at most [max_steps] steps (default 100_000),
     copying configurations (persistent). *)
 val exec : ?max_steps:int -> 'a Sched.t -> 'a Config.t -> 'a result

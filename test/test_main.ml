@@ -21,6 +21,7 @@ let () =
       ("run", Test_run.suite);
       ("consensus", Test_consensus.suite);
       ("mc", Test_mc.suite);
+      ("dedup", Test_dedup.suite);
       ("attack", Test_attack.suite);
       ("general-attack", Test_general_attack.suite);
       ("certify", Test_certify.suite);

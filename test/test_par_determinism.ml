@@ -99,6 +99,44 @@ let test_search_par_depth_zero_and_violation_witness () =
   in
   Alcotest.(check string) "same witness as sequential" seq_witness par_witness
 
+(* ---- Explore.search_par with dedup ---- *)
+
+let test_search_par_dedup_pool_independent () =
+  (* each subtree task owns a private transposition table, so the merged
+     result is bit-identical for jobs 1, 2, 8 and pool = None *)
+  let config = config_of Cas_consensus.protocol [ 0; 1; 1 ] in
+  List.iter
+    (fun dedup ->
+      ignore
+        (across_pools (fun pool ->
+             project_result
+               (Mc.Explore.search_par ?pool ~dedup ~max_depth:12
+                  ~inputs:[ 0; 1 ] config))))
+    [ `Exact; `Symmetric ]
+
+let test_search_par_dedup_witness_parity () =
+  (* dedup never changes the reported witness, pooled or not *)
+  let p = Flawed.first_writer ~r:1 in
+  let config () = config_of p [ 0; 1 ] in
+  let witness (r : int Mc.Explore.result) =
+    match r.violation with
+    | Some v -> Sim.Trace.to_string string_of_int v.trace
+    | None -> Alcotest.fail "model checker missed the planted bug"
+  in
+  let reference =
+    witness (Mc.Explore.search ~max_depth:40 ~inputs:[ 0; 1 ] (config ()))
+  in
+  List.iter
+    (fun dedup ->
+      let w =
+        across_pools (fun pool ->
+            witness
+              (Mc.Explore.search_par ?pool ~dedup ~max_depth:40
+                 ~inputs:[ 0; 1 ] (config ())))
+      in
+      Alcotest.(check string) "same witness under dedup" reference w)
+    [ `Exact; `Symmetric ]
+
 (* ---- Attack sweeps ---- *)
 
 let project_attack = function
@@ -197,6 +235,10 @@ let suite =
       test_search_par_matches_sequential_fields;
     Alcotest.test_case "search_par depth-0 and witness parity" `Quick
       test_search_par_depth_zero_and_violation_witness;
+    Alcotest.test_case "search_par dedup pool-independent" `Quick
+      test_search_par_dedup_pool_independent;
+    Alcotest.test_case "search_par dedup witness parity" `Quick
+      test_search_par_dedup_witness_parity;
     Alcotest.test_case "attack seed sweep" `Quick
       test_attack_seed_sweep_deterministic;
     Alcotest.test_case "attack protocol sweep" `Quick
