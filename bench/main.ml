@@ -98,6 +98,16 @@ let macro_tests =
                ~inputs:[ 0; 1 ]
            in
            Mc.Explore.search ~max_depth:30 ~inputs:[ 0; 1 ] config));
+    (* same search under a never-binding node budget: the delta between
+       this and mc-cas-exhaustive-n2 is the whole cost of metering *)
+    Test.make ~name:"mc-cas-exhaustive-n2-metered"
+      (let budget = Robust.Budget.make ~nodes:max_int () in
+       nf (fun () ->
+           let config =
+             Consensus.Protocol.initial_config Consensus.Cas_consensus.protocol
+               ~inputs:[ 0; 1 ]
+           in
+           Mc.Explore.search ~budget ~max_depth:30 ~inputs:[ 0; 1 ] config));
     (* E9: one snapshot-counter workload, recorded and checked *)
     Test.make ~name:"e9-linearize-snapshot-counter"
       (nf (fun () ->
@@ -214,6 +224,24 @@ let par_bench () =
       ( r.Mc.Explore.visited,
         r.Mc.Explore.leaves,
         r.Mc.Explore.truncated,
+        r.Mc.Explore.max_depth_seen,
+        r.Mc.Explore.violation = None ));
+  (* the same frontier under a binding node budget: the speculative
+     validation fold must keep the governed result — counters and
+     completeness verdict alike — bit-identical across jobs counts *)
+  add_scenario table "mc-frontier-fa-n3-budget-200k" (fun pool ->
+      let config =
+        Consensus.Protocol.initial_config Consensus.Fa_consensus.protocol
+          ~inputs:[ 0; 1; 1 ]
+      in
+      let r =
+        Mc.Explore.search_par ?pool
+          ~budget:(Robust.Budget.make ~nodes:200_000 ())
+          ~max_depth:15 ~max_states:8_000_000 ~inputs:[ 0; 1 ] config
+      in
+      ( r.Mc.Explore.visited,
+        r.Mc.Explore.leaves,
+        Robust.Budget.completeness_to_string r.Mc.Explore.completeness,
         r.Mc.Explore.max_depth_seen,
         r.Mc.Explore.violation = None ));
   Stats.Table.print table

@@ -11,12 +11,70 @@
 
 open Cmdliner
 
+(* One exit-code vocabulary for every subcommand (README has the table):
+     0  clean: whatever was asked completed and found nothing wrong
+     1  bad arguments / unusable input (unknown protocol, parse errors)
+     2  a consensus violation was demonstrated (run, mc, attack alike)
+     3  truncated: a --deadline/--max-nodes budget cut the answer short
+        before anything conclusive — the verdict is an under-approximation
+     4  an attack construction failed for a reason other than a budget
+   Scripts can branch on "did it break" (2) vs "did it finish" (3)
+   without parsing output. *)
+module Exit_code = struct
+  let bad_args = 1
+  let violation = 2
+  let truncated = 3
+  let attack_failed = 4
+end
+
 let find_protocol name =
   match Consensus.Registry.find name with
   | Some p -> Ok p
   | None ->
       Error
         (Printf.sprintf "unknown protocol %S; try `randsync list`" name)
+
+let parse_inputs s =
+  match
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.map int_of_string
+  with
+  | inputs -> inputs
+  | exception _ ->
+      prerr_endline
+        (Printf.sprintf "invalid --inputs %S (expected e.g. 0,1,1)" s);
+      exit Exit_code.bad_args
+
+(* Durations accept "2s", "300ms" or a bare float of seconds. *)
+let duration_conv =
+  let parse s =
+    let drop k = String.sub s 0 (String.length s - k) in
+    let v =
+      if String.length s > 2 && Filename.check_suffix s "ms" then
+        Option.map (fun f -> f /. 1000.) (float_of_string_opt (drop 2))
+      else if String.length s > 1 && Filename.check_suffix s "s" then
+        float_of_string_opt (drop 1)
+      else float_of_string_opt s
+    in
+    match v with
+    | Some f when f >= 0. -> Ok f
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "invalid duration %S (expected 2s, 300ms or 1.5)" s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%gs" f)
+
+let deadline_arg =
+  let doc =
+    "Best-effort wall-clock budget (e.g. 2s, 300ms).  On expiry the search \
+     stops cooperatively, reports a truncated verdict and exits 3 (unless a \
+     violation was already in hand)."
+  in
+  Arg.(
+    value
+    & opt (some duration_conv) None
+    & info [ "deadline" ] ~docv:"DUR" ~doc)
 
 let protocol_arg =
   let doc = "Protocol name (see `randsync list`)." in
@@ -85,12 +143,9 @@ let run_cmd =
     match find_protocol name with
     | Error e ->
         prerr_endline e;
-        exit 1
+        exit Exit_code.bad_args
     | Ok p ->
-        let inputs =
-          String.split_on_char ',' inputs |> List.map String.trim
-          |> List.map int_of_string
-        in
+        let inputs = parse_inputs inputs in
         let sched =
           match sched_name with
           | "random" -> Sim.Sched.random ~seed
@@ -98,7 +153,7 @@ let run_cmd =
           | "contention" -> Sim.Sched.contention ~seed
           | s ->
               prerr_endline ("unknown scheduler " ^ s);
-              exit 1
+              exit Exit_code.bad_args
         in
         let report = Consensus.Protocol.run_once p ~inputs ~sched in
         if show_trace then
@@ -112,7 +167,8 @@ let run_cmd =
              report.Consensus.Protocol.result.Sim.Run.outcome)
           report.Consensus.Protocol.result.Sim.Run.steps;
         Fmt.pr "verdict: %a@." Sim.Checker.pp report.Consensus.Protocol.verdict;
-        if not (Sim.Checker.ok report.Consensus.Protocol.verdict) then exit 2
+        if not (Sim.Checker.ok report.Consensus.Protocol.verdict) then
+          exit Exit_code.violation
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute one consensus run under a scheduler")
@@ -151,12 +207,15 @@ let attack_cmd =
     in
     Arg.(value & opt int 0 & info [ "seeds" ] ~docv:"N" ~doc)
   in
-  let run name general show_trace do_certify save seeds jobs =
+  let run name general show_trace do_certify save seeds deadline jobs =
     match find_protocol name with
     | Error e ->
         prerr_endline e;
-        exit 1
+        exit Exit_code.bad_args
     | Ok p ->
+        let budget =
+          Option.map (fun d -> Robust.Budget.make ~deadline:d ()) deadline
+        in
         let save_trace trace =
           match save with
           | None -> ()
@@ -165,10 +224,14 @@ let attack_cmd =
               Fmt.pr "witness saved to %s@." path
         in
         if general then begin
-          match Lowerbound.General_attack.run p with
+          match Lowerbound.General_attack.run ?budget p with
+          | Error (Lowerbound.General_attack.Budget_exhausted reason) ->
+              Fmt.pr "verdict: truncated (%s)@."
+                (Robust.Budget.reason_to_string reason);
+              exit Exit_code.truncated
           | Error e ->
               prerr_endline (Lowerbound.General_attack.error_to_string e);
-              exit 1
+              exit Exit_code.attack_failed
           | Ok o ->
               save_trace o.Lowerbound.General_attack.trace;
               if show_trace then
@@ -181,9 +244,10 @@ let attack_cmd =
                 o.Lowerbound.General_attack.pieces_beta;
               Fmt.pr "verdict: %a@." Sim.Checker.pp
                 o.Lowerbound.General_attack.verdict;
-              if Lowerbound.General_attack.succeeded o then
-                print_endline "INCONSISTENT EXECUTION CONSTRUCTED"
-              else exit 2
+              if Lowerbound.General_attack.succeeded o then begin
+                print_endline "INCONSISTENT EXECUTION CONSTRUCTED";
+                exit Exit_code.violation
+              end
         end
         else begin
           let outcome =
@@ -212,7 +276,7 @@ let attack_cmd =
           match outcome with
           | Error e ->
               prerr_endline (Lowerbound.Attack.error_to_string e);
-              exit 1
+              exit Exit_code.attack_failed
           | Ok o ->
               save_trace o.Lowerbound.Attack.trace;
               if show_trace then
@@ -221,9 +285,6 @@ let attack_cmd =
               Fmt.pr "attack on %s: processes=%d registers=%d@." name
                 o.Lowerbound.Attack.processes_used o.Lowerbound.Attack.registers;
               Fmt.pr "verdict: %a@." Sim.Checker.pp o.Lowerbound.Attack.verdict;
-              if Lowerbound.Attack.succeeded o then
-                print_endline "INCONSISTENT EXECUTION CONSTRUCTED"
-              else exit 2;
               if do_certify then begin
                 match Lowerbound.Attack.certify p o with
                 | Ok (trace, verdict) ->
@@ -231,6 +292,10 @@ let attack_cmd =
                       "certified fresh-start replay: %d steps, verdict: %a@."
                       (Sim.Trace.steps trace) Sim.Checker.pp verdict
                 | Error msg -> Fmt.pr "certification failed: %s@." msg
+              end;
+              if Lowerbound.Attack.succeeded o then begin
+                print_endline "INCONSISTENT EXECUTION CONSTRUCTED";
+                exit Exit_code.violation
               end
         end
   in
@@ -239,21 +304,21 @@ let attack_cmd =
        ~doc:"Construct a lower-bound counterexample against a protocol")
     Term.(
       const run $ protocol_arg $ general_arg $ trace_arg $ certify_arg
-      $ save_arg $ seeds_arg $ jobs_arg)
+      $ save_arg $ seeds_arg $ deadline_arg $ jobs_arg)
 
 (* -------------------------------------------------------------------- mc *)
 
 let mc_cmd =
-  let run name inputs depth dedup jobs =
+  let run name inputs depth max_states dedup max_nodes deadline checkpoint
+      checkpoint_every resume jobs =
     match find_protocol name with
     | Error e ->
         prerr_endline e;
-        exit 1
+        exit Exit_code.bad_args
     | Ok p ->
-        let inputs =
-          String.split_on_char ',' inputs |> List.map String.trim
-          |> List.map int_of_string
-        in
+        let inputs = parse_inputs inputs in
+        let inputs_csv = String.concat "," (List.map string_of_int inputs) in
+        let dedup_name = dedup in
         let dedup =
           match dedup with
           | "off" -> `Off
@@ -263,24 +328,68 @@ let mc_cmd =
               prerr_endline
                 (Printf.sprintf
                    "unknown --dedup %S (expected off | exact | symmetric)" s);
-              exit 1
+              exit Exit_code.bad_args
+        in
+        let budget =
+          if max_nodes = None && deadline = None then None
+          else Some (Robust.Budget.make ?nodes:max_nodes ?deadline ())
+        in
+        (* the scenario stamp refuses resumes against a different search:
+           same protocol, inputs, depth and dedup or nothing *)
+        let scenario =
+          Printf.sprintf "mc protocol=%s inputs=%s depth=%d max-states=%d dedup=%s"
+            name inputs_csv depth max_states dedup_name
+        in
+        let resume_state =
+          match resume with
+          | None -> None
+          | Some path -> (
+              match Mc.Checkpoint.load ~path with
+              | exception Sys_error e ->
+                  prerr_endline e;
+                  exit Exit_code.bad_args
+              | exception Sim.Trace_io.Parse_error e ->
+                  prerr_endline ("checkpoint parse error: " ^ e);
+                  exit Exit_code.bad_args
+              | saved_scenario, state ->
+                  if saved_scenario <> scenario then begin
+                    Fmt.epr
+                      "checkpoint %s was taken for a different search:@.  \
+                       checkpoint: %s@.  requested:  %s@."
+                      path saved_scenario scenario;
+                    exit Exit_code.bad_args
+                  end;
+                  Some state)
+        in
+        let on_checkpoint =
+          Option.map
+            (fun path state -> Mc.Checkpoint.save ~path ~scenario state)
+            checkpoint
         in
         let config = Consensus.Protocol.initial_config p ~inputs in
+        let sequential_only = checkpoint <> None || resume <> None in
+        if sequential_only && jobs <> None then
+          prerr_endline
+            "note: --checkpoint/--resume force a sequential search; --jobs \
+             ignored";
         let result =
-          with_jobs jobs (fun pool ->
+          with_jobs (if sequential_only then None else jobs) (fun pool ->
               match pool with
               | None ->
-                  Mc.Explore.search ~dedup ~max_depth:depth ~inputs config
+                  Mc.Explore.search ?budget ~dedup ~max_depth:depth
+                    ~max_states ~checkpoint_every ?on_checkpoint
+                    ?resume:resume_state ~inputs config
               | Some pool ->
-                  Mc.Explore.search_par ~pool ~dedup ~max_depth:depth ~inputs
-                    config)
+                  Mc.Explore.search_par ~pool ?budget ~dedup ~max_depth:depth
+                    ~max_states ~inputs config)
         in
         Fmt.pr "visited=%d leaves=%d table-hits=%d truncated=%b max-depth=%d@."
           result.Mc.Explore.visited result.Mc.Explore.leaves
           result.Mc.Explore.table_hits result.Mc.Explore.truncated
           result.Mc.Explore.max_depth_seen;
-        (match result.Mc.Explore.violation with
-        | None -> print_endline "no violation found"
+        Fmt.pr "verdict: %s@."
+          (Robust.Budget.completeness_to_string result.Mc.Explore.completeness);
+        match result.Mc.Explore.violation with
         | Some v ->
             Fmt.pr "VIOLATION (%s):@."
               (match v.Mc.Explore.kind with
@@ -288,7 +397,15 @@ let mc_cmd =
               | `Invalid -> "invalid");
             print_endline
               (Sim.Trace.to_string string_of_int v.Mc.Explore.trace);
-            exit 2)
+            exit Exit_code.violation
+        | None ->
+            print_endline "no violation found";
+            (* only a governed cut demotes the exit code: the structural
+               --depth bound is part of the question being asked *)
+            (match result.Mc.Explore.completeness with
+            | `Truncated (`Nodes | `Steps | `Deadline | `Cancelled) ->
+                exit Exit_code.truncated
+            | `Exhaustive | `Truncated (`Depth | `States) -> ())
   in
   Cmd.v
     (Cmd.info "mc" ~doc:"Exhaustively model-check a protocol instance")
@@ -298,12 +415,47 @@ let mc_cmd =
       $ Arg.(value & opt int 40 & info [ "depth" ] ~doc:"depth bound")
       $ Arg.(
           value
+          & opt int 2_000_000
+          & info [ "max-states" ] ~docv:"N"
+              ~doc:"Structural cap on visited configurations.")
+      $ Arg.(
+          value
           & opt string "off"
           & info [ "dedup" ]
               ~doc:
                 "transposition-table dedup: off, exact, or symmetric \
                  (symmetric additionally collapses permutations of \
                  interchangeable processes)")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-nodes" ] ~docv:"K"
+              ~doc:
+                "Deterministic node budget: visit exactly the first K DFS \
+                 nodes (bit-identical under any --jobs), then report a \
+                 truncated verdict and exit 3.")
+      $ deadline_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "checkpoint" ] ~docv:"FILE"
+              ~doc:
+                "Periodically save the DFS frontier to FILE (atomic \
+                 replace), and once more if a budget trips.  Forces a \
+                 sequential search.")
+      $ Arg.(
+          value
+          & opt int 50_000
+          & info [ "checkpoint-every" ] ~docv:"N"
+              ~doc:"Checkpoint every N visited nodes (with --checkpoint).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "resume" ] ~docv:"FILE"
+              ~doc:
+                "Resume a search from a checkpoint FILE; the stored \
+                 scenario must match the protocol/inputs/depth/dedup given \
+                 here.  Forces a sequential search.")
       $ jobs_arg)
 
 (* ----------------------------------------------------------------- trace *)
@@ -313,10 +465,10 @@ let trace_cmd =
     match Sim.Trace_io.load_int ~path with
     | exception Sys_error e ->
         prerr_endline e;
-        exit 1
+        exit Exit_code.bad_args
     | exception Sim.Trace_io.Parse_error e ->
         prerr_endline ("parse error: " ^ e);
-        exit 1
+        exit Exit_code.bad_args
     | trace ->
         print_endline (Sim.Trace.to_string string_of_int trace);
         let decisions = List.map snd (Sim.Trace.decisions trace) in
@@ -349,7 +501,7 @@ let sweep_cmd =
     match Experiments.All.find id with
     | None ->
         prerr_endline ("unknown experiment " ^ id ^ " (known: e1..e8)");
-        exit 1
+        exit Exit_code.bad_args
     | Some s ->
         Fmt.pr "=== %s: %s ===@.@." (String.uppercase_ascii s.Experiments.All.id)
           s.Experiments.All.title;

@@ -45,9 +45,33 @@ let search_budget = Domain.DLS.new_key (fun () -> (5_000, 500_000))
 let set_search_budget b = Domain.DLS.set search_budget b
 let get_search_budget () = Domain.DLS.get search_budget
 
+(* Caller-wide governance (deadline / cancellation / global step cap),
+   also domain-local: the construction recursion is deep and threading a
+   meter through every [combine] call would smear governance plumbing
+   over proof-shaped code.  The meter reaches the solo searches — where
+   virtually all construction time goes — and trips by raising
+   [Robust.Budget.Exhausted], which [General_attack.run] catches at its
+   boundary. *)
+let budget_meter : Robust.Budget.Meter.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_budget_meter budget f =
+  let meter =
+    match budget with
+    | Some b when not (Robust.Budget.is_unlimited b) ->
+        Some (Robust.Budget.Meter.create b)
+    | Some _ | None -> None
+  in
+  let previous = Domain.DLS.get budget_meter in
+  Domain.DLS.set budget_meter meter;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set budget_meter previous)
+    f
+
 let solo_search config ~pid =
   let max_steps, max_nodes = get_search_budget () in
-  Solo.terminating ~max_steps ~max_nodes config ~pid
+  let meter = Domain.DLS.get budget_meter in
+  Solo.terminating ~max_steps ~max_nodes ?meter config ~pid
 
 (* Execute a block write on a scratch copy of the configuration (pure
    steps; the builder is untouched) and return the resulting config. *)

@@ -17,4 +17,11 @@ val set_search_budget : int * int -> unit
 
 val get_search_budget : unit -> int * int
 
+(** [with_budget_meter budget f] runs [f] with a fresh domain-local
+    {!Robust.Budget.Meter} (created from [budget] unless it is [None] or
+    unlimited) that every internal solo search ticks; a trip raises
+    {!Robust.Budget.Exhausted} out of [f].  The previous meter is
+    restored on exit, so governed constructions nest. *)
+val with_budget_meter : Robust.Budget.t option -> (unit -> 'a) -> 'a
+
 val combine : Builder.t -> Side.t -> Side.t -> unit

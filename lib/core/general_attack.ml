@@ -33,19 +33,23 @@ type outcome = {
 type error =
   | Side_decides_wrong of { side : int; got : int }
   | Construction_failed of string
+  | Budget_exhausted of Robust.Budget.reason
 
 let error_to_string = function
   | Side_decides_wrong { side; got } ->
       Printf.sprintf
         "interruptible execution over input-%d processes decided %d" side got
   | Construction_failed msg -> "construction failed: " ^ msg
+  | Budget_exhausted reason ->
+      Printf.sprintf "budget exhausted (%s) before the construction finished"
+        (Robust.Budget.reason_to_string reason)
 
 (** Paper bound plus the slack our executable construction needs at the
     final level (the paper's count is exactly tight and leaves the last
     piece without a process to run to a decision; see DESIGN.md). *)
 let default_processes r = (3 * r * r) + r + (2 * ((2 * r) + 1))
 
-let run ?processes (p : Consensus.Protocol.t) =
+let run ?budget ?processes (p : Consensus.Protocol.t) =
   let probe_n = 2 in
   let r = List.length (p.Consensus.Protocol.optypes ~n:probe_n) in
   let m =
@@ -64,6 +68,7 @@ let run ?processes (p : Consensus.Protocol.t) =
       ~pset:side_pids ~uset:objs ~e:r
   in
   try
+    Combine.with_budget_meter budget @@ fun () ->
     let a = build pset and b_ = build qset in
     if a.Build_interruptible.witness.Interruptible.decides <> 0 then
       Error
@@ -106,7 +111,9 @@ let run ?processes (p : Consensus.Protocol.t) =
             List.length b_.Build_interruptible.witness.Interruptible.pieces;
         }
     end
-  with Combine.Attack_failed msg -> Error (Construction_failed msg)
+  with
+  | Combine.Attack_failed msg -> Error (Construction_failed msg)
+  | Robust.Budget.Exhausted reason -> Error (Budget_exhausted reason)
 
 let succeeded outcome = not outcome.verdict.Checker.consistent
 
@@ -116,35 +123,54 @@ let succeeded outcome = not outcome.verdict.Checker.consistent
     With [?pool] the upward search evaluates a batch of candidate counts
     per round across the pool's domains and takes the smallest success in
     the batch — the same answer the sequential scan returns, found in
-    roughly [1/jobs] of the wall-clock time when successes are rare. *)
-let minimum_processes ?pool ?(start = 4) ?(limit = 400) p =
+    roughly [1/jobs] of the wall-clock time when successes are rare.
+
+    With [?budget], a candidate whose construction trips the budget
+    *before* any smaller candidate succeeded makes the minimum unknowable
+    this run, so the scan stops and reports [`Truncated]: reporting a
+    larger success as "the minimum" would silently overstate the bound. *)
+let minimum_processes_gov ?pool ?budget ?(start = 4) ?(limit = 400) p =
   let batch =
     match pool with None -> 1 | Some pool -> max 1 (2 * Par.Pool.jobs pool)
   in
-  let lands m =
-    match run ~processes:m p with
-    | Ok outcome -> succeeded outcome
-    | Error _ -> false
+  let lands m = (m, run ?budget ~processes:m p) in
+  let rec verdict_of = function
+    | [] -> None
+    | (_, Error (Budget_exhausted reason)) :: _ -> Some (`Truncated reason)
+    | (c, Ok outcome) :: rest ->
+        if succeeded outcome then Some (`Found c) else verdict_of rest
+    | (_, (Error (Side_decides_wrong _ | Construction_failed _))) :: rest ->
+        verdict_of rest
   in
   let rec go m =
-    if m > limit then None
+    if m > limit then `Not_found
     else begin
       let candidates =
         List.init batch (fun i -> m + (2 * i))
         |> List.filter (fun c -> c <= limit)
       in
-      let landed = Par.map ?pool (fun c -> (c, lands c)) candidates in
-      match List.find_opt snd landed with
-      | Some (c, _) -> Some c
+      let landed = Par.map ?pool lands candidates in
+      match verdict_of landed with
+      | Some v -> v
       | None -> go (m + (2 * batch))
     end
   in
   go start
 
+let minimum_processes ?pool ?start ?limit p =
+  match minimum_processes_gov ?pool ?start ?limit p with
+  | `Found c -> Some c
+  | `Not_found -> None
+  | `Truncated _ -> None (* unreachable without a budget *)
+
 (** Run the general attack against a batch of protocols in parallel;
-    results in input order, bit-identical for any [?pool]. *)
-let sweep ?pool ?processes ps =
-  Par.map ?pool (fun p -> (p.Consensus.Protocol.name, run ?processes p)) ps
+    results in input order, bit-identical for any [?pool] (budget trips
+    excepted: deadline/cancellation budgets are best-effort, so which
+    protocols report [Budget_exhausted] may vary run to run). *)
+let sweep ?pool ?budget ?processes ps =
+  Par.map ?pool
+    (fun p -> (p.Consensus.Protocol.name, run ?budget ?processes p))
+    ps
 
 (** Independent cross-check by exhaustive model checking: search the
     protocol's full execution tree on a small mixed-input instance
@@ -155,10 +181,10 @@ let sweep ?pool ?processes ps =
     that the protocol is genuinely attackable at all.  [`Symmetric] dedup
     is sound for any packaged protocol because
     [Consensus.Protocol.initial_config] seeds fingerprints accordingly. *)
-let confirm ?(dedup = `Symmetric) ?(processes = 2) ?(max_depth = 16)
+let confirm ?budget ?(dedup = `Symmetric) ?(processes = 2) ?(max_depth = 16)
     ?(max_states = 300_000) (p : Consensus.Protocol.t) =
   let half = max 1 (processes / 2) in
   let m = 2 * half in
   let inputs = List.init m (fun pid -> if pid < half then 0 else 1) in
   let config = Consensus.Protocol.initial_config p ~inputs in
-  Mc.Explore.search ~dedup ~max_depth ~max_states ~inputs config
+  Mc.Explore.search ?budget ~dedup ~max_depth ~max_states ~inputs config

@@ -18,6 +18,9 @@ type outcome = {
 type error =
   | Side_decides_wrong of { side : int; got : int }
   | Construction_failed of string
+  | Budget_exhausted of Robust.Budget.reason
+      (** the governed construction was cut short: no witness {e and} no
+          evidence of robustness — an explicitly unknown outcome *)
 
 val error_to_string : error -> string
 
@@ -25,12 +28,32 @@ val error_to_string : error -> string
     at its final level (see DESIGN.md). *)
 val default_processes : int -> int
 
-val run : ?processes:int -> Consensus.Protocol.t -> (outcome, error) result
+(** [?budget] governs the construction's internal solo searches (via
+    {!Combine.with_budget_meter}); a trip surfaces as
+    [Error (Budget_exhausted reason)] instead of an exception. *)
+val run :
+  ?budget:Robust.Budget.t ->
+  ?processes:int ->
+  Consensus.Protocol.t ->
+  (outcome, error) result
+
 val succeeded : outcome -> bool
 
 (** Smallest (even) process count at which the attack lands, searched
     upward.  With [?pool], candidate counts are evaluated in parallel
-    batches; the result is identical to the sequential scan. *)
+    batches; the result is identical to the sequential scan.  With
+    [?budget], a candidate that trips the budget before any smaller
+    candidate succeeded yields [`Truncated] — the minimum is unknowable
+    this run, and reporting a later success would overstate the bound. *)
+val minimum_processes_gov :
+  ?pool:Par.Pool.t ->
+  ?budget:Robust.Budget.t ->
+  ?start:int ->
+  ?limit:int ->
+  Consensus.Protocol.t ->
+  [ `Found of int | `Not_found | `Truncated of Robust.Budget.reason ]
+
+(** [minimum_processes_gov] without a budget, as an option. *)
 val minimum_processes :
   ?pool:Par.Pool.t ->
   ?start:int ->
@@ -42,6 +65,7 @@ val minimum_processes :
     input order. *)
 val sweep :
   ?pool:Par.Pool.t ->
+  ?budget:Robust.Budget.t ->
   ?processes:int ->
   Consensus.Protocol.t list ->
   (string * (outcome, error) result) list
@@ -53,6 +77,7 @@ val sweep :
     method, that the protocol is genuinely attackable.  [?dedup] defaults
     to [`Symmetric], sound for any packaged protocol. *)
 val confirm :
+  ?budget:Robust.Budget.t ->
   ?dedup:Mc.Explore.dedup ->
   ?processes:int ->
   ?max_depth:int ->

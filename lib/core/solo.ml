@@ -20,9 +20,19 @@ type 'a found = {
   steps : int;  (** solo steps on the found path *)
 }
 
-let search ?(max_steps = 2_000) ?(max_nodes = 200_000)
+let search ?(max_steps = 2_000) ?(max_nodes = 200_000) ?meter
     ?(stop = fun _config _pid -> false) ?rng (config : 'a Config.t) ~pid =
   let nodes = ref 0 in
+  (* [meter] is the caller's budget (deadline/cancellation/global step
+     cap) layered over the local [max_steps]/[max_nodes] bounds: local
+     exhaustion means "no witness found" and the search backtracks, while
+     a metered trip means "stop everything" and unwinds the whole
+     construction via [Robust.Budget.Exhausted]. *)
+  let guard () =
+    match meter with
+    | None -> ()
+    | Some m -> Robust.Budget.Meter.guard_step m
+  in
   (* With [rng], coin outcomes at each Choose node are tried in a
      shuffled order instead of 0..n-1: a randomized restart of the same
      complete search.  Different seeds reach different witnesses (and can
@@ -38,6 +48,7 @@ let search ?(max_steps = 2_000) ?(max_nodes = 200_000)
   in
   (* rev_coins accumulates outcomes; returns the goal description *)
   let rec go config rev_coins steps =
+    guard ();
     incr nodes;
     if !nodes > max_nodes || steps > max_steps then None
     else if Config.is_decided config pid then
@@ -71,8 +82,8 @@ let search ?(max_steps = 2_000) ?(max_nodes = 200_000)
   go config [] 0
 
 (** A terminating solo execution (decision goal only). *)
-let terminating ?max_steps ?max_nodes ?rng config ~pid =
-  search ?max_steps ?max_nodes ?rng config ~pid
+let terminating ?max_steps ?max_nodes ?meter ?rng config ~pid =
+  search ?max_steps ?max_nodes ?meter ?rng config ~pid
 
 (** Goal predicate: pid is poised at a nontrivial operation on an object
     outside [inside].  Combine with the implicit decided-goal to get

@@ -16,10 +16,18 @@ type 'a found = {
     step).  With [rng], coin outcomes at each node are tried in a
     shuffled order — a randomized restart of the same complete search,
     deterministic for a fixed generator state (used by the parallel seed
-    sweeps in {!Attack}). *)
+    sweeps in {!Attack}).
+
+    [?meter] layers a caller-wide budget (deadline, cancellation, global
+    step cap) over the local bounds: exhausting [max_steps]/[max_nodes]
+    means "no witness" and returns [None], while a metered trip raises
+    {!Robust.Budget.Exhausted} to unwind the whole construction — the
+    caller's entry point (e.g. [General_attack.run]) turns it into an
+    explicit [`Truncated]-style verdict. *)
 val search :
   ?max_steps:int ->
   ?max_nodes:int ->
+  ?meter:Robust.Budget.Meter.t ->
   ?stop:('a Config.t -> int -> bool) ->
   ?rng:Rng.t ->
   'a Config.t ->
@@ -30,6 +38,7 @@ val search :
 val terminating :
   ?max_steps:int ->
   ?max_nodes:int ->
+  ?meter:Robust.Budget.Meter.t ->
   ?rng:Rng.t ->
   'a Config.t ->
   pid:int ->

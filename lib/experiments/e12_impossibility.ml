@@ -19,10 +19,15 @@ type row = { coins : bool; census : Mc.Enumerate.census }
 
 (* [dedup] reaches every model-checking call of the census; [`Symmetric]
    (the default) is sound here because each tree is a function of the
-   input — see [Mc.Enumerate.check_inputs]. *)
-let rows ?dedup ?(depths = [ 0; 1; 2 ]) ?(randomized_depths = [ 1; 2 ]) () =
+   input — see [Mc.Enumerate.check_inputs].  [budget] reaches them too:
+   a governed census stays a valid impossibility witness only when it
+   completes ungoverned — a truncated check counts its pair as not
+   correct, so budgets can only shrink the survivor columns, never
+   manufacture a correct protocol. *)
+let rows ?dedup ?budget ?(depths = [ 0; 1; 2 ]) ?(randomized_depths = [ 1; 2 ])
+    () =
   let census ~coins depth =
-    Mc.Enumerate.census_of_trees ?dedup ~depth
+    Mc.Enumerate.census_of_trees ?budget ?dedup ~depth
       (Mc.Enumerate.enumerate_trees ~coins depth)
   in
   List.map
@@ -32,7 +37,7 @@ let rows ?dedup ?(depths = [ 0; 1; 2 ]) ?(randomized_depths = [ 1; 2 ]) () =
       (fun depth -> { coins = true; census = census ~coins:true depth })
       randomized_depths
 
-let table ?dedup ?depths ?randomized_depths () =
+let table ?dedup ?budget ?depths ?randomized_depths () =
   let t =
     Stats.Table.create
       ~header:
@@ -56,5 +61,5 @@ let table ?dedup ?depths ?randomized_depths () =
           string_of_int r.Mc.Enumerate.survive_unanimous;
           string_of_int r.Mc.Enumerate.correct;
         ])
-    (rows ?dedup ?depths ?randomized_depths ());
+    (rows ?dedup ?budget ?depths ?randomized_depths ());
   t

@@ -23,7 +23,9 @@ type row = {
       (** independent exhaustive check on a 2-process instance of the same
           protocol ([Mc.Explore] with [`Symmetric] dedup — sound, the
           processes are identical): [Some true] iff the model checker also
-          reaches a violation; [None] for cells too large to check *)
+          reaches a violation; [None] for cells too large to check, or
+          whose governed check was cut short ([?budget]) before finding
+          anything — an honest "unknown", never a clean bill *)
 }
 
 let targets r =
@@ -39,7 +41,7 @@ let targets r =
    cells are independent, so [?pool] fans them out across domains.  The
    cell list and the result order are fixed before dispatch — the table
    is bit-identical for any [?pool]. *)
-let rows ?pool ?(max_r = 4) () =
+let rows ?pool ?budget ?(max_r = 4) () =
   let cells =
     List.concat_map
       (fun r -> List.map (fun p -> (r, p)) (targets r))
@@ -62,10 +64,18 @@ let rows ?pool ?(max_r = 4) () =
             let inputs = [ 0; 1 ] in
             let config = Protocol.initial_config p ~inputs in
             let res =
-              Mc.Explore.search ~dedup:`Symmetric ~max_depth:16
+              Mc.Explore.search ?budget ~dedup:`Symmetric ~max_depth:16
                 ~max_states:300_000 ~inputs config
             in
-            Some (res.Mc.Explore.violation <> None)
+            if res.Mc.Explore.violation <> None then Some true
+            else
+              (* a governed cut leaves the question open; only the
+                 structural depth/state bounds keep their historical
+                 bounded-claim reading *)
+              match res.Mc.Explore.completeness with
+              | `Truncated (`Nodes | `Deadline | `Cancelled) -> None
+              | `Exhaustive | `Truncated (`Depth | `States | `Steps) ->
+                  Some false
         in
         Some
           {
@@ -81,7 +91,7 @@ let rows ?pool ?(max_r = 4) () =
   in
   List.filter_map Fun.id (Par.map ?pool cell cells)
 
-let table ?pool ?max_r () =
+let table ?pool ?budget ?max_r () =
   let t =
     Stats.Table.create
       ~header:
@@ -111,5 +121,5 @@ let table ?pool ?max_r () =
           | Some b -> string_of_bool b
           | None -> "-");
         ])
-    (rows ?pool ?max_r ());
+    (rows ?pool ?budget ?max_r ());
   t

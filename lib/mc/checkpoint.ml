@@ -1,0 +1,110 @@
+open Sim
+
+type state = {
+  visited : int;
+  leaves : int;
+  table_hits : int;
+  max_depth_seen : int;
+  trunc : int;
+  reason : Robust.Budget.reason option;
+  path : (int * int) list;
+}
+
+let empty =
+  {
+    visited = 0;
+    leaves = 0;
+    table_hits = 0;
+    max_depth_seen = 0;
+    trunc = 0;
+    reason = None;
+    path = [];
+  }
+
+let version = 1
+
+let parse_error fmt =
+  Printf.ksprintf (fun s -> raise (Trace_io.Parse_error s)) fmt
+
+let to_text ~scenario state =
+  (match String.index_opt scenario '\n' with
+  | Some _ -> invalid_arg "Checkpoint.to_text: scenario contains a newline"
+  | None -> ());
+  String.concat "\n"
+    [
+      Printf.sprintf "randsync-checkpoint v%d" version;
+      "scenario " ^ scenario;
+      Printf.sprintf "visited %d" state.visited;
+      Printf.sprintf "leaves %d" state.leaves;
+      Printf.sprintf "table_hits %d" state.table_hits;
+      Printf.sprintf "max_depth_seen %d" state.max_depth_seen;
+      Printf.sprintf "trunc %d" state.trunc;
+      (match state.reason with
+      | None -> "reason -"
+      | Some r -> "reason " ^ Robust.Budget.reason_to_string r);
+      "path "
+      ^ String.concat " "
+          (List.map (fun (pid, o) -> Printf.sprintf "%d:%d" pid o) state.path);
+      "";
+    ]
+
+let of_text text =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' text)
+  in
+  let field name line =
+    let prefix = name ^ " " in
+    let plen = String.length prefix in
+    if String.length line >= plen && String.sub line 0 plen = prefix then
+      String.sub line plen (String.length line - plen)
+    else if line = name then ""
+    else parse_error "expected %S line, got %S" name line
+  in
+  let int_field name line =
+    match int_of_string_opt (field name line) with
+    | Some i -> i
+    | None -> parse_error "bad integer in %S line %S" name line
+  in
+  match lines with
+  | [ header; scenario; visited; leaves; table_hits; max_depth_seen; trunc;
+      reason; path ] ->
+      (match field "randsync-checkpoint" header with
+      | "v1" -> ()
+      | v -> parse_error "unsupported checkpoint version %S" v);
+      let reason =
+        match field "reason" reason with
+        | "-" -> None
+        | s -> (
+            match Robust.Budget.reason_of_string s with
+            | Some r -> Some r
+            | None -> parse_error "unknown truncation reason %S" s)
+      in
+      let path =
+        field "path" path |> String.split_on_char ' '
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun s ->
+               match String.split_on_char ':' s with
+               | [ pid; o ] -> (
+                   match (int_of_string_opt pid, int_of_string_opt o) with
+                   | Some pid, Some o -> (pid, o)
+                   | _ -> parse_error "bad path element %S" s)
+               | _ -> parse_error "bad path element %S" s)
+      in
+      ( field "scenario" scenario,
+        {
+          visited = int_field "visited" visited;
+          leaves = int_field "leaves" leaves;
+          table_hits = int_field "table_hits" table_hits;
+          max_depth_seen = int_field "max_depth_seen" max_depth_seen;
+          trunc = int_field "trunc" trunc;
+          reason;
+          path;
+        } )
+  | _ -> parse_error "checkpoint file has %d lines, expected 9" (List.length lines)
+
+let save ~path ~scenario state =
+  Trace_io.save_text ~path (to_text ~scenario state)
+
+let load ~path = of_text (Trace_io.load_text ~path)

@@ -1,0 +1,57 @@
+(** Checkpoint/resume for long model-checking runs.
+
+    A checkpoint captures the DFS cursor of a budget-interrupted
+    {!Explore.search} as data: the counters accumulated so far plus the
+    root-to-cursor choice path (the [(pid, coin-outcome)] pairs leading to
+    the first {e unvisited} node in the sequential preorder).  Because the
+    DFS child order is deterministic (ascending pid, then ascending coin
+    outcome — see DESIGN.md §4d), that path pins the frontier exactly:
+    resuming re-descends the path without re-counting anything, skips
+    every sibling subtree to the left of it, and continues as if the run
+    had never stopped.  Process state is {e not} serialized — it is
+    recomputed by replaying the path, the same lazy-witness trick the DFS
+    already uses, which keeps checkpoints a few hundred bytes regardless
+    of state-space size.
+
+    Resume-equals-uninterrupted holds for [~dedup:`Off] (pinned by
+    [test_checkpoint]); with a transposition table the verdict is still
+    sound but node counts can differ, because the table's contents are
+    not checkpointed.  The scenario string exists so a resume against the
+    wrong protocol/inputs/depth is refused loudly instead of exploring
+    garbage.
+
+    File format, versioned and line-oriented like {!Sim.Trace_io}:
+    {v
+    randsync-checkpoint v1
+    scenario <verbatim scenario line>
+    visited <int> ... trunc <int> counter lines
+    reason <reason|->
+    path <pid>:<outcome> <pid>:<outcome> ...
+    v} *)
+
+type state = {
+  visited : int;
+  leaves : int;
+  table_hits : int;
+  max_depth_seen : int;
+  trunc : int;  (** truncation points seen so far *)
+  reason : Robust.Budget.reason option;  (** first truncation reason *)
+  path : (int * int) list;  (** root-to-cursor choice path *)
+}
+
+val empty : state
+
+val version : int
+
+(** Atomic write (via {!Sim.Trace_io.save_text}): an interrupted save
+    leaves the previous checkpoint intact. *)
+val save : path:string -> scenario:string -> state -> unit
+
+(** Returns [(scenario, state)].  Raises {!Sim.Trace_io.Parse_error} on a
+    malformed or wrong-version file. *)
+val load : path:string -> string * state
+
+(** The codec under {!save}/{!load}, exposed for tests. *)
+val to_text : scenario:string -> state -> string
+
+val of_text : string -> string * state

@@ -100,15 +100,22 @@ let solo_decision tree =
    is a function of its input alone, so seeding the fingerprints by input
    makes fingerprint-equal slots state-equal across slots — same-input
    processes run the same tree and are genuinely interchangeable. *)
-let check_inputs ?(dedup = `Symmetric) t0 t1 inputs =
+let check_inputs_verdict ?budget ?(dedup = `Symmetric) t0 t1 inputs =
   let tree_of input = if input = 0 then t0 else t1 in
   let config =
     Config.make_seeded ~fp_seeds:inputs
       ~optypes:[ Objects.Register.optype () ]
       ~procs:(List.map (fun i -> to_proc (tree_of i)) inputs)
   in
-  let result = Explore.search ~dedup ~max_depth:30 ~inputs config in
-  result.violation = None && not result.truncated
+  let result = Explore.search ?budget ~dedup ~max_depth:30 ~inputs config in
+  if result.violation <> None then `Violating
+  else
+    match result.completeness with
+    | `Exhaustive -> `Correct
+    | `Truncated reason -> `Unknown reason
+
+let check_inputs ?budget ?dedup t0 t1 inputs =
+  check_inputs_verdict ?budget ?dedup t0 t1 inputs = `Correct
 
 type census = {
   depth : int;
@@ -129,20 +136,20 @@ type census = {
     lists independently before the quadratic mixed-input sweep; with
     identical processes, inputs (0,1) and (1,0) are pid-symmetric, so one
     mixed check per pair suffices. *)
-let census_of_trees ?dedup ~depth trees =
+let census_of_trees ?budget ?dedup ~depth trees =
   (* validity on a solo run: EVERY reachable outcome must be the input
      (for deterministic trees this is the unique decision) *)
   let v0 = List.filter (fun t -> solo_decisions t = [ 0 ]) trees in
   let v1 = List.filter (fun t -> solo_decisions t = [ 1 ]) trees in
-  let u0 = List.filter (fun t -> check_inputs ?dedup t t [ 0; 0 ]) v0 in
-  let u1 = List.filter (fun t -> check_inputs ?dedup t t [ 1; 1 ]) v1 in
+  let u0 = List.filter (fun t -> check_inputs ?budget ?dedup t t [ 0; 0 ]) v0 in
+  let u1 = List.filter (fun t -> check_inputs ?budget ?dedup t t [ 1; 1 ]) v1 in
   let correct = ref 0 in
   let example = ref None in
   List.iter
     (fun t0 ->
       List.iter
         (fun t1 ->
-          if check_inputs ?dedup t0 t1 [ 0; 1 ] then begin
+          if check_inputs ?budget ?dedup t0 t1 [ 0; 1 ] then begin
             incr correct;
             if !example = None then example := Some (t0, t1)
           end)

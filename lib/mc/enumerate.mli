@@ -34,12 +34,30 @@ val solo_decisions : tree -> int list
 val solo_decision : tree -> int
 
 (** Exhaustive consensus check of (tree-for-0, tree-for-1) on one input
-    vector: true iff no violation in any interleaving.  [dedup] defaults
-    to [`Symmetric], which is sound here unconditionally: a process's
-    tree is a function of its input alone and the fingerprints are seeded
-    by input, so fingerprint-equal slots are state-equal (see
-    [Explore]). *)
-val check_inputs : ?dedup:Explore.dedup -> tree -> tree -> int list -> bool
+    vector with an explicit completeness verdict: [`Correct] only when the
+    exploration was exhaustive, [`Unknown reason] when a budget or bound
+    cut it short with no violation found (an under-approximation, not a
+    clean bill).  [dedup] defaults to [`Symmetric], which is sound here
+    unconditionally: a process's tree is a function of its input alone and
+    the fingerprints are seeded by input, so fingerprint-equal slots are
+    state-equal (see [Explore]). *)
+val check_inputs_verdict :
+  ?budget:Robust.Budget.t ->
+  ?dedup:Explore.dedup ->
+  tree ->
+  tree ->
+  int list ->
+  [ `Correct | `Violating | `Unknown of Robust.Budget.reason ]
+
+(** [check_inputs t0 t1 inputs = (check_inputs_verdict t0 t1 inputs =
+    `Correct)] — the boolean view; truncation counts as not correct. *)
+val check_inputs :
+  ?budget:Robust.Budget.t ->
+  ?dedup:Explore.dedup ->
+  tree ->
+  tree ->
+  int list ->
+  bool
 
 type census = {
   depth : int;
@@ -53,9 +71,16 @@ type census = {
 }
 
 (** Census of an explicit tree list (as produced by {!enumerate_trees});
-    the [dedup] knob reaches every [check_inputs] call. *)
+    the [dedup] and [budget] knobs reach every [check_inputs] call (a
+    truncated check conservatively counts the pair as not correct, so a
+    budgeted census under-approximates the survivor counts — it can never
+    manufacture a correct protocol). *)
 val census_of_trees :
-  ?dedup:Explore.dedup -> depth:int -> tree list -> census
+  ?budget:Robust.Budget.t ->
+  ?dedup:Explore.dedup ->
+  depth:int ->
+  tree list ->
+  census
 
 val census : depth:int -> census
 

@@ -50,7 +50,11 @@ type 'a result = {
   violation : 'a violation option;
   visited : int;  (** nodes expanded *)
   leaves : int;  (** maximal executions reached (all procs decided) *)
-  truncated : bool;  (** some path hit the depth or state budget *)
+  truncated : bool;  (** [completeness <> `Exhaustive] *)
+  completeness : Robust.Budget.completeness;
+      (** why (and whether) the exploration stopped short; a budget trip
+          dominates the structural bounds, which report the first reason
+          hit in sequential DFS preorder *)
   max_depth_seen : int;
   table_hits : int;  (** subtrees skipped via the transposition table *)
 }
@@ -125,18 +129,67 @@ let key_of_config ~symmetric (config : 'a Config.t) =
    Witness traces are *lazy*: the DFS records only the choice path and
    re-executes it from [replay_root] (with full event collection) when a
    violation is actually found — the violation-free tree never allocates
-   events or trace segments. *)
-let search_from ~dedup ~max_depth ~max_states ~inputs ~replay_root ~rev_choices
-    ~decisions config =
-  let visited = ref 0 in
-  let leaves = ref 0 in
-  let table_hits = ref 0 in
+   events or trace segments.
+
+   Resource governance: [~budget] meters node entries.  The meter is
+   consulted *before* a node is counted, so a tripped node is exactly the
+   first unvisited node of the sequential preorder — which makes the trip
+   point a checkpoint cursor for free.  Structural bounds ([max_depth],
+   [max_states]) record their reason in [first_reason] and keep exploring
+   other branches, as before; a budget trip ([`Nodes]/[`Deadline]/
+   [`Cancelled]) unwinds the whole DFS via [Budget_stop].  In the
+   result's [completeness] a trip dominates the structural reasons: a
+   structural cut prunes branches but still answers the bounded question,
+   while a trip abandons the rest of the tree — the caller must not read
+   "truncated (depth)" off a run whose budget ran out halfway.
+
+   Checkpoint/resume: [~on_checkpoint] is called with the counters and
+   the root-to-cursor choice path every [checkpoint_every] visited nodes
+   and once more at a budget trip.  [~resume] restores the counters and
+   fast-forwards to the cursor: nodes on the resume path are re-entered
+   without being re-counted (they were counted before the interruption),
+   siblings left of the path are skipped outright, and the table is not
+   consulted on the path (the table is not checkpointed; under [`Off] the
+   resumed run is bit-identical to an uninterrupted one, pinned by
+   [test_checkpoint]). *)
+let search_from ~budget ~checkpoint_every ~on_checkpoint ~resume ~dedup
+    ~max_depth ~max_states ~inputs ~replay_root ~rev_choices ~decisions config
+    =
+  let resume = match resume with None -> Checkpoint.empty | Some s -> s in
+  let visited = ref resume.Checkpoint.visited in
+  let leaves = ref resume.Checkpoint.leaves in
+  let table_hits = ref resume.Checkpoint.table_hits in
   (* counts truncation points so subtree completeness is a before/after
      comparison, not a sticky boolean *)
-  let trunc = ref 0 in
-  let max_depth_seen = ref 0 in
+  let trunc = ref resume.Checkpoint.trunc in
+  let max_depth_seen = ref resume.Checkpoint.max_depth_seen in
+  (* first structural (depth/states) truncation in preorder; budget trips
+     are kept separate because a resumed run voids them *)
+  let first_reason = ref resume.Checkpoint.reason in
   let found : 'a violation option ref = ref None in
   let exception Stop in
+  let exception Budget_stop of Robust.Budget.reason * (int * int) list in
+  let meter =
+    match budget with
+    | Some b when not (Robust.Budget.is_unlimited b) ->
+        Some (Robust.Budget.Meter.create b)
+    | _ -> None
+  in
+  let mk_state rev_choices =
+    {
+      Checkpoint.visited = !visited;
+      leaves = !leaves;
+      table_hits = !table_hits;
+      max_depth_seen = !max_depth_seen;
+      trunc = !trunc;
+      reason = !first_reason;
+      path = List.rev rev_choices;
+    }
+  in
+  let truncate reason =
+    if !first_reason = None then first_reason := Some reason;
+    incr trunc
+  in
   let table =
     match dedup with `Off -> None | `Exact | `Symmetric -> Some (Tbl.create 1024)
   in
@@ -164,46 +217,89 @@ let search_from ~dedup ~max_depth ~max_states ~inputs ~replay_root ~rev_choices
       stop `Invalid config rev_choices;
     values
   in
-  let rec go config rev_choices distinct depth =
-    incr visited;
-    if depth > !max_depth_seen then max_depth_seen := depth;
-    if !visited > max_states then incr trunc
-    else if not (Config.exists_enabled config) then incr leaves
-    else if depth >= max_depth then incr trunc
-    else
-      match table with
-      | None -> expand config rev_choices distinct depth
-      | Some tbl -> (
-          let rd = max_depth - depth in
-          let key = key_of_config ~symmetric config in
-          match Tbl.find_opt tbl key with
-          | Some e when e.complete -> incr table_hits
-          | Some e when e.depth >= rd ->
-              incr table_hits;
-              (* clean to a horizon at least as deep as ours, but the tree
-                 extends beyond it: a re-exploration could not have been
-                 exhaustive either *)
-              incr trunc
-          | shallow ->
-              let trunc0 = !trunc in
-              expand config rev_choices distinct depth;
-              (* no violation below (Stop would have escaped) *)
-              let complete = !trunc = trunc0 in
-              (match shallow with
-              | Some e ->
-                  e.depth <- max e.depth rd;
-                  if complete then e.complete <- true
-              | None -> Tbl.replace tbl key { depth = rd; complete }))
-  and expand config rev_choices distinct depth =
-    Config.iter_enabled config (fun pid ->
-        match config.Config.procs.(pid) with
-        | Proc.Decide _ -> assert false (* not enabled *)
-        | Proc.Apply _ -> child config rev_choices distinct depth pid 0
-        | Proc.Choose { n; _ } ->
-            for outcome = 0 to n - 1 do
-              child config rev_choices distinct depth pid outcome
-            done)
-  and child config rev_choices distinct depth pid outcome =
+  let rec go config rev_choices distinct depth resuming =
+    match resuming with
+    | _ :: _ ->
+        (* on the resume path: counted before the interruption *)
+        expand config rev_choices distinct depth resuming
+    | [] -> (
+        (match meter with
+        | None -> ()
+        | Some m -> (
+            match Robust.Budget.Meter.tick_node m with
+            | None -> ()
+            | Some r -> raise (Budget_stop (r, rev_choices))));
+        (match on_checkpoint with
+        | Some f when !visited > 0 && !visited mod checkpoint_every = 0 ->
+            f (mk_state rev_choices)
+        | _ -> ());
+        incr visited;
+        if depth > !max_depth_seen then max_depth_seen := depth;
+        if !visited > max_states then truncate `States
+        else if not (Config.exists_enabled config) then incr leaves
+        else if depth >= max_depth then truncate `Depth
+        else
+          match table with
+          | None -> expand config rev_choices distinct depth []
+          | Some tbl -> (
+              let rd = max_depth - depth in
+              let key = key_of_config ~symmetric config in
+              match Tbl.find_opt tbl key with
+              | Some e when e.complete -> incr table_hits
+              | Some e when e.depth >= rd ->
+                  incr table_hits;
+                  (* clean to a horizon at least as deep as ours, but the
+                     tree extends beyond it: a re-exploration could not
+                     have been exhaustive either *)
+                  truncate `Depth
+              | shallow ->
+                  let trunc0 = !trunc in
+                  expand config rev_choices distinct depth [];
+                  (* no violation below (Stop would have escaped) *)
+                  let complete = !trunc = trunc0 in
+                  (match shallow with
+                  | Some e ->
+                      e.depth <- max e.depth rd;
+                      if complete then e.complete <- true
+                  | None -> Tbl.replace tbl key { depth = rd; complete })))
+  and expand config rev_choices distinct depth resuming =
+    match resuming with
+    | [] ->
+        Config.iter_enabled config (fun pid ->
+            match config.Config.procs.(pid) with
+            | Proc.Decide _ -> assert false (* not enabled *)
+            | Proc.Apply _ -> child config rev_choices distinct depth pid 0 []
+            | Proc.Choose { n; _ } ->
+                for outcome = 0 to n - 1 do
+                  child config rev_choices distinct depth pid outcome []
+                done)
+    | cursor :: rest ->
+        (* fast-forward: children left of the cursor were fully explored
+           before the interruption; the cursor child is re-entered with the
+           rest of the path; children right of it are explored normally *)
+        let matched = ref false in
+        Config.iter_enabled config (fun pid ->
+            let visit outcome =
+              let c = compare (pid, outcome) cursor in
+              if c = 0 then begin
+                matched := true;
+                child config rev_choices distinct depth pid outcome rest
+              end
+              else if c > 0 then
+                child config rev_choices distinct depth pid outcome []
+            in
+            match config.Config.procs.(pid) with
+            | Proc.Decide _ -> assert false (* not enabled *)
+            | Proc.Apply _ -> visit 0
+            | Proc.Choose { n; _ } ->
+                for outcome = 0 to n - 1 do
+                  visit outcome
+                done);
+        if not !matched then
+          invalid_arg
+            "Explore.search: resume path does not match the scenario \
+             (wrong protocol, inputs or configuration?)"
+  and child config rev_choices distinct depth pid outcome resuming =
     let config' = Run.step_quiet config ~pid ~coin:(fun _ -> outcome) in
     let rev_choices' = (pid, outcome) :: rev_choices in
     let distinct' =
@@ -215,25 +311,39 @@ let search_from ~dedup ~max_depth ~max_states ~inputs ~replay_root ~rev_choices
           else if not (List.mem v inputs) then stop `Invalid config' rev_choices'
           else v :: distinct
     in
-    go config' rev_choices' distinct' (depth + 1)
+    go config' rev_choices' distinct' (depth + 1) resuming
   in
+  let tripped = ref None in
   (try
      let distinct = check_prefix () in
-     go config rev_choices distinct 0
-   with Stop -> ());
+     go config rev_choices distinct 0 resume.Checkpoint.path
+   with
+  | Stop -> ()
+  | Budget_stop (r, cursor) ->
+      tripped := Some r;
+      (* the cursor node is uncounted, so this state resumes exactly there *)
+      Option.iter (fun f -> f (mk_state cursor)) on_checkpoint);
+  let completeness =
+    match (!tripped, !first_reason) with
+    | Some r, _ -> `Truncated r
+    | None, Some r -> `Truncated r
+    | None, None -> `Exhaustive
+  in
   {
     violation = !found;
     visited = !visited;
     leaves = !leaves;
-    truncated = !trunc > 0;
+    truncated = completeness <> `Exhaustive;
+    completeness;
     max_depth_seen = !max_depth_seen;
     table_hits = !table_hits;
   }
 
-let search ?(dedup = `Off) ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs
-    config =
-  search_from ~dedup ~max_depth ~max_states ~inputs ~replay_root:config
-    ~rev_choices:[] ~decisions:(Config.decisions config) config
+let search ?budget ?(dedup = `Off) ?(max_depth = 60) ?(max_states = 2_000_000)
+    ?(checkpoint_every = 50_000) ?on_checkpoint ?resume ~inputs config =
+  search_from ~budget ~checkpoint_every ~on_checkpoint ~resume ~dedup
+    ~max_depth ~max_states ~inputs ~replay_root:config ~rev_choices:[]
+    ~decisions:(Config.decisions config) config
 
 (* Partitioned search: the root's successor configurations — one task per
    (enabled pid, coin outcome), in the sequential traversal order — are
@@ -265,47 +375,159 @@ let search ?(dedup = `Off) ?(max_depth = 60) ?(max_states = 2_000_000) ~inputs
    [`Off] (pinned by the determinism test suite); when a violation exists,
    [search] stops at first blood while the partitioned runs still finish
    their subtrees, so the merged statistics deterministically cover more
-   of the tree. *)
-let search_par ?pool ?(dedup = `Off) ?(max_depth = 60)
+   of the tree.
+
+   Budgets: a *node* budget must stay bit-deterministic under any job
+   count, which a naive per-task split cannot deliver (how many nodes the
+   sequential run spends in subtree [i] depends on subtrees [0..i-1]).
+   The partitioned run therefore *speculates*: every task runs with the
+   full allowance in parallel, and a sequential validation fold then
+   replays the accounting of the sequential search — thread the remaining
+   allowance through the tasks in order; a task whose speculative result
+   could not have come from the sequential prefix (it visited more than
+   the allowance that remains, or it tripped) is re-run on the caller
+   with exactly the remaining allowance.  DFS is deterministic, so a
+   budgeted run visits precisely the first [k] preorder nodes of its
+   subtree — the re-run reproduces the sequential frontier bit for bit,
+   and tasks past a hard trip are discarded just as the sequential search
+   never reached them.  Wasted speculative work costs wall-clock only,
+   never affects the result.  Deadline/cancellation budgets make no
+   determinism promise; they are simply threaded into every task (which
+   shares the absolute deadline), and a set cancellation token
+   additionally stops the pool from claiming further chunks. *)
+let search_par ?pool ?budget ?(dedup = `Off) ?(max_depth = 60)
     ?(max_states = 2_000_000) ~inputs config =
-  let root =
-    search_from ~dedup:`Off ~max_depth:0 ~max_states ~inputs
-      ~replay_root:config ~rev_choices:[]
-      ~decisions:(Config.decisions config) config
+  let budget_v =
+    match budget with None -> Robust.Budget.unlimited | Some b -> b
   in
-  if root.violation <> None || not (Config.exists_enabled config)
-     || max_depth = 0
-  then root
-  else begin
-    let tasks =
-      List.concat_map
-        (fun pid ->
-          match config.Config.procs.(pid) with
-          | Proc.Decide _ -> []
-          | Proc.Apply _ -> [ (pid, 0) ]
-          | Proc.Choose { n; _ } -> List.init n (fun outcome -> (pid, outcome)))
-        (Config.enabled_pids config)
-    in
-    let explore_subtree (pid, outcome) =
-      let config' = Run.step_quiet config ~pid ~coin:(fun _ -> outcome) in
-      search_from ~dedup ~max_depth:(max_depth - 1) ~max_states ~inputs
-        ~replay_root:config
-        ~rev_choices:[ (pid, outcome) ]
-        ~decisions:(Config.decisions config') config'
-    in
-    let subtrees = Par.map ?pool explore_subtree tasks in
-    let visited = List.fold_left (fun acc r -> acc + r.visited) 1 subtrees in
-    {
-      violation = List.find_map (fun r -> r.violation) subtrees;
-      visited;
-      leaves = List.fold_left (fun acc r -> acc + r.leaves) 0 subtrees;
-      truncated =
-        List.exists (fun r -> r.truncated) subtrees || visited > max_states;
-      max_depth_seen =
-        1 + List.fold_left (fun acc r -> max acc r.max_depth_seen) 0 subtrees;
-      table_hits = List.fold_left (fun acc r -> acc + r.table_hits) 0 subtrees;
-    }
-  end
+  match budget_v.Robust.Budget.nodes with
+  | Some k when k <= 1 ->
+      (* not worth partitioning: the allowance barely covers the root *)
+      search ?budget ~dedup ~max_depth ~max_states ~inputs config
+  | node_allowance ->
+      let root =
+        search_from ~budget:None ~checkpoint_every:max_int ~on_checkpoint:None
+          ~resume:None ~dedup:`Off ~max_depth:0 ~max_states ~inputs
+          ~replay_root:config ~rev_choices:[]
+          ~decisions:(Config.decisions config) config
+      in
+      if root.violation <> None || not (Config.exists_enabled config)
+         || max_depth = 0
+      then root
+      else begin
+        let tasks =
+          List.concat_map
+            (fun pid ->
+              match config.Config.procs.(pid) with
+              | Proc.Decide _ -> []
+              | Proc.Apply _ -> [ (pid, 0) ]
+              | Proc.Choose { n; _ } ->
+                  List.init n (fun outcome -> (pid, outcome)))
+            (Config.enabled_pids config)
+        in
+        let explore_subtree ~budget (pid, outcome) =
+          let config' = Run.step_quiet config ~pid ~coin:(fun _ -> outcome) in
+          search_from ~budget ~checkpoint_every:max_int ~on_checkpoint:None
+            ~resume:None ~dedup ~max_depth:(max_depth - 1) ~max_states ~inputs
+            ~replay_root:config
+            ~rev_choices:[ (pid, outcome) ]
+            ~decisions:(Config.decisions config') config'
+        in
+        let task_budget =
+          if Robust.Budget.is_unlimited budget_v then None else Some budget_v
+        in
+        let hard_trip r =
+          match r.completeness with
+          | `Truncated ((`Nodes | `Deadline | `Cancelled) as reason) ->
+              Some reason
+          | `Truncated (`Depth | `States | `Steps) | `Exhaustive -> None
+        in
+        (* cancelled-before-running placeholder for skipped pool slots *)
+        let skipped =
+          {
+            violation = None;
+            visited = 0;
+            leaves = 0;
+            truncated = true;
+            completeness = `Truncated `Cancelled;
+            max_depth_seen = 0;
+            table_hits = 0;
+          }
+        in
+        let speculative =
+          match budget_v.Robust.Budget.cancel with
+          | Some cancel ->
+              List.map
+                (function Some r -> r | None -> skipped)
+                (Par.map_cancellable ?pool ~cancel
+                   (explore_subtree ~budget:task_budget)
+                   tasks)
+          | None -> Par.map ?pool (explore_subtree ~budget:task_budget) tasks
+        in
+        (* Sequential validation in task order.  Unmetered ([remaining =
+           None], i.e. no node allowance): keep every speculative result —
+           the legacy merge, where a violation run's statistics cover more
+           of the tree than the early-stopping sequential search.  Metered:
+           keep exactly the prefix of results the sequential search would
+           have produced, re-running on the caller any task whose
+           speculative result could not be the sequential one. *)
+        let rec validate acc remaining = function
+          | [] -> List.rev acc
+          | (task, r) :: rest -> (
+              match remaining with
+              | None -> validate (r :: acc) None rest
+              | Some rem ->
+                  let r =
+                    if hard_trip r <> None || r.visited > rem then
+                      explore_subtree
+                        ~budget:(Some (Robust.Budget.with_nodes budget_v rem))
+                        task
+                    else r
+                  in
+                  if r.violation <> None || hard_trip r <> None then
+                    List.rev (r :: acc)
+                  else validate (r :: acc) (Some (rem - r.visited)) rest)
+        in
+        let subtrees =
+          validate []
+            (Option.map (fun k -> k - 1 (* the root *)) node_allowance)
+            (List.combine tasks speculative)
+        in
+        let visited =
+          List.fold_left (fun acc r -> acc + r.visited) 1 subtrees
+        in
+        let completeness =
+          (* same precedence as the sequential search: a budget trip in
+             any accepted subtree (validation keeps at most one, as its
+             last element) dominates; otherwise the first structural
+             reason in task order precedes the whole-run state cap *)
+          match List.find_map hard_trip subtrees with
+          | Some r -> `Truncated r
+          | None ->
+              let structural =
+                List.fold_left
+                  (fun acc r -> Robust.Budget.merge acc r.completeness)
+                  `Exhaustive subtrees
+              in
+              if structural <> `Exhaustive then structural
+              else if visited > max_states then `Truncated `States
+              else `Exhaustive
+        in
+        {
+          violation = List.find_map (fun r -> r.violation) subtrees;
+          visited;
+          leaves = List.fold_left (fun acc r -> acc + r.leaves) 0 subtrees;
+          truncated = completeness <> `Exhaustive;
+          completeness;
+          max_depth_seen =
+            List.fold_left
+              (fun acc r ->
+                if r.visited > 0 then max acc (1 + r.max_depth_seen) else acc)
+              0 subtrees;
+          table_hits =
+            List.fold_left (fun acc r -> acc + r.table_hits) 0 subtrees;
+        }
+      end
 
 (* First terminating solo decision of [pid], searching coin outcomes.
    Cheap probe used to seed [decidable_values]: a solo run that decides

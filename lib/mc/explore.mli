@@ -31,7 +31,14 @@ type 'a result = {
   violation : 'a violation option;
   visited : int;
   leaves : int;  (** maximal executions reached *)
-  truncated : bool;
+  truncated : bool;  (** [completeness <> `Exhaustive] *)
+  completeness : Robust.Budget.completeness;
+      (** why (and whether) the exploration stopped short; the first
+          reason hit in sequential DFS preorder.  A [`Truncated] result
+          with [violation = None] is an under-approximation — "no
+          violation among the visited states" — never a proof.  Mostly
+          informational when a violation {e was} found: the witness is
+          valid regardless. *)
   max_depth_seen : int;
   table_hits : int;  (** subtrees skipped via the transposition table *)
 }
@@ -40,10 +47,33 @@ type 'a result = {
     [Choose]. *)
 val successors : 'a Config.t -> int -> ('a Config.t * 'a Event.t list) list
 
+(** Depth-first exploration from [config].
+
+    [?budget] meters node entries (checked {e before} a node is counted):
+    node budgets are deterministic — the run visits exactly the first [k]
+    preorder nodes — while deadline/cancellation trips are best-effort
+    (polled, so overshoot is bounded but the frontier is not
+    reproducible).  In [completeness] a budget trip dominates the
+    structural [max_depth]/[max_states] reasons (which report the first
+    one hit in preorder): structural cuts still answer the bounded
+    question, a trip leaves it unanswered.
+
+    Checkpoint/resume (sequential search only): [?on_checkpoint] receives
+    the counters plus the root-to-cursor choice path every
+    [checkpoint_every] visited nodes and once more when the budget trips;
+    [?resume] restores that state and fast-forwards the DFS to the cursor
+    without re-counting the prefix.  Under [~dedup:`Off] an interrupted +
+    resumed run is bit-identical to an uninterrupted one (pinned by
+    [test_checkpoint]); with a table, counts may differ (the table is not
+    checkpointed) but the verdict stays sound. *)
 val search :
+  ?budget:Robust.Budget.t ->
   ?dedup:dedup ->
   ?max_depth:int ->
   ?max_states:int ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Checkpoint.state -> unit) ->
+  ?resume:Checkpoint.state ->
   inputs:'a list ->
   'a Config.t ->
   'a result
@@ -61,9 +91,21 @@ val search :
     identical.  A reported violation is always the same witness [search]
     finds; in that case [search] stops early while the partitioned
     subtrees run to completion, so the merged statistics deterministically
-    cover more of the tree. *)
+    cover more of the tree.
+
+    [?budget] node allowances remain {e bit-deterministic under any job
+    count} and equal to the sequential [search ~budget] field for field:
+    subtree tasks speculate with the full allowance and a sequential
+    validation fold re-runs (with the exact remaining allowance) any task
+    whose speculative result the sequential search could not have
+    produced — see DESIGN.md §4d.  Deadline/cancellation budgets are
+    best-effort: every task shares the absolute deadline, a set
+    cancellation token additionally stops the pool claiming chunks, and
+    skipped tasks are merged as zero-node [`Truncated `Cancelled]
+    subtrees. *)
 val search_par :
   ?pool:Par.Pool.t ->
+  ?budget:Robust.Budget.t ->
   ?dedup:dedup ->
   ?max_depth:int ->
   ?max_states:int ->

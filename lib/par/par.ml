@@ -32,6 +32,7 @@ module Pool = struct
     chunk : int;
     next : int Atomic.t;  (* the work queue: next unclaimed task index *)
     completed : int Atomic.t;
+    cancel : Robust.Cancel.t option;
   }
 
   type t = {
@@ -48,15 +49,25 @@ module Pool = struct
   let jobs t = t.jobs
 
   (* Claim and run chunks until the batch cursor is exhausted.  Runs on
-     workers and on the submitting domain alike. *)
+     workers and on the submitting domain alike.  Cancellation is checked
+     once per claimed chunk: a set token makes the chunk a no-op, but the
+     cursor still advances and [completed] is still bumped, so the barrier
+     below fires exactly as in the uncancelled case — cancellation skips
+     work, it never skips bookkeeping. *)
   let drain t b =
+    let cancelled () =
+      match b.cancel with
+      | Some c -> Robust.Cancel.is_set c
+      | None -> false
+    in
     let rec loop () =
       let k = Atomic.fetch_and_add b.next b.chunk in
       if k < b.n then begin
         let hi = min b.n (k + b.chunk) in
-        for i = k to hi - 1 do
-          b.body i
-        done;
+        if not (cancelled ()) then
+          for i = k to hi - 1 do
+            b.body i
+          done;
         ignore (Atomic.fetch_and_add b.completed (hi - k));
         loop ()
       end
@@ -102,16 +113,26 @@ module Pool = struct
     t
 
   (* [body] must not raise (enforced by [for_]'s wrapper). *)
-  let run_exn_free t ~n body =
+  let run_exn_free ?cancel t ~n body =
+    let cancelled () =
+      match cancel with Some c -> Robust.Cancel.is_set c | None -> false
+    in
     if n > 0 then begin
       if t.jobs = 1 || n = 1 || t.stopping then
         for i = 0 to n - 1 do
-          body i
+          if not (cancelled ()) then body i
         done
       else begin
         let chunk = max 1 (n / (t.jobs * 4)) in
         let b =
-          { n; body; chunk; next = Atomic.make 0; completed = Atomic.make 0 }
+          {
+            n;
+            body;
+            chunk;
+            next = Atomic.make 0;
+            completed = Atomic.make 0;
+            cancel;
+          }
         in
         Mutex.lock t.mutex;
         t.current <- Some b;
@@ -128,7 +149,7 @@ module Pool = struct
       end
     end
 
-  let for_ t ~n body =
+  let for_ ?cancel t ~n body =
     (* first failing task by index, so the surfaced exception matches a
        sequential left-to-right run no matter which domain hit it first *)
     let failure = Atomic.make None in
@@ -140,7 +161,7 @@ module Pool = struct
       if better && not (Atomic.compare_and_set failure seen (Some (i, exn, bt)))
       then record i exn bt
     in
-    run_exn_free t ~n (fun i ->
+    run_exn_free ?cancel t ~n (fun i ->
         try body i
         with exn -> record i exn (Printexc.get_raw_backtrace ()));
     match Atomic.get failure with
@@ -148,27 +169,34 @@ module Pool = struct
     | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
 
   let shutdown t =
+    (* Swap the worker list out under the mutex so that two concurrent
+       [shutdown] calls cannot both try to join the same domains — the
+       loser of the race sees [] and returns immediately. *)
     Mutex.lock t.mutex;
     t.stopping <- true;
+    let workers = t.workers in
+    t.workers <- [];
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;
-    List.iter Domain.join t.workers;
-    t.workers <- []
+    List.iter Domain.join workers
 end
 
 let with_pool ?jobs f =
   let pool = Pool.create ?jobs () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
-let for_tasks ?pool ~n body =
+let for_tasks ?pool ?cancel ~n body =
   match pool with
   | None ->
       (* sequential baseline: plain loop, exceptions propagate at the
          first failing index — exactly what [Pool.for_] reproduces *)
+      let cancelled () =
+        match cancel with Some c -> Robust.Cancel.is_set c | None -> false
+      in
       for i = 0 to n - 1 do
-        body i
+        if not (cancelled ()) then body i
       done
-  | Some p -> Pool.for_ p ~n body
+  | Some p -> Pool.for_ ?cancel p ~n body
 
 let mapi_array ?pool f xs =
   let n = Array.length xs in
@@ -186,6 +214,16 @@ let map ?pool f xs = mapi ?pool (fun _ x -> f x) xs
 let map_reduce ?pool ~map ~reduce ~init xs =
   let mapped = map_array ?pool map (Array.of_list xs) in
   Array.fold_left reduce init mapped
+
+(* Unlike [map], skipped tasks are representable here, so this is the one
+   combinator that may be handed a cancel token: a task whose chunk was
+   claimed after the token was set leaves [None] in its slot. *)
+let map_cancellable ?pool ~cancel f xs =
+  let arr = Array.of_list xs in
+  let out = Array.make (Array.length arr) None in
+  for_tasks ?pool ~cancel ~n:(Array.length arr) (fun i ->
+      out.(i) <- Some (f arr.(i)));
+  Array.to_list out
 
 let map_seeded ?pool ~seed f xs =
   let arr = Array.of_list xs in

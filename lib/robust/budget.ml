@@ -1,0 +1,128 @@
+type reason = [ `Depth | `States | `Nodes | `Steps | `Deadline | `Cancelled ]
+type completeness = [ `Exhaustive | `Truncated of reason ]
+
+let reason_to_string = function
+  | `Depth -> "depth"
+  | `States -> "states"
+  | `Nodes -> "nodes"
+  | `Steps -> "steps"
+  | `Deadline -> "deadline"
+  | `Cancelled -> "cancelled"
+
+let reason_of_string = function
+  | "depth" -> Some `Depth
+  | "states" -> Some `States
+  | "nodes" -> Some `Nodes
+  | "steps" -> Some `Steps
+  | "deadline" -> Some `Deadline
+  | "cancelled" -> Some `Cancelled
+  | _ -> None
+
+let completeness_to_string = function
+  | `Exhaustive -> "exhaustive"
+  | `Truncated r -> Printf.sprintf "truncated (%s)" (reason_to_string r)
+
+let is_exhaustive = function `Exhaustive -> true | `Truncated _ -> false
+let merge a b = match a with `Exhaustive -> b | `Truncated _ -> a
+
+type t = {
+  nodes : int option;
+  steps : int option;
+  deadline : float option;
+  cancel : Cancel.t option;
+}
+
+let unlimited = { nodes = None; steps = None; deadline = None; cancel = None }
+
+let make ?nodes ?steps ?deadline ?cancel () =
+  let deadline =
+    Option.map (fun d -> Unix.gettimeofday () +. Float.max d 0.) deadline
+  in
+  { nodes; steps; deadline; cancel }
+
+let with_nodes t nodes = { t with nodes = Some nodes }
+
+let is_unlimited t =
+  t.nodes = None && t.steps = None && t.deadline = None && t.cancel = None
+
+exception Exhausted of reason
+
+module Meter = struct
+  type budget = t
+
+  type nonrec t = {
+    budget : budget;
+    poll_mask : int;
+    mutable nodes : int;
+    mutable steps : int;
+    mutable tripped : reason option;
+  }
+
+  let create ?(poll_every = 512) budget =
+    let poll_every = max 1 poll_every in
+    (* Round up to a power of two so polling is a single [land]. *)
+    let rec pow2 k = if k >= poll_every then k else pow2 (k * 2) in
+    { budget; poll_mask = pow2 1 - 1; nodes = 0; steps = 0; tripped = None }
+
+  let nodes t = t.nodes
+  let steps t = t.steps
+  let tripped t = t.tripped
+
+  let trip t r =
+    t.tripped <- Some r;
+    Some r
+
+  (* Best-effort limits, consulted only on poll boundaries.  A deadline
+     trip propagates to the cancel token so that pool siblings that share
+     the budget stop claiming chunks instead of each burning until their
+     own next poll. *)
+  let poll t =
+    match t.budget.cancel with
+    | Some c when Cancel.is_set c -> trip t `Cancelled
+    | _ -> (
+        match t.budget.deadline with
+        | Some d when Unix.gettimeofday () > d ->
+            Option.iter Cancel.set t.budget.cancel;
+            trip t `Deadline
+        | _ -> None)
+
+  let tick_node t =
+    match t.tripped with
+    | Some r -> Some r
+    | None -> (
+        match t.budget.nodes with
+        | Some limit when t.nodes >= limit -> trip t `Nodes
+        | _ -> (
+            if t.nodes land t.poll_mask <> 0 then (
+              t.nodes <- t.nodes + 1;
+              None)
+            else
+              match poll t with
+              | Some r -> Some r
+              | None ->
+                  t.nodes <- t.nodes + 1;
+                  None))
+
+  let tick_step t =
+    match t.tripped with
+    | Some r -> Some r
+    | None -> (
+        match t.budget.steps with
+        | Some limit when t.steps >= limit -> trip t `Steps
+        | _ -> (
+            if t.steps land t.poll_mask <> 0 then (
+              t.steps <- t.steps + 1;
+              None)
+            else
+              match poll t with
+              | Some r -> Some r
+              | None ->
+                  t.steps <- t.steps + 1;
+                  None))
+
+  let guard_node t =
+    match tick_node t with None -> () | Some r -> raise (Exhausted r)
+
+  let guard_step t =
+    match tick_step t with None -> () | Some r -> raise (Exhausted r)
+end

@@ -1,0 +1,10 @@
+(* A cancellation token is just an atomic bool; the type is abstract so a
+   token cannot be un-cancelled (cancellation is a one-way latch — a
+   worker that observed [is_set] may already be unwinding, and a reset
+   would leave the batch half-skipped for no recorded reason). *)
+
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+let set t = Atomic.set t true
+let is_set t = Atomic.get t

@@ -1,0 +1,17 @@
+(** Cooperative cancellation: one atomic flag shared between a requester
+    and any number of polling workers.  Setting it is idempotent, never
+    blocks, and carries no payload — observers poll {!is_set} at their own
+    cadence (the [Par] pool between chunks, a [Budget.Meter] every few
+    hundred ticks) and wind down at the next convenient point.  Nothing is
+    ever interrupted preemptively: a token can only stop work that looks
+    at it. *)
+
+type t
+
+(** A fresh, unset token. *)
+val create : unit -> t
+
+(** Request cancellation.  Idempotent. *)
+val set : t -> unit
+
+val is_set : t -> bool

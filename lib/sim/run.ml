@@ -13,6 +13,15 @@ let outcome_to_string = function
   | Max_steps -> "max-steps"
   | Scheduler_stopped -> "scheduler-stopped"
 
+(* A new constructor must be added here too (the round-trip test sweeps
+   this list), but it cannot silently diverge in naming: the parser is
+   defined as the inverse of [outcome_to_string], whose match the
+   compiler keeps exhaustive. *)
+let all_outcomes = [ All_decided; Max_steps; Scheduler_stopped ]
+
+let outcome_of_string s =
+  List.find_opt (fun outcome -> outcome_to_string outcome = s) all_outcomes
+
 type 'a result = {
   config : 'a Config.t;
   trace : 'a Trace.t;

@@ -6,6 +6,14 @@ type outcome = All_decided | Max_steps | Scheduler_stopped
 
 val outcome_to_string : outcome -> string
 
+(** Inverse of {!outcome_to_string}; [None] on unknown input.  Used by
+    durable formats (trace dumps, checkpoints) that must re-parse what
+    they print. *)
+val outcome_of_string : string -> outcome option
+
+(** Every [outcome] constructor, for round-trip sweeps. *)
+val all_outcomes : outcome list
+
 type 'a result = {
   config : 'a Config.t;
   trace : 'a Trace.t;

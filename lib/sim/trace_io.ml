@@ -145,15 +145,23 @@ let to_text_int trace = to_text ~encode_decision:string_of_int trace
 
 let of_text_int text = of_text ~decode_decision:int_of_string text
 
-let save_int ~path trace =
-  let oc = open_out path in
-  output_string oc (to_text_int trace);
-  output_char oc '\n';
-  close_out oc
+(* Atomic whole-file write: the contents land in a sibling temp file that
+   is renamed over [path], so a crash mid-write leaves the previous
+   version intact.  Periodic checkpoints (see [Mc.Checkpoint]) depend on
+   this — an interrupted run must always find a complete file. *)
+let save_text ~path text =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc text;
+  close_out oc;
+  Sys.rename tmp path
 
-let load_int ~path =
+let load_text ~path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let buf = really_input_string ic len in
   close_in ic;
-  of_text_int buf
+  buf
+
+let save_int ~path trace = save_text ~path (to_text_int trace ^ "\n")
+let load_int ~path = of_text_int (load_text ~path)

@@ -19,3 +19,10 @@ val to_text_int : int Trace.t -> string
 val of_text_int : string -> int Trace.t
 val save_int : path:string -> int Trace.t -> unit
 val load_int : path:string -> int Trace.t
+
+(** Atomic whole-file text write (temp file + rename): a crash mid-write
+    never leaves a partial file at [path].  Shared by trace saving and
+    the model-checker checkpoint format. *)
+val save_text : path:string -> string -> unit
+
+val load_text : path:string -> string

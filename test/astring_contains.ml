@@ -8,3 +8,15 @@ let contains haystack needle =
     else go (i + 1)
   in
   nn = 0 || go 0
+
+(* replace the first occurrence of [sub] with [by]; the haystack unchanged
+   when [sub] does not occur *)
+let replace_first ~sub ~by s =
+  let ns = String.length s and nn = String.length sub in
+  let rec go i =
+    if nn = 0 || i + nn > ns then s
+    else if String.sub s i nn = sub then
+      String.sub s 0 i ^ by ^ String.sub s (i + nn) (ns - i - nn)
+    else go (i + 1)
+  in
+  go 0

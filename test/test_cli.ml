@@ -1,0 +1,147 @@
+(* Exit-code hygiene and resource-governance flags of the randsync binary,
+   checked by actually running it (dune's test action runs with cwd =
+   _build/default/test, so the executable is a relative path away).
+
+   The contract under test (see README):
+     0 clean, 1 bad args, 2 violation demonstrated, 3 budget-truncated,
+     4 attack construction failed. *)
+
+let binary = Filename.concat ".." "bin/randsync_cli.exe"
+
+type run = { code : int; out : string }
+
+let run_cli args =
+  let out_file = Filename.temp_file "randsync-cli" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out_file with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s > %s 2>&1"
+          (Filename.quote_command binary args)
+          (Filename.quote out_file)
+      in
+      let code = Sys.command cmd in
+      let ic = open_in_bin out_file in
+      let out = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      { code; out })
+
+let check_code name expected { code; out } =
+  if code <> expected then
+    Alcotest.failf "%s: exit %d, expected %d; output:\n%s" name code expected
+      out
+
+let contains = Astring_contains.contains
+
+(* grep-able lines of the mc output: "visited=N ..." and "verdict: ..." *)
+let line_with prefix { out; _ } =
+  match
+    List.find_opt
+      (fun l ->
+        String.length l > String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix)
+      (String.split_on_char '\n' out)
+  with
+  | None -> Alcotest.failf "no %S line in output:\n%s" prefix out
+  | Some l -> l
+
+let visited_of r =
+  let l = line_with "visited=" r in
+  let v = String.sub l 8 (String.index l ' ' - 8) in
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> Alcotest.failf "unparseable visited count %S" v
+
+let verdict_of r = line_with "verdict: " r
+
+let test_exit_codes () =
+  check_code "clean mc" 0 (run_cli [ "mc"; "cas-1"; "--inputs"; "0,1" ]);
+  check_code "unknown protocol" 1 (run_cli [ "mc"; "no-such-protocol" ]);
+  check_code "bad inputs" 1 (run_cli [ "mc"; "cas-1"; "--inputs"; "0,zebra" ]);
+  check_code "bad dedup" 1 (run_cli [ "mc"; "cas-1"; "--dedup"; "turbo" ]);
+  let violating =
+    run_cli [ "mc"; "flawed-first-writer-r1"; "--inputs"; "0,1" ]
+  in
+  check_code "violation" 2 violating;
+  Alcotest.(check bool) "violation printed" true
+    (contains violating.out "VIOLATION");
+  check_code "attack demonstrates violation" 2
+    (run_cli [ "attack"; "flawed-unanimous-rw-r1" ]);
+  check_code "attack fails on correct protocol" 4 (run_cli [ "attack"; "cas-1" ])
+
+let test_budget_truncation () =
+  let r =
+    run_cli
+      [ "mc"; "counter-3"; "--inputs"; "0,1"; "--depth"; "12"; "--max-nodes";
+        "200" ]
+  in
+  check_code "node budget exits truncated" 3 r;
+  Alcotest.(check bool) "truncated verdict printed" true
+    (contains r.out "verdict: truncated (nodes)");
+  Alcotest.(check int) "visited exactly the allowance" 200 (visited_of r);
+  (* the node budget stays bit-deterministic under --jobs *)
+  let r2 =
+    run_cli
+      [ "mc"; "counter-3"; "--inputs"; "0,1"; "--depth"; "12"; "--max-nodes";
+        "200"; "--jobs"; "2" ]
+  in
+  check_code "same under --jobs 2" 3 r2;
+  Alcotest.(check int) "same frontier under --jobs 2" 200 (visited_of r2)
+
+let test_deadline_terminates () =
+  (* an over-budget scenario: an effectively unbounded search that a 1s
+     deadline must stop within ~2x of the deadline, exiting 3 *)
+  let t0 = Unix.gettimeofday () in
+  let r =
+    run_cli
+      [ "mc"; "counter-3"; "--inputs"; "0,1,1,0"; "--depth"; "200";
+        "--max-states"; "2000000000"; "--deadline"; "1s" ]
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check_code "deadline exits truncated" 3 r;
+  Alcotest.(check bool) "verdict line" true
+    (contains r.out "verdict: truncated (deadline)");
+  (* ~2x deadline plus generous slack for process startup on a loaded CI *)
+  Alcotest.(check bool)
+    (Printf.sprintf "terminated in %.2fs" elapsed)
+    true (elapsed < 5.)
+
+let test_checkpoint_resume_round_trip () =
+  let ckpt = Filename.temp_file "randsync-cli-ckpt" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ckpt with Sys_error _ -> ())
+    (fun () ->
+      let scenario =
+        [ "mc"; "counter-3"; "--inputs"; "0,1"; "--depth"; "12" ]
+      in
+      let base = run_cli scenario in
+      check_code "uninterrupted run" 0 base;
+      let interrupted =
+        run_cli (scenario @ [ "--max-nodes"; "5000"; "--checkpoint"; ckpt ])
+      in
+      check_code "interrupted run" 3 interrupted;
+      let resumed = run_cli (scenario @ [ "--resume"; ckpt ]) in
+      check_code "resumed run" 0 resumed;
+      Alcotest.(check int) "resume reproduces the uninterrupted node count"
+        (visited_of base) (visited_of resumed);
+      (* at depth 12 the base verdict is "truncated (depth)" — what resume
+         must reproduce is the base verdict, whatever it is *)
+      Alcotest.(check string) "resume reproduces the verdict"
+        (verdict_of base) (verdict_of resumed);
+      (* resuming against different parameters is refused as bad args *)
+      check_code "mismatched resume refused" 1
+        (run_cli
+           [ "mc"; "counter-3"; "--inputs"; "0,1"; "--depth"; "13"; "--resume";
+             ckpt ]);
+      check_code "garbage checkpoint refused" 1
+        (run_cli (scenario @ [ "--resume"; "/dev/null" ])))
+
+let suite =
+  [
+    Alcotest.test_case "exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "node budget truncation" `Quick test_budget_truncation;
+    Alcotest.test_case "deadline terminates in time" `Quick
+      test_deadline_terminates;
+    Alcotest.test_case "checkpoint/resume round trip" `Quick
+      test_checkpoint_resume_round_trip;
+  ]

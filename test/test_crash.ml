@@ -71,6 +71,39 @@ let test_crash_everyone () =
   Alcotest.(check bool) "vacuously safe" true
     (Checker.ok (Checker.of_config ~inputs result.Run.config))
 
+(* The wait-freedom sweep: for EVERY registered correct protocol and every
+   crash count f < n, halting f processes at staggered points never
+   produces an unsafe verdict, and the survivors still decide (that is
+   what wait-free means — no process waits on a crashed one).  The flawed
+   registry entries are deliberately excluded: they are unsafe by design
+   even with zero crashes, so they witness nothing about crash handling. *)
+let test_registry_crash_sweep () =
+  List.iter
+    (fun (p : Protocol.t) ->
+      let n = if p.Protocol.supports_n 5 then 5 else 2 in
+      for f = 0 to n - 1 do
+        (* staggered: victim i dies just before step 3 + 4i *)
+        let crashes = List.init f (fun i -> (3 + (4 * i), i)) in
+        List.iter
+          (fun seed ->
+            let rng = Rng.create ((17 * seed) + f) in
+            let inputs = List.init n (fun _ -> Rng.int rng 2) in
+            let config = Protocol.initial_config p ~inputs in
+            let result =
+              Run.exec_with_crashes ~max_steps:500_000 ~crashes
+                (Sched.random ~seed) config
+            in
+            let verdict = Checker.of_config ~inputs result.Run.config in
+            if not (Checker.ok verdict) then
+              Alcotest.failf "%s: unsafe with f=%d crashes (seed %d)"
+                p.Protocol.name f seed;
+            if result.Run.outcome <> Run.All_decided then
+              Alcotest.failf "%s: survivors stuck with f=%d crashes (seed %d)"
+                p.Protocol.name f seed)
+          [ 1; 2 ]
+      done)
+    Registry.correct
+
 let test_e11_rows () =
   let rows = Experiments.E11_crash.rows ~n:4 ~fs:[ 0; 2 ] ~reps:4 ~seed:3 () in
   List.iter
@@ -109,5 +142,7 @@ let suite =
     Alcotest.test_case "crash recorded & respected" `Quick test_crash_recorded;
     Alcotest.test_case "survivors decide" `Quick test_survivors_decide;
     Alcotest.test_case "crash everyone" `Quick test_crash_everyone;
+    Alcotest.test_case "registry-wide crash sweep" `Quick
+      test_registry_crash_sweep;
     Alcotest.test_case "e11 rows" `Quick test_e11_rows;
   ]

@@ -34,6 +34,7 @@ let project_result (r : _ Mc.Explore.result) =
     r.visited,
     r.leaves,
     r.truncated,
+    Robust.Budget.completeness_to_string r.completeness,
     r.max_depth_seen )
 
 let config_of p inputs = Protocol.initial_config p ~inputs
@@ -98,6 +99,33 @@ let test_search_par_depth_zero_and_violation_witness () =
     | None -> Alcotest.fail "sequential search missed the planted bug"
   in
   Alcotest.(check string) "same witness as sequential" seq_witness par_witness
+
+let test_search_par_node_budget_equals_sequential () =
+  (* the tentpole pin: a node budget is deterministic under any job count
+     AND equal to the sequential governed search in every field,
+     completeness verdict included — the speculative validation fold must
+     reproduce the sequential frontier exactly.  Allowances straddle the
+     interesting boundaries: the k<=1 fallback, mid-subtree trips, a trip
+     on the last node, and a budget beyond the tree (exhaustive). *)
+  let config () = config_of Counter_consensus.protocol [ 0; 1 ] in
+  List.iter
+    (fun nodes ->
+      let budget () = Robust.Budget.make ~nodes () in
+      let seq =
+        project_result
+          (Mc.Explore.search ~budget:(budget ()) ~max_depth:9 ~inputs:[ 0; 1 ]
+             (config ()))
+      in
+      let par =
+        across_pools (fun pool ->
+            project_result
+              (Mc.Explore.search_par ?pool ~budget:(budget ()) ~max_depth:9
+                 ~inputs:[ 0; 1 ] (config ())))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "nodes=%d: par = seq, all fields" nodes)
+        true (par = seq))
+    [ 1; 2; 3; 10; 1_000; 10_000; 100_000_000 ]
 
 (* ---- Explore.search_par with dedup ---- *)
 
@@ -235,6 +263,8 @@ let suite =
       test_search_par_matches_sequential_fields;
     Alcotest.test_case "search_par depth-0 and witness parity" `Quick
       test_search_par_depth_zero_and_violation_witness;
+    Alcotest.test_case "search_par node budget = sequential" `Quick
+      test_search_par_node_budget_equals_sequential;
     Alcotest.test_case "search_par dedup pool-independent" `Quick
       test_search_par_dedup_pool_independent;
     Alcotest.test_case "search_par dedup witness parity" `Quick

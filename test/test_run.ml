@@ -103,6 +103,24 @@ let test_add_proc () =
   let result = Run.exec (Sched.round_robin ()) config' in
   Alcotest.(check bool) "still runs" true (result.Run.outcome = Run.All_decided)
 
+let test_outcome_string_round_trip () =
+  (* [all_outcomes] covers the variant (the exhaustive match inside
+     [outcome_to_string] keeps it honest at compile time), and the codec
+     is its own inverse — durable formats re-parse what they print *)
+  List.iter
+    (fun outcome ->
+      let s = Run.outcome_to_string outcome in
+      Alcotest.(check bool) (s ^ " round-trips") true
+        (Run.outcome_of_string s = Some outcome))
+    Run.all_outcomes;
+  let strings = List.map Run.outcome_to_string Run.all_outcomes in
+  Alcotest.(check int) "outcome strings distinct"
+    (List.length Run.all_outcomes)
+    (List.length (List.sort_uniq compare strings));
+  Alcotest.(check bool) "garbage rejected" true
+    (Run.outcome_of_string "gave-up" = None
+    && Run.outcome_of_string "" = None)
+
 let test_poised_at () =
   let config = tiny_config [ 1; 2 ] in
   Alcotest.(check (list int)) "P0 at reg0" [ 0 ] (Config.poised_at config 0);
@@ -122,5 +140,7 @@ let suite =
     Alcotest.test_case "coin range checked" `Quick test_coin_out_of_range;
     test_pure_fast_equivalent;
     Alcotest.test_case "add_proc" `Quick test_add_proc;
+    Alcotest.test_case "outcome string round-trip" `Quick
+      test_outcome_string_round_trip;
     Alcotest.test_case "poised_at" `Quick test_poised_at;
   ]
