@@ -391,6 +391,98 @@ let mc_bench () =
   close_out oc;
   print_endline "\nwrote BENCH_mc.json"
 
+(* --- fuzz throughput: runs/sec and shrink cost per scenario ----------- *)
+
+(* One row per packaged scenario, campaign shrunk-counterexample stats
+   included.  Scenarios with planted bugs (flawed, mutex-naive-flag,
+   lin-collect-counter) are expected to violate; the safe ones bound the
+   fuzzer's false-positive rate at these run counts. *)
+let fuzz_bench_scenarios = [
+    ("flawed", 2000);
+    ("cas-1", 1000);
+    ("mutex-naive-flag", 1000);
+    ("mutex-peterson-2", 1000);
+    ("lin-collect-counter", 400);
+  ]
+
+let fuzz_bench () =
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "scenario";
+          "runs";
+          "seconds";
+          "runs/s";
+          "violations";
+          "orig steps";
+          "shrunk steps";
+          "candidates";
+          "verdict";
+        ]
+  in
+  let json_scenarios =
+    List.map
+      (fun (name, runs) ->
+        let sc =
+          match Fuzz.Scenario.find name with
+          | Ok sc -> sc
+          | Error e ->
+              prerr_endline e;
+              exit 1
+        in
+        let r, secs =
+          wall (fun () -> Fuzz.Campaign.run ~shrink:true ~runs ~seed:1 sc)
+        in
+        let orig, shrunk, candidates =
+          match r.Fuzz.Campaign.first_violation with
+          | None -> (0, 0, 0)
+          | Some cex ->
+              ( Fuzz.Schedule.steps cex.Fuzz.Campaign.original,
+                Fuzz.Schedule.steps cex.Fuzz.Campaign.shrunk,
+                match cex.Fuzz.Campaign.shrink_stats with
+                | Some s -> s.Fuzz.Shrink.candidates
+                | None -> 0 )
+        in
+        Stats.Table.add_row table
+          [
+            name;
+            string_of_int r.Fuzz.Campaign.runs_done;
+            Printf.sprintf "%.3f" secs;
+            Printf.sprintf "%.0f" (float_of_int r.Fuzz.Campaign.runs_done /. secs);
+            string_of_int r.Fuzz.Campaign.violations;
+            string_of_int orig;
+            string_of_int shrunk;
+            string_of_int candidates;
+            Robust.Budget.completeness_to_string r.Fuzz.Campaign.completeness;
+          ];
+        Printf.sprintf
+          {|    { "scenario": %S, "runs": %d, "seconds": %.6f, "runs_per_sec": %.1f, "violations": %d, "steps": %d, "original_steps": %d, "shrunk_steps": %d, "shrink_candidates": %d, "verdict": %S }|}
+          name r.Fuzz.Campaign.runs_done secs
+          (float_of_int r.Fuzz.Campaign.runs_done /. secs)
+          r.Fuzz.Campaign.violations r.Fuzz.Campaign.total_steps orig shrunk
+          candidates
+          (Robust.Budget.completeness_to_string r.Fuzz.Campaign.completeness))
+      fuzz_bench_scenarios
+  in
+  Stats.Table.print table;
+  let json =
+    Printf.sprintf
+      {|{
+  "benchmark": "fuzz campaign throughput",
+  "seed": 1,
+  "scenarios": [
+%s
+  ]
+}
+|}
+      (String.concat ",\n" json_scenarios)
+  in
+  let oc = open_out "BENCH_fuzz.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "\nwrote BENCH_fuzz.json"
+
 let run_bechamel tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -430,6 +522,7 @@ let () =
   let bench_only = List.mem "--bench" args in
   let par_bench_only = List.mem "--par-bench" args in
   let mc_bench_only = List.mem "--mc-bench" args in
+  let fuzz_bench_only = List.mem "--fuzz-bench" args in
   let only =
     let rec find = function
       | "--only" :: id :: _ -> Some id
@@ -454,7 +547,11 @@ let () =
     | None -> f None
     | Some jobs -> Par.with_pool ~jobs (fun pool -> f (Some pool))
   in
-  if mc_bench_only then begin
+  if fuzz_bench_only then begin
+    print_endline "\n=== Fuzz campaign throughput (shrink included) ===\n";
+    fuzz_bench ()
+  end
+  else if mc_bench_only then begin
     print_endline
       "\n=== Transposition table (nodes + wall clock per dedup mode) ===\n";
     mc_bench ()

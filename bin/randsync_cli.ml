@@ -5,6 +5,7 @@
      run       execute one consensus run under a chosen scheduler
      attack    construct a lower-bound counterexample (Lemma 3.2 / 3.6)
      mc        exhaustively model-check a protocol instance
+     fuzz      randomized schedule fuzzing with counterexample shrinking
      classify  print the object-algebra classification table
      sweep     regenerate one experiment table (e1..e8)
 *)
@@ -458,6 +459,118 @@ let mc_cmd =
                  here.  Forces a sequential search.")
       $ jobs_arg)
 
+(* ------------------------------------------------------------------ fuzz *)
+
+let fuzz_cmd =
+  let scenario_arg =
+    let doc =
+      "Scenario: a builtin (flawed, lin-collect-counter, \
+       lin-snapshot-counter, mutex-peterson-2, mutex-naive-flag, \
+       mutex-swap-lock) or any protocol name from `randsync list`."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let run scenario inputs runs seed jobs shrink max_candidates out deadline
+      max_runs =
+    let inputs = Option.map parse_inputs inputs in
+    match Fuzz.Scenario.find ?inputs scenario with
+    | Error e ->
+        prerr_endline e;
+        exit Exit_code.bad_args
+    | Ok sc ->
+        let budget =
+          if deadline = None && max_runs = None then None
+          else Some (Robust.Budget.make ?nodes:max_runs ?deadline ())
+        in
+        let result =
+          with_jobs jobs (fun pool ->
+              Fuzz.Campaign.run ?pool ?budget ~shrink ~max_candidates ~runs
+                ~seed sc)
+        in
+        Fmt.pr "scenario=%s (%s) seed=%d@." result.Fuzz.Campaign.scenario
+          sc.Fuzz.Scenario.describe seed;
+        Fmt.pr "runs=%d done=%d violations=%d steps=%d kinds=%s@."
+          result.Fuzz.Campaign.runs_requested result.Fuzz.Campaign.runs_done
+          result.Fuzz.Campaign.violations result.Fuzz.Campaign.total_steps
+          (String.concat ","
+             (List.map
+                (fun (k, c) ->
+                  Printf.sprintf "%s:%d" (Fuzz.Scenario.kind_name k) c)
+                result.Fuzz.Campaign.kind_counts));
+        Fmt.pr "verdict: %s@."
+          (Robust.Budget.completeness_to_string
+             result.Fuzz.Campaign.completeness);
+        (match result.Fuzz.Campaign.first_violation with
+        | None -> (
+            print_endline "no violation found";
+            match result.Fuzz.Campaign.completeness with
+            | `Truncated _ -> exit Exit_code.truncated
+            | `Exhaustive -> ())
+        | Some cex ->
+            Fmt.pr
+              "VIOLATION (%s): run=%d kind=%s original-steps=%d \
+               shrunk-steps=%d candidates=%d@."
+              (Fuzz.Scenario.violation_to_string cex.Fuzz.Campaign.violation)
+              cex.Fuzz.Campaign.run_index
+              (Fuzz.Scenario.kind_name cex.Fuzz.Campaign.sched_kind)
+              (Fuzz.Schedule.steps cex.Fuzz.Campaign.original)
+              (Fuzz.Schedule.steps cex.Fuzz.Campaign.shrunk)
+              (match cex.Fuzz.Campaign.shrink_stats with
+              | Some s -> s.Fuzz.Shrink.candidates
+              | None -> 0);
+            Fmt.pr "schedule: %a@." Fuzz.Schedule.pp cex.Fuzz.Campaign.shrunk;
+            (match out with
+            | None -> ()
+            | Some path ->
+                Sim.Trace_io.save_text ~path cex.Fuzz.Campaign.artifact;
+                Fmt.pr "counterexample saved to %s@." path);
+            exit Exit_code.violation)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Stress a scenario under weighted adversarial schedules and shrink \
+          any counterexample")
+    Term.(
+      const run $ scenario_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "inputs" ] ~docv:"INPUTS"
+              ~doc:"Consensus inputs (default 0,1); ignored by builtins.")
+      $ Arg.(
+          value
+          & opt int 200
+          & info [ "runs" ] ~docv:"N" ~doc:"Number of stress runs.")
+      $ seed_arg $ jobs_arg
+      $ Arg.(
+          value & flag
+          & info [ "shrink" ]
+              ~doc:
+                "Delta-debug the first failing schedule to a minimal \
+                 replayable counterexample.")
+      $ Arg.(
+          value
+          & opt int 4000
+          & info [ "max-candidates" ] ~docv:"K"
+              ~doc:"Cap on shrink candidate replays.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE"
+              ~doc:
+                "Save the shrunk counterexample: a Trace_io trace for \
+                 consensus/mutex scenarios (inspect with `randsync trace`), \
+                 a fuzz-schedule file for linearizability ones.")
+      $ deadline_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-runs" ] ~docv:"K"
+              ~doc:
+                "Deterministic node budget: admit exactly the first K runs \
+                 (bit-identical under any --jobs), then report truncated."))
+
 (* ----------------------------------------------------------------- trace *)
 
 let trace_cmd =
@@ -519,6 +632,9 @@ let sweep_cmd =
 let main =
   let doc = "Randomized synchronization space-complexity toolkit (Fich-Herlihy-Shavit, PODC'93)" in
   Cmd.group (Cmd.info "randsync" ~doc)
-    [ list_cmd; run_cmd; attack_cmd; mc_cmd; classify_cmd; sweep_cmd; trace_cmd ]
+    [
+      list_cmd; run_cmd; attack_cmd; mc_cmd; fuzz_cmd; classify_cmd; sweep_cmd;
+      trace_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

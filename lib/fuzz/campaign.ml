@@ -1,0 +1,143 @@
+(* Fuzz campaigns: many seeded stress runs of one scenario, optionally
+   fanned out over a [Par] pool, governed by a [Robust.Budget].
+
+   Determinism contract (same as the rest of the repo): identical
+   [~seed]/[~runs]/[~weights] give bit-identical results at any jobs
+   count.  Per-run RNG streams are pre-split with [Rng.split_n], so run i
+   draws the same schedule whether it executes on the caller or on any
+   pool domain; [Par.map] preserves order; the fold over reports is
+   sequential in run-index order; shrinking happens on the caller domain
+   after the parallel phase.  The only budget dimension that can differ
+   between runs is the best-effort deadline, and that is reported via
+   [completeness], never silently.
+
+   Node budget semantics: one fuzz run = one node.  Runs are admitted in
+   fixed-size batches through [Meter.take_nodes]; only the admitted prefix
+   is dispatched, so a node cap truncates at the same run index on every
+   execution.  The shrinker's candidate replays are charged to the step
+   budget. *)
+
+open Sim
+
+type counterexample = {
+  run_index : int;
+  sched_kind : Scenario.sched_kind;
+  violation : Scenario.violation;
+  original : Schedule.t;
+  shrunk : Schedule.t;
+  shrink_stats : Shrink.stats option;  (** [None] when shrinking was off *)
+  artifact : string;
+}
+
+type result = {
+  scenario : string;
+  runs_requested : int;
+  runs_done : int;
+  violations : int;
+  first_violation : counterexample option;
+  kind_counts : (Scenario.sched_kind * int) list;
+  total_steps : int;
+  completeness : Robust.Budget.completeness;
+}
+
+let run ?pool ?(budget = Robust.Budget.unlimited)
+    ?(weights = Scenario.default_weights) ?(shrink = true)
+    ?(max_candidates = 4000) ?(batch = 32) ~runs ~seed (sc : Scenario.t) =
+  let rngs = Rng.split_n (Rng.create seed) runs in
+  let meter = Robust.Budget.Meter.create budget in
+  let runs_done = ref 0 in
+  let violations = ref 0 in
+  let total_steps = ref 0 in
+  let first : (int * Scenario.sched_kind * Scenario.run_report) option ref =
+    ref None
+  in
+  let counts = Hashtbl.create 4 in
+  let bump kind =
+    Hashtbl.replace counts kind (1 + Option.value ~default:0 (Hashtbl.find_opt counts kind))
+  in
+  let batch = max 1 batch in
+  let start = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !start < runs do
+    let want = min batch (runs - !start) in
+    let admitted = Robust.Budget.Meter.take_nodes meter want in
+    if admitted < want then stop := true;
+    if admitted > 0 then begin
+      let indices = List.init admitted (fun i -> !start + i) in
+      let reports =
+        Par.map ?pool
+          (fun i ->
+            let rng = rngs.(i) in
+            let kind = Scenario.pick_kind weights rng in
+            (i, kind, sc.Scenario.gen rng kind))
+          indices
+      in
+      List.iter
+        (fun (i, kind, (report : Scenario.run_report)) ->
+          incr runs_done;
+          bump kind;
+          total_steps := !total_steps + report.Scenario.steps;
+          match report.Scenario.violation with
+          | None -> ()
+          | Some _ ->
+              incr violations;
+              if !first = None then first := Some (i, kind, report))
+        reports
+    end;
+    start := !start + admitted
+  done;
+  (* The campaign meter latches once tripped (e.g. on a node cap), which
+     would starve the shrinker of step ticks; shrinking gets a fresh meter
+     over the same budget — the deadline is an absolute instant, so the
+     wall-clock horizon stays shared — and its trips are merged below. *)
+  let shrink_meter = Robust.Budget.Meter.create budget in
+  let first_violation =
+    match !first with
+    | None -> None
+    | Some (run_index, sched_kind, report) ->
+        let violation = Option.get report.Scenario.violation in
+        let original = report.Scenario.schedule in
+        let shrunk, shrink_stats =
+          if shrink then
+            let s, st =
+              Shrink.minimize ~max_candidates ~meter:shrink_meter
+                ~replay:sc.Scenario.replay ~target:violation original
+            in
+            (s, Some st)
+          else (original, None)
+        in
+        Some
+          {
+            run_index;
+            sched_kind;
+            violation;
+            original;
+            shrunk;
+            shrink_stats;
+            artifact = sc.Scenario.artifact shrunk;
+          }
+  in
+  let of_trip m =
+    match Robust.Budget.Meter.tripped m with
+    | Some reason -> `Truncated reason
+    | None -> `Exhaustive
+  in
+  let completeness =
+    Robust.Budget.merge (of_trip meter) (of_trip shrink_meter)
+  in
+  {
+    scenario = sc.Scenario.name;
+    runs_requested = runs;
+    runs_done = !runs_done;
+    violations = !violations;
+    first_violation;
+    kind_counts =
+      List.filter_map
+        (fun k ->
+          match Hashtbl.find_opt counts k with
+          | Some c -> Some (k, c)
+          | None -> None)
+        Scenario.all_kinds;
+    total_steps = !total_steps;
+    completeness;
+  }

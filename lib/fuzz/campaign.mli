@@ -1,0 +1,49 @@
+(** Fuzz campaigns: many seeded stress runs of one scenario, optionally
+    fanned out over a {!Par} pool, governed by a {!Robust.Budget}.
+
+    Determinism contract: identical [seed]/[runs]/[weights] give
+    bit-identical results at any jobs count — per-run RNG streams are
+    pre-split with {!Sim.Rng.split_n}, {!Par.map} preserves order, the
+    report fold is sequential in run-index order, and shrinking runs on
+    the caller domain.  The only budget dimension that can vary between
+    executions is the best-effort deadline, reported via
+    {!field:completeness}, never silently.
+
+    Budget semantics: one fuzz run = one node, admitted in fixed-size
+    batches through {!Robust.Budget.Meter.take_nodes} (a node cap
+    truncates at the same run index on every execution); the shrinker's
+    candidate replays are charged to the step budget on a fresh meter so
+    a tripped node cap does not starve shrinking. *)
+
+type counterexample = {
+  run_index : int;
+  sched_kind : Scenario.sched_kind;
+  violation : Scenario.violation;
+  original : Schedule.t;
+  shrunk : Schedule.t;  (** equals [original] when shrinking was off *)
+  shrink_stats : Shrink.stats option;  (** [None] when shrinking was off *)
+  artifact : string;  (** serialized witness, see {!Scenario.t.artifact} *)
+}
+
+type result = {
+  scenario : string;
+  runs_requested : int;
+  runs_done : int;  (** [< runs_requested] only under budget truncation *)
+  violations : int;
+  first_violation : counterexample option;
+  kind_counts : (Scenario.sched_kind * int) list;
+  total_steps : int;  (** scheduler steps across all runs *)
+  completeness : Robust.Budget.completeness;
+}
+
+val run :
+  ?pool:Par.Pool.t ->
+  ?budget:Robust.Budget.t ->
+  ?weights:(Scenario.sched_kind * float) list ->
+  ?shrink:bool ->
+  ?max_candidates:int ->
+  ?batch:int ->
+  runs:int ->
+  seed:int ->
+  Scenario.t ->
+  result

@@ -1,0 +1,256 @@
+(* Fuzzable scenarios: a uniform face over the three workload families the
+   repo simulates — consensus protocols (agreement/validity via
+   [Sim.Checker]), mutual exclusion (occupancy invariant), and object
+   implementations (linearizability via [Objimpl.Linearize]).
+
+   Each scenario knows how to (a) run once under a randomly drawn
+   adversarial schedule, recording the schedule it used, and (b) replay
+   any schedule deterministically and judge it.  The shrinker only ever
+   talks to [replay], so shrink soundness — a shrunk schedule still
+   witnesses the same violation — holds by construction: candidates are
+   accepted only when their own replay reproduces the violation kind. *)
+
+open Sim
+
+type violation = Inconsistent | Invalid | Not_linearizable | Exclusion
+
+let violation_to_string = function
+  | Inconsistent -> "inconsistent"
+  | Invalid -> "invalid"
+  | Not_linearizable -> "not-linearizable"
+  | Exclusion -> "exclusion"
+
+(* The weighted adversarial schedule families.  [Crashing] degrades to
+   [Uniform] for scenarios without crash machinery (the linearizability
+   harness). *)
+type sched_kind = Uniform | Starving | Crashing
+
+let all_kinds = [ Uniform; Starving; Crashing ]
+
+let kind_name = function
+  | Uniform -> "uniform"
+  | Starving -> "starve"
+  | Crashing -> "crash"
+
+let default_weights = [ (Uniform, 0.5); (Starving, 0.25); (Crashing, 0.25) ]
+
+let pick_kind weights rng =
+  let total = List.fold_left (fun acc (_, w) -> acc +. Float.max 0. w) 0. weights in
+  if total <= 0. then Uniform
+  else
+    let r = Rng.float rng *. total in
+    let rec go acc = function
+      | [] -> Uniform
+      | (k, w) :: rest ->
+          let acc = acc +. Float.max 0. w in
+          if r < acc then k else go acc rest
+    in
+    go 0. weights
+
+type run_report = {
+  schedule : Schedule.t;
+  violation : violation option;
+  steps : int;
+}
+
+type t = {
+  name : string;
+  describe : string;
+  gen : Rng.t -> sched_kind -> run_report;
+  replay : Schedule.t -> violation option;
+  artifact : Schedule.t -> string;
+}
+
+let seed_of rng = 1 + Rng.int rng 0x3FFFFFFF
+
+(* ---- consensus ---------------------------------------------------- *)
+
+let consensus_verdict ~inputs config =
+  let v = Checker.of_config ~inputs config in
+  if not v.Checker.consistent then Some Inconsistent
+  else if not v.Checker.valid then Some Invalid
+  else None
+
+(* random crash injection: up to n-1 crash points early in the run, so
+   decided survivors still owe agreement *)
+let gen_crashes rng ~n =
+  let count = 1 + Rng.int rng (max 1 (n - 1)) in
+  List.init count (fun _ -> (Rng.int rng 64, Rng.int rng n))
+
+let config_run config ~inputs:_ ~max_steps rng kind =
+  let seed = seed_of rng in
+  let n = Config.n_procs config in
+  match kind with
+  | Uniform -> Run.exec_fast ~max_steps (Sched.random ~seed) config
+  | Starving ->
+      let victim = Rng.int rng n in
+      Run.exec_fast ~max_steps (Sched.starving ~victim ~seed) config
+  | Crashing ->
+      let crashes = gen_crashes rng ~n in
+      Run.exec_with_crashes ~max_steps ~crashes (Sched.random ~seed) config
+
+let consensus ?(inputs = [ 0; 1 ]) ?(max_steps = 4096) (p : Consensus.Protocol.t)
+    =
+  let initial () = Consensus.Protocol.initial_config p ~inputs in
+  let judge (result : int Run.result) =
+    consensus_verdict ~inputs result.Run.config
+  in
+  let replay_result schedule =
+    Run.exec_script ~max_steps ~script:schedule (initial ())
+  in
+  {
+    name = p.Consensus.Protocol.name;
+    describe =
+      Printf.sprintf "consensus %s inputs=%s" p.Consensus.Protocol.name
+        (String.concat "," (List.map string_of_int inputs));
+    gen =
+      (fun rng kind ->
+        let result = config_run (initial ()) ~inputs ~max_steps rng kind in
+        {
+          schedule = Schedule.of_trace result.Run.trace;
+          violation = judge result;
+          steps = result.Run.steps;
+        });
+    replay = (fun schedule -> judge (replay_result schedule));
+    artifact =
+      (fun schedule ->
+        Trace_io.to_text_int (replay_result schedule).Run.trace ^ "\n");
+  }
+
+(* ---- mutual exclusion --------------------------------------------- *)
+
+(* The occupancy invariant, recomputed from a trace: ENTER/LEAVE on the
+   instrumented counter bracket the critical section, so two processes
+   inside at once show up as occupancy 2 at some prefix. *)
+let exclusion_violated ~cs_obj trace =
+  let enter = Mutex.enter.Op.name and leave = Mutex.leave.Op.name in
+  let rec go occ = function
+    | [] -> false
+    | Event.Applied { obj; op; _ } :: rest when obj = cs_obj ->
+        if op.Op.name = enter then occ + 1 >= 2 || go (occ + 1) rest
+        else if op.Op.name = leave then go (max 0 (occ - 1)) rest
+        else go occ rest
+    | _ :: rest -> go occ rest
+  in
+  go 0 (Trace.events trace)
+
+let mutex ?(n = 2) ?(max_steps = 512) (m : Mutex.t) =
+  let initial () =
+    Config.make ~optypes:(m.Mutex.optypes ~n)
+      ~procs:(List.init n (fun pid -> m.Mutex.code ~n ~pid))
+  in
+  let judge (result : int Run.result) =
+    if exclusion_violated ~cs_obj:m.Mutex.cs_obj result.Run.trace then
+      Some Exclusion
+    else None
+  in
+  let replay_result schedule =
+    Run.exec_script ~max_steps ~script:schedule (initial ())
+  in
+  {
+    name = Printf.sprintf "mutex-%s" m.Mutex.name;
+    describe = Printf.sprintf "mutex %s n=%d" m.Mutex.name n;
+    gen =
+      (fun rng kind ->
+        let result = config_run (initial ()) ~inputs:[] ~max_steps rng kind in
+        {
+          schedule = Schedule.of_trace result.Run.trace;
+          violation = judge result;
+          steps = result.Run.steps;
+        });
+    replay = (fun schedule -> judge (replay_result schedule));
+    artifact =
+      (fun schedule ->
+        Trace_io.to_text_int (replay_result schedule).Run.trace ^ "\n");
+  }
+
+(* ---- linearizability ----------------------------------------------- *)
+
+(* Implementations are driven through [Objimpl.Harness] with a *fixed*
+   workload and a fuzzer-chosen pid schedule, so the schedule alone
+   determines the run (Fixed schedules resolve coins from a pinned seed).
+   Crash injection does not exist in the harness; [Crashing] degrades to
+   [Uniform]. *)
+let lin ~name ?(n = 3) ?(len = 160) ?(max_steps = 10_000) impl ~workload =
+  let pids_of schedule =
+    List.filter_map
+      (function `Step (pid, _) -> Some pid | `Crash _ -> None)
+      schedule
+  in
+  let judge pids =
+    let _outcome, verdict =
+      Objimpl.Harness.run_and_check impl ~n ~workload
+        ~schedule:(Objimpl.Harness.Fixed pids) ~max_steps ()
+    in
+    match verdict with
+    | Objimpl.Linearize.Not_linearizable -> Some Not_linearizable
+    | Objimpl.Linearize.Linearizable _ | Objimpl.Linearize.Unknown -> None
+  in
+  let gen_pids rng kind =
+    match kind with
+    | Uniform | Crashing -> List.init len (fun _ -> Rng.int rng n)
+    | Starving ->
+        let victim = Rng.int rng n in
+        List.init len (fun _ ->
+            if n > 1 && Rng.int rng 8 < 7 then
+              (victim + 1 + Rng.int rng (n - 1)) mod n
+            else victim)
+  in
+  {
+    name;
+    describe =
+      Printf.sprintf "linearizability %s n=%d calls=%d" impl.Objimpl.Implementation.name
+        n
+        (List.fold_left (fun acc (_, ops) -> acc + List.length ops) 0 workload);
+    gen =
+      (fun rng kind ->
+        let pids = gen_pids rng kind in
+        {
+          schedule = List.map (fun pid -> `Step (pid, None)) pids;
+          violation = judge pids;
+          steps = List.length pids;
+        });
+    replay = (fun schedule -> judge (pids_of schedule));
+    artifact = (fun schedule -> Schedule.to_text schedule);
+  }
+
+(* ---- the packaged scenario table ----------------------------------- *)
+
+let counter_workload =
+  (* increments and decrements racing a reader — the mix under which the
+     single-collect counter is not linearizable (Corollary 4.3): a dec
+     landing inside a reader's collect window makes the reader return a
+     value the counter never held *)
+  [
+    (0, [ Objects.Counter.inc ]);
+    (1, [ Objects.Counter.read; Objects.Counter.dec ]);
+    (2, [ Objects.Counter.read ]);
+  ]
+
+let builtins =
+  [
+    (* the canonical planted bug: the textbook broken register consensus *)
+    consensus ~inputs:[ 0; 1 ] (Consensus.Flawed.first_writer ~r:1)
+    |> (fun s -> { s with name = "flawed" });
+    lin ~name:"lin-collect-counter" Objimpl.Counters.collect
+      ~workload:counter_workload;
+    lin ~name:"lin-snapshot-counter" Objimpl.Counters.snapshot
+      ~workload:counter_workload;
+    mutex ~n:2 Mutex.peterson;
+    mutex ~n:2 Mutex.naive_flag;
+    mutex ~n:3 Mutex.tas_lock;
+  ]
+
+let find ?inputs name =
+  match List.find_opt (fun s -> s.name = name) builtins with
+  | Some s -> Ok s
+  | None -> (
+      match Consensus.Registry.find name with
+      | Some p -> Ok (consensus ?inputs p)
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown scenario %S (builtins: %s; or any protocol from \
+                `randsync list`)"
+               name
+               (String.concat ", " (List.map (fun s -> s.name) builtins))))

@@ -1,0 +1,69 @@
+(** Fuzzable scenarios: a uniform face over the three workload families
+    the repo simulates — consensus (agreement/validity via
+    {!Sim.Checker}), mutual exclusion (occupancy invariant), and object
+    implementations (linearizability via {!Objimpl.Linearize}).
+
+    Each scenario can run once under a freshly drawn adversarial schedule
+    (recording the schedule it used) and can replay any schedule
+    deterministically and judge it.  The shrinker only ever calls
+    {!field:replay}, so shrink soundness holds by construction. *)
+
+open Sim
+
+type violation = Inconsistent | Invalid | Not_linearizable | Exclusion
+
+val violation_to_string : violation -> string
+
+(** Adversarial schedule families drawn per run.  [Crashing] degrades to
+    [Uniform] for scenarios without crash machinery. *)
+type sched_kind = Uniform | Starving | Crashing
+
+val all_kinds : sched_kind list
+val kind_name : sched_kind -> string
+
+(** uniform 0.5, starve 0.25, crash 0.25 *)
+val default_weights : (sched_kind * float) list
+
+val pick_kind : (sched_kind * float) list -> Rng.t -> sched_kind
+
+type run_report = {
+  schedule : Schedule.t;
+  violation : violation option;
+  steps : int;
+}
+
+type t = {
+  name : string;
+  describe : string;
+  gen : Rng.t -> sched_kind -> run_report;
+      (** one stress run under a schedule drawn from [rng] *)
+  replay : Schedule.t -> violation option;
+      (** deterministic; the shrinker's oracle *)
+  artifact : Schedule.t -> string;
+      (** serialized counterexample: a {!Sim.Trace_io} trace for
+          consensus/mutex scenarios, a {!Schedule} text for
+          linearizability ones *)
+}
+
+val consensus :
+  ?inputs:int list -> ?max_steps:int -> Consensus.Protocol.t -> t
+
+val mutex : ?n:int -> ?max_steps:int -> Mutex.t -> t
+
+val lin :
+  name:string ->
+  ?n:int ->
+  ?len:int ->
+  ?max_steps:int ->
+  Objimpl.Implementation.t ->
+  workload:(int * Op.t list) list ->
+  t
+
+(** The packaged table: ["flawed"] (the planted broken register
+    consensus), [lin-collect-counter], [lin-snapshot-counter],
+    [mutex-peterson-2], [mutex-naive-flag], [mutex-swap-lock]. *)
+val builtins : t list
+
+(** Builtins first, then any protocol name from {!Consensus.Registry}
+    (with [inputs], default [[0; 1]]). *)
+val find : ?inputs:int list -> string -> (t, string) result

@@ -1,0 +1,149 @@
+(* Counterexample shrinking by delta debugging.
+
+   The oracle is a replay function; a candidate schedule is accepted only
+   if its own replay reproduces the *same* violation kind as the original
+   (shrink soundness: every intermediate, and hence the final minimum, is
+   itself a witness).  Replay is total — [Sim.Run.exec_script] skips
+   entries whose process is disabled — so arbitrary deletions are safe to
+   try.
+
+   Passes, repeated to a fixpoint:
+     1. drop-suffix    — binary-search the shortest violating prefix
+     2. drop-process   — remove every entry of one pid at a time
+     3. ddmin chunks   — classic delta debugging: remove sublists at
+                         halving granularity down to single entries
+     4. zero-coins     — canonicalize recorded coin outcomes to 0
+
+   Deterministic: no randomness, candidate order is a function of the
+   input alone.  Budgeted: each candidate replay ticks the meter's step
+   counter once; when the budget trips, the best schedule found so far is
+   returned with [`Truncated]. *)
+
+type stats = {
+  candidates : int;  (** replays attempted *)
+  accepted : int;  (** replays that still violated, shrinking the witness *)
+  completeness : Robust.Budget.completeness;
+}
+
+exception Out_of_budget
+
+let remove_range l start len =
+  List.filteri (fun i _ -> i < start || i >= start + len) l
+
+let minimize ?(max_candidates = 4000) ?meter ~replay ~target schedule =
+  let candidates = ref 0 in
+  let accepted = ref 0 in
+  let truncated = ref None in
+  let try_candidate cand =
+    if !candidates >= max_candidates then begin
+      if !truncated = None then truncated := Some `Steps;
+      raise Out_of_budget
+    end;
+    (match meter with
+    | Some m -> (
+        match Robust.Budget.Meter.tick_step m with
+        | Some reason ->
+            truncated := Some reason;
+            raise Out_of_budget
+        | None -> ())
+    | None -> ());
+    incr candidates;
+    let ok = replay cand = Some target in
+    if ok then incr accepted;
+    ok
+  in
+  (* 1. shortest violating prefix, by binary search: the largest suffix
+     drop that keeps the violation *)
+  let drop_suffix sched =
+    let rec go sched =
+      let n = List.length sched in
+      let rec try_cut cut =
+        if cut = 0 then None
+        else
+          let cand = List.filteri (fun i _ -> i < n - cut) sched in
+          if try_candidate cand then Some cand else try_cut (cut / 2)
+      in
+      match try_cut (List.length sched / 2) with
+      | Some cand -> go cand
+      | None -> sched
+    in
+    go sched
+  in
+  (* 2. drop all entries of one process *)
+  let drop_process sched =
+    List.fold_left
+      (fun sched pid ->
+        if List.length (Schedule.pids sched) <= 1 then sched
+        else
+          let cand =
+            List.filter
+              (function
+                | `Step (p, _) -> p <> pid
+                | `Crash p -> p <> pid)
+              sched
+          in
+          if cand <> sched && try_candidate cand then cand else sched)
+      sched (Schedule.pids sched)
+  in
+  (* 3. ddmin: remove chunks at halving granularity *)
+  let ddmin sched =
+    let rec go sched chunk =
+      if chunk = 0 || List.length sched <= 1 then sched
+      else
+        let n = List.length sched in
+        let rec scan sched start =
+          if start >= List.length sched then sched
+          else
+            let cand =
+              remove_range sched start (min chunk (List.length sched - start))
+            in
+            if try_candidate cand then scan cand start
+            else scan sched (start + chunk)
+        in
+        let sched' = scan sched 0 in
+        if List.length sched' < n then go sched' chunk else go sched' (chunk / 2)
+    in
+    go sched (List.length sched / 2)
+  in
+  (* 4. canonicalize coins: prefer outcome 0 so minimal witnesses look
+     alike across seeds *)
+  let zero_coins sched =
+    let flips =
+      List.filteri
+        (fun _ e -> match e with `Step (_, Some c) -> c <> 0 | _ -> false)
+        sched
+      |> List.length
+    in
+    if flips = 0 then sched
+    else
+      let rec go sched i =
+        if i >= List.length sched then sched
+        else
+          match List.nth sched i with
+          | `Step (pid, Some c) when c <> 0 ->
+              let cand =
+                List.mapi
+                  (fun j e -> if j = i then `Step (pid, Some 0) else e)
+                  sched
+              in
+              if try_candidate cand then go cand (i + 1) else go sched (i + 1)
+          | _ -> go sched (i + 1)
+      in
+      go sched 0
+  in
+  let best = ref schedule in
+  (try
+     let rec fixpoint sched =
+       best := sched;
+       let sched' = zero_coins (ddmin (drop_process (drop_suffix sched))) in
+       best := sched';
+       if List.length sched' < List.length sched then fixpoint sched'
+     in
+     fixpoint schedule
+   with Out_of_budget -> ());
+  let completeness =
+    match !truncated with
+    | Some reason -> `Truncated reason
+    | None -> `Exhaustive
+  in
+  (!best, { candidates = !candidates; accepted = !accepted; completeness })

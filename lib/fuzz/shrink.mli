@@ -1,0 +1,29 @@
+(** Counterexample shrinking by delta debugging.
+
+    [minimize ~replay ~target schedule] reduces a violating schedule to a
+    (locally) minimal one whose replay still yields [Some target] — the
+    same violation kind, so every intermediate is itself a witness
+    (shrink soundness).  Passes run to a fixpoint: drop-suffix (binary
+    search for the shortest violating prefix), drop-process, ddmin chunk
+    removal, and coin canonicalization (recorded outcomes rewritten to 0
+    where the violation survives).
+
+    Deterministic: candidate order is a function of the input schedule
+    alone; identical inputs give identical minima.  Budgeted: each
+    candidate replay counts against [max_candidates] (default 4000) and
+    ticks [meter]'s step counter; on exhaustion the best schedule found
+    so far is returned with [`Truncated]. *)
+
+type stats = {
+  candidates : int;  (** replays attempted *)
+  accepted : int;  (** replays that still violated, shrinking the witness *)
+  completeness : Robust.Budget.completeness;
+}
+
+val minimize :
+  ?max_candidates:int ->
+  ?meter:Robust.Budget.Meter.t ->
+  replay:(Schedule.t -> 'v option) ->
+  target:'v ->
+  Schedule.t ->
+  Schedule.t * stats

@@ -25,7 +25,7 @@ type slot = {
   mutable remaining : Op.t list;
 }
 
-let run (impl : Implementation.t) ~n ~workload ~schedule
+let run (impl : Implementation.t) ~n ~workload ~schedule ?(coin_seed = 0)
     ?(max_steps = 100_000) () =
   let optypes = Array.of_list (impl.Implementation.base ~n) in
   let objects = Array.map (fun (ot : Optype.t) -> ot.Optype.init) optypes in
@@ -40,8 +40,13 @@ let run (impl : Implementation.t) ~n ~workload ~schedule
   in
   let history = ref [] in
   let next_call_id = ref 0 in
+  (* [Fixed] schedules resolve internal coin flips from [coin_seed]
+     (default 0), so a fixed pid list is a complete, replayable record of
+     the run — the property the fuzzer's shrinker relies on. *)
   let rng =
-    match schedule with Random_sched seed -> Rng.create seed | Fixed _ -> Rng.create 0
+    match schedule with
+    | Random_sched seed -> Rng.create seed
+    | Fixed _ -> Rng.create coin_seed
   in
   let fixed = ref (match schedule with Fixed pids -> pids | Random_sched _ -> []) in
   (* start the next call of [pid] if idle and work remains *)
@@ -123,8 +128,8 @@ let run (impl : Implementation.t) ~n ~workload ~schedule
 
 (** Run and check in one go: the verdict of {!Linearize.check} on the
     recorded history (complete calls only). *)
-let run_and_check impl ~n ~workload ~schedule ?max_steps () =
-  let outcome = run impl ~n ~workload ~schedule ?max_steps () in
+let run_and_check impl ~n ~workload ~schedule ?coin_seed ?max_steps () =
+  let outcome = run impl ~n ~workload ~schedule ?coin_seed ?max_steps () in
   (outcome, Linearize.check impl.Implementation.spec outcome.history)
 
 (** A random mixed workload: [calls] operations per process drawn from

@@ -13,12 +13,16 @@ type schedule = Random_sched of int  (** seed *) | Fixed of int list
 
 (** [run impl ~n ~workload ~schedule ()] interleaves the base-object steps
     of the per-process planned calls ([workload]: pid to operation list)
-    under the schedule. *)
+    under the schedule.  [Fixed] schedules resolve internal coin flips
+    from [coin_seed] (default 0), so a fixed pid list is a complete,
+    replayable record of the run; [coin_seed] is ignored for
+    [Random_sched]. *)
 val run :
   Implementation.t ->
   n:int ->
   workload:(int * Op.t list) list ->
   schedule:schedule ->
+  ?coin_seed:int ->
   ?max_steps:int ->
   unit ->
   outcome
@@ -28,6 +32,7 @@ val run_and_check :
   n:int ->
   workload:(int * Op.t list) list ->
   schedule:schedule ->
+  ?coin_seed:int ->
   ?max_steps:int ->
   unit ->
   outcome * Linearize.verdict

@@ -120,6 +120,18 @@ module Meter = struct
                   t.steps <- t.steps + 1;
                   None))
 
+  (* Batch admission: account up to [k] nodes, stopping at the first
+     trip.  Campaign-shaped workloads (the fuzzer) admit a whole batch of
+     independent tasks with one call, dispatch exactly the admitted
+     prefix, and keep the truncation point as deterministic as the
+     underlying per-tick checks. *)
+  let take_nodes t k =
+    let rec go i =
+      if i >= k then k
+      else match tick_node t with None -> go (i + 1) | Some _ -> i
+    in
+    go 0
+
   let guard_node t =
     match tick_node t with None -> () | Some r -> raise (Exhausted r)
 

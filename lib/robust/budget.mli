@@ -105,6 +105,12 @@ module Meter : sig
   (** Same contract for scheduler/solo steps. *)
   val tick_step : t -> reason option
 
+  (** [take_nodes m k] accounts up to [k] nodes and returns how many were
+      admitted before the budget tripped (so [< k] means the meter is now
+      tripped).  Batch admission for campaign-shaped workloads: admit a
+      batch, dispatch exactly the admitted prefix. *)
+  val take_nodes : t -> int -> int
+
   (** [tick_node]/[tick_step] variants that raise {!Exhausted}. *)
   val guard_node : t -> unit
 

@@ -192,6 +192,48 @@ let exec_with_crashes ?(max_steps = 100_000) ~crashes (sched : 'a Sched.t)
   | Some o -> finish config !rev_trace !steps o
   | None -> assert false
 
+(** Deterministically replay a recorded schedule script (see [Fuzz.Schedule]
+    for the recording side).  Each element either crashes a process
+    ([`Crash pid], a no-op when the pid is out of range or already
+    disabled) or steps one ([`Step (pid, coin)]), where [coin] supplies
+    the outcome if the process is poised at an internal flip — [None] or
+    an out-of-range outcome falls back to 0, so a script spliced by the
+    shrinker can never desynchronize the replay into an error.  Elements
+    whose pid is disabled are skipped rather than rejected: deleting
+    earlier script elements may change who is still enabled, and total
+    replays are exactly what makes delta-debugging candidates cheap to
+    evaluate. *)
+let exec_script ?(max_steps = 100_000) ~script (config : 'a Config.t) =
+  let config = Config.copy config in
+  let n = Config.n_procs config in
+  let rev_trace = ref [] in
+  let steps = ref 0 in
+  let rec go script =
+    if Config.all_decided config then All_decided
+    else if !steps >= max_steps then Max_steps
+    else
+      match script with
+      | [] -> Scheduler_stopped
+      | `Crash pid :: rest ->
+          if pid >= 0 && pid < n && Config.is_enabled config pid then begin
+            config.Config.halted.(pid) <- true;
+            rev_trace := Event.Halted { pid } :: !rev_trace
+          end;
+          go rest
+      | `Step (pid, coin) :: rest ->
+          if pid >= 0 && pid < n && Config.is_enabled config pid then begin
+            let coin k =
+              match coin with Some c when c >= 0 && c < k -> c | _ -> 0
+            in
+            let events = step_inplace config ~pid ~coin in
+            rev_trace := List.rev_append events !rev_trace;
+            incr steps
+          end;
+          go rest
+  in
+  let outcome = go script in
+  finish config !rev_trace !steps outcome
+
 (** Run process [pid] solo with explicitly given coin outcomes; stops when
     the process decides, the coins run out, or [max_steps] is reached.
     Returns the final configuration, trace, and unused coins.  This is the

@@ -54,6 +54,21 @@ val exec_with_crashes :
   'a Config.t ->
   'a result
 
+(** Deterministically replay a recorded schedule script.  [`Crash pid]
+    halts a process (skipped when out of range or already disabled);
+    [`Step (pid, coin)] steps one, with [coin] supplying the outcome if
+    the process is poised at an internal flip ([None] or an out-of-range
+    outcome falls back to 0).  Elements whose pid is disabled are skipped,
+    so {e any} script replays to completion — the property the fuzzer's
+    shrinker relies on (deleting elements can deactivate later ones but
+    never wedge the replay).  Stops at [All_decided] as soon as every
+    process has decided; an exhausted script is [Scheduler_stopped]. *)
+val exec_script :
+  ?max_steps:int ->
+  script:[ `Step of int * int option | `Crash of int ] list ->
+  'a Config.t ->
+  'a result
+
 (** Run [pid] solo with the given coin outcomes until it decides, runs out
     of coins at a flip, or [max_steps] is reached.  Returns final
     configuration, trace, and unused coins. *)

@@ -69,6 +69,26 @@ let replay ~pids ~seed =
   in
   { name = "replay"; choose; coin = fair_coin rng }
 
+(** Starve [victim]: schedule uniformly among the {e other} enabled
+    processes, letting the victim move only when nobody else can.  The
+    classic adversary against protocols that implicitly assume every
+    process keeps pace; the fuzzer's process-starving schedule family. *)
+let starving ~victim ~seed =
+  let rng = Rng.create seed in
+  let choose config ~step:_ =
+    let others =
+      List.filter (fun pid -> pid <> victim) (Config.enabled_pids config)
+    in
+    match others with
+    | [] -> if Config.is_enabled config victim then Some victim else None
+    | pids -> Some (List.nth pids (Rng.int rng (List.length pids)))
+  in
+  {
+    name = Printf.sprintf "starving(P%d)" victim;
+    choose;
+    coin = fair_coin rng;
+  }
+
 (** An adaptive adversary built from a user decision function. *)
 let adaptive ~name ~seed f =
   let rng = Rng.create seed in

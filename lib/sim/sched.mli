@@ -23,6 +23,10 @@ val solo : pid:int -> seed:int -> 'a t
     then stop. *)
 val replay : pids:int list -> seed:int -> 'a t
 
+(** Starve [victim]: uniformly random among the other enabled processes;
+    the victim moves only when nobody else can.  Fair coins. *)
+val starving : victim:int -> seed:int -> 'a t
+
 (** An adaptive adversary from a decision function. *)
 val adaptive :
   name:string ->

@@ -46,14 +46,14 @@ let test_codec_rejects_malformed () =
   let valid = Mc.Checkpoint.to_text ~scenario:"s" Mc.Checkpoint.empty in
   expect_parse_error "empty" "";
   expect_parse_error "wrong version"
-    (Astring_contains.replace_first ~sub:"v1" ~by:"v9" valid);
+    (Test_util.replace_first ~sub:"v1" ~by:"v9" valid);
   expect_parse_error "bad reason"
-    (Astring_contains.replace_first ~sub:"reason -" ~by:"reason zeal" valid);
+    (Test_util.replace_first ~sub:"reason -" ~by:"reason zeal" valid);
   expect_parse_error "truncated file" "randsync-checkpoint v1\nscenario s";
   expect_parse_error "bad path element"
-    (Astring_contains.replace_first ~sub:"path " ~by:"path 1:2:3 " valid);
+    (Test_util.replace_first ~sub:"path " ~by:"path 1:2:3 " valid);
   expect_parse_error "bad integer"
-    (Astring_contains.replace_first ~sub:"visited 0" ~by:"visited x" valid);
+    (Test_util.replace_first ~sub:"visited 0" ~by:"visited x" valid);
   (* a scenario with a newline would corrupt the line format: refused at
      write time, not quietly split *)
   match Mc.Checkpoint.to_text ~scenario:"a\nb" Mc.Checkpoint.empty with
@@ -77,6 +77,55 @@ let test_save_load_atomic () =
       let _, s'' = Mc.Checkpoint.load ~path in
       Alcotest.(check int) "overwritten" 43 s''.Mc.Checkpoint.visited;
       Alcotest.(check bool) "no tmp litter" false (Sys.file_exists (path ^ ".tmp")))
+
+(* file-level negative paths: a damaged checkpoint file must fail loudly
+   at load, with the offending content named — never parse into a wrong
+   resume cursor *)
+let test_load_rejects_damaged_files () =
+  let path = Filename.temp_file "randsync-ckpt" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let s = { Mc.Checkpoint.empty with visited = 99; path = [ (1, 0); (0, 2) ] } in
+      Mc.Checkpoint.save ~path ~scenario:"sc" s;
+      let valid = Sim.Trace_io.load_text ~path in
+      let expect_load_error name text =
+        Sim.Trace_io.save_text ~path text;
+        match Mc.Checkpoint.load ~path with
+        | exception Sim.Trace_io.Parse_error msg ->
+            Alcotest.(check bool)
+              (name ^ ": error names the problem")
+              true (String.length msg > 0)
+        | scenario, s' ->
+            Alcotest.failf "%s: silently loaded scenario=%s visited=%d" name
+              scenario s'.Mc.Checkpoint.visited
+      in
+      (* corrupt: random bytes where the header should be *)
+      expect_load_error "corrupt file" "\x00\xffgarbage\nnot a checkpoint\n";
+      (* truncated: the first half of a valid file, cut mid-line *)
+      expect_load_error "truncated file"
+        (String.sub valid 0 (String.length valid / 2));
+      (* a single flipped digit inside a counter field *)
+      expect_load_error "corrupt counter"
+        (Test_util.replace_first ~sub:"visited 99" ~by:"visited 9g" valid);
+      (* the original still loads after all that overwriting *)
+      Sim.Trace_io.save_text ~path valid;
+      let scenario', s' = Mc.Checkpoint.load ~path in
+      Alcotest.(check string) "pristine file still loads" "sc" scenario';
+      Alcotest.check state "pristine state intact" s s')
+
+(* the scenario stamp is what the CLI matches before resuming; a stamp for
+   a different search must come back verbatim, not normalized into an
+   accidental match (the CLI-level refusal is covered in test_cli) *)
+let test_scenario_stamp_verbatim () =
+  let path = Filename.temp_file "randsync-ckpt" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let stamp = "mc protocol=cas-1 inputs=0,1 depth=40 max-states=5 dedup=off" in
+      Mc.Checkpoint.save ~path ~scenario:stamp Mc.Checkpoint.empty;
+      let scenario', _ = Mc.Checkpoint.load ~path in
+      Alcotest.(check string) "stamp round-trips byte for byte" stamp scenario')
 
 (* ---- resume = uninterrupted (the tentpole pin) ---- *)
 
@@ -193,6 +242,10 @@ let suite =
     Alcotest.test_case "codec rejects malformed" `Quick
       test_codec_rejects_malformed;
     Alcotest.test_case "save/load atomic" `Quick test_save_load_atomic;
+    Alcotest.test_case "load rejects damaged files" `Quick
+      test_load_rejects_damaged_files;
+    Alcotest.test_case "scenario stamp verbatim" `Quick
+      test_scenario_stamp_verbatim;
     Alcotest.test_case "resume = uninterrupted" `Quick
       test_resume_equals_uninterrupted;
     Alcotest.test_case "resume from periodic checkpoints" `Quick

@@ -31,7 +31,7 @@ let check_code name expected { code; out } =
     Alcotest.failf "%s: exit %d, expected %d; output:\n%s" name code expected
       out
 
-let contains = Astring_contains.contains
+let contains = Test_util.contains
 
 (* grep-able lines of the mc output: "visited=N ..." and "verdict: ..." *)
 let line_with prefix { out; _ } =
@@ -136,9 +136,75 @@ let test_checkpoint_resume_round_trip () =
       check_code "garbage checkpoint refused" 1
         (run_cli (scenario @ [ "--resume"; "/dev/null" ])))
 
+let test_fuzz_subcommand () =
+  (* the acceptance pin: with seed 1, the flawed scenario is found and
+     shrunk to <= 12 steps, and the saved trace replays to INCONSISTENT
+     through `randsync trace` *)
+  let out = Filename.temp_file "randsync-cli-fuzz" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let r =
+        run_cli
+          [ "fuzz"; "flawed"; "--runs"; "64"; "--seed"; "1"; "--shrink";
+            "--out"; out ]
+      in
+      check_code "flawed fuzz demonstrates violation" 2 r;
+      Alcotest.(check bool) "VIOLATION line printed" true
+        (contains r.out "VIOLATION (inconsistent)");
+      let shrunk =
+        let l = line_with "VIOLATION" r in
+        match
+          List.find_opt
+            (fun tok -> Test_util.contains tok "shrunk-steps=")
+            (String.split_on_char ' ' l)
+        with
+        | Some tok ->
+            int_of_string
+              (String.sub tok 13 (String.length tok - 13))
+        | None -> Alcotest.failf "no shrunk-steps field in %S" l
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "shrunk to %d <= 12 steps" shrunk)
+        true (shrunk <= 12);
+      let replay = run_cli [ "trace"; out ] in
+      check_code "saved witness loads" 0 replay;
+      Alcotest.(check bool) "witness replays inconsistent" true
+        (contains replay.out "INCONSISTENT");
+      (* identical seeds, identical campaigns at --jobs 1 and 4 (modulo the
+         saved-file line, absent here) *)
+      let args =
+        [ "fuzz"; "flawed"; "--runs"; "64"; "--seed"; "1"; "--shrink" ]
+      in
+      let j1 = run_cli args in
+      let j4 = run_cli (args @ [ "--jobs"; "4" ]) in
+      check_code "jobs 1" 2 j1;
+      check_code "jobs 4" 2 j4;
+      Alcotest.(check string) "bit-identical output across --jobs" j1.out
+        j4.out)
+
+let test_fuzz_exit_codes () =
+  check_code "clean scenario" 0
+    (run_cli [ "fuzz"; "cas-1"; "--runs"; "32"; "--seed"; "1" ]);
+  check_code "unknown scenario" 1 (run_cli [ "fuzz"; "no-such-scenario" ]);
+  check_code "bad inputs" 1
+    (run_cli [ "fuzz"; "cas-1"; "--inputs"; "0,zebra" ]);
+  let truncated =
+    run_cli
+      [ "fuzz"; "cas-1"; "--runs"; "64"; "--seed"; "1"; "--max-runs"; "16" ]
+  in
+  check_code "run budget exits truncated" 3 truncated;
+  Alcotest.(check bool) "truncated verdict printed" true
+    (contains truncated.out "verdict: truncated (nodes)");
+  Alcotest.(check bool) "admitted prefix reported" true
+    (contains truncated.out "done=16")
+
 let suite =
   [
     Alcotest.test_case "exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "fuzz finds and shrinks flawed" `Quick
+      test_fuzz_subcommand;
+    Alcotest.test_case "fuzz exit codes" `Quick test_fuzz_exit_codes;
     Alcotest.test_case "node budget truncation" `Quick test_budget_truncation;
     Alcotest.test_case "deadline terminates in time" `Quick
       test_deadline_terminates;

@@ -156,9 +156,26 @@ let test_unlimited_meter_never_trips () =
   done;
   Alcotest.(check int) "all counted" 10_000 (Budget.Meter.nodes m)
 
+let test_take_nodes_batches () =
+  let m = Budget.Meter.create (Budget.make ~nodes:10 ()) in
+  Alcotest.(check int) "full batch admitted" 4 (Budget.Meter.take_nodes m 4);
+  Alcotest.(check int) "second batch admitted" 4 (Budget.Meter.take_nodes m 4);
+  (* only 2 of the last 4 fit; the short count reports the trip *)
+  Alcotest.(check int) "partial batch" 2 (Budget.Meter.take_nodes m 4);
+  Alcotest.(check bool) "meter tripped" true
+    (Budget.Meter.tripped m = Some `Nodes);
+  Alcotest.(check int) "nothing after the trip" 0 (Budget.Meter.take_nodes m 4);
+  Alcotest.(check int) "exactly the budget was counted" 10
+    (Budget.Meter.nodes m);
+  (* unlimited: every batch admitted in full *)
+  let u = Budget.Meter.create Budget.unlimited in
+  Alcotest.(check int) "unlimited admits all" 1000
+    (Budget.Meter.take_nodes u 1000)
+
 let suite =
   [
     Alcotest.test_case "cancel token latch" `Quick test_cancel_latch;
+    Alcotest.test_case "take_nodes batches" `Quick test_take_nodes_batches;
     Alcotest.test_case "reason string round-trip" `Quick test_reason_round_trip;
     Alcotest.test_case "completeness merge" `Quick test_completeness_merge;
     Alcotest.test_case "budget construction" `Quick test_budget_construction;

@@ -73,9 +73,41 @@ let test_adaptive () =
   in
   Alcotest.(check (list int)) "descending" [ 2; 1; 0 ] apply_pids
 
+let test_starving_defers_victim () =
+  (* the victim moves only once everyone else has decided: its write is the
+     last Applied event, on every seed *)
+  List.iter
+    (fun seed ->
+      let result = Run.exec (Sched.starving ~victim:1 ~seed) (config3 ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "all decided (seed %d)" seed)
+        true
+        (result.Run.outcome = Run.All_decided);
+      let apply_pids =
+        List.map (fun (pid, _, _, _) -> pid) (Trace.applied_ops result.Run.trace)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "victim moves last (seed %d)" seed)
+        1
+        (List.nth apply_pids (List.length apply_pids - 1));
+      Alcotest.(check bool)
+        (Printf.sprintf "victim starved before that (seed %d)" seed)
+        false
+        (List.mem 1 (List.filteri (fun i _ -> i < 2) apply_pids)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_starving_deterministic_by_seed () =
+  let r1 = Run.exec (Sched.starving ~victim:0 ~seed:9) (config3 ()) in
+  let r2 = Run.exec (Sched.starving ~victim:0 ~seed:9) (config3 ()) in
+  Alcotest.(check bool) "same trace" true (r1.Run.trace = r2.Run.trace)
+
 let suite =
   [
     Alcotest.test_case "round robin order" `Quick test_round_robin_order;
+    Alcotest.test_case "starving defers victim" `Quick
+      test_starving_defers_victim;
+    Alcotest.test_case "starving deterministic by seed" `Quick
+      test_starving_deterministic_by_seed;
     Alcotest.test_case "random deterministic by seed" `Quick
       test_random_deterministic_by_seed;
     Alcotest.test_case "replay order" `Quick test_replay_schedule;

@@ -45,7 +45,7 @@ let test_table_render () =
   (* row order preserved *)
   Alcotest.(check bool) "xxx before z" true
     (match lines with _ :: _ :: r1 :: r2 :: _ ->
-       Astring_contains.contains r1 "xxx" && Astring_contains.contains r2 "wwww"
+       Test_util.contains r1 "xxx" && Test_util.contains r2 "wwww"
      | _ -> false)
 
 let test_table_arity () =

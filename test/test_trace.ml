@@ -31,7 +31,7 @@ let test_append_concat () =
 let test_to_string () =
   let s = Trace.to_string string_of_int sample in
   Alcotest.(check bool) "mentions decide" true
-    (Astring_contains.contains s "decide 7")
+    (Test_util.contains s "decide 7")
 
 let suite =
   [

@@ -63,6 +63,41 @@ let prop_value_roundtrip =
     (fun v -> Value.equal v (roundtrip v))
   |> QCheck_alcotest.to_alcotest
 
+(* whole random traces, not just golden files: every event shape with
+   random payloads survives to_text/of_text *)
+let trace_gen =
+  let open QCheck.Gen in
+  let op_gen =
+    map2
+      (fun name arg -> Op.make name ~arg)
+      (oneofl [ "read"; "write"; "fetch&add"; "cas" ])
+      value_gen
+  in
+  let event_gen =
+    oneof
+      [
+        map2
+          (fun (pid, obj) (op, resp) -> Event.Applied { pid; obj; op; resp })
+          (pair (int_bound 7) (int_bound 3))
+          (pair op_gen value_gen);
+        map2
+          (fun pid (n, outcome) ->
+            Event.Coin { pid; n = n + 2; outcome = outcome mod (n + 2) })
+          (int_bound 7)
+          (pair (int_bound 3) (int_bound 7));
+        map2 (fun pid value -> Event.Decided { pid; value }) (int_bound 7)
+          small_signed_int;
+        map (fun pid -> Event.Halted { pid }) (int_bound 7);
+      ]
+  in
+  map Trace.of_events (list_size (int_bound 30) event_gen)
+
+let prop_trace_roundtrip =
+  QCheck.Test.make ~name:"random trace to_text/of_text roundtrip" ~count:300
+    (QCheck.make trace_gen)
+    (fun trace -> Trace_io.of_text_int (Trace_io.to_text_int trace) = trace)
+  |> QCheck_alcotest.to_alcotest
+
 let test_event_roundtrip () =
   let events : int Event.t list =
     [
@@ -131,6 +166,7 @@ let suite =
   [
     Alcotest.test_case "value roundtrip cases" `Quick test_value_roundtrip_cases;
     prop_value_roundtrip;
+    prop_trace_roundtrip;
     Alcotest.test_case "event roundtrip" `Quick test_event_roundtrip;
     Alcotest.test_case "attack witness roundtrip" `Quick test_attack_witness_roundtrip;
     Alcotest.test_case "save/load file" `Quick test_save_load_file;

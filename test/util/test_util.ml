@@ -1,4 +1,5 @@
-(* tiny substring check used by tests (no external string library) *)
+(* Shared string helpers for the test suites (no external string
+   library).  Used by the CLI, trace, checkpoint, stats and fuzz tests. *)
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
