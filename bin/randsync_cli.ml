@@ -93,12 +93,45 @@ let jobs_arg =
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 (* [None] → no pool (sequential); [Some 0] → recommended domain count. *)
-let with_jobs jobs f =
+let with_jobs ?obs jobs f =
   match jobs with
   | None -> f None
   | Some j ->
       let jobs = if j = 0 then None else Some j in
-      Par.with_pool ?jobs (fun pool -> f (Some pool))
+      Par.with_pool ?jobs ?obs (fun pool -> f (Some pool))
+
+(* ---- observability plumbing shared by attack / mc / fuzz ---- *)
+
+let metrics_arg =
+  let doc =
+    "Dump counters, watermarks, histograms and spans as line-JSON to FILE \
+     (written once on exit, atomic replace).  Counter values equal the \
+     numbers printed on stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Print a heartbeat line to stderr (at most once per second), driven by \
+     the budget's poll boundaries.  Without any budget dimension the search \
+     is never polled and no heartbeat appears."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let make_obs metrics =
+  Option.map (fun path -> Obs.create ~sink:(Obs.Sink.file path) ()) metrics
+
+let dump_metrics ?(extra = []) obs =
+  Option.iter (fun o -> Obs.dump ~extra o) obs
+
+let progress_hook enabled label =
+  if not enabled then None
+  else
+    Some
+      (Obs.Progress.heartbeat
+         ~render:(fun ~nodes ~steps ->
+           Printf.sprintf "%s: nodes=%d steps=%d" label nodes steps)
+         ())
 
 (* ------------------------------------------------------------------ list *)
 
@@ -208,14 +241,19 @@ let attack_cmd =
     in
     Arg.(value & opt int 0 & info [ "seeds" ] ~docv:"N" ~doc)
   in
-  let run name general show_trace do_certify save seeds deadline jobs =
+  let run name general show_trace do_certify save seeds deadline jobs metrics
+      progress =
     match find_protocol name with
     | Error e ->
         prerr_endline e;
         exit Exit_code.bad_args
     | Ok p ->
+        let obs = make_obs metrics in
+        let on_poll = progress_hook progress "attack" in
         let budget =
-          Option.map (fun d -> Robust.Budget.make ~deadline:d ()) deadline
+          match (deadline, on_poll) with
+          | None, None -> None
+          | _ -> Some (Robust.Budget.make ?deadline ?on_poll ())
         in
         let save_trace trace =
           match save with
@@ -224,94 +262,122 @@ let attack_cmd =
               Sim.Trace_io.save_int ~path trace;
               Fmt.pr "witness saved to %s@." path
         in
-        if general then begin
-          match Lowerbound.General_attack.run ?budget p with
-          | Error (Lowerbound.General_attack.Budget_exhausted reason) ->
-              Fmt.pr "verdict: truncated (%s)@."
-                (Robust.Budget.reason_to_string reason);
-              exit Exit_code.truncated
-          | Error e ->
-              prerr_endline (Lowerbound.General_attack.error_to_string e);
-              exit Exit_code.attack_failed
-          | Ok o ->
-              save_trace o.Lowerbound.General_attack.trace;
-              if show_trace then
-                print_endline
-                  (Sim.Trace.to_string string_of_int o.Lowerbound.General_attack.trace);
-              Fmt.pr "general attack on %s: processes=%d objects=%d pieces=%d/%d@."
-                name o.Lowerbound.General_attack.processes_used
-                o.Lowerbound.General_attack.registers
-                o.Lowerbound.General_attack.pieces_alpha
-                o.Lowerbound.General_attack.pieces_beta;
-              Fmt.pr "verdict: %a@." Sim.Checker.pp
-                o.Lowerbound.General_attack.verdict;
-              if Lowerbound.General_attack.succeeded o then begin
-                print_endline "INCONSISTENT EXECUTION CONSTRUCTED";
-                exit Exit_code.violation
+        (* The lowerbound constructions are not internally instrumented;
+           the CLI records the outcome-shaped facts itself so an attack
+           --metrics dump still tells the whole story. *)
+        let code =
+          Obs.span obs "attack" @@ fun () ->
+          if general then begin
+            match Lowerbound.General_attack.run ?budget p with
+            | Error (Lowerbound.General_attack.Budget_exhausted reason) ->
+                Fmt.pr "verdict: truncated (%s)@."
+                  (Robust.Budget.reason_to_string reason);
+                Obs.incr obs
+                  ("attack/truncated/" ^ Robust.Budget.reason_to_string reason);
+                Exit_code.truncated
+            | Error e ->
+                prerr_endline (Lowerbound.General_attack.error_to_string e);
+                Obs.incr obs "attack/failed";
+                Exit_code.attack_failed
+            | Ok o ->
+                save_trace o.Lowerbound.General_attack.trace;
+                if show_trace then
+                  print_endline
+                    (Sim.Trace.to_string string_of_int o.Lowerbound.General_attack.trace);
+                Fmt.pr "general attack on %s: processes=%d objects=%d pieces=%d/%d@."
+                  name o.Lowerbound.General_attack.processes_used
+                  o.Lowerbound.General_attack.registers
+                  o.Lowerbound.General_attack.pieces_alpha
+                  o.Lowerbound.General_attack.pieces_beta;
+                Fmt.pr "verdict: %a@." Sim.Checker.pp
+                  o.Lowerbound.General_attack.verdict;
+                Obs.add obs "attack/witness-steps"
+                  (Sim.Trace.steps o.Lowerbound.General_attack.trace);
+                if Lowerbound.General_attack.succeeded o then begin
+                  print_endline "INCONSISTENT EXECUTION CONSTRUCTED";
+                  Obs.incr obs "attack/violations";
+                  Exit_code.violation
+                end
+                else 0
+          end
+          else begin
+            let outcome =
+              if seeds <= 0 then Lowerbound.Attack.run p
+              else begin
+                Obs.add obs "attack/seeds" seeds;
+                let sweep =
+                  with_jobs ?obs jobs (fun pool ->
+                      Lowerbound.Attack.seed_sweep ?pool
+                        ~seeds:(List.init seeds (fun i -> i + 1))
+                        p)
+                in
+                match Lowerbound.Attack.best_witness sweep with
+                | Some (seed, o) ->
+                    Fmt.pr "seed sweep 1..%d: best witness from seed %d (%d \
+                            steps)@."
+                      seeds seed
+                      (Sim.Trace.steps o.Lowerbound.Attack.trace);
+                    Ok o
+                | None -> (
+                    (* no seed succeeded; surface the unrandomized error *)
+                    match List.assoc_opt 1 sweep with
+                    | Some r -> r
+                    | None -> Lowerbound.Attack.run p)
               end
-        end
-        else begin
-          let outcome =
-            if seeds <= 0 then Lowerbound.Attack.run p
-            else begin
-              let sweep =
-                with_jobs jobs (fun pool ->
-                    Lowerbound.Attack.seed_sweep ?pool
-                      ~seeds:(List.init seeds (fun i -> i + 1))
-                      p)
-              in
-              match Lowerbound.Attack.best_witness sweep with
-              | Some (seed, o) ->
-                  Fmt.pr "seed sweep 1..%d: best witness from seed %d (%d \
-                          steps)@."
-                    seeds seed
-                    (Sim.Trace.steps o.Lowerbound.Attack.trace);
-                  Ok o
-              | None -> (
-                  (* no seed succeeded; surface the unrandomized error *)
-                  match List.assoc_opt 1 sweep with
-                  | Some r -> r
-                  | None -> Lowerbound.Attack.run p)
-            end
-          in
-          match outcome with
-          | Error e ->
-              prerr_endline (Lowerbound.Attack.error_to_string e);
-              exit Exit_code.attack_failed
-          | Ok o ->
-              save_trace o.Lowerbound.Attack.trace;
-              if show_trace then
-                print_endline
-                  (Sim.Trace.to_string string_of_int o.Lowerbound.Attack.trace);
-              Fmt.pr "attack on %s: processes=%d registers=%d@." name
-                o.Lowerbound.Attack.processes_used o.Lowerbound.Attack.registers;
-              Fmt.pr "verdict: %a@." Sim.Checker.pp o.Lowerbound.Attack.verdict;
-              if do_certify then begin
-                match Lowerbound.Attack.certify p o with
-                | Ok (trace, verdict) ->
-                    Fmt.pr
-                      "certified fresh-start replay: %d steps, verdict: %a@."
-                      (Sim.Trace.steps trace) Sim.Checker.pp verdict
-                | Error msg -> Fmt.pr "certification failed: %s@." msg
-              end;
-              if Lowerbound.Attack.succeeded o then begin
-                print_endline "INCONSISTENT EXECUTION CONSTRUCTED";
-                exit Exit_code.violation
-              end
-        end
+            in
+            match outcome with
+            | Error e ->
+                prerr_endline (Lowerbound.Attack.error_to_string e);
+                Obs.incr obs "attack/failed";
+                Exit_code.attack_failed
+            | Ok o ->
+                save_trace o.Lowerbound.Attack.trace;
+                if show_trace then
+                  print_endline
+                    (Sim.Trace.to_string string_of_int o.Lowerbound.Attack.trace);
+                Fmt.pr "attack on %s: processes=%d registers=%d@." name
+                  o.Lowerbound.Attack.processes_used o.Lowerbound.Attack.registers;
+                Fmt.pr "verdict: %a@." Sim.Checker.pp o.Lowerbound.Attack.verdict;
+                Obs.add obs "attack/witness-steps"
+                  (Sim.Trace.steps o.Lowerbound.Attack.trace);
+                if do_certify then begin
+                  match Lowerbound.Attack.certify p o with
+                  | Ok (trace, verdict) ->
+                      Fmt.pr
+                        "certified fresh-start replay: %d steps, verdict: %a@."
+                        (Sim.Trace.steps trace) Sim.Checker.pp verdict
+                  | Error msg -> Fmt.pr "certification failed: %s@." msg
+                end;
+                if Lowerbound.Attack.succeeded o then begin
+                  print_endline "INCONSISTENT EXECUTION CONSTRUCTED";
+                  Obs.incr obs "attack/violations";
+                  Exit_code.violation
+                end
+                else 0
+          end
+        in
+        dump_metrics obs
+          ~extra:
+            [
+              ("cmd", "attack");
+              ("protocol", name);
+              ("general", string_of_bool general);
+            ];
+        if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Construct a lower-bound counterexample against a protocol")
     Term.(
       const run $ protocol_arg $ general_arg $ trace_arg $ certify_arg
-      $ save_arg $ seeds_arg $ deadline_arg $ jobs_arg)
+      $ save_arg $ seeds_arg $ deadline_arg $ jobs_arg $ metrics_arg
+      $ progress_arg)
 
 (* -------------------------------------------------------------------- mc *)
 
 let mc_cmd =
   let run name inputs depth max_states dedup max_nodes deadline checkpoint
-      checkpoint_every resume jobs =
+      checkpoint_every resume jobs metrics progress =
     match find_protocol name with
     | Error e ->
         prerr_endline e;
@@ -331,9 +397,12 @@ let mc_cmd =
                    "unknown --dedup %S (expected off | exact | symmetric)" s);
               exit Exit_code.bad_args
         in
+        let obs = make_obs metrics in
+        let on_poll = progress_hook progress "mc" in
         let budget =
-          if max_nodes = None && deadline = None then None
-          else Some (Robust.Budget.make ?nodes:max_nodes ?deadline ())
+          match (max_nodes, deadline, on_poll) with
+          | None, None, None -> None
+          | _ -> Some (Robust.Budget.make ?nodes:max_nodes ?deadline ?on_poll ())
         in
         (* the scenario stamp refuses resumes against a different search:
            same protocol, inputs, depth and dedup or nothing *)
@@ -374,15 +443,15 @@ let mc_cmd =
             "note: --checkpoint/--resume force a sequential search; --jobs \
              ignored";
         let result =
-          with_jobs (if sequential_only then None else jobs) (fun pool ->
+          with_jobs ?obs (if sequential_only then None else jobs) (fun pool ->
               match pool with
               | None ->
-                  Mc.Explore.search ?budget ~dedup ~max_depth:depth
+                  Mc.Explore.search ?obs ?budget ~dedup ~max_depth:depth
                     ~max_states ~checkpoint_every ?on_checkpoint
                     ?resume:resume_state ~inputs config
               | Some pool ->
-                  Mc.Explore.search_par ~pool ?budget ~dedup ~max_depth:depth
-                    ~max_states ~inputs config)
+                  Mc.Explore.search_par ?obs ~pool ?budget ~dedup
+                    ~max_depth:depth ~max_states ~inputs config)
         in
         Fmt.pr "visited=%d leaves=%d table-hits=%d truncated=%b max-depth=%d@."
           result.Mc.Explore.visited result.Mc.Explore.leaves
@@ -390,23 +459,34 @@ let mc_cmd =
           result.Mc.Explore.max_depth_seen;
         Fmt.pr "verdict: %s@."
           (Robust.Budget.completeness_to_string result.Mc.Explore.completeness);
-        match result.Mc.Explore.violation with
-        | Some v ->
-            Fmt.pr "VIOLATION (%s):@."
-              (match v.Mc.Explore.kind with
-              | `Inconsistent -> "inconsistent"
-              | `Invalid -> "invalid");
-            print_endline
-              (Sim.Trace.to_string string_of_int v.Mc.Explore.trace);
-            exit Exit_code.violation
-        | None ->
-            print_endline "no violation found";
-            (* only a governed cut demotes the exit code: the structural
-               --depth bound is part of the question being asked *)
-            (match result.Mc.Explore.completeness with
-            | `Truncated (`Nodes | `Steps | `Deadline | `Cancelled) ->
-                exit Exit_code.truncated
-            | `Exhaustive | `Truncated (`Depth | `States) -> ())
+        let code =
+          match result.Mc.Explore.violation with
+          | Some v ->
+              Fmt.pr "VIOLATION (%s):@."
+                (match v.Mc.Explore.kind with
+                | `Inconsistent -> "inconsistent"
+                | `Invalid -> "invalid");
+              print_endline
+                (Sim.Trace.to_string string_of_int v.Mc.Explore.trace);
+              Exit_code.violation
+          | None -> (
+              print_endline "no violation found";
+              (* only a governed cut demotes the exit code: the structural
+                 --depth bound is part of the question being asked *)
+              match result.Mc.Explore.completeness with
+              | `Truncated (`Nodes | `Steps | `Deadline | `Cancelled) ->
+                  Exit_code.truncated
+              | `Exhaustive | `Truncated (`Depth | `States) -> 0)
+        in
+        dump_metrics obs
+          ~extra:
+            [
+              ("cmd", "mc");
+              ("protocol", name);
+              ("inputs", inputs_csv);
+              ("dedup", dedup_name);
+            ];
+        if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "mc" ~doc:"Exhaustively model-check a protocol instance")
@@ -457,7 +537,7 @@ let mc_cmd =
                 "Resume a search from a checkpoint FILE; the stored \
                  scenario must match the protocol/inputs/depth/dedup given \
                  here.  Forces a sequential search.")
-      $ jobs_arg)
+      $ jobs_arg $ metrics_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ fuzz *)
 
@@ -471,21 +551,24 @@ let fuzz_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
   in
   let run scenario inputs runs seed jobs shrink max_candidates out deadline
-      max_runs =
+      max_runs metrics progress =
     let inputs = Option.map parse_inputs inputs in
     match Fuzz.Scenario.find ?inputs scenario with
     | Error e ->
         prerr_endline e;
         exit Exit_code.bad_args
     | Ok sc ->
+        let obs = make_obs metrics in
+        let on_poll = progress_hook progress "fuzz" in
         let budget =
-          if deadline = None && max_runs = None then None
-          else Some (Robust.Budget.make ?nodes:max_runs ?deadline ())
+          match (deadline, max_runs, on_poll) with
+          | None, None, None -> None
+          | _ -> Some (Robust.Budget.make ?nodes:max_runs ?deadline ?on_poll ())
         in
         let result =
-          with_jobs jobs (fun pool ->
-              Fuzz.Campaign.run ?pool ?budget ~shrink ~max_candidates ~runs
-                ~seed sc)
+          with_jobs ?obs jobs (fun pool ->
+              Fuzz.Campaign.run ?obs ?pool ?budget ~shrink ~max_candidates
+                ~runs ~seed sc)
         in
         Fmt.pr "scenario=%s (%s) seed=%d@." result.Fuzz.Campaign.scenario
           sc.Fuzz.Scenario.describe seed;
@@ -500,31 +583,41 @@ let fuzz_cmd =
         Fmt.pr "verdict: %s@."
           (Robust.Budget.completeness_to_string
              result.Fuzz.Campaign.completeness);
-        (match result.Fuzz.Campaign.first_violation with
-        | None -> (
-            print_endline "no violation found";
-            match result.Fuzz.Campaign.completeness with
-            | `Truncated _ -> exit Exit_code.truncated
-            | `Exhaustive -> ())
-        | Some cex ->
-            Fmt.pr
-              "VIOLATION (%s): run=%d kind=%s original-steps=%d \
-               shrunk-steps=%d candidates=%d@."
-              (Fuzz.Scenario.violation_to_string cex.Fuzz.Campaign.violation)
-              cex.Fuzz.Campaign.run_index
-              (Fuzz.Scenario.kind_name cex.Fuzz.Campaign.sched_kind)
-              (Fuzz.Schedule.steps cex.Fuzz.Campaign.original)
-              (Fuzz.Schedule.steps cex.Fuzz.Campaign.shrunk)
-              (match cex.Fuzz.Campaign.shrink_stats with
-              | Some s -> s.Fuzz.Shrink.candidates
-              | None -> 0);
-            Fmt.pr "schedule: %a@." Fuzz.Schedule.pp cex.Fuzz.Campaign.shrunk;
-            (match out with
-            | None -> ()
-            | Some path ->
-                Sim.Trace_io.save_text ~path cex.Fuzz.Campaign.artifact;
-                Fmt.pr "counterexample saved to %s@." path);
-            exit Exit_code.violation)
+        let code =
+          match result.Fuzz.Campaign.first_violation with
+          | None -> (
+              print_endline "no violation found";
+              match result.Fuzz.Campaign.completeness with
+              | `Truncated _ -> Exit_code.truncated
+              | `Exhaustive -> 0)
+          | Some cex ->
+              Fmt.pr
+                "VIOLATION (%s): run=%d kind=%s original-steps=%d \
+                 shrunk-steps=%d candidates=%d@."
+                (Fuzz.Scenario.violation_to_string cex.Fuzz.Campaign.violation)
+                cex.Fuzz.Campaign.run_index
+                (Fuzz.Scenario.kind_name cex.Fuzz.Campaign.sched_kind)
+                (Fuzz.Schedule.steps cex.Fuzz.Campaign.original)
+                (Fuzz.Schedule.steps cex.Fuzz.Campaign.shrunk)
+                (match cex.Fuzz.Campaign.shrink_stats with
+                | Some s -> s.Fuzz.Shrink.candidates
+                | None -> 0);
+              Fmt.pr "schedule: %a@." Fuzz.Schedule.pp cex.Fuzz.Campaign.shrunk;
+              (match out with
+              | None -> ()
+              | Some path ->
+                  Sim.Trace_io.save_text ~path cex.Fuzz.Campaign.artifact;
+                  Fmt.pr "counterexample saved to %s@." path);
+              Exit_code.violation
+        in
+        dump_metrics obs
+          ~extra:
+            [
+              ("cmd", "fuzz");
+              ("scenario", result.Fuzz.Campaign.scenario);
+              ("seed", string_of_int seed);
+            ];
+        if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -569,7 +662,8 @@ let fuzz_cmd =
           & info [ "max-runs" ] ~docv:"K"
               ~doc:
                 "Deterministic node budget: admit exactly the first K runs \
-                 (bit-identical under any --jobs), then report truncated."))
+                 (bit-identical under any --jobs), then report truncated.")
+      $ metrics_arg $ progress_arg)
 
 (* ----------------------------------------------------------------- trace *)
 

@@ -40,9 +40,14 @@ type result = {
   completeness : Robust.Budget.completeness;
 }
 
-let run ?pool ?(budget = Robust.Budget.unlimited)
+let run ?obs ?pool ?(budget = Robust.Budget.unlimited)
     ?(weights = Scenario.default_weights) ?(shrink = true)
     ?(max_candidates = 4000) ?(batch = 32) ~runs ~seed (sc : Scenario.t) =
+  (* Instrumentation discipline: every [Obs] call below happens on the
+     caller domain — either in the sequential report fold or after it —
+     so metrics are a pure function of the (jobs-invariant) results and
+     cannot perturb the determinism contract. *)
+  Obs.span obs "fuzz/campaign" @@ fun () ->
   let rngs = Rng.split_n (Rng.create seed) runs in
   let meter = Robust.Budget.Meter.create budget in
   let runs_done = ref 0 in
@@ -100,7 +105,7 @@ let run ?pool ?(budget = Robust.Budget.unlimited)
         let shrunk, shrink_stats =
           if shrink then
             let s, st =
-              Shrink.minimize ~max_candidates ~meter:shrink_meter
+              Shrink.minimize ?obs ~max_candidates ~meter:shrink_meter
                 ~replay:sc.Scenario.replay ~target:violation original
             in
             (s, Some st)
@@ -125,6 +130,14 @@ let run ?pool ?(budget = Robust.Budget.unlimited)
   let completeness =
     Robust.Budget.merge (of_trip meter) (of_trip shrink_meter)
   in
+  Obs.add obs "fuzz/runs" !runs_done;
+  Obs.add obs "fuzz/violations" !violations;
+  Obs.add obs "fuzz/steps" !total_steps;
+  Hashtbl.iter
+    (fun kind c -> Obs.add obs ("fuzz/kind/" ^ Scenario.kind_name kind) c)
+    counts;
+  Obs.add obs "budget/polls"
+    (Robust.Budget.Meter.polls meter + Robust.Budget.Meter.polls shrink_meter);
   {
     scenario = sc.Scenario.name;
     runs_requested = runs;

@@ -36,7 +36,14 @@ type result = {
   completeness : Robust.Budget.completeness;
 }
 
+(** When [obs] is given the campaign is wrapped in a ["fuzz/campaign"]
+    span and records ["fuzz/runs"], ["fuzz/violations"], ["fuzz/steps"],
+    per-kind ["fuzz/kind/<name>"] counters and ["budget/polls"].  All
+    recording happens on the caller domain from the (jobs-invariant)
+    sequential fold, so counter values are bit-identical at any
+    [RANDSYNC_JOBS]. *)
 val run :
+  ?obs:Obs.t ->
   ?pool:Par.Pool.t ->
   ?budget:Robust.Budget.t ->
   ?weights:(Scenario.sched_kind * float) list ->

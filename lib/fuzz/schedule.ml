@@ -77,11 +77,16 @@ let entry_of_string line =
   | [ "X"; pid ] -> `Crash (int_of pid line)
   | _ -> parse_error "bad schedule line %S" line
 
+(* Each line is trimmed before parsing, not just for the blank test:
+   files that crossed a Windows checkout (CRLF) or an editor that pads
+   trailing whitespace must round-trip.  [entry_of_string] splits on
+   single spaces, so an untrimmed "S 1\r" would otherwise fail on the
+   stowaway "1\r" token. *)
 let of_text text =
   match
     List.filter
-      (fun l -> String.trim l <> "")
-      (String.split_on_char '\n' text)
+      (fun l -> l <> "")
+      (List.map String.trim (String.split_on_char '\n' text))
   with
   | [] -> parse_error "empty schedule file"
   | h :: lines ->

@@ -17,12 +17,27 @@
    Deterministic: no randomness, candidate order is a function of the
    input alone.  Budgeted: each candidate replay ticks the meter's step
    counter once; when the budget trips, the best schedule found so far is
-   returned with [`Truncated]. *)
+   returned with [`Truncated].  The shrinker's own [max_candidates] cap
+   reports its dedicated [`Candidates] reason — a capped pass sweep and a
+   tripped step budget are different operator actions (raise the cap
+   vs. raise the budget) and must not be conflated. *)
+
+(* [Robust.Budget.reason] plus the shrinker-local candidate cap. *)
+type reason = [ Robust.Budget.reason | `Candidates ]
+type completeness = [ `Exhaustive | `Truncated of reason ]
+
+let reason_to_string : reason -> string = function
+  | `Candidates -> "candidates"
+  | #Robust.Budget.reason as r -> Robust.Budget.reason_to_string r
+
+let completeness_to_string : completeness -> string = function
+  | `Exhaustive -> "exhaustive"
+  | `Truncated r -> Printf.sprintf "truncated (%s)" (reason_to_string r)
 
 type stats = {
   candidates : int;  (** replays attempted *)
   accepted : int;  (** replays that still violated, shrinking the witness *)
-  completeness : Robust.Budget.completeness;
+  completeness : completeness;
 }
 
 exception Out_of_budget
@@ -30,20 +45,20 @@ exception Out_of_budget
 let remove_range l start len =
   List.filteri (fun i _ -> i < start || i >= start + len) l
 
-let minimize ?(max_candidates = 4000) ?meter ~replay ~target schedule =
+let minimize ?obs ?(max_candidates = 4000) ?meter ~replay ~target schedule =
   let candidates = ref 0 in
   let accepted = ref 0 in
-  let truncated = ref None in
+  let truncated : reason option ref = ref None in
   let try_candidate cand =
     if !candidates >= max_candidates then begin
-      if !truncated = None then truncated := Some `Steps;
+      if !truncated = None then truncated := Some `Candidates;
       raise Out_of_budget
     end;
     (match meter with
     | Some m -> (
         match Robust.Budget.Meter.tick_step m with
-        | Some reason ->
-            truncated := Some reason;
+        | Some r ->
+            truncated := Some (r :> reason);
             raise Out_of_budget
         | None -> ())
     | None -> ());
@@ -106,44 +121,43 @@ let minimize ?(max_candidates = 4000) ?meter ~replay ~target schedule =
     go sched (List.length sched / 2)
   in
   (* 4. canonicalize coins: prefer outcome 0 so minimal witnesses look
-     alike across seeds *)
+     alike across seeds.  One array-backed left-to-right sweep: flipping
+     entry [i] mutates the shared array in place (and reverts on
+     rejection), so each candidate costs O(n) to materialize instead of
+     the O(n) [List.nth] + O(n) [List.mapi] per *position* the old
+     list-walking pass paid — O(n^2) overall with a large constant.  The
+     candidate sequence is unchanged: position [i]'s candidate is the
+     schedule with every previously-accepted flip kept and [i] zeroed. *)
   let zero_coins sched =
-    let flips =
-      List.filteri
-        (fun _ e -> match e with `Step (_, Some c) -> c <> 0 | _ -> false)
-        sched
-      |> List.length
-    in
-    if flips = 0 then sched
-    else
-      let rec go sched i =
-        if i >= List.length sched then sched
-        else
-          match List.nth sched i with
-          | `Step (pid, Some c) when c <> 0 ->
-              let cand =
-                List.mapi
-                  (fun j e -> if j = i then `Step (pid, Some 0) else e)
-                  sched
-              in
-              if try_candidate cand then go cand (i + 1) else go sched (i + 1)
-          | _ -> go sched (i + 1)
-      in
-      go sched 0
+    let arr = Array.of_list sched in
+    let changed = ref false in
+    Array.iteri
+      (fun i e ->
+        match e with
+        | `Step (pid, Some c) when c <> 0 ->
+            arr.(i) <- `Step (pid, Some 0);
+            if try_candidate (Array.to_list arr) then changed := true
+            else arr.(i) <- e
+        | _ -> ())
+      arr;
+    if !changed then Array.to_list arr else sched
   in
   let best = ref schedule in
-  (try
-     let rec fixpoint sched =
-       best := sched;
-       let sched' = zero_coins (ddmin (drop_process (drop_suffix sched))) in
-       best := sched';
-       if List.length sched' < List.length sched then fixpoint sched'
-     in
-     fixpoint schedule
-   with Out_of_budget -> ());
+  Obs.span obs "shrink" (fun () ->
+      try
+        let rec fixpoint sched =
+          best := sched;
+          let sched' = zero_coins (ddmin (drop_process (drop_suffix sched))) in
+          best := sched';
+          if List.length sched' < List.length sched then fixpoint sched'
+        in
+        fixpoint schedule
+      with Out_of_budget -> ());
   let completeness =
     match !truncated with
     | Some reason -> `Truncated reason
     | None -> `Exhaustive
   in
+  Obs.add obs "fuzz/shrink/candidates" !candidates;
+  Obs.add obs "fuzz/shrink/accepted" !accepted;
   (!best, { candidates = !candidates; accepted = !accepted; completeness })

@@ -14,13 +14,29 @@
     ticks [meter]'s step counter; on exhaustion the best schedule found
     so far is returned with [`Truncated]. *)
 
+(** Why a shrink stopped early: any {!Robust.Budget.reason} from the
+    shared meter, or [`Candidates] when the shrinker's own
+    [max_candidates] cap was hit.  The two demand different remedies
+    (raise the budget vs. raise the cap), so the cap is not folded into
+    the meter's [`Steps]. *)
+type reason = [ Robust.Budget.reason | `Candidates ]
+
+type completeness = [ `Exhaustive | `Truncated of reason ]
+
+val reason_to_string : reason -> string
+val completeness_to_string : completeness -> string
+
 type stats = {
   candidates : int;  (** replays attempted *)
   accepted : int;  (** replays that still violated, shrinking the witness *)
-  completeness : Robust.Budget.completeness;
+  completeness : completeness;
 }
 
+(** When [obs] is given, the run is wrapped in a ["shrink"] span and the
+    ["fuzz/shrink/candidates"] / ["fuzz/shrink/accepted"] counters are
+    bumped by this run's totals. *)
 val minimize :
+  ?obs:Obs.t ->
   ?max_candidates:int ->
   ?meter:Robust.Budget.Meter.t ->
   replay:(Schedule.t -> 'v option) ->

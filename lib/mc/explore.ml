@@ -57,6 +57,9 @@ type 'a result = {
           hit in sequential DFS preorder *)
   max_depth_seen : int;
   table_hits : int;  (** subtrees skipped via the transposition table *)
+  table_misses : int;
+      (** lookups that found no reusable entry; 0 under [`Off], and
+          restarts from 0 on resume (not part of the checkpoint format) *)
 }
 
 (** All single-step successors of [config] for process [pid]: one successor
@@ -152,13 +155,16 @@ let key_of_config ~symmetric (config : 'a Config.t) =
    consulted on the path (the table is not checkpointed; under [`Off] the
    resumed run is bit-identical to an uninterrupted one, pinned by
    [test_checkpoint]). *)
-let search_from ~budget ~checkpoint_every ~on_checkpoint ~resume ~dedup
+let search_from ~polls ~budget ~checkpoint_every ~on_checkpoint ~resume ~dedup
     ~max_depth ~max_states ~inputs ~replay_root ~rev_choices ~decisions config
     =
   let resume = match resume with None -> Checkpoint.empty | Some s -> s in
   let visited = ref resume.Checkpoint.visited in
   let leaves = ref resume.Checkpoint.leaves in
   let table_hits = ref resume.Checkpoint.table_hits in
+  (* not checkpointed: a resumed run's miss count covers the resumed
+     portion only *)
+  let table_misses = ref 0 in
   (* counts truncation points so subtree completeness is a before/after
      comparison, not a sticky boolean *)
   let trunc = ref resume.Checkpoint.trunc in
@@ -253,6 +259,7 @@ let search_from ~budget ~checkpoint_every ~on_checkpoint ~resume ~dedup
                      have been exhaustive either *)
                   truncate `Depth
               | shallow ->
+                  incr table_misses;
                   let trunc0 = !trunc in
                   expand config rev_choices distinct depth [];
                   (* no violation below (Stop would have escaped) *)
@@ -323,6 +330,9 @@ let search_from ~budget ~checkpoint_every ~on_checkpoint ~resume ~dedup
       tripped := Some r;
       (* the cursor node is uncounted, so this state resumes exactly there *)
       Option.iter (fun f -> f (mk_state cursor)) on_checkpoint);
+  (match (polls, meter) with
+  | Some acc, Some m -> acc := !acc + Robust.Budget.Meter.polls m
+  | _ -> ());
   let completeness =
     match (!tripped, !first_reason) with
     | Some r, _ -> `Truncated r
@@ -337,13 +347,36 @@ let search_from ~budget ~checkpoint_every ~on_checkpoint ~resume ~dedup
     completeness;
     max_depth_seen = !max_depth_seen;
     table_hits = !table_hits;
+    table_misses = !table_misses;
   }
 
-let search ?budget ?(dedup = `Off) ?(max_depth = 60) ?(max_states = 2_000_000)
-    ?(checkpoint_every = 50_000) ?on_checkpoint ?resume ~inputs config =
-  search_from ~budget ~checkpoint_every ~on_checkpoint ~resume ~dedup
-    ~max_depth ~max_states ~inputs ~replay_root:config ~rev_choices:[]
-    ~decisions:(Config.decisions config) config
+(* Counter values are the result fields, verbatim — the documented
+   contract that lets a --metrics dump be cross-checked against the CLI's
+   stdout summary.  Called on the caller's domain only. *)
+let record_result obs (r : 'a result) =
+  Obs.add obs "mc/visited" r.visited;
+  Obs.add obs "mc/leaves" r.leaves;
+  Obs.add obs "mc/table-hits" r.table_hits;
+  Obs.add obs "mc/table-misses" r.table_misses;
+  Obs.record_max obs "mc/max-depth" r.max_depth_seen;
+  (match r.completeness with
+  | `Exhaustive -> ()
+  | `Truncated reason ->
+      Obs.incr obs ("mc/truncated/" ^ Robust.Budget.reason_to_string reason));
+  r
+
+let search ?obs ?budget ?(dedup = `Off) ?(max_depth = 60)
+    ?(max_states = 2_000_000) ?(checkpoint_every = 50_000) ?on_checkpoint
+    ?resume ~inputs config =
+  Obs.span obs "mc/search" @@ fun () ->
+  let polls = ref 0 in
+  let r =
+    search_from ~polls:(Some polls) ~budget ~checkpoint_every ~on_checkpoint
+      ~resume ~dedup ~max_depth ~max_states ~inputs ~replay_root:config
+      ~rev_choices:[] ~decisions:(Config.decisions config) config
+  in
+  Obs.add obs "budget/polls" !polls;
+  record_result obs r
 
 (* Partitioned search: the root's successor configurations — one task per
    (enabled pid, coin outcome), in the sequential traversal order — are
@@ -395,25 +428,27 @@ let search ?budget ?(dedup = `Off) ?(max_depth = 60) ?(max_states = 2_000_000)
    determinism promise; they are simply threaded into every task (which
    shares the absolute deadline), and a set cancellation token
    additionally stops the pool from claiming further chunks. *)
-let search_par ?pool ?budget ?(dedup = `Off) ?(max_depth = 60)
+let search_par ?obs ?pool ?budget ?(dedup = `Off) ?(max_depth = 60)
     ?(max_states = 2_000_000) ~inputs config =
   let budget_v =
     match budget with None -> Robust.Budget.unlimited | Some b -> b
   in
   match budget_v.Robust.Budget.nodes with
   | Some k when k <= 1 ->
-      (* not worth partitioning: the allowance barely covers the root *)
-      search ?budget ~dedup ~max_depth ~max_states ~inputs config
+      (* not worth partitioning: the allowance barely covers the root;
+         [search] does its own span/recording *)
+      search ?obs ?budget ~dedup ~max_depth ~max_states ~inputs config
   | node_allowance ->
+      Obs.span obs "mc/search" @@ fun () ->
       let root =
-        search_from ~budget:None ~checkpoint_every:max_int ~on_checkpoint:None
-          ~resume:None ~dedup:`Off ~max_depth:0 ~max_states ~inputs
-          ~replay_root:config ~rev_choices:[]
+        search_from ~polls:None ~budget:None ~checkpoint_every:max_int
+          ~on_checkpoint:None ~resume:None ~dedup:`Off ~max_depth:0
+          ~max_states ~inputs ~replay_root:config ~rev_choices:[]
           ~decisions:(Config.decisions config) config
       in
       if root.violation <> None || not (Config.exists_enabled config)
          || max_depth = 0
-      then root
+      then record_result obs root
       else begin
         let tasks =
           List.concat_map
@@ -427,8 +462,9 @@ let search_par ?pool ?budget ?(dedup = `Off) ?(max_depth = 60)
         in
         let explore_subtree ~budget (pid, outcome) =
           let config' = Run.step_quiet config ~pid ~coin:(fun _ -> outcome) in
-          search_from ~budget ~checkpoint_every:max_int ~on_checkpoint:None
-            ~resume:None ~dedup ~max_depth:(max_depth - 1) ~max_states ~inputs
+          search_from ~polls:None ~budget ~checkpoint_every:max_int
+            ~on_checkpoint:None ~resume:None ~dedup
+            ~max_depth:(max_depth - 1) ~max_states ~inputs
             ~replay_root:config
             ~rev_choices:[ (pid, outcome) ]
             ~decisions:(Config.decisions config') config'
@@ -452,18 +488,34 @@ let search_par ?pool ?budget ?(dedup = `Off) ?(max_depth = 60)
             completeness = `Truncated `Cancelled;
             max_depth_seen = 0;
             table_hits = 0;
+            table_misses = 0;
           }
         in
-        let speculative =
+        (* Timings travel back with the task results and are observed by
+           the caller after the barrier, in task order: worker domains
+           never touch the (single-domain) metrics accumulator, and the
+           wall-clock reads are skipped entirely when nobody is looking. *)
+        let run_task t =
+          match obs with
+          | None -> (explore_subtree ~budget:task_budget t, 0.)
+          | Some _ ->
+              let t0 = Unix.gettimeofday () in
+              let r = explore_subtree ~budget:task_budget t in
+              (r, Unix.gettimeofday () -. t0)
+        in
+        let timed_speculative =
           match budget_v.Robust.Budget.cancel with
           | Some cancel ->
               List.map
-                (function Some r -> r | None -> skipped)
-                (Par.map_cancellable ?pool ~cancel
-                   (explore_subtree ~budget:task_budget)
-                   tasks)
-          | None -> Par.map ?pool (explore_subtree ~budget:task_budget) tasks
+                (function Some p -> p | None -> (skipped, 0.))
+                (Par.map_cancellable ?pool ~cancel run_task tasks)
+          | None -> Par.map ?pool run_task tasks
         in
+        if obs <> None then
+          List.iter
+            (fun (_, dt) -> Obs.observe obs "mc/subtree-seconds" dt)
+            timed_speculative;
+        let speculative = List.map fst timed_speculative in
         (* Sequential validation in task order.  Unmetered ([remaining =
            None], i.e. no node allowance): keep every speculative result —
            the legacy merge, where a violation run's statistics cover more
@@ -513,20 +565,23 @@ let search_par ?pool ?budget ?(dedup = `Off) ?(max_depth = 60)
               else if visited > max_states then `Truncated `States
               else `Exhaustive
         in
-        {
-          violation = List.find_map (fun r -> r.violation) subtrees;
-          visited;
-          leaves = List.fold_left (fun acc r -> acc + r.leaves) 0 subtrees;
-          truncated = completeness <> `Exhaustive;
-          completeness;
-          max_depth_seen =
-            List.fold_left
-              (fun acc r ->
-                if r.visited > 0 then max acc (1 + r.max_depth_seen) else acc)
-              0 subtrees;
-          table_hits =
-            List.fold_left (fun acc r -> acc + r.table_hits) 0 subtrees;
-        }
+        record_result obs
+          {
+            violation = List.find_map (fun r -> r.violation) subtrees;
+            visited;
+            leaves = List.fold_left (fun acc r -> acc + r.leaves) 0 subtrees;
+            truncated = completeness <> `Exhaustive;
+            completeness;
+            max_depth_seen =
+              List.fold_left
+                (fun acc r ->
+                  if r.visited > 0 then max acc (1 + r.max_depth_seen) else acc)
+                0 subtrees;
+            table_hits =
+              List.fold_left (fun acc r -> acc + r.table_hits) 0 subtrees;
+            table_misses =
+              List.fold_left (fun acc r -> acc + r.table_misses) 0 subtrees;
+          }
       end
 
 (* First terminating solo decision of [pid], searching coin outcomes.

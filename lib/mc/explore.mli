@@ -41,6 +41,10 @@ type 'a result = {
           valid regardless. *)
   max_depth_seen : int;
   table_hits : int;  (** subtrees skipped via the transposition table *)
+  table_misses : int;
+      (** table lookups that found no reusable entry (always [0] under
+          [`Off]); [table_hits + table_misses] is the lookup volume, so
+          the hit rate of a dedup run is read straight off the result *)
 }
 
 (** All single-step successors of [pid]: one for an [Apply], [n] for a
@@ -65,8 +69,17 @@ val successors : 'a Config.t -> int -> ('a Config.t * 'a Event.t list) list
     without re-counting the prefix.  Under [~dedup:`Off] an interrupted +
     resumed run is bit-identical to an uninterrupted one (pinned by
     [test_checkpoint]); with a table, counts may differ (the table is not
-    checkpointed) but the verdict stays sound. *)
+    checkpointed) but the verdict stays sound.  [table_misses] restarts
+    from 0 on resume — the checkpoint format does not carry it.
+
+    [?obs]: the run is wrapped in an ["mc/search"] span and, on return,
+    records ["mc/visited"], ["mc/leaves"], ["mc/table-hits"],
+    ["mc/table-misses"] and ["budget/polls"] counters, the
+    ["mc/max-depth"] watermark, and an ["mc/truncated/<reason>"] counter
+    on truncation.  Counters equal the corresponding result fields; all
+    recording happens on the calling domain after the DFS returns. *)
 val search :
+  ?obs:Obs.t ->
   ?budget:Robust.Budget.t ->
   ?dedup:dedup ->
   ?max_depth:int ->
@@ -102,8 +115,18 @@ val search :
     best-effort: every task shares the absolute deadline, a set
     cancellation token additionally stops the pool claiming chunks, and
     skipped tasks are merged as zero-node [`Truncated `Cancelled]
-    subtrees. *)
+    subtrees.
+
+    [?obs]: same counters as [search], recorded from the {e merged}
+    result so their values are jobs-invariant; additionally each
+    speculative subtree's wall-clock is observed into the
+    ["mc/subtree-seconds"] histogram, in task order, on the calling
+    domain (worker domains never touch the metrics — timings travel back
+    with the task results).  ["budget/polls"] is not recorded here: the
+    per-task meters' poll counts depend on speculation, which is
+    jobs-variant by construction. *)
 val search_par :
+  ?obs:Obs.t ->
   ?pool:Par.Pool.t ->
   ?budget:Robust.Budget.t ->
   ?dedup:dedup ->

@@ -35,6 +35,14 @@ module Pool = struct
     cancel : Robust.Cancel.t option;
   }
 
+  (* Per-domain instrumentation slot.  Written only by its owning domain
+     while a batch is in flight; the submitter reads the slots after the
+     barrier, so the worker's [fetch_and_add] on [completed] followed by
+     the submitter's read of [completed] orders the plain writes before
+     the plain reads (standard message-passing publication).  Untouched
+     when the pool carries no [obs]. *)
+  type slot = { mutable chunks : int; mutable tasks : int }
+
   type t = {
     jobs : int;
     mutex : Mutex.t;
@@ -44,9 +52,33 @@ module Pool = struct
     mutable current : batch option;  (* the in-flight batch, if any *)
     mutable stopping : bool;
     mutable workers : unit Domain.t list;
+    obs : Obs.t option;
+    slots : slot array;  (* length [jobs]; slot 0 = the submitting domain *)
   }
 
   let jobs t = t.jobs
+
+  let reset_slots t =
+    if t.obs <> None then
+      Array.iter
+        (fun s ->
+          s.chunks <- 0;
+          s.tasks <- 0)
+        t.slots
+
+  (* Merge the per-domain slots into the metrics — submitter only, after
+     the barrier.  The per-domain split is scheduling observability and is
+     of course jobs-variant; engine-level counters stay jobs-invariant
+     because engines record from merged results, never from here. *)
+  let flush_slots t =
+    if t.obs <> None then begin
+      Obs.incr t.obs "par/batches";
+      Array.iteri
+        (fun i s ->
+          Obs.add t.obs (Printf.sprintf "par/chunks/domain%d" i) s.chunks;
+          Obs.add t.obs (Printf.sprintf "par/tasks/domain%d" i) s.tasks)
+        t.slots
+    end
 
   (* Claim and run chunks until the batch cursor is exhausted.  Runs on
      workers and on the submitting domain alike.  Cancellation is checked
@@ -54,17 +86,24 @@ module Pool = struct
      cursor still advances and [completed] is still bumped, so the barrier
      below fires exactly as in the uncancelled case — cancellation skips
      work, it never skips bookkeeping. *)
-  let drain t b =
+  let drain t ~slot b =
     let cancelled () =
       match b.cancel with
       | Some c -> Robust.Cancel.is_set c
       | None -> false
     in
+    let instrumented = t.obs <> None in
     let rec loop () =
       let k = Atomic.fetch_and_add b.next b.chunk in
       if k < b.n then begin
         let hi = min b.n (k + b.chunk) in
-        if not (cancelled ()) then
+        let skip = cancelled () in
+        if instrumented then begin
+          let s = t.slots.(slot) in
+          s.chunks <- s.chunks + 1;
+          if not skip then s.tasks <- s.tasks + (hi - k)
+        end;
+        if not skip then
           for i = k to hi - 1 do
             b.body i
           done;
@@ -80,7 +119,7 @@ module Pool = struct
       Mutex.unlock t.mutex
     end
 
-  let rec worker t last_generation =
+  let rec worker t ~slot last_generation =
     Mutex.lock t.mutex;
     while (not t.stopping) && t.generation = last_generation do
       Condition.wait t.work_ready t.mutex
@@ -90,11 +129,11 @@ module Pool = struct
     let b = t.current in
     Mutex.unlock t.mutex;
     if not stop then begin
-      (match b with Some b -> drain t b | None -> ());
-      worker t generation
+      (match b with Some b -> drain t ~slot b | None -> ());
+      worker t ~slot generation
     end
 
-  let create ?jobs:j () =
+  let create ?jobs:j ?obs () =
     let jobs = match j with Some j -> max 1 j | None -> default_jobs () in
     let t =
       {
@@ -106,10 +145,13 @@ module Pool = struct
         current = None;
         stopping = false;
         workers = [];
+        obs;
+        slots = Array.init jobs (fun _ -> { chunks = 0; tasks = 0 });
       }
     in
     t.workers <-
-      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+      List.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () -> worker t ~slot:(i + 1) 0));
     t
 
   (* [body] must not raise (enforced by [for_]'s wrapper). *)
@@ -118,10 +160,22 @@ module Pool = struct
       match cancel with Some c -> Robust.Cancel.is_set c | None -> false
     in
     if n > 0 then begin
-      if t.jobs = 1 || n = 1 || t.stopping then
+      if t.jobs = 1 || n = 1 || t.stopping then begin
+        reset_slots t;
+        let ran = ref 0 in
         for i = 0 to n - 1 do
-          if not (cancelled ()) then body i
-        done
+          if not (cancelled ()) then begin
+            body i;
+            incr ran
+          end
+        done;
+        if t.obs <> None then begin
+          let s = t.slots.(0) in
+          s.chunks <- 1;
+          s.tasks <- !ran
+        end;
+        flush_slots t
+      end
       else begin
         let chunk = max 1 (n / (t.jobs * 4)) in
         let b =
@@ -134,18 +188,27 @@ module Pool = struct
             cancel;
           }
         in
+        reset_slots t;
         Mutex.lock t.mutex;
         t.current <- Some b;
         t.generation <- t.generation + 1;
         Condition.broadcast t.work_ready;
         Mutex.unlock t.mutex;
-        drain t b;
+        drain t ~slot:0 b;
         Mutex.lock t.mutex;
+        (* Barrier wait: time the submitter spends with its own share
+           drained, waiting for straggler domains — the load-imbalance
+           histogram.  Clock reads only when somebody is looking. *)
+        let wait0 = if t.obs <> None then Unix.gettimeofday () else 0. in
         while Atomic.get b.completed < b.n do
           Condition.wait t.work_done t.mutex
         done;
+        if t.obs <> None then
+          Obs.observe t.obs "par/barrier-wait-seconds"
+            (Unix.gettimeofday () -. wait0);
         t.current <- None;
-        Mutex.unlock t.mutex
+        Mutex.unlock t.mutex;
+        flush_slots t
       end
     end
 
@@ -181,8 +244,8 @@ module Pool = struct
     List.iter Domain.join workers
 end
 
-let with_pool ?jobs f =
-  let pool = Pool.create ?jobs () in
+let with_pool ?jobs ?obs f =
+  let pool = Pool.create ?jobs ?obs () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
 let for_tasks ?pool ?cancel ~n body =

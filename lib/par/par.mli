@@ -33,8 +33,20 @@ module Pool : sig
 
   (** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs = 1]
       spawns none and runs everything on the caller).  Defaults to
-      {!default_jobs}. *)
-  val create : ?jobs:int -> unit -> t
+      {!default_jobs}.
+
+      [?obs] attaches scheduling observability: each batch bumps
+      ["par/batches"], per-domain ["par/chunks/domain<i>"] and
+      ["par/tasks/domain<i>"] counters (slot 0 is the submitting
+      domain), and observes the submitter's straggler wait into the
+      ["par/barrier-wait-seconds"] histogram.  Workers write only
+      per-domain slots; the metrics accumulator itself is touched by the
+      submitting domain alone, after the barrier.  These counters
+      describe scheduling and are naturally jobs-variant — engine-level
+      counters (["mc/*"], ["fuzz/*"]) stay jobs-invariant because
+      engines record from merged results.  Without [?obs] the
+      instrumentation paths are skipped entirely. *)
+  val create : ?jobs:int -> ?obs:Obs.t -> unit -> t
 
   val jobs : t -> int
 
@@ -58,7 +70,7 @@ end
 
 (** [with_pool ~jobs f] runs [f pool] and shuts the pool down on exit,
     including on exceptions. *)
-val with_pool : ?jobs:int -> (Pool.t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?obs:Obs.t -> (Pool.t -> 'a) -> 'a
 
 (** Order-preserving parallel map: [map ?pool f xs] equals
     [List.map f xs] for any pool. *)

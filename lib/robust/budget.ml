@@ -30,20 +30,26 @@ type t = {
   steps : int option;
   deadline : float option;
   cancel : Cancel.t option;
+  on_poll : (nodes:int -> steps:int -> unit) option;
 }
 
-let unlimited = { nodes = None; steps = None; deadline = None; cancel = None }
+let unlimited =
+  { nodes = None; steps = None; deadline = None; cancel = None; on_poll = None }
 
-let make ?nodes ?steps ?deadline ?cancel () =
+let make ?nodes ?steps ?deadline ?cancel ?on_poll () =
   let deadline =
     Option.map (fun d -> Unix.gettimeofday () +. Float.max d 0.) deadline
   in
-  { nodes; steps; deadline; cancel }
+  { nodes; steps; deadline; cancel; on_poll }
 
 let with_nodes t nodes = { t with nodes = Some nodes }
 
+(* [on_poll] participates: an observer-only budget must still get a meter
+   (or its hook would never fire).  Matched structurally — polymorphic
+   [=] on a closure-carrying option would be a trap for later editors. *)
 let is_unlimited t =
   t.nodes = None && t.steps = None && t.deadline = None && t.cancel = None
+  && match t.on_poll with None -> true | Some _ -> false
 
 exception Exhausted of reason
 
@@ -55,6 +61,7 @@ module Meter = struct
     poll_mask : int;
     mutable nodes : int;
     mutable steps : int;
+    mutable polls : int;
     mutable tripped : reason option;
   }
 
@@ -62,10 +69,18 @@ module Meter = struct
     let poll_every = max 1 poll_every in
     (* Round up to a power of two so polling is a single [land]. *)
     let rec pow2 k = if k >= poll_every then k else pow2 (k * 2) in
-    { budget; poll_mask = pow2 1 - 1; nodes = 0; steps = 0; tripped = None }
+    {
+      budget;
+      poll_mask = pow2 1 - 1;
+      nodes = 0;
+      steps = 0;
+      polls = 0;
+      tripped = None;
+    }
 
   let nodes t = t.nodes
   let steps t = t.steps
+  let polls t = t.polls
   let tripped t = t.tripped
 
   let trip t r =
@@ -77,11 +92,19 @@ module Meter = struct
      the budget stop claiming chunks instead of each burning until their
      own next poll. *)
   let poll t =
+    t.polls <- t.polls + 1;
+    (match t.budget.on_poll with
+    | Some f -> f ~nodes:t.nodes ~steps:t.steps
+    | None -> ());
     match t.budget.cancel with
     | Some c when Cancel.is_set c -> trip t `Cancelled
     | _ -> (
         match t.budget.deadline with
-        | Some d when Unix.gettimeofday () > d ->
+        (* >= not >: a zero (or elapsed) relative deadline must trip on
+           the very first poll even when the clock has not advanced past
+           the instant [make] stamped — gettimeofday ticks coarsely
+           enough for the two reads to coincide. *)
+        | Some d when Unix.gettimeofday () >= d ->
             Option.iter Cancel.set t.budget.cancel;
             trip t `Deadline
         | _ -> None)

@@ -50,17 +50,31 @@ type t = {
   deadline : float option;
       (** absolute [Unix.gettimeofday] instant (best-effort) *)
   cancel : Cancel.t option;  (** cooperative cancellation (best-effort) *)
+  on_poll : (nodes:int -> steps:int -> unit) option;
+      (** observer hook invoked on every poll boundary with the meter's
+          consumed counts — the vehicle for [--progress] heartbeats (see
+          [Obs.Progress]).  Purely informational: it cannot trip the
+          budget, and in parallel searches it fires on whichever domain's
+          meter crossed the boundary, so it must be multi-domain safe. *)
 }
 
 (** No limits at all.  Meters are not even created for it, so the default
     path pays nothing. *)
 val unlimited : t
 
-(** [make ?nodes ?steps ?deadline ?cancel ()] — [deadline] is given in
-    seconds {e relative to now} and stored as an absolute instant, so a
-    budget threaded through nested calls keeps one fixed horizon. *)
+(** [make ?nodes ?steps ?deadline ?cancel ?on_poll ()] — [deadline] is
+    given in seconds {e relative to now} and stored as an absolute
+    instant, so a budget threaded through nested calls keeps one fixed
+    horizon.  A budget carrying only [on_poll] is {e not} unlimited:
+    entry points create a meter for it so the hook gets its cadence. *)
 val make :
-  ?nodes:int -> ?steps:int -> ?deadline:float -> ?cancel:Cancel.t -> unit -> t
+  ?nodes:int ->
+  ?steps:int ->
+  ?deadline:float ->
+  ?cancel:Cancel.t ->
+  ?on_poll:(nodes:int -> steps:int -> unit) ->
+  unit ->
+  t
 
 (** Replace the node allowance, keeping deadline/cancel intact.  Used by
     the parallel validator to re-run a subtree under the exact remaining
@@ -92,6 +106,12 @@ module Meter : sig
   val nodes : t -> int
 
   val steps : t -> int
+
+  (** Poll-boundary checks performed so far (deadline/cancel inspections
+      plus [on_poll] firings) — the denominator of the metering-overhead
+      story, surfaced as the ["budget/polls"] counter by instrumented
+      entry points. *)
+  val polls : t -> int
 
   val tripped : t -> reason option
 

@@ -199,9 +199,67 @@ let test_fuzz_exit_codes () =
   Alcotest.(check bool) "admitted prefix reported" true
     (contains truncated.out "done=16")
 
+let test_metrics_and_progress () =
+  (* --metrics writes line-JSON whose counters equal the stdout numbers;
+     the dump happens before the process exits, violation or not.
+     Zero-valued counters are omitted, so a missing name reads as 0. *)
+  let counter_of_metrics path name =
+    let ic = open_in path in
+    let prefix =
+      Printf.sprintf {|{"type":"counter","name":"%s","value":|} name
+    in
+    let plen = String.length prefix in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> acc
+      | line ->
+          if String.length line > plen && String.sub line 0 plen = prefix then
+            go (int_of_string (String.sub line plen (String.length line - plen - 1)))
+          else go acc
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> go 0)
+  in
+  let path = Filename.temp_file "randsync-cli" ".metrics" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let scenario = [ "mc"; "counter-3"; "--inputs"; "0,1"; "--depth"; "12" ] in
+      let r = run_cli (scenario @ [ "--metrics"; path ]) in
+      check_code "mc with --metrics" 0 r;
+      Alcotest.(check int) "mc/visited counter = stdout visited"
+        (visited_of r)
+        (counter_of_metrics path "mc/visited");
+      (* same contract under --jobs: counters come from the merged result *)
+      let r2 = run_cli (scenario @ [ "--metrics"; path; "--jobs"; "2" ]) in
+      check_code "mc --jobs 2 with --metrics" 0 r2;
+      Alcotest.(check int) "jobs-invariant visited counter" (visited_of r)
+        (counter_of_metrics path "mc/visited");
+      (* a violating run dumps its metrics before exiting 2 *)
+      check_code "violation still exits 2" 2
+        (run_cli
+           [ "mc"; "flawed-first-writer-r1"; "--inputs"; "0,1"; "--metrics";
+             path ]);
+      Alcotest.(check bool) "metrics dumped before the nonzero exit" true
+        (counter_of_metrics path "mc/visited" > 0);
+      (* fuzz shares the flag; its counters mirror the campaign record *)
+      let f =
+        run_cli
+          [ "fuzz"; "cas-1"; "--runs"; "32"; "--seed"; "1"; "--metrics"; path ]
+      in
+      check_code "fuzz with --metrics" 0 f;
+      Alcotest.(check int) "fuzz/runs counter" 32
+        (counter_of_metrics path "fuzz/runs");
+      (* --progress heartbeats on stderr without disturbing exit codes *)
+      let p = run_cli (scenario @ [ "--progress" ]) in
+      check_code "mc with --progress" 0 p;
+      Alcotest.(check bool) "heartbeat line printed" true
+        (contains p.out "mc: nodes="))
+
 let suite =
   [
     Alcotest.test_case "exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "--metrics and --progress" `Quick
+      test_metrics_and_progress;
     Alcotest.test_case "fuzz finds and shrinks flawed" `Quick
       test_fuzz_subcommand;
     Alcotest.test_case "fuzz exit codes" `Quick test_fuzz_exit_codes;

@@ -4,4 +4,7 @@
 
 let () =
   Alcotest.run "randsync-determinism"
-    [ ("par-determinism", Test_par_determinism.suite) ]
+    [
+      ("par-determinism", Test_par_determinism.suite);
+      ("obs-determinism", Test_obs_determinism.suite);
+    ]

@@ -118,6 +118,70 @@ let test_budget_truncates_cleanly () =
   Alcotest.(check string) "truncated (nodes)" "truncated (nodes)"
     (Robust.Budget.completeness_to_string r.Fuzz.Campaign.completeness)
 
+(* ---- shrink truncation reasons (cap vs. meter) ---- *)
+
+let test_shrink_truncation_reasons () =
+  let sc = find_scenario "flawed" in
+  let r = flawed_campaign () in
+  match r.Fuzz.Campaign.first_violation with
+  | None -> Alcotest.fail "no counterexample"
+  | Some cex ->
+      let replay = sc.Fuzz.Scenario.replay
+      and target = cex.Fuzz.Campaign.violation
+      and original = cex.Fuzz.Campaign.original in
+      (* the shrinker's own candidate cap reports its dedicated reason —
+         the regression was folding it into the meter's [`Steps], telling
+         the operator to raise the wrong knob *)
+      let _, st =
+        Fuzz.Shrink.minimize ~max_candidates:3 ~replay ~target original
+      in
+      Alcotest.(check string) "cap has its own reason"
+        "truncated (candidates)"
+        (Fuzz.Shrink.completeness_to_string st.Fuzz.Shrink.completeness);
+      Alcotest.(check bool) "cap respected" true
+        (st.Fuzz.Shrink.candidates <= 3);
+      (* a tripped step meter keeps the meter's reason *)
+      let meter =
+        Robust.Budget.Meter.create ~poll_every:1
+          (Robust.Budget.make ~steps:3 ())
+      in
+      let _, st = Fuzz.Shrink.minimize ~meter ~replay ~target original in
+      Alcotest.(check string) "meter trip keeps its reason"
+        "truncated (steps)"
+        (Fuzz.Shrink.completeness_to_string st.Fuzz.Shrink.completeness);
+      (* and the unbudgeted run on the same input is exhaustive *)
+      let _, st = Fuzz.Shrink.minimize ~replay ~target original in
+      Alcotest.(check string) "uncapped run exhaustive" "exhaustive"
+        (Fuzz.Shrink.completeness_to_string st.Fuzz.Shrink.completeness)
+
+(* ---- coin canonicalization ---- *)
+
+let test_zero_coins_canonicalizes () =
+  (* a synthetic oracle that pins the pid sequence (so the removal passes
+     cannot fire) and requires the last coin to stay 1: the sweep must
+     zero the zeroable coin, revert the unzeroable one, and leave the
+     coinless entry alone *)
+  let shape sched =
+    List.map (function `Step (p, _) -> `S p | `Crash p -> `C p) sched
+  in
+  let witnesses sched =
+    shape sched = [ `S 0; `S 1; `S 2 ]
+    && match List.nth sched 2 with `Step (2, Some 1) -> true | _ -> false
+  in
+  let replay sched = if witnesses sched then Some () else None in
+  let original = [ `Step (0, Some 3); `Step (1, None); `Step (2, Some 1) ] in
+  let shrunk, st = Fuzz.Shrink.minimize ~replay ~target:() original in
+  Alcotest.(check bool) "zeroed where sound, reverted where not" true
+    (shrunk = [ `Step (0, Some 0); `Step (1, None); `Step (2, Some 1) ]);
+  Alcotest.(check string) "exhaustive" "exhaustive"
+    (Fuzz.Shrink.completeness_to_string st.Fuzz.Shrink.completeness);
+  (* deterministic: identical input, identical schedule and stats *)
+  let shrunk2, st2 = Fuzz.Shrink.minimize ~replay ~target:() original in
+  Alcotest.(check bool) "pass is deterministic" true
+    (shrunk = shrunk2
+    && st.Fuzz.Shrink.candidates = st2.Fuzz.Shrink.candidates
+    && st.Fuzz.Shrink.accepted = st2.Fuzz.Shrink.accepted)
+
 (* ---- schedule codec ---- *)
 
 let test_schedule_roundtrip_cases () =
@@ -145,6 +209,29 @@ let prop_schedule_roundtrip =
     (QCheck.make schedule_gen)
     (fun sched -> Fuzz.Schedule.of_text (Fuzz.Schedule.to_text sched) = sched)
   |> QCheck_alcotest.to_alcotest
+
+let test_schedule_crlf_and_trailing_whitespace () =
+  (* Windows checkouts and pasted text arrive with CRLF endings and
+     trailing blanks; per-line trimming must make them parse identically
+     — the old parser handed a stowaway "1\r" token to int_of_string *)
+  let sched = [ `Step (0, None); `Step (1, Some 1); `Crash 2 ] in
+  let text = Fuzz.Schedule.to_text sched in
+  let lines = String.split_on_char '\n' text in
+  Alcotest.(check bool) "CRLF parses identically" true
+    (Fuzz.Schedule.of_text (String.concat "\r\n" lines) = sched);
+  Alcotest.(check bool) "trailing whitespace ignored" true
+    (Fuzz.Schedule.of_text
+       (String.concat "\n" (List.map (fun l -> l ^ "  \t") lines))
+    = sched);
+  Alcotest.(check bool) "trailing blank lines ignored" true
+    (Fuzz.Schedule.of_text (text ^ "\r\n\r\n") = sched);
+  (* trimming must not loosen what a line may contain *)
+  List.iter
+    (fun text ->
+      match Fuzz.Schedule.of_text text with
+      | exception Trace_io.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed schedule %S" text)
+    [ "fuzz-schedule v1\r\nS zero\r\n"; "fuzz-schedule v1\nS 0 1 2  \n" ]
 
 let test_schedule_rejects_malformed () =
   List.iter
@@ -221,8 +308,14 @@ let suite =
     Alcotest.test_case "safe scenarios clean" `Quick test_safe_scenarios_clean;
     Alcotest.test_case "budget truncates cleanly" `Quick
       test_budget_truncates_cleanly;
+    Alcotest.test_case "shrink truncation reasons" `Quick
+      test_shrink_truncation_reasons;
+    Alcotest.test_case "zero-coins canonicalization" `Quick
+      test_zero_coins_canonicalizes;
     Alcotest.test_case "schedule roundtrip cases" `Quick
       test_schedule_roundtrip_cases;
+    Alcotest.test_case "schedule CRLF + trailing whitespace" `Quick
+      test_schedule_crlf_and_trailing_whitespace;
     prop_schedule_roundtrip;
     Alcotest.test_case "schedule rejects malformed" `Quick
       test_schedule_rejects_malformed;

@@ -1,0 +1,255 @@
+(* Units for the observability layer: metric accumulators (counters,
+   watermarks, power-of-two histograms, merging), sinks (memory ordering,
+   atomic file flush), nested span timing with exception safety, the
+   line-JSON dump, and the throttled progress heartbeat. *)
+
+let contains = Test_util.contains
+
+(* ---- Metrics ---- *)
+
+let test_counters () =
+  let m = Obs.Metrics.create () in
+  Alcotest.(check int) "missing counter reads 0" 0 (Obs.Metrics.counter m "x");
+  Obs.Metrics.add m "x" 3;
+  Obs.Metrics.incr m "x";
+  Obs.Metrics.add m "y" 1;
+  Alcotest.(check int) "accumulated" 4 (Obs.Metrics.counter m "x");
+  (* counters are monotonic: non-positive deltas are dropped, they never
+     create a cell either *)
+  Obs.Metrics.add m "x" (-10);
+  Obs.Metrics.add m "zero" 0;
+  Alcotest.(check int) "negative add ignored" 4 (Obs.Metrics.counter m "x");
+  Alcotest.(check (list (pair string int)))
+    "snapshot sorted by name, no zero cells"
+    [ ("x", 4); ("y", 1) ]
+    (Obs.Metrics.counters m)
+
+let test_watermarks () =
+  let m = Obs.Metrics.create () in
+  Alcotest.(check int) "missing watermark reads 0" 0
+    (Obs.Metrics.watermark m "d");
+  Obs.Metrics.record_max m "d" 5;
+  Obs.Metrics.record_max m "d" 3;
+  Obs.Metrics.record_max m "d" 9;
+  Alcotest.(check int) "keeps the max" 9 (Obs.Metrics.watermark m "d");
+  Alcotest.(check (list (pair string int)))
+    "snapshot" [ ("d", 9) ] (Obs.Metrics.watermarks m)
+
+let test_histogram_buckets () =
+  let m = Obs.Metrics.create () in
+  Alcotest.(check bool) "missing histogram is None" true
+    (Obs.Metrics.histogram m "h" = None);
+  (* bucket bounds are inclusive upper edges 2^e, with one underflow
+     bucket (bound 0) for non-positive samples: 3 and 4 land in the
+     bucket bounded by 4; 0.5 in the one bounded by 0.5 *)
+  List.iter (Obs.Metrics.observe m "h") [ 3.; 4.; 0.5; 0.; -2.5 ];
+  match Obs.Metrics.histogram m "h" with
+  | None -> Alcotest.fail "histogram missing after observe"
+  | Some h ->
+      Alcotest.(check int) "count" 5 h.Obs.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" 5.0 h.Obs.Metrics.sum;
+      Alcotest.(check (float 1e-9)) "min" (-2.5) h.Obs.Metrics.min;
+      Alcotest.(check (float 1e-9)) "max" 4.0 h.Obs.Metrics.max;
+      Alcotest.(check (list (pair (float 1e-9) int)))
+        "power-of-two buckets, increasing bounds"
+        [ (0., 2); (0.5, 1); (4., 2) ]
+        h.Obs.Metrics.buckets
+
+let test_merge_into () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.add a "c" 2;
+  Obs.Metrics.add b "c" 3;
+  Obs.Metrics.add b "only-b" 1;
+  Obs.Metrics.record_max a "w" 7;
+  Obs.Metrics.record_max b "w" 4;
+  Obs.Metrics.observe a "h" 1.;
+  Obs.Metrics.observe b "h" 100.;
+  Obs.Metrics.merge_into ~into:a b;
+  Alcotest.(check int) "counters add" 5 (Obs.Metrics.counter a "c");
+  Alcotest.(check int) "src-only counter copied" 1
+    (Obs.Metrics.counter a "only-b");
+  Alcotest.(check int) "watermarks max" 7 (Obs.Metrics.watermark a "w");
+  (match Obs.Metrics.histogram a "h" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some h ->
+      Alcotest.(check int) "histogram counts add" 2 h.Obs.Metrics.count;
+      Alcotest.(check (float 1e-9)) "min of mins" 1. h.Obs.Metrics.min;
+      Alcotest.(check (float 1e-9)) "max of maxes" 100. h.Obs.Metrics.max;
+      Alcotest.(check int) "both buckets present" 2
+        (List.length h.Obs.Metrics.buckets));
+  (* src unchanged *)
+  Alcotest.(check int) "src counter intact" 3 (Obs.Metrics.counter b "c");
+  Alcotest.(check int) "src watermark intact" 4 (Obs.Metrics.watermark b "w")
+
+(* ---- Sinks ---- *)
+
+let test_memory_sink_ordering () =
+  let s = Obs.Sink.memory () in
+  Alcotest.(check bool) "memory enabled" true (Obs.Sink.enabled s);
+  Alcotest.(check bool) "null disabled" false (Obs.Sink.enabled Obs.Sink.null);
+  Obs.Sink.emit s "first";
+  Obs.Sink.emit s "second";
+  Obs.Sink.emit Obs.Sink.null "dropped";
+  Alcotest.(check (list string)) "emission order" [ "first"; "second" ]
+    (Obs.Sink.contents s);
+  Alcotest.(check (list string)) "null keeps nothing" []
+    (Obs.Sink.contents Obs.Sink.null)
+
+let test_file_sink_atomic_flush () =
+  let path = Filename.temp_file "randsync-obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let s = Obs.Sink.file path in
+      Obs.Sink.emit s "line one";
+      Obs.Sink.emit s "line two";
+      Obs.Sink.flush s;
+      let read () =
+        let ic = open_in_bin path in
+        let c = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        c
+      in
+      Alcotest.(check string) "newline-framed contents" "line one\nline two\n"
+        (read ());
+      (* the tmp staging file must not survive the rename *)
+      Alcotest.(check bool) "no tmp litter" false (Sys.file_exists (path ^ ".tmp"));
+      (* flushing again rewrites the same bytes *)
+      Obs.Sink.flush s;
+      Alcotest.(check string) "flush idempotent" "line one\nline two\n" (read ()))
+
+(* ---- spans ---- *)
+
+let test_span_nesting_and_exception_safety () =
+  let sink = Obs.Sink.memory () in
+  let obs = Obs.create ~sink () in
+  let v =
+    Obs.span (Some obs) "outer" (fun () ->
+        Obs.span (Some obs) "inner" (fun () -> 42))
+  in
+  Alcotest.(check int) "span returns the body's value" 42 v;
+  let count name =
+    match Obs.Metrics.histogram (Obs.metrics obs) name with
+    | Some h -> h.Obs.Metrics.count
+    | None -> 0
+  in
+  Alcotest.(check int) "outer span recorded" 1 (count "span/outer");
+  Alcotest.(check int) "nested path recorded" 1 (count "span/outer/inner");
+  (* the sink sees one line per completed span, innermost first *)
+  (match Obs.Sink.contents sink with
+  | [ l1; l2 ] ->
+      Alcotest.(check bool) "inner line first" true
+        (contains l1 {|"name":"outer/inner"|});
+      Alcotest.(check bool) "outer line second" true
+        (contains l2 {|"name":"outer"|})
+  | lines -> Alcotest.failf "expected 2 span lines, got %d" (List.length lines));
+  (* a raising body still closes (and records) its span, and the path
+     stack unwinds so later spans are not mis-nested under it *)
+  (try Obs.span (Some obs) "boom" (fun () -> raise Exit)
+   with Exit -> ());
+  Obs.span (Some obs) "after" (fun () -> ());
+  Alcotest.(check int) "raising span recorded" 1 (count "span/boom");
+  Alcotest.(check int) "path unwound" 1 (count "span/after");
+  Alcotest.(check int) "not nested under boom" 0 (count "span/boom/after");
+  (* all helpers are no-ops on None *)
+  Obs.add None "x" 1;
+  Obs.incr None "x";
+  Obs.record_max None "x" 1;
+  Obs.observe None "x" 1.;
+  Alcotest.(check int) "None span passes through" 7
+    (Obs.span None "ghost" (fun () -> 7))
+
+(* ---- dump ---- *)
+
+let test_dump_line_json () =
+  let sink = Obs.Sink.memory () in
+  let obs = Obs.create ~sink () in
+  Obs.add (Some obs) "b" 2;
+  Obs.add (Some obs) "a" 1;
+  Obs.record_max (Some obs) "depth" 5;
+  Obs.observe (Some obs) "lat" 0.5;
+  Obs.dump ~extra:[ ("cmd", "test"); ("k", "v") ] obs;
+  match Obs.Sink.contents sink with
+  | meta :: rest ->
+      Alcotest.(check bool) "meta line first" true
+        (contains meta {|"type":"meta"|} && contains meta {|"cmd":"test"|}
+        && contains meta {|"k":"v"|});
+      (* every line is one complete JSON object *)
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) ("framed: " ^ l) true
+            (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+        (meta :: rest);
+      let of_type ty =
+        List.filter (fun l -> contains l ({|"type":"|} ^ ty ^ {|"|})) rest
+      in
+      (match of_type "counter" with
+      | [ c1; c2 ] ->
+          Alcotest.(check bool) "counters name-sorted" true
+            (contains c1 {|"name":"a","value":1|}
+            && contains c2 {|"name":"b","value":2|})
+      | ls -> Alcotest.failf "expected 2 counter lines, got %d" (List.length ls));
+      Alcotest.(check int) "one watermark line" 1
+        (List.length (of_type "watermark"));
+      (match of_type "histogram" with
+      | [ h ] ->
+          Alcotest.(check bool) "histogram carries buckets" true
+            (contains h {|"name":"lat"|} && contains h {|"count":1|})
+      | ls ->
+          Alcotest.failf "expected 1 histogram line, got %d" (List.length ls))
+  | [] -> Alcotest.fail "dump emitted nothing"
+
+(* ---- progress heartbeat ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let c = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  c
+
+let test_heartbeat_throttles () =
+  let path = Filename.temp_file "randsync-obs" ".progress" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let out = open_out path in
+      let h =
+        Obs.Progress.heartbeat ~interval:3600. ~out
+          ~render:(fun ~nodes ~steps ->
+            Printf.sprintf "nodes=%d steps=%d" nodes steps)
+          ()
+      in
+      (* first call prints immediately; the rest fall inside the interval *)
+      h ~nodes:1 ~steps:2;
+      h ~nodes:3 ~steps:4;
+      h ~nodes:5 ~steps:6;
+      close_out out;
+      Alcotest.(check string) "exactly one heartbeat" "nodes=1 steps=2\n"
+        (read_file path);
+      (* a zero interval never throttles *)
+      let out = open_out path in
+      let h0 =
+        Obs.Progress.heartbeat ~interval:0. ~out
+          ~render:(fun ~nodes ~steps:_ -> string_of_int nodes)
+          ()
+      in
+      h0 ~nodes:1 ~steps:0;
+      h0 ~nodes:2 ~steps:0;
+      close_out out;
+      Alcotest.(check string) "unthrottled prints both" "1\n2\n"
+        (read_file path))
+
+let suite =
+  [
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "watermarks" `Quick test_watermarks;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "merge_into" `Quick test_merge_into;
+    Alcotest.test_case "memory sink ordering" `Quick test_memory_sink_ordering;
+    Alcotest.test_case "file sink atomic flush" `Quick
+      test_file_sink_atomic_flush;
+    Alcotest.test_case "span nesting + exception safety" `Quick
+      test_span_nesting_and_exception_safety;
+    Alcotest.test_case "dump line-JSON" `Quick test_dump_line_json;
+    Alcotest.test_case "heartbeat throttles" `Quick test_heartbeat_throttles;
+  ]

@@ -142,6 +142,45 @@ let test_deadline_trips_and_sets_cancel () =
      sharing the budget stop claiming chunks *)
   Alcotest.(check bool) "cancel token set by the trip" true (Cancel.is_set c)
 
+let test_zero_deadline_trips_first_poll () =
+  (* the regression pin: the deadline check is [>=], so an already-due
+     deadline trips the very first poll even when gettimeofday returns
+     the same instant [make] stamped — a strict [>] made ~deadline:0.
+     (and CLI --deadline 0s) depend on clock granularity *)
+  let m = Budget.Meter.create ~poll_every:1 (Budget.make ~deadline:0. ()) in
+  Alcotest.(check bool) "first tick trips" true
+    (Budget.Meter.tick_node m = Some `Deadline);
+  Alcotest.(check int) "no node admitted" 0 (Budget.Meter.nodes m);
+  (* step ticks see the same horizon *)
+  let m = Budget.Meter.create ~poll_every:1 (Budget.make ~deadline:0. ()) in
+  Alcotest.(check bool) "first step tick trips" true
+    (Budget.Meter.tick_step m = Some `Deadline)
+
+let test_on_poll_hook_and_polls_counter () =
+  (* the --progress vehicle: a budget carrying only an observer hook is
+     not unlimited (it needs a meter for its cadence), the hook fires
+     once per poll boundary with the consumed counts, and [polls]
+     counts exactly those boundary checks *)
+  let fired = ref [] in
+  let b =
+    Budget.make
+      ~on_poll:(fun ~nodes ~steps -> fired := (nodes, steps) :: !fired)
+      ()
+  in
+  Alcotest.(check bool) "observer-only budget binds" false
+    (Budget.is_unlimited b);
+  let m = Budget.Meter.create ~poll_every:2 b in
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "observer never trips" true
+      (Budget.Meter.tick_node m = None)
+  done;
+  (* boundaries at counts 0, 2, 4 *)
+  Alcotest.(check int) "three polls" 3 (Budget.Meter.polls m);
+  Alcotest.(check (list (pair int int)))
+    "hook saw the consumed counts"
+    [ (4, 0); (2, 0); (0, 0) ]
+    !fired
+
 let test_guard_raises () =
   let m = Budget.Meter.create (Budget.make ~nodes:1 ()) in
   Budget.Meter.guard_node m;
@@ -188,6 +227,10 @@ let suite =
       test_poll_every_rounds_to_pow2;
     Alcotest.test_case "deadline trips, sets cancel" `Quick
       test_deadline_trips_and_sets_cancel;
+    Alcotest.test_case "zero deadline trips first poll" `Quick
+      test_zero_deadline_trips_first_poll;
+    Alcotest.test_case "on_poll hook + polls counter" `Quick
+      test_on_poll_hook_and_polls_counter;
     Alcotest.test_case "guard raises Exhausted" `Quick test_guard_raises;
     Alcotest.test_case "unlimited meter never trips" `Quick
       test_unlimited_meter_never_trips;
