@@ -487,6 +487,8 @@ let fuzz_bench_scenarios = [
     ("mutex-naive-flag", 1000);
     ("mutex-peterson-2", 1000);
     ("lin-collect-counter", 400);
+    ("lin-consensus-swap", 400);
+    ("lin-tas-rand", 400);
   ]
 
 let fuzz_bench () =

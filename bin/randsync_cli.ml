@@ -19,13 +19,17 @@ open Cmdliner
      3  truncated: a --deadline/--max-nodes budget cut the answer short
         before anything conclusive — the verdict is an under-approximation
      4  an attack construction failed for a reason other than a budget
-   Scripts can branch on "did it break" (2) vs "did it finish" (3)
-   without parsing output. *)
+     5  a progress violation was demonstrated (fuzz: a deadlocked or
+        starved call the drain probe could never finish — safety held,
+        liveness did not)
+   Scripts can branch on "did it break" (2), "did it hang" (5) and "did
+   it finish" (3) without parsing output. *)
 module Exit_code = struct
   let bad_args = 1
   let violation = 2
   let truncated = 3
   let attack_failed = 4
+  let progress = 5
 end
 
 let find_protocol name =
@@ -545,8 +549,10 @@ let fuzz_cmd =
   let scenario_arg =
     let doc =
       "Scenario: a builtin (flawed, lin-collect-counter, \
-       lin-snapshot-counter, mutex-peterson-2, mutex-naive-flag, \
-       mutex-swap-lock) or any protocol name from `randsync list`."
+       lin-snapshot-counter, lin-lock-counter, lin-stuck-counter, \
+       lin-consensus-swap, lin-tas-rand, mutex-peterson-2, \
+       mutex-naive-flag, mutex-swap-lock) or any protocol name from \
+       `randsync list`."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
   in
@@ -608,7 +614,11 @@ let fuzz_cmd =
               | Some path ->
                   Sim.Trace_io.save_text ~path cex.Fuzz.Campaign.artifact;
                   Fmt.pr "counterexample saved to %s@." path);
-              Exit_code.violation
+              (* progress failures get their own code: the object stayed
+                 safe but a call can never finish *)
+              (match cex.Fuzz.Campaign.violation with
+              | Fuzz.Scenario.Stuck -> Exit_code.progress
+              | _ -> Exit_code.violation)
         in
         dump_metrics obs
           ~extra:

@@ -16,6 +16,7 @@ let show_verdict = function
   | Linearize.Linearizable _ -> "linearizable"
   | Linearize.Not_linearizable -> "NOT linearizable"
   | Linearize.Unknown -> "unknown (budget)"
+  | Linearize.Malformed d -> "malformed: " ^ d
 
 let () =
   print_endline "1. the flawed single-collect counter, refuted by a directed schedule:";

@@ -1,0 +1,87 @@
+(* Randomized binary consensus for ANONYMOUS processes — everyone runs
+   the identical code, no pids anywhere (Gelashvili's setting, "On the
+   optimal space complexity of consensus for anonymous processes"): the
+   Section 3.1 assumption of the paper taken literally, so this protocol
+   is attackable by [Lowerbound.Attack] yet correct under it (the attack
+   needs non-binary freedom it does not have here).
+
+   Single-writer registers are useless without identity, so everything is
+   multi-writer and the rw-3n collect idiom is unavailable.  Instead each
+   round r owns four fresh multi-writer registers: presence bits
+   a_r[0], a_r[1], a proposal register d_r and a conciliator c_r.
+
+     conciliator: read c_r; non-empty means adopt that value; empty
+       means a local coin decides whether to publish the own preference
+       first (kept either way).  Constant probability that the round
+       leaves everybody with equal preferences.
+     adopt-commit: announce a_r[pref] := 1, then read d_r — adopt its
+       value if set, publish pref otherwise; COMMIT the result v iff
+       a_r[1-v] is still clear.  Announce-before-d_r-read makes commits
+       stable: any root dissenter (one whose d_r read was empty) announced
+       before the first d_r write, hence before the committer's presence
+       check, which would then have seen its bit.  A commit decides; an
+       adopt carries the value into round r+1.
+
+   Safety is anonymous, coin-free and n-free; termination holds with
+   probability 1 against the oblivious schedulers used in the test rig.
+   Rounds are capped by the register bank (64); a capped process spins
+   rather than ever deciding wrongly. *)
+
+open Sim
+open Objects
+
+let rounds = 64
+
+let presence r v = (4 * r) + v
+let proposal r = (4 * r) + 2
+let conciliator r = (4 * r) + 3
+
+let code ~n:_ ~pid:_ ~input =
+  let open Proc in
+  let rec cap_spin () =
+    let* _ = apply (proposal (rounds - 1)) Register.read in
+    cap_spin ()
+  in
+  let rec round r pref =
+    if r >= rounds then cap_spin ()
+    else
+      let* cur = apply (conciliator r) Register.read in
+      let* pref =
+        match cur with
+        | Value.Int x -> return x
+        | _ ->
+            let* publish = flip in
+            if publish then
+              let* _ =
+                apply (conciliator r) (Register.write (Value.int pref))
+              in
+              return pref
+            else return pref
+      in
+      let* _ = apply (presence r pref) (Register.write (Value.int 1)) in
+      let* d = apply (proposal r) Register.read in
+      let* pref =
+        match d with
+        | Value.Int x -> return x
+        | _ ->
+            let* _ = apply (proposal r) (Register.write (Value.int pref)) in
+            return pref
+      in
+      let* other = apply (presence r (1 - pref)) Register.read in
+      match other with
+      | Value.Int 1 -> round (r + 1) pref
+      | _ -> decide pref
+  in
+  round 0 input
+
+let protocol : Protocol.t =
+  {
+    name = "anon-rw";
+    kind = `Randomized;
+    identical = true;
+    supports_n = (fun n -> n >= 1);
+    optypes =
+      (fun ~n:_ ->
+        List.init (4 * rounds) (fun _ -> Register.optype ~init:Value.none ()));
+    code;
+  }

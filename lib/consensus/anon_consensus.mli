@@ -1,0 +1,7 @@
+(** Randomized binary consensus for anonymous processes (identical code,
+    no pids — Gelashvili's setting) from multi-writer registers:
+    per-round presence bits + proposal + conciliator, adopt-commit style.
+    Safety is coin- and n-independent; termination with probability 1
+    under the oblivious schedulers of the test rig. *)
+
+val protocol : Protocol.t

@@ -7,6 +7,7 @@ let correct : Protocol.t list =
     Fa_consensus.protocol;
     Counter_consensus.protocol;
     Rw_consensus.protocol;
+    Anon_consensus.protocol;
     Tas2.protocol;
     Swap2.protocol;
     Queue2.protocol;

@@ -12,13 +12,14 @@
 
 open Sim
 
-type violation = Inconsistent | Invalid | Not_linearizable | Exclusion
+type violation = Inconsistent | Invalid | Not_linearizable | Exclusion | Stuck
 
 let violation_to_string = function
   | Inconsistent -> "inconsistent"
   | Invalid -> "invalid"
   | Not_linearizable -> "not-linearizable"
   | Exclusion -> "exclusion"
+  | Stuck -> "stuck"
 
 (* The weighted adversarial schedule families.  [Crashing] degrades to
    [Uniform] for scenarios without crash machinery (the linearizability
@@ -168,23 +169,45 @@ let mutex ?(n = 2) ?(max_steps = 512) (m : Mutex.t) =
 
 (* Implementations are driven through [Objimpl.Harness] with a *fixed*
    workload and a fuzzer-chosen pid schedule, so the schedule alone
-   determines the run (Fixed schedules resolve coins from a pinned seed).
-   Crash injection does not exist in the harness; [Crashing] degrades to
-   [Uniform]. *)
+   determines the run (Fixed schedules resolve coins from a pinned seed;
+   [`Crash p] entries map to harness crash points at their tick).  Every
+   recorded history is judged by BOTH linearizability oracles through
+   {!Lin.Cross} — a decisive disagreement raises [Lin.Cross.Divergence]
+   rather than picking a side — and the drain probe turns residual
+   in-flight calls into a [Stuck] verdict.  A [Blocking] implementation
+   is excused from [Stuck] only when a crash happened: a deadlock with
+   everyone alive violates even deadlock-freedom. *)
 let lin ~name ?(n = 3) ?(len = 160) ?(max_steps = 10_000) impl ~workload =
-  let pids_of schedule =
-    List.filter_map
-      (function `Step (pid, _) -> Some pid | `Crash _ -> None)
-      schedule
-  in
-  let judge pids =
-    let _outcome, verdict =
-      Objimpl.Harness.run_and_check impl ~n ~workload
-        ~schedule:(Objimpl.Harness.Fixed pids) ~max_steps ()
+  let split schedule =
+    (* Fixed pid list + harness crash points; a [`Crash p] fires before
+       the schedule entry that follows it (tick = Steps seen so far) *)
+    let rec go ticks pids crashes = function
+      | [] -> (List.rev pids, List.rev crashes)
+      | `Step (pid, _) :: rest -> go (ticks + 1) (pid :: pids) crashes rest
+      | `Crash p :: rest -> go ticks pids ((ticks, p) :: crashes) rest
     in
-    match verdict with
-    | Objimpl.Linearize.Not_linearizable -> Some Not_linearizable
-    | Objimpl.Linearize.Linearizable _ | Objimpl.Linearize.Unknown -> None
+    go 0 [] [] schedule
+  in
+  let judge schedule =
+    let pids, crashes = split schedule in
+    let outcome =
+      Objimpl.Harness.run impl ~n ~workload
+        ~schedule:(Objimpl.Harness.Fixed pids) ~max_steps ~crashes ~probe:true
+        ()
+    in
+    match
+      Lin.Cross.verdict impl.Objimpl.Implementation.spec
+        outcome.Objimpl.Harness.history
+    with
+    | Objimpl.Linearize.Not_linearizable | Objimpl.Linearize.Malformed _ ->
+        Some Not_linearizable
+    | Objimpl.Linearize.Linearizable _ | Objimpl.Linearize.Unknown ->
+        let excused =
+          impl.Objimpl.Implementation.progress = Objimpl.Implementation.Blocking
+          && outcome.Objimpl.Harness.crashed <> []
+        in
+        if outcome.Objimpl.Harness.stuck <> [] && not excused then Some Stuck
+        else None
   in
   let gen_pids rng kind =
     match kind with
@@ -196,6 +219,24 @@ let lin ~name ?(n = 3) ?(len = 160) ?(max_steps = 10_000) impl ~workload =
               (victim + 1 + Rng.int rng (n - 1)) mod n
             else victim)
   in
+  let gen_schedule rng kind : Schedule.t =
+    let steps = List.map (fun pid -> `Step (pid, None)) (gen_pids rng kind) in
+    match kind with
+    | Uniform | Starving -> steps
+    | Crashing ->
+        (* up to n-1 crash points at random ticks, survivors keep going *)
+        let crashes = gen_crashes rng ~n in
+        List.fold_left
+          (fun sched (at, p) ->
+            let at = min at (List.length sched) in
+            let rec insert i = function
+              | rest when i = 0 -> `Crash p :: rest
+              | [] -> [ `Crash p ]
+              | e :: rest -> e :: insert (i - 1) rest
+            in
+            insert at sched)
+          steps crashes
+  in
   {
     name;
     describe =
@@ -204,13 +245,13 @@ let lin ~name ?(n = 3) ?(len = 160) ?(max_steps = 10_000) impl ~workload =
         (List.fold_left (fun acc (_, ops) -> acc + List.length ops) 0 workload);
     gen =
       (fun rng kind ->
-        let pids = gen_pids rng kind in
+        let schedule = gen_schedule rng kind in
         {
-          schedule = List.map (fun pid -> `Step (pid, None)) pids;
-          violation = judge pids;
-          steps = List.length pids;
+          schedule;
+          violation = judge schedule;
+          steps = Schedule.steps schedule;
         });
-    replay = (fun schedule -> judge (pids_of schedule));
+    replay = judge;
     artifact = (fun schedule -> Schedule.to_text schedule);
   }
 
@@ -236,6 +277,26 @@ let builtins =
       ~workload:counter_workload;
     lin ~name:"lin-snapshot-counter" Objimpl.Counters.snapshot
       ~workload:counter_workload;
+    (* correct lock-based counter: Blocking, so crash-induced residue is
+       excused, but a no-crash deadlock would still be Stuck *)
+    lin ~name:"lin-lock-counter" Objimpl.Locked_counter.locked
+      ~workload:counter_workload;
+    (* the planted deadlock: release leaves the lock held, so any later
+       acquire spins forever even solo — the Stuck specimen *)
+    lin ~name:"lin-stuck-counter" Objimpl.Locked_counter.leaky
+      ~workload:counter_workload;
+    lin ~name:"lin-consensus-swap" ~n:2 Objimpl.Consensus_obj.implementation
+      ~workload:
+        [
+          (0, [ Objects.Sticky.propose_int 7; Objects.Sticky.read ]);
+          (1, [ Objects.Sticky.propose_int 9; Objects.Sticky.read ]);
+        ];
+    lin ~name:"lin-tas-rand" ~n:2 Objimpl.Tas_rand.implementation
+      ~workload:
+        [
+          (0, [ Objects.Test_and_set.test_and_set; Objects.Test_and_set.read ]);
+          (1, [ Objects.Test_and_set.test_and_set; Objects.Test_and_set.read ]);
+        ];
     mutex ~n:2 Mutex.peterson;
     mutex ~n:2 Mutex.naive_flag;
     mutex ~n:3 Mutex.tas_lock;

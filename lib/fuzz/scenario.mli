@@ -1,7 +1,9 @@
 (** Fuzzable scenarios: a uniform face over the three workload families
     the repo simulates — consensus (agreement/validity via
     {!Sim.Checker}), mutual exclusion (occupancy invariant), and object
-    implementations (linearizability via {!Objimpl.Linearize}).
+    implementations (linearizability via the {!Lin.Cross} differential
+    oracle pair, plus [Stuck] progress verdicts from the
+    {!Objimpl.Harness} drain probe).
 
     Each scenario can run once under a freshly drawn adversarial schedule
     (recording the schedule it used) and can replay any schedule
@@ -10,12 +12,13 @@
 
 open Sim
 
-type violation = Inconsistent | Invalid | Not_linearizable | Exclusion
+type violation = Inconsistent | Invalid | Not_linearizable | Exclusion | Stuck
 
 val violation_to_string : violation -> string
 
-(** Adversarial schedule families drawn per run.  [Crashing] degrades to
-    [Uniform] for scenarios without crash machinery. *)
+(** Adversarial schedule families drawn per run.  For linearizability
+    scenarios [Crashing] injects harness crash points ([`Crash] schedule
+    entries); elsewhere it uses {!Sim.Run.exec_with_crashes}. *)
 type sched_kind = Uniform | Starving | Crashing
 
 val all_kinds : sched_kind list
@@ -50,6 +53,12 @@ val consensus :
 
 val mutex : ?n:int -> ?max_steps:int -> Mutex.t -> t
 
+(** Linearizability-and-progress scenarios.  Every recorded history is
+    judged by both oracles ({!Lin.Cross.verdict} — raises
+    {!Lin.Cross.Divergence} on decisive disagreement); the drain probe
+    runs on every replay, and residual in-flight calls yield [Stuck]
+    unless the implementation is {!Objimpl.Implementation.Blocking} and
+    the schedule crashed somebody. *)
 val lin :
   name:string ->
   ?n:int ->
@@ -61,7 +70,9 @@ val lin :
 
 (** The packaged table: ["flawed"] (the planted broken register
     consensus), [lin-collect-counter], [lin-snapshot-counter],
-    [mutex-peterson-2], [mutex-naive-flag], [mutex-swap-lock]. *)
+    [lin-lock-counter], [lin-stuck-counter] (the planted deadlock),
+    [lin-consensus-swap], [lin-tas-rand], [mutex-peterson-2],
+    [mutex-naive-flag], [mutex-swap-lock]. *)
 val builtins : t list
 
 (** Builtins first, then any protocol name from {!Consensus.Registry}

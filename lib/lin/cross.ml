@@ -1,0 +1,65 @@
+(* The differential-testing harness: every history is judged by BOTH
+   oracles — the Wing-Gong order-enumeration checker
+   ({!Objimpl.Linearize}) and the Lowe configuration-graph DFS ({!Dfs}) —
+   and any decisive disagreement raises {!Divergence} with enough
+   material to reproduce and pin it.  The cross-check is the product:
+   with two independently written algorithms over independently designed
+   search spaces, a bug in either has to be mirrored exactly in the other
+   to go unnoticed. *)
+
+module History = Objimpl.History
+module Linearize = Objimpl.Linearize
+
+type report = {
+  history : History.t;
+  wing_gong : Linearize.verdict;
+  lowe : Dfs.verdict;
+}
+
+exception Divergence of report
+
+let wing_gong_name = function
+  | Linearize.Linearizable _ -> "linearizable"
+  | Linearize.Not_linearizable -> "not-linearizable"
+  | Linearize.Unknown -> "unknown"
+  | Linearize.Malformed d -> "malformed: " ^ d
+
+let lowe_name = function
+  | Dfs.Accepted _ -> "accepted"
+  | Dfs.Rejected -> "rejected"
+  | Dfs.Unknown -> "unknown"
+  | Dfs.Malformed d -> "malformed: " ^ d
+
+(* [Unknown] on either side defers to the other: a budgeted answer is an
+   under-approximation, not a disagreement.  Decisive answers must match,
+   malformedness included (both run the same validator, so even the
+   diagnostics must agree). *)
+let agree (wg : Linearize.verdict) (lowe : Dfs.verdict) =
+  match (wg, lowe) with
+  | Linearize.Unknown, _ | _, Dfs.Unknown -> true
+  | Linearize.Linearizable _, Dfs.Accepted _ -> true
+  | Linearize.Not_linearizable, Dfs.Rejected -> true
+  | Linearize.Malformed a, Dfs.Malformed b -> a = b
+  | _ -> false
+
+let render { history; wing_gong; lowe } =
+  Printf.sprintf
+    "LINEARIZATION ORACLE DIVERGENCE\nwing-gong: %s\nlowe-dfs:  %s\nhistory:\n%s"
+    (wing_gong_name wing_gong) (lowe_name lowe) (History.to_string history)
+
+let both ?max_nodes ?max_configs spec history =
+  let wing_gong = Linearize.check ?max_nodes spec history in
+  let lowe = Dfs.check ?max_configs spec history in
+  let r = { history; wing_gong; lowe } in
+  if not (agree wing_gong lowe) then raise (Divergence r);
+  r
+
+(* One resolved verdict in the {!Objimpl.Linearize} vocabulary: the
+   Wing-Gong answer unless it ran out of budget and the DFS did not. *)
+let verdict ?max_nodes ?max_configs spec history =
+  let r = both ?max_nodes ?max_configs spec history in
+  match (r.wing_gong, r.lowe) with
+  | Linearize.Unknown, Dfs.Accepted w -> Linearize.Linearizable w
+  | Linearize.Unknown, Dfs.Rejected -> Linearize.Not_linearizable
+  | Linearize.Unknown, Dfs.Malformed d -> Linearize.Malformed d
+  | wg, _ -> wg

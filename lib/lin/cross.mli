@@ -1,0 +1,36 @@
+(** The differential-testing harness: run both linearizability oracles on
+    a history and fail loudly on disagreement. *)
+
+type report = {
+  history : Objimpl.History.t;
+  wing_gong : Objimpl.Linearize.verdict;
+  lowe : Dfs.verdict;
+}
+
+(** Raised when the oracles decisively disagree. *)
+exception Divergence of report
+
+(** [Unknown] on either side defers to the other; decisive answers must
+    match ([Malformed] diagnostics included). *)
+val agree : Objimpl.Linearize.verdict -> Dfs.verdict -> bool
+
+(** A committable artifact describing a divergence. *)
+val render : report -> string
+
+(** Run both oracles; raise {!Divergence} on disagreement. *)
+val both :
+  ?max_nodes:int ->
+  ?max_configs:int ->
+  Sim.Optype.t ->
+  Objimpl.History.t ->
+  report
+
+(** Like {!both}, resolved to one {!Objimpl.Linearize.verdict}: the
+    Wing-Gong answer, except an [Unknown] is upgraded by a decisive DFS
+    answer. *)
+val verdict :
+  ?max_nodes:int ->
+  ?max_configs:int ->
+  Sim.Optype.t ->
+  Objimpl.History.t ->
+  Objimpl.Linearize.verdict

@@ -1,0 +1,19 @@
+(** A Lowe-style configuration-graph DFS linearizability oracle over
+    {!Objimpl.History} logs — independent of {!Objimpl.Linearize}, so the
+    two can cross-check each other (see {!Cross}). *)
+
+open Sim
+
+type verdict =
+  | Accepted of Objimpl.History.call list
+      (** a witness order; may place pending calls *)
+  | Rejected
+  | Unknown  (** configuration budget exhausted, or > 62 calls *)
+  | Malformed of string  (** failed {!Objimpl.History.validate} *)
+
+(** Judges the history — pending calls included, Herlihy–Wing style,
+    same stance as {!Objimpl.Linearize.check} — after validating
+    well-formedness. *)
+val check : ?max_configs:int -> Optype.t -> Objimpl.History.t -> verdict
+
+val is_accepted : ?max_configs:int -> Optype.t -> Objimpl.History.t -> bool

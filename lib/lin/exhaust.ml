@@ -1,0 +1,42 @@
+(* Exhaustive schedule sweep: run a small workload under EVERY fixed pid
+   schedule up to a length bound and push every recorded history through
+   the differential oracle pair.  For n processes and bound L this visits
+   (n^(L+1)-1)/(n-1) schedules — n=2, L=13 is already 16383 histories, the
+   workhorse behind the "both oracles agree on >= 10^4 histories per suite
+   run" acceptance bar.  Histories here are tiny (a few calls), so the
+   sweep is fast; any disagreement escapes as {!Cross.Divergence}. *)
+
+module Harness = Objimpl.Harness
+module Implementation = Objimpl.Implementation
+
+type stats = {
+  histories : int;  (** runs performed = histories cross-checked *)
+  accepted : int;
+  rejected : int;
+}
+
+let sweep ?(max_len = 12) ?(coin_seed = 0) ?max_nodes ?max_configs ~n ~workload
+    (impl : Implementation.t) =
+  let histories = ref 0 and accepted = ref 0 and rejected = ref 0 in
+  let rec go rev_prefix len =
+    let outcome =
+      Harness.run impl ~n ~workload
+        ~schedule:(Harness.Fixed (List.rev rev_prefix))
+        ~coin_seed ()
+    in
+    let r =
+      Cross.both ?max_nodes ?max_configs impl.Implementation.spec
+        outcome.Harness.history
+    in
+    incr histories;
+    (match r.Cross.wing_gong with
+    | Objimpl.Linearize.Linearizable _ -> incr accepted
+    | Objimpl.Linearize.Not_linearizable -> incr rejected
+    | _ -> ());
+    if len < max_len then
+      for pid = 0 to n - 1 do
+        go (pid :: rev_prefix) (len + 1)
+      done
+  in
+  go [] 0;
+  { histories = !histories; accepted = !accepted; rejected = !rejected }

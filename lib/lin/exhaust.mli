@@ -1,0 +1,22 @@
+(** Exhaustive fixed-schedule sweep feeding the differential oracle pair:
+    every pid schedule up to [max_len] over [n] processes, every recorded
+    history judged by both checkers.  Raises {!Cross.Divergence} on any
+    disagreement. *)
+
+open Sim
+
+type stats = {
+  histories : int;  (** runs performed = histories cross-checked *)
+  accepted : int;
+  rejected : int;
+}
+
+val sweep :
+  ?max_len:int ->
+  ?coin_seed:int ->
+  ?max_nodes:int ->
+  ?max_configs:int ->
+  n:int ->
+  workload:(int * Op.t list) list ->
+  Objimpl.Implementation.t ->
+  stats

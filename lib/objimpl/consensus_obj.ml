@@ -1,0 +1,65 @@
+(* A 2-process consensus (sticky-bit) object from ONE swap register and
+   read-write registers — the related-work object of Ovens ("The space
+   complexity of consensus from swap", 2023): a single swap register plus
+   registers solves 2-process consensus deterministically and wait-free,
+   matching swap's consensus number 2 (cf. {!Consensus.Swap2}, the same
+   race packaged as a protocol rather than an implemented object).
+
+   Layout: object 0 is the swap register (0 = untouched), objects 1 and 2
+   are single-writer proposal registers, object 3 caches the decision.
+
+     PROPOSE(v) by pid: if the decision register is set, return it
+       (handles repeated proposals after the object stuck); else publish v
+       in the own proposal register, swap 1 into the race object; the
+       first swapper (old = 0) wins with its own value, the loser reads
+       the winner's proposal — published before the winner's swap, so
+       never empty.  Both write the decision register before returning.
+     READ returns the decision register as-is (None until some proposal
+       completes — any such read linearizes before the winning propose).
+
+   The implemented type is exactly {!Objects.Sticky}, whose consensus
+   number is infinite; with 2 processes this implementation realizes it
+   from historyless base objects only. *)
+
+open Sim
+open Objects
+
+let spec = Optype.rename (Sticky.optype ()) "sticky(spec)"
+
+let base ~n:_ =
+  [
+    Swap_register.optype ~init:(Value.int 0) ();
+    Register.optype ~init:Value.none ();
+    Register.optype ~init:Value.none ();
+    Register.optype ~init:Value.none ();
+  ]
+
+let race = 0
+let proposal pid = 1 + pid
+let dec = 3
+
+let procedure ~n:_ ~pid (op : Op.t) : Value.t Proc.t =
+  let open Proc in
+  match op.Op.name with
+  | "read" -> apply dec Register.read
+  | "propose" -> (
+      let* cached = apply dec Register.read in
+      match cached with
+      | Value.Opt (Some w) -> return w
+      | _ ->
+          let* _ = apply (proposal pid) (Register.write op.Op.arg) in
+          let* old = apply race (Swap_register.swap (Value.int 1)) in
+          let* winner =
+            if Value.to_int old = 0 then return op.Op.arg
+            else
+              let* theirs = apply (proposal (1 - pid)) Register.read in
+              return theirs
+          in
+          let* _ = apply dec (Register.write (Value.some winner)) in
+          return winner)
+  | _ -> Optype.bad_op "consensus-from-swap" op
+
+(* 2 processes only: the loser reads "the other" proposal register *)
+let implementation =
+  Implementation.make ~name:"consensus-from-swap" ~spec ~base ~procedure
+    ~progress:Implementation.Wait_free

@@ -1,0 +1,5 @@
+(** A 2-process consensus (sticky-bit) object from one swap register plus
+    read-write registers (Ovens 2023); wait-free, [n = 2] only. *)
+
+val spec : Sim.Optype.t
+val implementation : Implementation.t

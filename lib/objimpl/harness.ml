@@ -3,10 +3,20 @@
 
    Each process is given a planned sequence of operations on the
    implemented object; the harness interleaves the *base-object steps* of
-   the procedures under a seeded random (or fixed) schedule, recording an
-   invocation event when a call starts and a response event when its
-   procedure decides.  The recorded {!History.t} is then judged by
-   {!Linearize.check} against the implementation's sequential spec. *)
+   the procedures under a seeded random, fixed, or starving schedule,
+   recording an invocation event when a call starts and a response event
+   when its procedure decides.  The recorded {!History.t} is then judged
+   by {!Linearize.check} against the implementation's sequential spec.
+
+   Progress is judged by the {e drain probe} (Lowe's progress-testing
+   idea): after the adversarial schedule ends, every in-flight call of a
+   surviving process is repeatedly offered a solo run — its own steps
+   only, coins resolved from deterministic streams — and completions keep
+   their effects, so a call that can only be unblocked by {e another}
+   pending call finishing first (a lock holder still inside its critical
+   section) is found by the fixpoint.  Calls that no iteration can finish
+   are reported in [stuck]: with nobody crashed that is a deadlock, which
+   even a [Blocking] implementation must not exhibit. *)
 
 open Sim
 
@@ -14,19 +24,33 @@ type outcome = {
   history : History.t;
   steps : int;
   completed : bool;  (** every planned call responded *)
+  pids : int list;
+      (** the pids actually stepped, in order — replaying them as [Fixed]
+          with the same [coin_seed] and [crashes] reproduces the run *)
+  crashed : int list;  (** pids killed by [crashes], ascending *)
+  stuck : (int * int) list;
+      (** (pid, call id) of surviving in-flight calls the drain probe
+          could not finish; empty unless [probe] was set *)
 }
 
-type schedule = Random_sched of int  (** seed *) | Fixed of int list
+type schedule =
+  | Random_sched of int  (** seed *)
+  | Fixed of int list
+  | Starving of { victim : int; seed : int; len : int }
+      (** the victim moves only when no other process is active — the
+          {!Sim.Sched.starving} adversary, transplanted to the harness *)
 
 (* per-process driver state *)
 type slot = {
   mutable current : Value.t Proc.t option;  (** in-flight procedure *)
   mutable call_id : int;  (** id of the in-flight call *)
   mutable remaining : Op.t list;
+  mutable crashed : bool;
 }
 
 let run (impl : Implementation.t) ~n ~workload ~schedule ?(coin_seed = 0)
-    ?(max_steps = 100_000) () =
+    ?(max_steps = 100_000) ?(crashes = []) ?(probe = false)
+    ?(solo_bound = 4096) () =
   let optypes = Array.of_list (impl.Implementation.base ~n) in
   let objects = Array.map (fun (ot : Optype.t) -> ot.Optype.init) optypes in
   let slots =
@@ -36,24 +60,30 @@ let run (impl : Implementation.t) ~n ~workload ~schedule ?(coin_seed = 0)
           call_id = -1;
           remaining =
             (match List.assoc_opt pid workload with Some ops -> ops | None -> []);
+          crashed = false;
         })
   in
   let history = ref [] in
   let next_call_id = ref 0 in
-  (* [Fixed] schedules resolve internal coin flips from [coin_seed]
-     (default 0), so a fixed pid list is a complete, replayable record of
-     the run — the property the fuzzer's shrinker relies on. *)
+  (* [Fixed] and [Starving] schedules resolve internal coin flips from
+     [coin_seed] (default 0), so a fixed pid list — or the [pids] a
+     starving run realized — is a complete, replayable record of the run:
+     the property the fuzzer's shrinker relies on.  [Random_sched] keeps
+     its historical contract of one rng shared by scheduling and coins. *)
   let rng =
     match schedule with
     | Random_sched seed -> Rng.create seed
-    | Fixed _ -> Rng.create coin_seed
+    | Fixed _ | Starving _ -> Rng.create coin_seed
   in
-  let fixed = ref (match schedule with Fixed pids -> pids | Random_sched _ -> []) in
+  let sched_rng =
+    match schedule with Starving { seed; _ } -> Rng.create seed | _ -> rng
+  in
+  let fixed = ref (match schedule with Fixed pids -> pids | _ -> []) in
   (* start the next call of [pid] if idle and work remains *)
   let refill pid =
     let slot = slots.(pid) in
     match (slot.current, slot.remaining) with
-    | None, op :: rest ->
+    | None, op :: rest when not slot.crashed ->
         let id = !next_call_id in
         incr next_call_id;
         slot.current <- Some (impl.Implementation.procedure ~n ~pid op);
@@ -65,30 +95,55 @@ let run (impl : Implementation.t) ~n ~workload ~schedule ?(coin_seed = 0)
   Array.iteri (fun pid _ -> refill pid) slots;
   let active () =
     List.filter
-      (fun pid -> slots.(pid).current <> None)
+      (fun pid -> slots.(pid).current <> None && not slots.(pid).crashed)
       (List.init n Fun.id)
   in
   let steps = ref 0 in
+  (* schedule entries consumed so far — the clock crash points count
+     against (a Fixed entry that finds its pid idle still ticks, so crash
+     indices survive replay of the same pid list) *)
+  let ticks = ref 0 in
+  let realized = ref [] in
+  let crash_list = ref (List.sort compare crashes) in
+  let fire_due_crashes () =
+    let rec go () =
+      match !crash_list with
+      | (at, pid) :: rest when at <= !ticks ->
+          crash_list := rest;
+          if pid >= 0 && pid < n && not slots.(pid).crashed then (
+            let slot = slots.(pid) in
+            slot.crashed <- true;
+            (* the in-flight call never responds; planned work is lost *)
+            slot.remaining <- []);
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
   let step pid =
     let slot = slots.(pid) in
-    match slot.current with
-    | None -> ()
-    | Some proc -> (
-        incr steps;
-        match proc with
-        | Proc.Decide value ->
-            history :=
-              History.Res { call = slot.call_id; pid; value } :: !history;
-            slot.current <- None;
-            refill pid
-        | Proc.Apply { obj; op; k } ->
-            let value', resp = Optype.apply optypes.(obj) objects.(obj) op in
-            objects.(obj) <- value';
-            slot.current <- Some (k resp)
-        | Proc.Choose { n = outcomes; k } ->
-            slot.current <- Some (k (Rng.int rng outcomes)))
+    if slot.crashed then ()
+    else
+      match slot.current with
+      | None -> ()
+      | Some proc -> (
+          incr steps;
+          realized := pid :: !realized;
+          match proc with
+          | Proc.Decide value ->
+              history :=
+                History.Res { call = slot.call_id; pid; value } :: !history;
+              slot.current <- None;
+              refill pid
+          | Proc.Apply { obj; op; k } ->
+              let value', resp = Optype.apply optypes.(obj) objects.(obj) op in
+              objects.(obj) <- value';
+              slot.current <- Some (k resp)
+          | Proc.Choose { n = outcomes; k } ->
+              slot.current <- Some (k (Rng.int rng outcomes)))
   in
   let rec loop () =
+    fire_due_crashes ();
     if !steps >= max_steps then ()
     else
       match schedule with
@@ -97,25 +152,92 @@ let run (impl : Implementation.t) ~n ~workload ~schedule ?(coin_seed = 0)
           | [] -> ()
           | pid :: rest ->
               fixed := rest;
-              step pid;
+              incr ticks;
+              if pid >= 0 && pid < n then step pid;
               loop ())
       | Random_sched _ -> (
           match active () with
           | [] -> ()
           | pids ->
+              incr ticks;
               step (List.nth pids (Rng.int rng (List.length pids)));
               loop ())
+      | Starving { victim; len; _ } -> (
+          if !ticks >= len then ()
+          else
+            match active () with
+            | [] -> ()
+            | pids -> (
+                incr ticks;
+                match List.filter (fun p -> p <> victim) pids with
+                | [] -> step victim; loop ()
+                | others ->
+                    step (List.nth others (Rng.int sched_rng (List.length others)));
+                    loop ()))
   in
   loop ();
   (* drain: a Decide that has not been consumed yet still responds *)
   Array.iteri
     (fun pid slot ->
       match slot.current with
-      | Some (Proc.Decide value) ->
+      | Some (Proc.Decide value) when not slot.crashed ->
           history := History.Res { call = slot.call_id; pid; value } :: !history;
           slot.current <- None
       | _ -> ())
     slots;
+  (* The drain probe.  Each surviving in-flight call gets solo runs of up
+     to [solo_bound] own-steps with coins from deterministic per-attempt
+     streams; a completion keeps its object effects (that is what
+     "unblocked" means — the lock holder finishing its critical section
+     frees the waiter), a failure reverts them.  Iterate to a fixpoint so
+     chains of dependent calls drain in any order. *)
+  let stuck = ref [] in
+  if probe then begin
+    let attempts = 3 in
+    let try_solo pid attempt =
+      let slot = slots.(pid) in
+      let coins = Rng.create (coin_seed + (31 * pid) + (1009 * (attempt + 1))) in
+      let snapshot = Array.copy objects in
+      let rec go proc k =
+        if k > solo_bound then None
+        else
+          match proc with
+          | Proc.Decide value -> Some value
+          | Proc.Apply { obj; op; k = cont } ->
+              let value', resp = Optype.apply optypes.(obj) objects.(obj) op in
+              objects.(obj) <- value';
+              go (cont resp) (k + 1)
+          | Proc.Choose { n = outcomes; k = cont } ->
+              go (cont (Rng.int coins outcomes)) (k + 1)
+      in
+      match go (Option.get slot.current) 0 with
+      | Some value ->
+          history := History.Res { call = slot.call_id; pid; value } :: !history;
+          slot.current <- None;
+          true
+      | None ->
+          Array.blit snapshot 0 objects 0 (Array.length objects);
+          false
+    in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      Array.iteri
+        (fun pid slot ->
+          if (not slot.crashed) && slot.current <> None then
+            let rec attempt a =
+              if a < attempts then
+                if try_solo pid a then progress := true else attempt (a + 1)
+            in
+            attempt 0)
+        slots
+    done;
+    Array.iteri
+      (fun pid slot ->
+        if (not slot.crashed) && slot.current <> None then
+          stuck := (pid, slot.call_id) :: !stuck)
+      slots
+  end;
   let history = List.rev !history in
   {
     history;
@@ -124,12 +246,22 @@ let run (impl : Implementation.t) ~n ~workload ~schedule ?(coin_seed = 0)
       Array.for_all
         (fun slot -> slot.current = None && slot.remaining = [])
         slots;
+    pids = List.rev !realized;
+    crashed =
+      Array.to_list slots
+      |> List.mapi (fun pid slot -> (pid, slot.crashed))
+      |> List.filter_map (fun (pid, c) -> if c then Some pid else None);
+    stuck = List.rev !stuck;
   }
 
 (** Run and check in one go: the verdict of {!Linearize.check} on the
     recorded history (complete calls only). *)
-let run_and_check impl ~n ~workload ~schedule ?coin_seed ?max_steps () =
-  let outcome = run impl ~n ~workload ~schedule ?coin_seed ?max_steps () in
+let run_and_check impl ~n ~workload ~schedule ?coin_seed ?max_steps ?crashes
+    ?probe ?solo_bound () =
+  let outcome =
+    run impl ~n ~workload ~schedule ?coin_seed ?max_steps ?crashes ?probe
+      ?solo_bound ()
+  in
   (outcome, Linearize.check impl.Implementation.spec outcome.history)
 
 (** A random mixed workload: [calls] operations per process drawn from

@@ -1,5 +1,7 @@
 (** Drive an implementation with a concurrent workload, record the
-    history, and judge it with the linearizability checker. *)
+    history, and judge it with the linearizability checker.  The drain
+    probe (Lowe-style progress testing) additionally reports in-flight
+    calls that can never finish — deadlock/starvation verdicts. *)
 
 open Sim
 
@@ -7,16 +9,41 @@ type outcome = {
   history : History.t;
   steps : int;
   completed : bool;  (** every planned call responded *)
+  pids : int list;
+      (** pids actually stepped, in order; replayable as [Fixed] with the
+          same [coin_seed] and [crashes] *)
+  crashed : int list;  (** pids killed by [crashes], ascending *)
+  stuck : (int * int) list;
+      (** (pid, call id) of surviving in-flight calls the drain probe
+          could not finish solo; empty unless [probe] was set.  With
+          [crashed = []] a nonempty [stuck] is a deadlock — a progress
+          violation even for [Implementation.Blocking]. *)
 }
 
-type schedule = Random_sched of int  (** seed *) | Fixed of int list
+type schedule =
+  | Random_sched of int  (** seed *)
+  | Fixed of int list
+  | Starving of { victim : int; seed : int; len : int }
+      (** [victim] moves only when no other process is active
+          ({!Sim.Sched.starving} semantics); [len] bounds the schedule *)
 
 (** [run impl ~n ~workload ~schedule ()] interleaves the base-object steps
     of the per-process planned calls ([workload]: pid to operation list)
-    under the schedule.  [Fixed] schedules resolve internal coin flips
-    from [coin_seed] (default 0), so a fixed pid list is a complete,
-    replayable record of the run; [coin_seed] is ignored for
-    [Random_sched]. *)
+    under the schedule.  [Fixed] and [Starving] schedules resolve internal
+    coin flips from [coin_seed] (default 0), so a fixed pid list — or the
+    realized [pids] of a starving run — is a complete, replayable record
+    of the run; [coin_seed] is ignored for [Random_sched].
+
+    [crashes] is a list of [(tick, pid)] pairs: before schedule entry
+    [tick] (0-based, counted over consumed entries) is processed, [pid]
+    halts — its in-flight call never responds and its remaining planned
+    operations are dropped.
+
+    With [probe] set, after the schedule ends each surviving in-flight
+    call is repeatedly offered solo runs of up to [solo_bound] own-steps
+    (coins from deterministic streams; completions keep their effects,
+    failures revert them) until a fixpoint; what still cannot finish is
+    reported in [stuck]. *)
 val run :
   Implementation.t ->
   n:int ->
@@ -24,6 +51,9 @@ val run :
   schedule:schedule ->
   ?coin_seed:int ->
   ?max_steps:int ->
+  ?crashes:(int * int) list ->
+  ?probe:bool ->
+  ?solo_bound:int ->
   unit ->
   outcome
 
@@ -34,6 +64,9 @@ val run_and_check :
   schedule:schedule ->
   ?coin_seed:int ->
   ?max_steps:int ->
+  ?crashes:(int * int) list ->
+  ?probe:bool ->
+  ?solo_bound:int ->
   unit ->
   outcome * Linearize.verdict
 

@@ -20,6 +20,48 @@ type call = {
   res_index : int option;
 }
 
+(* Well-formedness, checked event by event: every response must match an
+   open invocation by the same process, no call id is invoked twice, no
+   call responds twice, and a process never invokes a new call while its
+   previous one is still open (processes are sequential threads of
+   control).  Checkers validate before interpreting, so malformed logs are
+   rejected with a diagnostic instead of crashing in [calls]. *)
+let validate (history : t) =
+  let invoked = Hashtbl.create 16 in (* call id -> (pid, returned) *)
+  let open_call = Hashtbl.create 8 in (* pid -> call id *)
+  let rec go = function
+    | [] -> Ok ()
+    | Inv { call; pid; _ } :: rest ->
+        if Hashtbl.mem invoked call then
+          Error (Printf.sprintf "call %d invoked twice" call)
+        else (
+          match Hashtbl.find_opt open_call pid with
+          | Some prev ->
+              Error
+                (Printf.sprintf
+                   "P%d invokes call %d while its call %d is still pending"
+                   pid call prev)
+          | None ->
+              Hashtbl.replace invoked call (pid, false);
+              Hashtbl.replace open_call pid call;
+              go rest)
+    | Res { call; pid; _ } :: rest -> (
+        match Hashtbl.find_opt invoked call with
+        | None ->
+            Error (Printf.sprintf "response for call %d without invocation" call)
+        | Some (_, true) -> Error (Printf.sprintf "call %d responds twice" call)
+        | Some (ipid, false) ->
+            if ipid <> pid then
+              Error
+                (Printf.sprintf "call %d invoked by P%d but answered by P%d"
+                   call ipid pid)
+            else (
+              Hashtbl.replace invoked call (pid, true);
+              Hashtbl.remove open_call pid;
+              go rest))
+  in
+  go history
+
 let calls (history : t) =
   let tbl = Hashtbl.create 16 in
   List.iteri

@@ -18,6 +18,12 @@ type call = {
   res_index : int option;
 }
 
+(** Well-formedness: every response matches an open invocation by the
+    same process, no duplicate invocations or responses, and each process
+    is sequential (never invokes while its previous call is open).  The
+    error carries a human-readable diagnostic. *)
+val validate : t -> (unit, string) result
+
 (** All calls, ordered by invocation. *)
 val calls : t -> call list
 

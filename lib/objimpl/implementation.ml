@@ -17,6 +17,9 @@ type progress =
   | Solo_terminating
       (** finishes when run alone — nondeterministic solo termination
           without wait-freedom, the paper's snapshot example *)
+  | Blocking
+      (** may wait on other processes (lock-based); deadlock-freedom is
+          still owed when nobody crashes *)
 
 type t = {
   name : string;
@@ -32,6 +35,7 @@ let progress_to_string = function
   | Wait_free -> "wait-free"
   | Lock_free -> "lock-free"
   | Solo_terminating -> "solo-terminating"
+  | Blocking -> "blocking"
 
 let make ~name ~spec ~base ~procedure ~progress =
   {

@@ -9,6 +9,9 @@ type progress =
   | Solo_terminating
       (** nondeterministic solo termination without wait-freedom — the
           paper's snapshot example *)
+  | Blocking
+      (** may wait on other processes (lock-based); still owes
+          deadlock-freedom when nobody crashes *)
 
 type t = {
   name : string;

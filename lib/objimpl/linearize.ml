@@ -1,14 +1,22 @@
-(* A linearizability checker in the Wing-Gong style: a complete concurrent
-   history is linearizable w.r.t. a sequential specification (an
-   [Sim.Optype.t]) iff the calls can be ordered into a legal sequential
-   execution that respects real-time precedence.
+(* A linearizability checker in the Wing-Gong style: a concurrent history
+   is linearizable w.r.t. a sequential specification (an [Sim.Optype.t])
+   iff some extension (appending responses to a subset of the pending
+   calls) and completion (dropping the rest) yields a legal sequential
+   execution respecting real-time precedence — the Herlihy-Wing
+   definition, pending calls included.  A pending call may have taken
+   effect (a crashed swap winner, a writer cut off mid-operation), so it
+   may be linearized with whatever response the spec produces, or omitted
+   entirely; a complete call must be linearized and its recorded response
+   must match.
 
    Search: repeatedly pick a minimal unlinearized call (no other
    unlinearized call's response precedes its invocation), apply its
    operation to the current specification state; accept the branch if the
-   recorded response matches; backtrack otherwise.  Exponential in the
-   worst case, fine for the harness's history sizes; a node budget turns
-   pathological instances into an explicit [Unknown]. *)
+   recorded response matches (pending calls match anything); accept the
+   leaf once every complete call is placed — unplaced pending calls are
+   the dropped ones.  Exponential in the worst case, fine for the
+   harness's history sizes; a node budget turns pathological instances
+   into an explicit [Unknown]. *)
 
 open Sim
 
@@ -16,9 +24,13 @@ type verdict =
   | Linearizable of History.call list  (** a witness order *)
   | Not_linearizable
   | Unknown  (** node budget exhausted *)
+  | Malformed of string  (** not a well-formed history; diagnostic *)
 
 let check ?(max_nodes = 2_000_000) (spec : Optype.t) (history : History.t) =
-  let calls = History.complete_calls history in
+  match History.validate history with
+  | Error msg -> Malformed msg
+  | Ok () ->
+  let calls = History.calls history in
   let nodes = ref 0 in
   let exception Budget in
   (* candidates among [pending] that can be linearized next *)
@@ -28,31 +40,33 @@ let check ?(max_nodes = 2_000_000) (spec : Optype.t) (history : History.t) =
         not (List.exists (fun d -> d.History.id <> c.History.id && History.precedes d c) pending))
       pending
   in
+  let open_call c = c.History.response = None in
   let rec go state pending acc =
     incr nodes;
     if !nodes > max_nodes then raise Budget;
-    match pending with
-    | [] -> Some (List.rev acc)
-    | _ ->
-        let rec try_candidates = function
-          | [] -> None
-          | c :: rest -> (
-              let state', resp = Optype.apply spec state c.History.op in
-              let matches =
-                match c.History.response with
-                | Some r -> Value.equal r resp
-                | None -> false
+    if List.for_all open_call pending then
+      (* every complete call placed; the rest are dropped pending calls *)
+      Some (List.rev acc)
+    else
+      let rec try_candidates = function
+        | [] -> None
+        | c :: rest -> (
+            let state', resp = Optype.apply spec state c.History.op in
+            let matches =
+              match c.History.response with
+              | Some r -> Value.equal r resp
+              | None -> true (* pending: the extension picks the response *)
+            in
+            if not matches then try_candidates rest
+            else
+              let pending' =
+                List.filter (fun d -> d.History.id <> c.History.id) pending
               in
-              if not matches then try_candidates rest
-              else
-                let pending' =
-                  List.filter (fun d -> d.History.id <> c.History.id) pending
-                in
-                match go state' pending' (c :: acc) with
-                | Some _ as found -> found
-                | None -> try_candidates rest)
-        in
-        try_candidates (minimal pending)
+              match go state' pending' (c :: acc) with
+              | Some _ as found -> found
+              | None -> try_candidates rest)
+      in
+      try_candidates (minimal pending)
   in
   match go spec.Optype.init calls [] with
   | Some order -> Linearizable order
@@ -62,4 +76,4 @@ let check ?(max_nodes = 2_000_000) (spec : Optype.t) (history : History.t) =
 let is_linearizable ?max_nodes spec history =
   match check ?max_nodes spec history with
   | Linearizable _ -> true
-  | Not_linearizable | Unknown -> false
+  | Not_linearizable | Unknown | Malformed _ -> false

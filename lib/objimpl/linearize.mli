@@ -1,6 +1,8 @@
-(** A Wing–Gong-style linearizability checker: is a complete concurrent
-    history explainable by a sequential specification, respecting
-    real-time order? *)
+(** A Wing–Gong-style linearizability checker: is a concurrent history
+    explainable by a sequential specification, respecting real-time
+    order?  Handles pending calls per the Herlihy–Wing definition: a
+    call that never responded may be linearized with the spec's response
+    (it may have taken effect before the crash/cutoff) or dropped. *)
 
 open Sim
 
@@ -8,8 +10,13 @@ type verdict =
   | Linearizable of History.call list  (** a witness linearization *)
   | Not_linearizable
   | Unknown  (** node budget exhausted *)
+  | Malformed of string
+      (** the log failed {!History.validate}; carries the diagnostic *)
 
-(** Checks the {e complete} calls of the history against [spec]. *)
+(** Checks the history — pending calls included — against [spec], after
+    validating well-formedness (malformed logs yield [Malformed], never an
+    exception).  Complete calls must all be placed with their recorded
+    responses; pending calls are placed freely or dropped. *)
 val check : ?max_nodes:int -> Optype.t -> History.t -> verdict
 
 val is_linearizable : ?max_nodes:int -> Optype.t -> History.t -> bool

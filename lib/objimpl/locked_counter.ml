@@ -1,0 +1,70 @@
+(* A counter guarded by a spinlock — the harness's [Blocking] specimen,
+   and (in its deliberately flawed variant) the planted livelock the
+   progress verdict must catch.
+
+   The lock is a swap register (a test&set register has no RESET, so the
+   release needs swap's WRITE): ACQUIRE spins on [swap lock 1] until the
+   old value is 0, RELEASE writes 0 back.  Every counter operation runs
+   inside the critical section, so linearizability is trivial — the whole
+   call linearizes at its lock acquisition — and the interesting question
+   is progress: a waiter can only finish after the holder's in-flight
+   call completes, exactly the "unblocked by another pending call"
+   subtlety Lowe's progress testing targets, and the reason the drain
+   probe iterates to a fixpoint.
+
+   [leaky] breaks the release: it writes 1 instead of 0, so the first
+   critical section permanently wedges the lock and every later ACQUIRE
+   spins forever — even solo.  The drain probe reports those calls as
+   stuck; with nobody crashed that is a deadlock, a progress violation
+   even for a [Blocking] implementation. *)
+
+open Sim
+open Objects
+
+(* object 0: the lock (0 free / 1 held); object 1: the count *)
+let base ~n:_ =
+  [
+    Swap_register.optype ~init:(Value.int 0) ();
+    Register.optype ~init:(Value.int 0) ();
+  ]
+
+let rec acquire () : unit Proc.t =
+  let open Proc in
+  let* old = apply 0 (Swap_register.swap (Value.int 1)) in
+  if Value.to_int old = 0 then return () else acquire ()
+
+let release ~unlock : unit Proc.t =
+  let open Proc in
+  let* _ = apply 0 (Swap_register.write (Value.int unlock)) in
+  return ()
+
+let procedure ~unlock ~n:_ ~pid:_ (op : Op.t) : Value.t Proc.t =
+  let open Proc in
+  let locked body =
+    let* () = acquire () in
+    let* v = body in
+    let* () = release ~unlock in
+    return v
+  in
+  let adjust delta =
+    locked
+      (let* v = apply 1 Register.read in
+       let* _ =
+         apply 1 (Register.write (Value.int (Value.to_int v + delta)))
+       in
+       return Value.unit)
+  in
+  match op.Op.name with
+  | "inc" -> adjust 1
+  | "dec" -> adjust (-1)
+  | "read" -> locked (apply 1 Register.read)
+  | _ -> Optype.bad_op "locked-counter" op
+
+let locked =
+  Implementation.make ~name:"locked-counter" ~spec:Counters.spec ~base
+    ~procedure:(procedure ~unlock:0) ~progress:Implementation.Blocking
+
+(* the planted bug: release leaves the lock held *)
+let leaky =
+  Implementation.make ~name:"leaky-locked-counter" ~spec:Counters.spec ~base
+    ~procedure:(procedure ~unlock:1) ~progress:Implementation.Blocking

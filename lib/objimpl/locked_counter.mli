@@ -1,0 +1,7 @@
+(** A counter guarded by a swap-register spinlock: the [Blocking]
+    progress-class specimen, plus the deliberately [leaky] variant whose
+    release never frees the lock — the planted deadlock the drain probe
+    and the [Stuck] fuzz verdict must detect. *)
+
+val locked : Implementation.t
+val leaky : Implementation.t

@@ -1,0 +1,115 @@
+(* A randomized test&set register from read-write registers only, for two
+   processes — the related-work direction of Giakkoupis-Helmi-Higham-
+   Woelfel ("An O(sqrt n) space bound for obstruction-free leader
+   election" / their space-optimal randomized test&set): registers have
+   consensus number 1, so NO deterministic implementation exists, yet
+   randomization buys test&set (consensus number 2) with probability-1
+   termination.
+
+   Shape: a "set" flag register plus an embedded randomized 2-process
+   consensus on pids in the Aspnes-Herlihy round style.  Each round r has
+   four fresh multi-writer registers — two presence bits a_r[0], a_r[1],
+   a proposal register d_r, and a conciliator register c_r:
+
+     conciliator_r(v): read c_r; non-empty: that's the new preference;
+       empty: a coin decides whether to publish v in c_r first; either
+       way the preference stays v.  (All participants leave with equal
+       preferences with constant probability per round.)
+     adopt-commit_r(v): set a_r[v]; read d_r, publishing v if empty
+       (adopting its value otherwise); COMMIT the result iff the opposite
+       presence bit is still clear.  Announce-before-read makes a commit
+       stable: any dissenter must have announced before its d_r read, so
+       the committer would have seen its bit (the Gafni-style argument,
+       here with anonymous presence bits instead of a collect).
+
+   A committed preference decides; an adopted one carries to the next
+   round.  Safety is coin-independent; termination holds with
+   probability 1 (and, solo, within two rounds — the drain probe relies
+   on this).  Rounds are capped by the register bank; past the cap the
+   call spins instead of ever deciding wrongly — unreachable in practice
+   (a round costs ~8 steps, and the bank holds 64).
+
+   TEST&SET(pid): if the set flag is up, lose (return 1); otherwise run
+   the consensus on the own pid, raise the flag, and return 0 exactly
+   when the consensus chose this pid.  Each pid passes the flag gate at
+   most once, so the one-shot consensus suffices.  READ returns the
+   flag. *)
+
+open Sim
+open Objects
+
+let rounds = 64
+
+let spec = Optype.rename (Test_and_set.optype ()) "test&set(spec)"
+
+(* object 0: the set flag; objects 1 .. 4*rounds: the round banks *)
+let base ~n:_ =
+  Register.optype ~init:(Value.int 0) ()
+  :: List.concat
+       (List.init rounds (fun _ ->
+            List.init 4 (fun _ -> Register.optype ~init:Value.none ())))
+
+let flag = 0
+let presence r v = 1 + (4 * r) + v
+let proposal r = 1 + (4 * r) + 2
+let conciliator r = 1 + (4 * r) + 3
+
+let consensus ~pref : Value.t Proc.t =
+  let open Proc in
+  (* past the round cap: spin (never decide wrongly); unreachable *)
+  let rec cap_spin () =
+    let* _ = apply (proposal (rounds - 1)) Register.read in
+    cap_spin ()
+  in
+  let rec round r pref =
+    if r >= rounds then cap_spin ()
+    else
+      (* conciliator *)
+      let* cur = apply (conciliator r) Register.read in
+      let* pref =
+        match cur with
+        | Value.Int x -> return x
+        | _ ->
+            let* publish = flip in
+            if publish then
+              let* _ =
+                apply (conciliator r) (Register.write (Value.int pref))
+              in
+              return pref
+            else return pref
+      in
+      (* adopt-commit: announce, then read-or-publish the proposal *)
+      let* _ = apply (presence r pref) (Register.write (Value.int 1)) in
+      let* d = apply (proposal r) Register.read in
+      let* pref =
+        match d with
+        | Value.Int x -> return x
+        | _ ->
+            let* _ = apply (proposal r) (Register.write (Value.int pref)) in
+            return pref
+      in
+      let* other = apply (presence r (1 - pref)) Register.read in
+      match other with
+      | Value.Int 1 -> round (r + 1) pref (* adopt *)
+      | _ -> return (Value.int pref) (* commit *)
+  in
+  round 0 pref
+
+let procedure ~n:_ ~pid (op : Op.t) : Value.t Proc.t =
+  let open Proc in
+  match op.Op.name with
+  | "read" -> apply flag Register.read
+  | "test&set" -> (
+      let* set = apply flag Register.read in
+      match set with
+      | Value.Int 1 -> return (Value.int 1)
+      | _ ->
+          let* winner = consensus ~pref:pid in
+          let* _ = apply flag (Register.write (Value.int 1)) in
+          return (Value.int (if Value.to_int winner = pid then 0 else 1)))
+  | _ -> Optype.bad_op "tas-rand" op
+
+(* 2 processes only: preferences are pids, presence bits are binary *)
+let implementation =
+  Implementation.make ~name:"tas-from-registers" ~spec ~base ~procedure
+    ~progress:Implementation.Wait_free

@@ -1,0 +1,7 @@
+(** A randomized test&set register from read-write registers only
+    (Giakkoupis–Helmi–Higham–Woelfel direction): impossible
+    deterministically, probability-1 terminating with coins; [n = 2]
+    only. *)
+
+val spec : Sim.Optype.t
+val implementation : Implementation.t

@@ -4,7 +4,7 @@
 
    The contract under test (see README):
      0 clean, 1 bad args, 2 violation demonstrated, 3 budget-truncated,
-     4 attack construction failed. *)
+     4 attack construction failed, 5 progress violation (stuck call). *)
 
 let binary = Filename.concat ".." "bin/randsync_cli.exe"
 
@@ -199,6 +199,22 @@ let test_fuzz_exit_codes () =
   Alcotest.(check bool) "admitted prefix reported" true
     (contains truncated.out "done=16")
 
+(* the progress dimension of the exit-code contract: the planted
+   leaky-lock deadlock exits 5 (not 2 — safety held), at any --jobs *)
+let test_fuzz_progress_exit_code () =
+  let args = [ "fuzz"; "lin-stuck-counter"; "--runs"; "32"; "--seed"; "3" ] in
+  let r1 = run_cli args in
+  check_code "stuck exits 5" 5 r1;
+  Alcotest.(check bool) "stuck verdict printed" true
+    (contains r1.out "VIOLATION (stuck)");
+  let r2 = run_cli (args @ [ "--jobs"; "2" ]) in
+  check_code "stuck exits 5 under --jobs 2" 5 r2;
+  Alcotest.(check string) "output jobs-invariant" r1.out r2.out;
+  (* a non-linearizable witness still exits 2, not 5 *)
+  check_code "safety violation still exits 2" 2
+    (run_cli
+       [ "fuzz"; "lin-collect-counter"; "--runs"; "300"; "--seed"; "42" ])
+
 let test_metrics_and_progress () =
   (* --metrics writes line-JSON whose counters equal the stdout numbers;
      the dump happens before the process exits, violation or not.
@@ -263,6 +279,8 @@ let suite =
     Alcotest.test_case "fuzz finds and shrinks flawed" `Quick
       test_fuzz_subcommand;
     Alcotest.test_case "fuzz exit codes" `Quick test_fuzz_exit_codes;
+    Alcotest.test_case "fuzz progress exit code" `Quick
+      test_fuzz_progress_exit_code;
     Alcotest.test_case "node budget truncation" `Quick test_budget_truncation;
     Alcotest.test_case "deadline terminates in time" `Quick
       test_deadline_terminates;

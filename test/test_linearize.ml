@@ -54,7 +54,8 @@ let test_stale_read () =
   match Linearize.check reg_spec h with
   | Linearize.Not_linearizable -> ()
   | Linearize.Linearizable _ -> Alcotest.fail "accepted a stale read"
-  | Linearize.Unknown -> Alcotest.fail "budget on a 2-call history?"
+  | Linearize.Unknown | Linearize.Malformed _ ->
+      Alcotest.fail "budget/malformed on a 2-call history?"
 
 (* new-old inversion between two reads: not linearizable *)
 let test_new_old_inversion () =

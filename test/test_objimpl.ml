@@ -27,7 +27,7 @@ let test_collect_counter_inc_only_linearizable () =
     | Linearize.Not_linearizable ->
         Alcotest.failf "inc-only collect counter refuted (seed %d):\n%s" seed
           (History.to_string outcome.Harness.history)
-    | Linearize.Unknown -> Alcotest.fail "checker budget"
+    | Linearize.Unknown | Linearize.Malformed _ -> Alcotest.fail "checker budget"
   done
 
 (* The directed interleaving from the module documentation: inc completes,
@@ -61,7 +61,7 @@ let test_collect_counter_refuted () =
   | Linearize.Linearizable _ ->
       Alcotest.failf "accepted the impossible history:\n%s"
         (History.to_string outcome.Harness.history)
-  | Linearize.Unknown -> Alcotest.fail "checker budget"
+  | Linearize.Unknown | Linearize.Malformed _ -> Alcotest.fail "checker budget"
 
 let test_snapshot_counter_linearizable () =
   for seed = 1 to 20 do
@@ -95,7 +95,7 @@ let test_snapshot_counter_survives_directed () =
   | Linearize.Not_linearizable ->
       Alcotest.failf "snapshot counter broke:\n%s"
         (History.to_string outcome.Harness.history)
-  | Linearize.Unknown -> Alcotest.fail "checker budget"
+  | Linearize.Unknown | Linearize.Malformed _ -> Alcotest.fail "checker budget"
 
 (* solo termination vs wait-freedom, both directions *)
 let test_snapshot_read_solo_terminates () =
@@ -240,6 +240,158 @@ let test_instances_counts () =
   Alcotest.(check int) "fa-from-cas uses 1" 1
     (From_universal.fetch_add_from_cas.Implementation.instances ~n:4)
 
+(* ---- crash injection, coin-seed replay, the drain probe ------------- *)
+
+(* the replay contract end to end, with coins AND crashes in play: a
+   starving run's realized pids replayed as [Fixed] under the same
+   [coin_seed] and [crashes] reproduces the history bit for bit *)
+let test_crash_coin_seed_replay () =
+  let workload =
+    [
+      (0, [ Test_and_set.test_and_set; Test_and_set.read ]);
+      (1, [ Test_and_set.test_and_set; Test_and_set.read ]);
+    ]
+  in
+  for coin_seed = 1 to 10 do
+    let crashes = [ (12, 1) ] in
+    let run schedule =
+      Harness.run Tas_rand.implementation ~n:2 ~workload ~schedule ~coin_seed
+        ~crashes ~probe:true ()
+    in
+    let starved =
+      run (Harness.Starving { victim = 0; seed = coin_seed * 7; len = 40 })
+    in
+    let replayed = run (Harness.Fixed starved.Harness.pids) in
+    Alcotest.(check string)
+      (Printf.sprintf "history replays (coin_seed %d)" coin_seed)
+      (History.to_string starved.Harness.history)
+      (History.to_string replayed.Harness.history);
+    Alcotest.(check (list int))
+      "crashed pids replay" starved.Harness.crashed replayed.Harness.crashed
+  done
+
+(* a held lock is not a deadlock: the probe's fixpoint lets the holder
+   finish its critical section, which unblocks the waiter *)
+let test_probe_drains_locked_counter () =
+  let workload = [ (0, [ Counter.inc ]); (1, [ Counter.inc ]) ] in
+  let outcome, verdict =
+    Harness.run_and_check Locked_counter.locked ~n:2 ~workload
+      ~schedule:(Harness.Fixed [ 0 ]) (* P0 inside the critical section *)
+      ~probe:true ()
+  in
+  Alcotest.(check bool) "all calls drained" true outcome.Harness.completed;
+  Alcotest.(check (list (pair int int))) "nothing stuck" [] outcome.Harness.stuck;
+  match verdict with
+  | Linearize.Linearizable _ -> ()
+  | _ -> Alcotest.fail "drained locked counter not linearizable"
+
+(* the leaky lock IS a deadlock: release never frees the lock, so with
+   nobody crashed a later acquire spins forever even solo *)
+let test_probe_flags_leaky_deadlock () =
+  let workload = [ (0, [ Counter.inc ]); (1, [ Counter.inc ]) ] in
+  let outcome, verdict =
+    Harness.run_and_check Locked_counter.leaky ~n:2 ~workload
+      ~schedule:(Harness.Fixed []) ~probe:true ()
+  in
+  Alcotest.(check (list int)) "nobody crashed" [] outcome.Harness.crashed;
+  Alcotest.(check bool) "a call is stuck" true (outcome.Harness.stuck <> []);
+  (* safety still holds: the stuck call is pending, hence droppable *)
+  match verdict with
+  | Linearize.Linearizable _ -> ()
+  | _ -> Alcotest.fail "leaky counter unsafe, not just stuck"
+
+(* crashing the lock holder leaves the waiter stuck with [crashed] set —
+   the excusable residue for a Blocking implementation *)
+let test_probe_crashed_holder () =
+  let workload = [ (0, [ Counter.inc ]); (1, [ Counter.inc ]) ] in
+  let outcome =
+    Harness.run Locked_counter.locked ~n:2 ~workload
+      ~schedule:(Harness.Fixed [ 0 ])
+      ~crashes:[ (1, 0) ] (* kill P0 right after it takes the lock *)
+      ~probe:true ()
+  in
+  Alcotest.(check (list int)) "P0 crashed" [ 0 ] outcome.Harness.crashed;
+  Alcotest.(check bool) "waiter stuck behind the corpse" true
+    (List.exists (fun (pid, _) -> pid = 1) outcome.Harness.stuck)
+
+(* ---- the new catalog objects, judged by both oracles ---------------- *)
+
+let test_consensus_obj_linearizable () =
+  let workload =
+    [
+      (0, [ Sticky.propose_int 7; Sticky.read ]);
+      (1, [ Sticky.propose_int 9; Sticky.read ]);
+    ]
+  in
+  for seed = 1 to 30 do
+    let outcome =
+      Harness.run Consensus_obj.implementation ~n:2 ~workload
+        ~schedule:(Harness.Random_sched seed) ~probe:true ()
+    in
+    Alcotest.(check bool) "wait-free: everything drains" true
+      outcome.Harness.completed;
+    match
+      Lin.Cross.verdict Consensus_obj.spec outcome.Harness.history
+    with
+    | Linearize.Linearizable _ -> ()
+    | _ ->
+        Alcotest.failf "consensus-from-swap refuted (seed %d):\n%s" seed
+          (History.to_string outcome.Harness.history)
+  done
+
+let test_tas_rand_linearizable () =
+  let workload =
+    [
+      (0, [ Test_and_set.test_and_set; Test_and_set.read ]);
+      (1, [ Test_and_set.test_and_set; Test_and_set.read ]);
+    ]
+  in
+  for seed = 1 to 30 do
+    let outcome =
+      Harness.run Tas_rand.implementation ~n:2 ~workload
+        ~schedule:(Harness.Random_sched seed) ~probe:true ()
+    in
+    Alcotest.(check bool) "randomized wait-free: everything drains" true
+      outcome.Harness.completed;
+    (* exactly one of the two completed test&sets wins *)
+    let winners =
+      List.filter
+        (fun (c : History.call) ->
+          c.History.op.Op.name = "test&set"
+          && c.History.response = Some (Value.int 0))
+        (History.complete_calls outcome.Harness.history)
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "one winner (seed %d)" seed)
+      1 (List.length winners);
+    match Lin.Cross.verdict Tas_rand.spec outcome.Harness.history with
+    | Linearize.Linearizable _ -> ()
+    | _ ->
+        Alcotest.failf "tas-from-registers refuted (seed %d):\n%s" seed
+          (History.to_string outcome.Harness.history)
+  done
+
+(* the transplanted starving adversary: the victim moves only when nobody
+   else is active, so a writer that outlasts the schedule freezes the
+   reader out entirely — no hand-built round schedule needed *)
+let test_starving_schedule () =
+  let workload =
+    [ (0, [ Counter.read ]); (1, List.init 60 (fun _ -> Counter.inc)) ]
+  in
+  let outcome =
+    Harness.run Counters.snapshot ~n:2 ~workload
+      ~schedule:(Harness.Starving { victim = 0; seed = 11; len = 50 })
+      ()
+  in
+  Alcotest.(check bool) "victim never even stepped" true
+    (List.for_all (fun pid -> pid = 1) outcome.Harness.pids);
+  let reader_responded =
+    List.exists
+      (fun (c : History.call) -> c.History.pid = 0 && c.History.response <> None)
+      (History.calls outcome.Harness.history)
+  in
+  Alcotest.(check bool) "victim reader never responded" false reader_responded
+
 let suite =
   [
     Alcotest.test_case "collect counter, inc-only ok" `Quick
@@ -260,4 +412,18 @@ let suite =
     Alcotest.test_case "counter from fetch&add (Thm 4.4)" `Quick test_counter_from_fa;
     Alcotest.test_case "inc-counter from fetch&inc" `Quick test_inc_counter_from_fi;
     Alcotest.test_case "instance counts" `Quick test_instances_counts;
+    Alcotest.test_case "crash + coin-seed replay bit-identical" `Quick
+      test_crash_coin_seed_replay;
+    Alcotest.test_case "probe drains a held lock" `Quick
+      test_probe_drains_locked_counter;
+    Alcotest.test_case "probe flags the leaky-lock deadlock" `Quick
+      test_probe_flags_leaky_deadlock;
+    Alcotest.test_case "crashed lock holder leaves waiter stuck" `Quick
+      test_probe_crashed_holder;
+    Alcotest.test_case "consensus-from-swap linearizable" `Quick
+      test_consensus_obj_linearizable;
+    Alcotest.test_case "tas-from-registers linearizable" `Quick
+      test_tas_rand_linearizable;
+    Alcotest.test_case "starving schedule starves the reader" `Quick
+      test_starving_schedule;
   ]
