@@ -288,7 +288,52 @@ let mc_bench_scenarios () =
     ("cas-n2-mixed", Consensus.Cas_consensus.protocol, [ 0; 1 ], 30);
   ]
 
-let mc_bench () =
+(* Wall-clock plus minor-heap allocation of one run; the allocation
+   number travels through the [lib/obs] counter so the bench exercises
+   the same plumbing the CLI's --metrics mode uses. *)
+let measured f =
+  let obs = Obs.create () in
+  let result, secs = wall (fun () -> Obs.alloc_span (Some obs) "bench" f) in
+  (result, secs, Obs.Metrics.counter (Obs.metrics obs) "bench/minor-words")
+
+let engine_project (r : int Mc.Explore.result) =
+  ( violation_name r,
+    r.Mc.Explore.visited,
+    r.Mc.Explore.leaves,
+    r.Mc.Explore.table_hits,
+    r.Mc.Explore.truncated )
+
+(* The mc-bench rows: every obs-bench scenario under all three dedup
+   modes, plus the deep symmetric sweep — the longest row, where the
+   flat slab engine's advantage is structural ([`Off] at this depth
+   would take minutes, so it runs deduped only; its node-reduction
+   ratio is relative to [`Exact]). *)
+let mc_bench_rows () =
+  List.map
+    (fun (name, p, inputs, max_depth) ->
+      (name, p, inputs, max_depth, [ `Off; `Exact; `Symmetric ]))
+    (mc_bench_scenarios ())
+  @ [
+      ( "counter-3-n3-mixed-deep",
+        Consensus.Counter_consensus.protocol,
+        [ 0; 1; 0 ],
+        24,
+        [ `Exact; `Symmetric ] );
+      ( "rw-3n-n7-deep",
+        Consensus.Rw_consensus.protocol,
+        [ 0; 0; 0; 0; 0; 0; 0 ],
+        12,
+        [ `Symmetric ] );
+    ]
+
+(* The CI perf-smoke subset: the two fastest scenarios of each suite,
+   so the job can hard-fail on verdict/node drift in seconds without
+   paying for the deep sweeps.  Smoke runs never rewrite the committed
+   BENCH_*.json — they only diff against it. *)
+let mc_smoke_scenarios = [ "coin-rw-r2-n2"; "cas-n2-mixed" ]
+let fuzz_smoke_scenarios = [ "flawed"; "cas-1" ]
+
+let mc_bench ?(smoke = false) () =
   let table =
     Stats.Table.create
       ~header:
@@ -298,37 +343,54 @@ let mc_bench () =
           "visited";
           "leaves";
           "table hits";
-          "seconds";
+          "closure s";
+          "flat s";
+          "speedup";
+          "flat minor MW";
           "nodes vs off";
           "verdict";
         ]
   in
+  let baseline_rows = ref [] in
   let json_scenarios =
     List.map
-      (fun (name, p, inputs, max_depth) ->
-        let config = Consensus.Protocol.initial_config p ~inputs in
+      (fun (name, p, inputs, max_depth, modes) ->
         let runs =
           List.map
             (fun dedup ->
-              let r, secs =
-                wall (fun () ->
-                    Mc.Explore.search ~dedup ~max_depth ~inputs config)
+              let search state =
+                Mc.Explore.search ~state ~dedup ~max_depth ~inputs
+                  (Consensus.Protocol.initial_config p ~inputs)
               in
-              (dedup, r, secs))
-            [ `Off; `Exact; `Symmetric ]
+              let rc, secs_c, mw_c = measured (fun () -> search `Closure) in
+              let rf, secs_f, mw_f = measured (fun () -> search `Flat) in
+              if engine_project rc <> engine_project rf then begin
+                Printf.eprintf
+                  "mc-bench: ENGINE MISMATCH on %s/%s: flat and closure \
+                   disagree\n"
+                  name (dedup_name dedup);
+                exit 1
+              end;
+              (dedup, rf, secs_c, secs_f, mw_c, mw_f))
+            modes
         in
-        let off_result, _ =
-          match runs with (_, r, s) :: _ -> (r, s) | [] -> assert false
+        let first_result =
+          match runs with (_, r, _, _, _, _) :: _ -> r | [] -> assert false
         in
+        let has_off = List.mem `Off modes in
         List.iter
-          (fun (dedup, (r : int Mc.Explore.result), secs) ->
-            if violation_name r <> violation_name off_result then begin
+          (fun (dedup, (r : int Mc.Explore.result), secs_c, secs_f, _, mw_f) ->
+            if violation_name r <> violation_name first_result then begin
               Printf.eprintf
-                "mc-bench: VERDICT MISMATCH on %s: %s=%s but off=%s\n" name
+                "mc-bench: VERDICT MISMATCH on %s: %s=%s but %s=%s\n" name
                 (dedup_name dedup) (violation_name r)
-                (violation_name off_result);
+                (dedup_name (List.hd modes))
+                (violation_name first_result);
               exit 1
             end;
+            baseline_rows :=
+              (name, dedup_name dedup, violation_name r, r.Mc.Explore.visited, secs_f)
+              :: !baseline_rows;
             Stats.Table.add_row table
               [
                 name;
@@ -336,31 +398,37 @@ let mc_bench () =
                 string_of_int r.Mc.Explore.visited;
                 string_of_int r.Mc.Explore.leaves;
                 string_of_int r.Mc.Explore.table_hits;
-                Printf.sprintf "%.4f" secs;
-                Printf.sprintf "%.1fx"
-                  (float_of_int off_result.Mc.Explore.visited
-                  /. float_of_int (max 1 r.Mc.Explore.visited));
+                Printf.sprintf "%.4f" secs_c;
+                Printf.sprintf "%.4f" secs_f;
+                Printf.sprintf "%.2fx" (secs_c /. Float.max secs_f 1e-9);
+                Printf.sprintf "%.1f" (float_of_int mw_f /. 1e6);
+                (if has_off then
+                   Printf.sprintf "%.1fx"
+                     (float_of_int first_result.Mc.Explore.visited
+                     /. float_of_int (max 1 r.Mc.Explore.visited))
+                 else "-");
                 violation_name r;
               ])
           runs;
-        let mode_json (dedup, (r : int Mc.Explore.result), secs) =
+        let mode_json (dedup, (r : int Mc.Explore.result), secs_c, secs_f, mw_c, mw_f) =
           Printf.sprintf
-            {|        { "dedup": %S, "visited": %d, "leaves": %d, "table_hits": %d, "truncated": %b, "seconds": %.6f, "verdict": %S }|}
+            {|        { "dedup": %S, "visited": %d, "leaves": %d, "table_hits": %d, "truncated": %b, "seconds_closure": %.6f, "seconds_flat": %.6f, "speedup": %.2f, "minor_words_closure": %d, "minor_words_flat": %d, "verdict": %S }|}
             (dedup_name dedup) r.Mc.Explore.visited r.Mc.Explore.leaves
-            r.Mc.Explore.table_hits r.Mc.Explore.truncated secs
-            (violation_name r)
+            r.Mc.Explore.table_hits r.Mc.Explore.truncated secs_c secs_f
+            (secs_c /. Float.max secs_f 1e-9)
+            mw_c mw_f (violation_name r)
         in
-        let symmetric_result =
-          match runs with
-          | [ _; _; (_, r, _) ] -> r
-          | _ -> assert false
+        let last_result =
+          match List.rev runs with
+          | (_, r, _, _, _, _) :: _ -> r
+          | [] -> assert false
         in
         Printf.sprintf
           {|    {
       "scenario": %S,
       "inputs": [%s],
       "max_depth": %d,
-      "node_reduction_symmetric_vs_off": %.1f,
+      "node_reduction_last_vs_first_mode": %.1f,
       "modes": [
 %s
       ]
@@ -368,10 +436,12 @@ let mc_bench () =
           name
           (String.concat ", " (List.map string_of_int inputs))
           max_depth
-          (float_of_int off_result.Mc.Explore.visited
-          /. float_of_int (max 1 symmetric_result.Mc.Explore.visited))
+          (float_of_int first_result.Mc.Explore.visited
+          /. float_of_int (max 1 last_result.Mc.Explore.visited))
           (String.concat ",\n" (List.map mode_json runs)))
-      (mc_bench_scenarios ())
+      (mc_bench_rows ()
+      |> List.filter (fun (name, _, _, _, _) ->
+             (not smoke) || List.mem name mc_smoke_scenarios))
   in
   Stats.Table.print table;
   let json =
@@ -379,6 +449,7 @@ let mc_bench () =
       {|{
   "benchmark": "mc transposition table",
   "verdicts_agree": true,
+  "engines_agree": true,
   "scenarios": [
 %s
   ]
@@ -386,10 +457,14 @@ let mc_bench () =
 |}
       (String.concat ",\n" json_scenarios)
   in
-  let oc = open_out "BENCH_mc.json" in
-  output_string oc json;
-  close_out oc;
-  print_endline "\nwrote BENCH_mc.json"
+  if smoke then print_endline "\n--smoke: BENCH_mc.json left untouched"
+  else begin
+    let oc = open_out "BENCH_mc.json" in
+    output_string oc json;
+    close_out oc;
+    print_endline "\nwrote BENCH_mc.json"
+  end;
+  List.rev !baseline_rows
 
 (* --- observability overhead: null-sink cost on the BENCH_mc scenarios -- *)
 
@@ -486,20 +561,36 @@ let fuzz_bench_scenarios = [
     ("cas-1", 1000);
     ("mutex-naive-flag", 1000);
     ("mutex-peterson-2", 1000);
-    ("lin-collect-counter", 400);
-    ("lin-consensus-swap", 400);
-    ("lin-tas-rand", 400);
+    ("lin-collect-counter", 2000);
+    ("lin-consensus-swap", 2000);
+    ("lin-tas-rand", 2000);
   ]
 
-let fuzz_bench () =
+(* Identical campaigns under both engines (same seed drives the same
+   runs — the differential suite's guarantee, re-asserted here on every
+   bench), timed separately; the flat engine's wall-clock is the
+   headline number and the baseline-diff subject. *)
+let campaign_project (r : Fuzz.Campaign.result) =
+  ( r.Fuzz.Campaign.runs_done,
+    r.Fuzz.Campaign.violations,
+    r.Fuzz.Campaign.total_steps,
+    Robust.Budget.completeness_to_string r.Fuzz.Campaign.completeness,
+    match r.Fuzz.Campaign.first_violation with
+    | None -> None
+    | Some cex -> Some (cex.Fuzz.Campaign.original, cex.Fuzz.Campaign.shrunk) )
+
+let fuzz_bench ?(smoke = false) () =
   let table =
     Stats.Table.create
       ~header:
         [
           "scenario";
           "runs";
-          "seconds";
-          "runs/s";
+          "closure s";
+          "flat s";
+          "speedup";
+          "flat runs/s";
+          "flat minor MW";
           "violations";
           "orig steps";
           "shrunk steps";
@@ -507,19 +598,49 @@ let fuzz_bench () =
           "verdict";
         ]
   in
+  let baseline_rows = ref [] in
   let json_scenarios =
     List.map
       (fun (name, runs) ->
-        let sc =
-          match Fuzz.Scenario.find name with
+        let scenario engine =
+          match Fuzz.Scenario.find ~engine name with
           | Ok sc -> sc
           | Error e ->
               prerr_endline e;
               exit 1
         in
-        let r, secs =
-          wall (fun () -> Fuzz.Campaign.run ~shrink:true ~runs ~seed:1 sc)
+        let campaign engine =
+          Fuzz.Campaign.run ~shrink:true ~runs ~seed:1 (scenario engine)
         in
+        (* engine parity asserted once, on cold caches; the timed reps
+           below then interleave the engines (min of 3, warm scenario
+           state) so CPU-frequency drift cannot masquerade as a
+           speedup — the same discipline obs_bench uses *)
+        let rc = campaign `Closure in
+        let r = campaign `Flat in
+        if campaign_project rc <> campaign_project r then begin
+          Printf.eprintf
+            "fuzz-bench: ENGINE MISMATCH on %s: flat and closure campaigns \
+             disagree\n"
+            name;
+          exit 1
+        end;
+        let secs_c = ref infinity
+        and secs_f = ref infinity
+        and mw_c = ref 0
+        and mw_f = ref 0 in
+        for _ = 1 to 3 do
+          let _, s, mw = measured (fun () -> campaign `Closure) in
+          secs_c := Float.min !secs_c s;
+          mw_c := mw;
+          let _, s, mw = measured (fun () -> campaign `Flat) in
+          secs_f := Float.min !secs_f s;
+          mw_f := mw
+        done;
+        let secs_c = !secs_c
+        and secs_f = !secs_f
+        and mw_c = !mw_c
+        and mw_f = !mw_f in
         let orig, shrunk, candidates =
           match r.Fuzz.Campaign.first_violation with
           | None -> (0, 0, 0)
@@ -530,26 +651,37 @@ let fuzz_bench () =
                 | Some s -> s.Fuzz.Shrink.candidates
                 | None -> 0 )
         in
+        let verdict =
+          Robust.Budget.completeness_to_string r.Fuzz.Campaign.completeness
+        in
+        baseline_rows :=
+          (name, r.Fuzz.Campaign.violations, verdict, secs_f) :: !baseline_rows;
         Stats.Table.add_row table
           [
             name;
             string_of_int r.Fuzz.Campaign.runs_done;
-            Printf.sprintf "%.3f" secs;
-            Printf.sprintf "%.0f" (float_of_int r.Fuzz.Campaign.runs_done /. secs);
+            Printf.sprintf "%.3f" secs_c;
+            Printf.sprintf "%.3f" secs_f;
+            Printf.sprintf "%.2fx" (secs_c /. Float.max secs_f 1e-9);
+            Printf.sprintf "%.0f"
+              (float_of_int r.Fuzz.Campaign.runs_done /. secs_f);
+            Printf.sprintf "%.1f" (float_of_int mw_f /. 1e6);
             string_of_int r.Fuzz.Campaign.violations;
             string_of_int orig;
             string_of_int shrunk;
             string_of_int candidates;
-            Robust.Budget.completeness_to_string r.Fuzz.Campaign.completeness;
+            verdict;
           ];
         Printf.sprintf
-          {|    { "scenario": %S, "runs": %d, "seconds": %.6f, "runs_per_sec": %.1f, "violations": %d, "steps": %d, "original_steps": %d, "shrunk_steps": %d, "shrink_candidates": %d, "verdict": %S }|}
-          name r.Fuzz.Campaign.runs_done secs
-          (float_of_int r.Fuzz.Campaign.runs_done /. secs)
-          r.Fuzz.Campaign.violations r.Fuzz.Campaign.total_steps orig shrunk
-          candidates
-          (Robust.Budget.completeness_to_string r.Fuzz.Campaign.completeness))
-      fuzz_bench_scenarios
+          {|    { "scenario": %S, "runs": %d, "seconds_closure": %.6f, "seconds_flat": %.6f, "speedup": %.2f, "runs_per_sec": %.1f, "minor_words_closure": %d, "minor_words_flat": %d, "violations": %d, "steps": %d, "original_steps": %d, "shrunk_steps": %d, "shrink_candidates": %d, "verdict": %S }|}
+          name r.Fuzz.Campaign.runs_done secs_c secs_f
+          (secs_c /. Float.max secs_f 1e-9)
+          (float_of_int r.Fuzz.Campaign.runs_done /. secs_f)
+          mw_c mw_f r.Fuzz.Campaign.violations r.Fuzz.Campaign.total_steps orig
+          shrunk candidates verdict)
+      (List.filter
+         (fun (name, _) -> (not smoke) || List.mem name fuzz_smoke_scenarios)
+         fuzz_bench_scenarios)
   in
   Stats.Table.print table;
   let json =
@@ -557,6 +689,7 @@ let fuzz_bench () =
       {|{
   "benchmark": "fuzz campaign throughput",
   "seed": 1,
+  "engines_agree": true,
   "scenarios": [
 %s
   ]
@@ -564,10 +697,144 @@ let fuzz_bench () =
 |}
       (String.concat ",\n" json_scenarios)
   in
-  let oc = open_out "BENCH_fuzz.json" in
-  output_string oc json;
-  close_out oc;
-  print_endline "\nwrote BENCH_fuzz.json"
+  if smoke then print_endline "\n--smoke: BENCH_fuzz.json left untouched"
+  else begin
+    let oc = open_out "BENCH_fuzz.json" in
+    output_string oc json;
+    close_out oc;
+    print_endline "\nwrote BENCH_fuzz.json"
+  end;
+  List.rev !baseline_rows
+
+(* --- baseline diff: verdict fields hard-fail, wall clock advisory ----- *)
+
+(* Our own JSON emitters above write one object per scenario/mode line,
+   so a per-line field scan is a complete parser for these files — no
+   JSON library in the bench harness's dependency cone. *)
+let find_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let json_field line key =
+  match find_sub line (Printf.sprintf "%S: " key) with
+  | None -> None
+  | Some j ->
+      let n = String.length line in
+      if j < n && line.[j] = '"' then
+        let k = String.index_from line (j + 1) '"' in
+        Some (String.sub line (j + 1) (k - j - 1))
+      else begin
+        let k = ref j in
+        while
+          !k < n && not (List.mem line.[!k] [ ','; ' '; '}'; '\n'; '\r' ])
+        do
+          incr k
+        done;
+        Some (String.sub line j (!k - j))
+      end
+
+let read_lines file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+(* Flat seconds from a baseline row, accepting the pre-engine-column
+   schema's plain "seconds" field too. *)
+let baseline_seconds line =
+  match json_field line "seconds_flat" with
+  | Some s -> float_of_string_opt s
+  | None -> Option.bind (json_field line "seconds") float_of_string_opt
+
+let diff_advisory name base fresh =
+  Printf.printf "baseline %-28s verdict ok, wall %+.1f%% (%.4fs -> %.4fs)\n"
+    name
+    ((fresh /. Float.max base 1e-9 -. 1.) *. 100.)
+    base fresh
+
+let diff_mc_baseline (file, lines) rows =
+  let base = ref [] in
+  let scenario = ref "" in
+  List.iter
+    (fun line ->
+      (match json_field line "scenario" with
+      | Some s -> scenario := s
+      | None -> ());
+      match json_field line "dedup" with
+      | Some dedup ->
+          base :=
+            ( (!scenario, dedup),
+              ( json_field line "verdict",
+                Option.bind (json_field line "visited") int_of_string_opt,
+                baseline_seconds line ) )
+            :: !base
+      | None -> ())
+    lines;
+  Printf.printf "\n=== Baseline diff vs %s (verdicts hard-fail) ===\n\n" file;
+  let failed = ref false in
+  List.iter
+    (fun (scenario, dedup, verdict, visited, secs) ->
+      let row = Printf.sprintf "%s/%s" scenario dedup in
+      match List.assoc_opt (scenario, dedup) !base with
+      | None -> Printf.printf "baseline %-28s not in baseline (new row)\n" row
+      | Some (bverdict, bvisited, bsecs) ->
+          if bverdict <> Some verdict || bvisited <> Some visited then begin
+            Printf.eprintf
+              "baseline %s: VERDICT/NODES CHANGED: %s/%d vs baseline %s/%s\n"
+              row verdict visited
+              (Option.value ~default:"?" bverdict)
+              (match bvisited with Some v -> string_of_int v | None -> "?");
+            failed := true
+          end
+          else
+            Option.iter (fun bsecs -> diff_advisory row bsecs secs) bsecs)
+    rows;
+  if !failed then exit 1
+
+let diff_fuzz_baseline (file, lines) rows =
+  let base = ref [] in
+  List.iter
+    (fun line ->
+      match (json_field line "scenario", json_field line "runs") with
+      | Some s, Some _ ->
+          base :=
+            ( s,
+              ( Option.bind (json_field line "violations") int_of_string_opt,
+                json_field line "verdict",
+                baseline_seconds line ) )
+            :: !base
+      | _ -> ())
+    lines;
+  Printf.printf "\n=== Baseline diff vs %s (verdicts hard-fail) ===\n\n" file;
+  let failed = ref false in
+  List.iter
+    (fun (scenario, violations, verdict, secs) ->
+      match List.assoc_opt scenario !base with
+      | None ->
+          Printf.printf "baseline %-28s not in baseline (new row)\n" scenario
+      | Some (bviolations, bverdict, bsecs) ->
+          if bviolations <> Some violations || bverdict <> Some verdict then begin
+            Printf.eprintf
+              "baseline %s: VERDICT CHANGED: %d/%s vs baseline %s/%s\n"
+              scenario violations verdict
+              (match bviolations with Some v -> string_of_int v | None -> "?")
+              (Option.value ~default:"?" bverdict);
+            failed := true
+          end
+          else
+            Option.iter (fun bsecs -> diff_advisory scenario bsecs secs) bsecs)
+    rows;
+  if !failed then exit 1
 
 let run_bechamel tests =
   let instances = Instance.[ monotonic_clock ] in
@@ -610,6 +877,7 @@ let () =
   let mc_bench_only = List.mem "--mc-bench" args in
   let fuzz_bench_only = List.mem "--fuzz-bench" args in
   let obs_bench_only = List.mem "--obs-bench" args in
+  let smoke = List.mem "--smoke" args in
   let only =
     let rec find = function
       | "--only" :: id :: _ -> Some id
@@ -617,6 +885,25 @@ let () =
       | [] -> None
     in
     find args
+  in
+  (* the baseline is loaded up front: the bench overwrites BENCH_*.json
+     in place, so reading the file after the run would diff the fresh
+     results against themselves *)
+  let baseline =
+    let rec find = function
+      | "--baseline" :: file :: _ -> Some file
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    match find args with
+    | None -> None
+    | Some file -> (
+        match read_lines file with
+        | lines -> Some (file, lines)
+        | exception Sys_error e ->
+            Printf.eprintf "--baseline: %s
+" e;
+            exit 2)
   in
   let jobs =
     let rec find = function
@@ -642,12 +929,14 @@ let () =
   end
   else if fuzz_bench_only then begin
     print_endline "\n=== Fuzz campaign throughput (shrink included) ===\n";
-    fuzz_bench ()
+    let rows = fuzz_bench ~smoke () in
+    Option.iter (fun b -> diff_fuzz_baseline b rows) baseline
   end
   else if mc_bench_only then begin
     print_endline
       "\n=== Transposition table (nodes + wall clock per dedup mode) ===\n";
-    mc_bench ()
+    let rows = mc_bench ~smoke () in
+    Option.iter (fun b -> diff_mc_baseline b rows) baseline
   end
   else if par_bench_only then begin
     print_endline "\n=== Parallel speedup (wall clock, determinism checked) ===\n";

@@ -380,8 +380,8 @@ let attack_cmd =
 (* -------------------------------------------------------------------- mc *)
 
 let mc_cmd =
-  let run name inputs depth max_states dedup max_nodes deadline checkpoint
-      checkpoint_every resume jobs metrics progress =
+  let run name inputs depth max_states dedup state max_nodes deadline
+      checkpoint checkpoint_every resume jobs metrics progress =
     match find_protocol name with
     | Error e ->
         prerr_endline e;
@@ -399,6 +399,17 @@ let mc_cmd =
               prerr_endline
                 (Printf.sprintf
                    "unknown --dedup %S (expected off | exact | symmetric)" s);
+              exit Exit_code.bad_args
+        in
+        let state_name = state in
+        let state =
+          match state with
+          | "flat" -> `Flat
+          | "closure" -> `Closure
+          | s ->
+              prerr_endline
+                (Printf.sprintf
+                   "unknown --state %S (expected flat | closure)" s);
               exit Exit_code.bad_args
         in
         let obs = make_obs metrics in
@@ -452,10 +463,10 @@ let mc_cmd =
               | None ->
                   Mc.Explore.search ?obs ?budget ~dedup ~max_depth:depth
                     ~max_states ~checkpoint_every ?on_checkpoint
-                    ?resume:resume_state ~inputs config
+                    ?resume:resume_state ~state ~inputs config
               | Some pool ->
                   Mc.Explore.search_par ?obs ~pool ?budget ~dedup
-                    ~max_depth:depth ~max_states ~inputs config)
+                    ~max_depth:depth ~max_states ~state ~inputs config)
         in
         Fmt.pr "visited=%d leaves=%d table-hits=%d truncated=%b max-depth=%d@."
           result.Mc.Explore.visited result.Mc.Explore.leaves
@@ -489,6 +500,7 @@ let mc_cmd =
               ("protocol", name);
               ("inputs", inputs_csv);
               ("dedup", dedup_name);
+              ("state", state_name);
             ];
         if code <> 0 then exit code
   in
@@ -511,6 +523,15 @@ let mc_cmd =
                 "transposition-table dedup: off, exact, or symmetric \
                  (symmetric additionally collapses permutations of \
                  interchangeable processes)")
+      $ Arg.(
+          value
+          & opt string "flat"
+          & info [ "state" ]
+              ~doc:
+                "configuration engine: flat (interned slab states, the \
+                 default) or closure (the persistent-configuration \
+                 engine; also forced by --checkpoint/--resume).  Both \
+                 produce identical verdicts, witnesses and counters.")
       $ Arg.(
           value
           & opt (some int) None
@@ -556,10 +577,18 @@ let fuzz_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
   in
-  let run scenario inputs runs seed jobs shrink max_candidates out deadline
-      max_runs metrics progress =
+  let run scenario inputs engine runs seed jobs shrink max_candidates out
+      deadline max_runs metrics progress =
     let inputs = Option.map parse_inputs inputs in
-    match Fuzz.Scenario.find ?inputs scenario with
+    let engine =
+      match engine with
+      | "flat" -> `Flat
+      | "closure" -> `Closure
+      | other ->
+          Fmt.epr "unknown --engine %S (expected flat or closure)@." other;
+          exit Exit_code.bad_args
+    in
+    match Fuzz.Scenario.find ?inputs ~engine scenario with
     | Error e ->
         prerr_endline e;
         exit Exit_code.bad_args
@@ -641,6 +670,15 @@ let fuzz_cmd =
           & opt (some string) None
           & info [ "inputs" ] ~docv:"INPUTS"
               ~doc:"Consensus inputs (default 0,1); ignored by builtins.")
+      $ Arg.(
+          value
+          & opt string "flat"
+          & info [ "engine" ]
+              ~doc:
+                "execution engine: flat (interned slab/harness states, the \
+                 default) or closure (the reference closure-tree engine).  \
+                 Identical schedules and verdicts per seed; mutex \
+                 scenarios always run closure-side.")
       $ Arg.(
           value
           & opt int 200

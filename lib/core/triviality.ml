@@ -24,11 +24,19 @@ let poised_write config pid =
   | Some (obj, op) when is_nontrivial op -> Some (obj, op)
   | Some _ | None -> None
 
-(** All enabled processes poised (nontrivially) at object [obj]. *)
+(** All enabled processes poised (nontrivially) at object [obj].
+    Built in one descending pass — no intermediate [enabled_pids]
+    list; this sits inside the block-write adversary's innermost
+    scan. *)
 let poised_at config obj =
-  List.filter
-    (fun pid ->
+  let acc = ref [] in
+  for pid = Config.n_procs config - 1 downto 0 do
+    if
+      Config.is_enabled config pid
+      &&
       match poised_write config pid with
-      | Some (o, _) -> o = obj
-      | None -> false)
-    (Config.enabled_pids config)
+      | Some (o, _) -> Int.equal o obj
+      | None -> false
+    then acc := pid :: !acc
+  done;
+  !acc

@@ -68,26 +68,38 @@ let run ?obs ?pool ?(budget = Robust.Budget.unlimited)
     let admitted = Robust.Budget.Meter.take_nodes meter want in
     if admitted < want then stop := true;
     if admitted > 0 then begin
-      let indices = List.init admitted (fun i -> !start + i) in
-      let reports =
-        Par.map ?pool
-          (fun i ->
-            let rng = rngs.(i) in
-            let kind = Scenario.pick_kind weights rng in
-            (i, kind, sc.Scenario.gen rng kind))
-          indices
+      let record i kind (report : Scenario.run_report) =
+        incr runs_done;
+        bump kind;
+        total_steps := !total_steps + report.Scenario.steps;
+        match report.Scenario.violation with
+        | None -> ()
+        | Some _ ->
+            incr violations;
+            if !first = None then first := Some (i, kind, report)
       in
-      List.iter
-        (fun (i, kind, (report : Scenario.run_report)) ->
-          incr runs_done;
-          bump kind;
-          total_steps := !total_steps + report.Scenario.steps;
-          match report.Scenario.violation with
-          | None -> ()
-          | Some _ ->
-              incr violations;
-              if !first = None then first := Some (i, kind, report))
-        reports
+      let generate i =
+        let rng = rngs.(i) in
+        let kind = Scenario.pick_kind weights rng in
+        (i, kind, sc.Scenario.gen rng kind)
+      in
+      match pool with
+      | None ->
+          (* stream the fold: identical to the pooled path's index-order
+             fold below, without materializing the batch — a campaign's
+             reports are dead on arrival unless they hold the first
+             violation, and retaining a batch of recorded schedules just
+             makes every minor collection rescan them *)
+          for i = !start to !start + admitted - 1 do
+            let i, kind, report = generate i in
+            record i kind report
+          done
+      | Some _ ->
+          let indices = List.init admitted (fun i -> !start + i) in
+          let reports = Par.map ?pool generate indices in
+          List.iter
+            (fun (i, kind, report) -> record i kind report)
+            reports
     end;
     start := !start + admitted
   done;

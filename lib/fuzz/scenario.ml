@@ -62,6 +62,20 @@ type t = {
   artifact : Schedule.t -> string;
 }
 
+(* Which execution engine a scenario's gen/replay use.  [`Flat] (the
+   default) runs consensus scenarios over the in-place slab executors
+   ({!Sim.Flat_run}) and linearizability scenarios over the interned
+   harness engine plus a per-domain verdict memo; [`Closure] keeps the
+   original closure-tree execution — the reference the differential
+   suite compares against.  Both draw RNGs in identical order, so a
+   seed names the same run under either engine.  Engine state (intern
+   tables, slabs, memo tables) lives in [Domain.DLS] so campaigns may
+   fan gen out over a [Par] pool: per-domain state only affects speed,
+   never results, preserving the jobs-invariance contract.  Mutex
+   scenarios always execute closure-side: the occupancy invariant is
+   judged on full event traces, which the slab has interned away. *)
+type engine = [ `Closure | `Flat ]
+
 let seed_of rng = 1 + Rng.int rng 0x3FFFFFFF
 
 (* ---- consensus ---------------------------------------------------- *)
@@ -90,14 +104,75 @@ let config_run config ~inputs:_ ~max_steps rng kind =
       let crashes = gen_crashes rng ~n in
       Run.exec_with_crashes ~max_steps ~crashes (Sched.random ~seed) config
 
-let consensus ?(inputs = [ 0; 1 ]) ?(max_steps = 4096) (p : Consensus.Protocol.t)
-    =
+let consensus ?(engine = `Flat) ?(inputs = [ 0; 1 ]) ?(max_steps = 4096)
+    (p : Consensus.Protocol.t) =
   let initial () = Consensus.Protocol.initial_config p ~inputs in
+  let judge_decisions decisions =
+    let v = Checker.check ~inputs ~decisions in
+    if not v.Checker.consistent then Some Inconsistent
+    else if not v.Checker.valid then Some Invalid
+    else None
+  in
   let judge (result : int Run.result) =
     consensus_verdict ~inputs result.Run.config
   in
   let replay_result schedule =
     Run.exec_script ~max_steps ~script:schedule (initial ())
+  in
+  (* Flat-engine state, one per domain: a pristine template slab plus a
+     work slab sharing the intern runtime.  A run is [blit] reset + an
+     in-place executor; the runtime is rebuilt when its id space nears
+     capacity (unbounded campaigns over history-divergent protocols). *)
+  let dls =
+    Domain.DLS.new_key (fun () ->
+        let template =
+          Flat.of_config ~hashed:false ~roots:Flat.Per_slot (initial ())
+        in
+        ref (template, Flat.clone template))
+  in
+  let flat_work () =
+    let cell = Domain.DLS.get dls in
+    let template, work = !cell in
+    if Intern.near_capacity (Flat.rt template) then begin
+      let template =
+        Flat.of_config ~hashed:false ~roots:Flat.Per_slot (initial ())
+      in
+      let work = Flat.clone template in
+      cell := (template, work);
+      work
+    end
+    else begin
+      Flat.blit ~src:template ~dst:work;
+      work
+    end
+  in
+  (* identical rng draw order to [config_run]: seed first, then the
+     kind's own draws — a seed names the same run under either engine *)
+  let gen_flat rng kind =
+    let seed = seed_of rng in
+    let work = flat_work () in
+    let n = Flat.n_procs work in
+    let r =
+      match kind with
+      | Uniform -> Flat_run.exec_random ~max_steps ~rng:(Rng.create seed) work
+      | Starving ->
+          let victim = Rng.int rng n in
+          Flat_run.exec_starving ~max_steps ~victim ~rng:(Rng.create seed) work
+      | Crashing ->
+          let crashes = gen_crashes rng ~n in
+          Flat_run.exec_with_crashes ~max_steps ~crashes
+            ~rng:(Rng.create seed) work
+    in
+    {
+      schedule = r.Flat_run.schedule;
+      violation = judge_decisions (Flat.decisions work);
+      steps = r.Flat_run.steps;
+    }
+  in
+  let replay_flat schedule =
+    let work = flat_work () in
+    let _ = Flat_run.exec_script ~max_steps ~script:schedule work in
+    judge_decisions (Flat.decisions work)
   in
   {
     name = p.Consensus.Protocol.name;
@@ -105,14 +180,22 @@ let consensus ?(inputs = [ 0; 1 ]) ?(max_steps = 4096) (p : Consensus.Protocol.t
       Printf.sprintf "consensus %s inputs=%s" p.Consensus.Protocol.name
         (String.concat "," (List.map string_of_int inputs));
     gen =
-      (fun rng kind ->
-        let result = config_run (initial ()) ~inputs ~max_steps rng kind in
-        {
-          schedule = Schedule.of_trace result.Run.trace;
-          violation = judge result;
-          steps = result.Run.steps;
-        });
-    replay = (fun schedule -> judge (replay_result schedule));
+      (match engine with
+      | `Flat -> gen_flat
+      | `Closure ->
+          fun rng kind ->
+            let result = config_run (initial ()) ~inputs ~max_steps rng kind in
+            {
+              schedule = Schedule.of_trace result.Run.trace;
+              violation = judge result;
+              steps = result.Run.steps;
+            });
+    replay =
+      (match engine with
+      | `Flat -> replay_flat
+      | `Closure -> fun schedule -> judge (replay_result schedule));
+    (* artifacts are full event traces, which only the closure replay
+       can reconstruct; they are built once per minimized counterexample *)
     artifact =
       (fun schedule ->
         Trace_io.to_text_int (replay_result schedule).Run.trace ^ "\n");
@@ -167,6 +250,19 @@ let mutex ?(n = 2) ?(max_steps = 512) (m : Mutex.t) =
 
 (* ---- linearizability ----------------------------------------------- *)
 
+(* Verdict-memo table keyed on whole histories.  The polymorphic
+   [Hashtbl.hash] samples only ~10 nodes — a shared prefix for most
+   histories of one workload, collapsing the table into a few buckets of
+   deep structural compares — so hash with a node budget that covers the
+   whole history.  Keys are pure data (ints, strings, values), so
+   structural equality is sound. *)
+module Htbl = Hashtbl.Make (struct
+  type t = Objimpl.History.t
+
+  let equal = ( = )
+  let hash h = Hashtbl.hash_param 1024 1024 h
+end)
+
 (* Implementations are driven through [Objimpl.Harness] with a *fixed*
    workload and a fuzzer-chosen pid schedule, so the schedule alone
    determines the run (Fixed schedules resolve coins from a pinned seed;
@@ -177,7 +273,8 @@ let mutex ?(n = 2) ?(max_steps = 512) (m : Mutex.t) =
    in-flight calls into a [Stuck] verdict.  A [Blocking] implementation
    is excused from [Stuck] only when a crash happened: a deadlock with
    everyone alive violates even deadlock-freedom. *)
-let lin ~name ?(n = 3) ?(len = 160) ?(max_steps = 10_000) impl ~workload =
+let lin ~name ?(engine = `Flat) ?(n = 3) ?(len = 160) ?(max_steps = 10_000)
+    impl ~workload =
   let split schedule =
     (* Fixed pid list + harness crash points; a [`Crash p] fires before
        the schedule entry that follows it (tick = Steps seen so far) *)
@@ -188,54 +285,106 @@ let lin ~name ?(n = 3) ?(len = 160) ?(max_steps = 10_000) impl ~workload =
     in
     go 0 [] [] schedule
   in
+  let spec = impl.Objimpl.Implementation.spec in
+  let lin_violates history =
+    match Lin.Cross.verdict spec history with
+    | Objimpl.Linearize.Not_linearizable | Objimpl.Linearize.Malformed _ ->
+        true
+    | Objimpl.Linearize.Linearizable _ | Objimpl.Linearize.Unknown -> false
+  in
+  let finish (outcome : Objimpl.Harness.outcome) bad =
+    if bad then Some Not_linearizable
+    else
+      let excused =
+        impl.Objimpl.Implementation.progress = Objimpl.Implementation.Blocking
+        && outcome.Objimpl.Harness.crashed <> []
+      in
+      if outcome.Objimpl.Harness.stuck <> [] && not excused then Some Stuck
+      else None
+  in
+  (* Flat-engine state, one per domain: the interned harness runtime plus
+     a verdict memo.  The memo is keyed on the recorded history itself
+     (pure data, so structural hashing is sound) and caches only the
+     oracle-pair answer — a deterministic function of the history —
+     never the stuck/crash judgement, which depends on the run.  Short
+     fixed workloads revisit the same few hundred histories across
+     thousands of schedules, so most replays skip both oracles. *)
+  let dls =
+    Domain.DLS.new_key (fun () ->
+        (Objimpl.Harness.runtime impl ~n, Htbl.create 1024))
+  in
+  let memo_cap = 1 lsl 16 in
+  let judge_parts pids crashes =
+    match engine with
+    | `Closure ->
+        let outcome =
+          Objimpl.Harness.run impl ~n ~workload
+            ~schedule:(Objimpl.Harness.Fixed pids) ~max_steps ~crashes
+            ~probe:true ()
+        in
+        finish outcome (lin_violates outcome.Objimpl.Harness.history)
+    | `Flat ->
+        let rt, memo = Domain.DLS.get dls in
+        let outcome =
+          Objimpl.Harness.run ~engine:Objimpl.Harness.Interned ~rt impl ~n
+            ~workload ~schedule:(Objimpl.Harness.Fixed pids) ~max_steps
+            ~crashes ~probe:true ()
+        in
+        let history = outcome.Objimpl.Harness.history in
+        let bad =
+          match Htbl.find_opt memo history with
+          | Some b -> b
+          | None ->
+              let b = lin_violates history in
+              if Htbl.length memo >= memo_cap then Htbl.reset memo;
+              Htbl.add memo history b;
+              b
+        in
+        finish outcome bad
+  in
   let judge schedule =
     let pids, crashes = split schedule in
-    let outcome =
-      Objimpl.Harness.run impl ~n ~workload
-        ~schedule:(Objimpl.Harness.Fixed pids) ~max_steps ~crashes ~probe:true
-        ()
+    judge_parts pids crashes
+  in
+  (* single-pass schedule builders: one cons per entry, the [Fixed] pid
+     list built alongside so the crash-free gen path skips [split] *)
+  let gen_uniform rng =
+    let rec go i sched pids =
+      if i = 0 then (sched, pids)
+      else
+        let pid = Rng.int rng n in
+        go (i - 1) (`Step (pid, None) :: sched) (pid :: pids)
     in
-    match
-      Lin.Cross.verdict impl.Objimpl.Implementation.spec
-        outcome.Objimpl.Harness.history
-    with
-    | Objimpl.Linearize.Not_linearizable | Objimpl.Linearize.Malformed _ ->
-        Some Not_linearizable
-    | Objimpl.Linearize.Linearizable _ | Objimpl.Linearize.Unknown ->
-        let excused =
-          impl.Objimpl.Implementation.progress = Objimpl.Implementation.Blocking
-          && outcome.Objimpl.Harness.crashed <> []
+    go len [] []
+  in
+  let gen_starving rng =
+    let victim = Rng.int rng n in
+    let rec go i sched pids =
+      if i = 0 then (sched, pids)
+      else
+        let pid =
+          if n > 1 && Rng.int rng 8 < 7 then
+            (victim + 1 + Rng.int rng (n - 1)) mod n
+          else victim
         in
-        if outcome.Objimpl.Harness.stuck <> [] && not excused then Some Stuck
-        else None
+        go (i - 1) (`Step (pid, None) :: sched) (pid :: pids)
+    in
+    go len [] []
   in
-  let gen_pids rng kind =
-    match kind with
-    | Uniform | Crashing -> List.init len (fun _ -> Rng.int rng n)
-    | Starving ->
-        let victim = Rng.int rng n in
-        List.init len (fun _ ->
-            if n > 1 && Rng.int rng 8 < 7 then
-              (victim + 1 + Rng.int rng (n - 1)) mod n
-            else victim)
-  in
-  let gen_schedule rng kind : Schedule.t =
-    let steps = List.map (fun pid -> `Step (pid, None)) (gen_pids rng kind) in
-    match kind with
-    | Uniform | Starving -> steps
-    | Crashing ->
-        (* up to n-1 crash points at random ticks, survivors keep going *)
-        let crashes = gen_crashes rng ~n in
-        List.fold_left
-          (fun sched (at, p) ->
-            let at = min at (List.length sched) in
-            let rec insert i = function
-              | rest when i = 0 -> `Crash p :: rest
-              | [] -> [ `Crash p ]
-              | e :: rest -> e :: insert (i - 1) rest
-            in
-            insert at sched)
-          steps crashes
+  let gen_crashing rng : Schedule.t =
+    (* up to n-1 crash points at random ticks, survivors keep going *)
+    let steps, _ = gen_uniform rng in
+    let crashes = gen_crashes rng ~n in
+    List.fold_left
+      (fun sched (at, p) ->
+        let at = min at (List.length sched) in
+        let rec insert i = function
+          | rest when i = 0 -> `Crash p :: rest
+          | [] -> [ `Crash p ]
+          | e :: rest -> e :: insert (i - 1) rest
+        in
+        insert at sched)
+      steps crashes
   in
   {
     name;
@@ -245,12 +394,20 @@ let lin ~name ?(n = 3) ?(len = 160) ?(max_steps = 10_000) impl ~workload =
         (List.fold_left (fun acc (_, ops) -> acc + List.length ops) 0 workload);
     gen =
       (fun rng kind ->
-        let schedule = gen_schedule rng kind in
-        {
-          schedule;
-          violation = judge schedule;
-          steps = Schedule.steps schedule;
-        });
+        match kind with
+        | Uniform ->
+            let schedule, pids = gen_uniform rng in
+            { schedule; violation = judge_parts pids []; steps = len }
+        | Starving ->
+            let schedule, pids = gen_starving rng in
+            { schedule; violation = judge_parts pids []; steps = len }
+        | Crashing ->
+            let schedule = gen_crashing rng in
+            {
+              schedule;
+              violation = judge schedule;
+              steps = Schedule.steps schedule;
+            });
     replay = judge;
     artifact = (fun schedule -> Schedule.to_text schedule);
   }
@@ -268,30 +425,31 @@ let counter_workload =
     (2, [ Objects.Counter.read ]);
   ]
 
-let builtins =
+let builtins_with engine =
   [
     (* the canonical planted bug: the textbook broken register consensus *)
-    consensus ~inputs:[ 0; 1 ] (Consensus.Flawed.first_writer ~r:1)
+    consensus ~engine ~inputs:[ 0; 1 ] (Consensus.Flawed.first_writer ~r:1)
     |> (fun s -> { s with name = "flawed" });
-    lin ~name:"lin-collect-counter" Objimpl.Counters.collect
+    lin ~name:"lin-collect-counter" ~engine Objimpl.Counters.collect
       ~workload:counter_workload;
-    lin ~name:"lin-snapshot-counter" Objimpl.Counters.snapshot
+    lin ~name:"lin-snapshot-counter" ~engine Objimpl.Counters.snapshot
       ~workload:counter_workload;
     (* correct lock-based counter: Blocking, so crash-induced residue is
        excused, but a no-crash deadlock would still be Stuck *)
-    lin ~name:"lin-lock-counter" Objimpl.Locked_counter.locked
+    lin ~name:"lin-lock-counter" ~engine Objimpl.Locked_counter.locked
       ~workload:counter_workload;
     (* the planted deadlock: release leaves the lock held, so any later
        acquire spins forever even solo — the Stuck specimen *)
-    lin ~name:"lin-stuck-counter" Objimpl.Locked_counter.leaky
+    lin ~name:"lin-stuck-counter" ~engine Objimpl.Locked_counter.leaky
       ~workload:counter_workload;
-    lin ~name:"lin-consensus-swap" ~n:2 Objimpl.Consensus_obj.implementation
+    lin ~name:"lin-consensus-swap" ~engine ~n:2
+      Objimpl.Consensus_obj.implementation
       ~workload:
         [
           (0, [ Objects.Sticky.propose_int 7; Objects.Sticky.read ]);
           (1, [ Objects.Sticky.propose_int 9; Objects.Sticky.read ]);
         ];
-    lin ~name:"lin-tas-rand" ~n:2 Objimpl.Tas_rand.implementation
+    lin ~name:"lin-tas-rand" ~engine ~n:2 Objimpl.Tas_rand.implementation
       ~workload:
         [
           (0, [ Objects.Test_and_set.test_and_set; Objects.Test_and_set.read ]);
@@ -302,12 +460,15 @@ let builtins =
     mutex ~n:3 Mutex.tas_lock;
   ]
 
-let find ?inputs name =
+let builtins = builtins_with `Flat
+
+let find ?inputs ?(engine = `Flat) name =
+  let builtins = if engine = `Flat then builtins else builtins_with engine in
   match List.find_opt (fun s -> s.name = name) builtins with
   | Some s -> Ok s
   | None -> (
       match Consensus.Registry.find name with
-      | Some p -> Ok (consensus ?inputs p)
+      | Some p -> Ok (consensus ~engine ?inputs p)
       | None ->
           Error
             (Printf.sprintf

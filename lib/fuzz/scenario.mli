@@ -48,8 +48,24 @@ type t = {
           linearizability ones *)
 }
 
+(** Execution engine for gen/replay.  [`Flat] (the default) runs
+    consensus scenarios over the in-place slab executors
+    ({!Sim.Flat_run}: blit reset + shared intern runtime) and
+    linearizability scenarios over the interned harness engine with a
+    per-domain verdict memo; [`Closure] is the original closure-tree
+    execution, kept as the differential reference.  Identical RNG draw
+    order under both, so a seed names the same run either way; engine
+    state is per-domain ([Domain.DLS]), preserving campaign
+    jobs-invariance.  Mutex scenarios always execute closure-side (the
+    occupancy invariant is judged on full event traces). *)
+type engine = [ `Closure | `Flat ]
+
 val consensus :
-  ?inputs:int list -> ?max_steps:int -> Consensus.Protocol.t -> t
+  ?engine:engine ->
+  ?inputs:int list ->
+  ?max_steps:int ->
+  Consensus.Protocol.t ->
+  t
 
 val mutex : ?n:int -> ?max_steps:int -> Mutex.t -> t
 
@@ -61,6 +77,7 @@ val mutex : ?n:int -> ?max_steps:int -> Mutex.t -> t
     the schedule crashed somebody. *)
 val lin :
   name:string ->
+  ?engine:engine ->
   ?n:int ->
   ?len:int ->
   ?max_steps:int ->
@@ -74,7 +91,11 @@ val lin :
     [lin-consensus-swap], [lin-tas-rand], [mutex-peterson-2],
     [mutex-naive-flag], [mutex-swap-lock]. *)
 val builtins : t list
+(** The table under the default [`Flat] engine. *)
+
+val builtins_with : engine -> t list
 
 (** Builtins first, then any protocol name from {!Consensus.Registry}
-    (with [inputs], default [[0; 1]]). *)
-val find : ?inputs:int list -> string -> (t, string) result
+    (with [inputs], default [[0; 1]]); [engine] selects the execution
+    engine (default [`Flat]). *)
+val find : ?inputs:int list -> ?engine:engine -> string -> (t, string) result

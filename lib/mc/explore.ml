@@ -80,17 +80,20 @@ module Key = struct
     fps : int array;  (** per-slot fingerprints; sorted under [`Symmetric] *)
   }
 
+  (* toplevel recursions — local [let rec]s here would allocate a
+     closure pair on every table lookup *)
+  let rec ints (x : int array) (y : int array) i =
+    i < 0 || (Int.equal (Array.unsafe_get x i) (Array.unsafe_get y i) && ints x y (i - 1))
+
+  let rec vals (x : Value.t array) (y : Value.t array) i =
+    i < 0 || (Value.equal x.(i) y.(i) && vals x y (i - 1))
+
   let equal a b =
-    a.hash = b.hash
+    Int.equal a.hash b.hash
     && Array.length a.fps = Array.length b.fps
     && Array.length a.objs = Array.length b.objs
-    && (let rec ints i = i < 0 || (a.fps.(i) = b.fps.(i) && ints (i - 1)) in
-        ints (Array.length a.fps - 1))
-    &&
-    let rec vals i =
-      i < 0 || (Value.equal a.objs.(i) b.objs.(i) && vals (i - 1))
-    in
-    vals (Array.length a.objs - 1)
+    && ints a.fps b.fps (Array.length a.fps - 1)
+    && vals a.objs b.objs (Array.length a.objs - 1)
 
   let hash k = k.hash
 end
@@ -350,6 +353,348 @@ let search_from ~polls ~budget ~checkpoint_every ~on_checkpoint ~resume ~dedup
     table_misses = !table_misses;
   }
 
+(* --- the flat-slab engine -------------------------------------------- *)
+
+type state = [ `Closure | `Flat ]
+
+(* Arena-backed transposition table for the flat DFS: keys are slab
+   slices (object value ids then state ids, the sid slice sorted under
+   [`Symmetric]) stored *contiguously* in one growable int arena —
+   entry layout [meta; slot_0 .. slot_{width-1}] — and addressed by an
+   open-addressing index of interleaved (hash, arena offset) pairs.
+
+   [meta] packs the closure table's entry record into one int:
+   [(stored_remaining_depth + 1) lsl 1 lor complete].  A lookup costs
+   two cache lines (index pair, then the entry's slots for the exact
+   compare — hash equality is never trusted); an insert blits the
+   scratch key into the arena tail.  Nothing in here is a GC object, so
+   million-entry sweeps neither allocate per node nor grow major-heap
+   mark work — the boxed [Hashtbl] + per-miss key snapshots this
+   replaces dominated deep dedup'd sweeps in both engines.
+
+   Entries are copies *by construction* (the insert blit), which is the
+   flat engine's answer to the key-immutability hazard of sharing live
+   arrays (see [key_of_config]'s snapshot discipline for the closure
+   table). *)
+module Atbl = struct
+  type t = {
+    width : int;  (** slots per key *)
+    mutable arena : int array;  (** entries: [meta; slots^width] *)
+    mutable n : int;  (** arena fill pointer *)
+    mutable idx : int array;
+        (** interleaved [hash; offset] pairs, offset -1 = empty *)
+    mutable mask : int;  (** index capacity - 1 *)
+    mutable shift : int;  (** 63 - log2 of index capacity *)
+    mutable size : int;
+  }
+
+  let fib = 0x1E3779B97F4A7C15
+
+  let create ~width =
+    let bits = 10 in
+    let cap = 1 lsl bits in
+    {
+      width;
+      arena = Array.make (cap * (width + 1)) 0;
+      n = 0;
+      idx = Array.make (2 * cap) (-1);
+      mask = cap - 1;
+      shift = 63 - bits;
+      size = 0;
+    }
+
+  (* toplevel recursions: local [let rec]s here would allocate closures
+     on every lookup *)
+  let rec eq_slots arena o (key : int array) i =
+    i < 0
+    || Array.unsafe_get arena (o + i) = Array.unsafe_get key i
+       && eq_slots arena o key (i - 1)
+
+  let rec probe t hash (key : int array) i =
+    let o = Array.unsafe_get t.idx ((2 * i) + 1) in
+    if o = -1 then -1
+    else if
+      Array.unsafe_get t.idx (2 * i) = hash
+      && eq_slots t.arena (o + 1) key (t.width - 1)
+    then o
+    else probe t hash key ((i + 1) land t.mask)
+
+  (* arena offset of the entry (its meta word), or -1 *)
+  let find t ~hash key = probe t hash key ((hash * fib) lsr t.shift)
+
+  let meta t o = Array.unsafe_get t.arena o
+  let set_meta t o m = Array.unsafe_set t.arena o m
+
+  let rec ins_slot t i =
+    if Array.unsafe_get t.idx ((2 * i) + 1) = -1 then i
+    else ins_slot t ((i + 1) land t.mask)
+
+  let grow_index t =
+    let old = t.idx in
+    let cap = t.mask + 1 in
+    t.idx <- Array.make (4 * cap) (-1);
+    t.mask <- (2 * cap) - 1;
+    t.shift <- t.shift - 1;
+    for i = 0 to cap - 1 do
+      let o = old.((2 * i) + 1) in
+      if o >= 0 then begin
+        let h = old.(2 * i) in
+        let j = ins_slot t ((h * fib) lsr t.shift) in
+        t.idx.(2 * j) <- h;
+        t.idx.((2 * j) + 1) <- o
+      end
+    done
+
+  (* Append a fresh entry (meta 0 = "in progress": stored depth -1,
+     incomplete) and index it; returns its arena offset. *)
+  let insert t ~hash key =
+    if 2 * (t.size + 1) > t.mask + 1 then grow_index t;
+    let w = t.width + 1 in
+    if t.n + w > Array.length t.arena then begin
+      let arena = Array.make (2 * Array.length t.arena) 0 in
+      Array.blit t.arena 0 arena 0 t.n;
+      t.arena <- arena
+    end;
+    let o = t.n in
+    t.arena.(o) <- 0;
+    Array.blit key 0 t.arena (o + 1) t.width;
+    t.n <- o + w;
+    let i = ins_slot t ((hash * fib) lsr t.shift) in
+    t.idx.(2 * i) <- hash;
+    t.idx.((2 * i) + 1) <- o;
+    t.size <- t.size + 1;
+    o
+end
+
+(* The flat-slab DFS: identical traversal order, counter accounting, and
+   budget metering as [search_from], over a {!Sim.Flat} slab mutated in
+   place.  Stepping into a child saves the overwritten slot ids in locals
+   on the call stack, recurses, and writes them back — the undo-cell
+   discipline; slot writes are hash-self-inverse, so the transposition
+   hashes restore with them and nothing is allocated on the
+   violation-free path except the (pid, outcome) choice cell.
+
+   Table lookups go through one reused scratch key per search
+   ([`Symmetric] insertion-sorts the scratch's sid slice in place); a
+   miss blits the key into the {!Atbl} arena *before* expanding the
+   subtree (whose own lookups clobber the scratch), marked in-progress
+   (stored depth -1) — which every revisit treats exactly as the
+   closure engine treats an absent entry, so counters match node for
+   node, while the held arena offset lets the post-expansion update
+   write the final (depth, complete) meta without re-probing.
+
+   Witnesses stay engine-independent: on a violation the recorded choice
+   path is replayed from [replay_root] with the *closure* engine, so the
+   reported trace and configuration are bit-identical to [search_from]'s.
+
+   Checkpointing is not offered here (the closure engine remains the
+   checkpoint/resume path); a budget trip just reports its reason. *)
+let search_from_flat ~polls ~budget ~dedup ~max_depth ~max_states ~inputs
+    ~replay_root ~rev_choices ~decisions config =
+  let visited = ref 0 in
+  let leaves = ref 0 in
+  let table_hits = ref 0 in
+  let table_misses = ref 0 in
+  let trunc = ref 0 in
+  let max_depth_seen = ref 0 in
+  let first_reason = ref None in
+  let found : 'a violation option ref = ref None in
+  let exception Stop in
+  let exception Budget_stop of Robust.Budget.reason in
+  let meter =
+    match budget with
+    | Some b when not (Robust.Budget.is_unlimited b) ->
+        Some (Robust.Budget.Meter.create b)
+    | _ -> None
+  in
+  let truncate reason =
+    if !first_reason = None then first_reason := Some reason;
+    incr trunc
+  in
+  let symmetric = dedup = `Symmetric in
+  let flat =
+    Flat.of_config ~hashed:(dedup <> `Off)
+      ~roots:(if symmetric then Flat.By_fp else Flat.Per_slot)
+      config
+  in
+  let rt = Flat.rt flat in
+  let n_objs = Flat.n_objs flat and n_procs = Flat.n_procs flat in
+  let width = n_objs + n_procs in
+  let table =
+    match dedup with
+    | `Off -> None
+    | `Exact | `Symmetric -> Some (Atbl.create ~width)
+  in
+  (* one reused scratch key per search: the slab slice, with the sid
+     slice insertion-sorted in place under [`Symmetric] (n_procs is
+     small; no comparator closure, no allocation) *)
+  let skey = Array.make width 0 in
+  let fill_skey () =
+    Flat.slab_copy flat ~into:skey;
+    if symmetric then
+      for p = n_objs + 1 to width - 1 do
+        let v = Array.unsafe_get skey p in
+        let j = ref (p - 1) in
+        while !j >= n_objs && Array.unsafe_get skey !j > v do
+          Array.unsafe_set skey (!j + 1) (Array.unsafe_get skey !j);
+          decr j
+        done;
+        Array.unsafe_set skey (!j + 1) v
+      done
+  in
+  (* The root-to-cursor choice path lives in two depth-indexed int arrays
+     instead of cons cells: the violation-free DFS allocates nothing per
+     node.  [rev_choices] (the caller's prefix, used by [search_par]
+     subtree tasks) is prepended only when a witness is materialized. *)
+  let path_pid = Array.make (max max_depth 1) 0 in
+  let path_out = Array.make (max max_depth 1) 0 in
+  let choices_to ~depth =
+    let rec collect acc d =
+      if d < 0 then acc
+      else collect ((path_pid.(d), path_out.(d)) :: acc) (d - 1)
+    in
+    List.rev_append (collect [] (depth - 1)) rev_choices
+  in
+  let rebuild rev_choices =
+    let rec replay config rev_events = function
+      | [] -> (config, List.rev rev_events)
+      | (pid, outcome) :: rest ->
+          let config', events = Run.step config ~pid ~coin:(fun _ -> outcome) in
+          replay config' (List.rev_append events rev_events) rest
+    in
+    replay replay_root [] (List.rev rev_choices)
+  in
+  let stop kind rev_choices =
+    let config, trace = rebuild rev_choices in
+    found := Some { kind; trace; config };
+    raise Stop
+  in
+  let stop_at kind ~depth = stop kind (choices_to ~depth) in
+  let check_prefix () =
+    let values = List.sort_uniq compare decisions in
+    if List.length values > 1 then stop `Inconsistent rev_choices
+    else if not (List.for_all (fun v -> List.mem v inputs) values) then
+      stop `Invalid rev_choices;
+    values
+  in
+  let rec go distinct depth =
+    (match meter with
+    | None -> ()
+    | Some m -> (
+        match Robust.Budget.Meter.tick_node m with
+        | None -> ()
+        | Some r -> raise (Budget_stop r)));
+    incr visited;
+    if depth > !max_depth_seen then max_depth_seen := depth;
+    if !visited > max_states then truncate `States
+    else if Flat.enabled_count flat = 0 then incr leaves
+    else if depth >= max_depth then truncate `Depth
+    else
+      match table with
+      | None -> expand distinct depth
+      | Some tbl ->
+          let rd = max_depth - depth in
+          fill_skey ();
+          let hash = if symmetric then Flat.hsym flat else Flat.hexact flat in
+          let o = Atbl.find tbl ~hash skey in
+          (* meta = (stored_depth + 1) lsl 1 lor complete; a fresh
+             in-progress entry (meta 0, stored depth -1, incomplete)
+             behaves exactly like the closure engine's absent entry *)
+          let m = if o >= 0 then Atbl.meta tbl o else 0 in
+          if m land 1 = 1 then incr table_hits
+          else if (m lsr 1) - 1 >= rd then begin
+            incr table_hits;
+            truncate `Depth
+          end
+          else begin
+            incr table_misses;
+            (* insert up front (the subtree's lookups clobber [skey]);
+               the held offset is updated after expansion *)
+            let o = if o >= 0 then o else Atbl.insert tbl ~hash skey in
+            let trunc0 = !trunc in
+            expand distinct depth;
+            let complete = !trunc = trunc0 in
+            let depth' = max ((m lsr 1) - 1) rd in
+            Atbl.set_meta tbl o
+              (((depth' + 1) lsl 1) lor Bool.to_int complete)
+          end
+  and expand distinct depth =
+    (* step in place, recurse, undo from stack locals; one packed
+       [Intern.code] load answers kind, enabledness and arg at once *)
+    for pid = 0 to n_procs - 1 do
+      if not (Flat.is_halted flat pid) then begin
+        let sid0 = Flat.sid flat pid in
+        let code = Intern.code rt sid0 in
+        let tag = code land 3 in
+        if tag = Intern.tag_apply then begin
+          let obj = code lsr 2 in
+          let vid0 = Flat.obj_vid flat obj in
+          let packed = Intern.apply_packed rt ~sid:sid0 ~vid:vid0 in
+          let sid' = Intern.sid_of packed in
+          Flat.write_obj flat obj (Intern.vid_of packed);
+          Flat.write_sid flat pid sid';
+          enter distinct depth pid 0 sid';
+          Flat.write_sid flat pid sid0;
+          Flat.write_obj flat obj vid0
+        end
+        else if tag = Intern.tag_choose then begin
+          let n = code lsr 2 in
+          for outcome = 0 to n - 1 do
+            let sid' = Intern.choose rt ~sid:sid0 ~outcome in
+            Flat.write_sid flat pid sid';
+            enter distinct depth pid outcome sid';
+            Flat.write_sid flat pid sid0
+          done
+        end
+      end
+    done
+  and enter distinct depth pid outcome sid' =
+    path_pid.(depth) <- pid;
+    path_out.(depth) <- outcome;
+    let decided = Intern.is_decided rt sid' in
+    if decided then Flat.note_decided flat pid;
+    let distinct' =
+      if not decided then distinct
+      else
+        match Intern.decision rt sid' with
+        | None -> assert false
+        | Some v ->
+            if List.mem v distinct then distinct
+            else if distinct <> [] then stop_at `Inconsistent ~depth:(depth + 1)
+            else if not (List.mem v inputs) then
+              stop_at `Invalid ~depth:(depth + 1)
+            else v :: distinct
+    in
+    go distinct' (depth + 1);
+    if decided then Flat.note_undecided flat pid
+  in
+  let tripped = ref None in
+  (try
+     let distinct = check_prefix () in
+     go distinct 0
+   with
+  | Stop -> ()
+  | Budget_stop r -> tripped := Some r);
+  (match (polls, meter) with
+  | Some acc, Some m -> acc := !acc + Robust.Budget.Meter.polls m
+  | _ -> ());
+  let completeness =
+    match (!tripped, !first_reason) with
+    | Some r, _ -> `Truncated r
+    | None, Some r -> `Truncated r
+    | None, None -> `Exhaustive
+  in
+  {
+    violation = !found;
+    visited = !visited;
+    leaves = !leaves;
+    truncated = completeness <> `Exhaustive;
+    completeness;
+    max_depth_seen = !max_depth_seen;
+    table_hits = !table_hits;
+    table_misses = !table_misses;
+  }
+
 (* Counter values are the result fields, verbatim — the documented
    contract that lets a --metrics dump be cross-checked against the CLI's
    stdout summary.  Called on the caller's domain only. *)
@@ -367,13 +712,24 @@ let record_result obs (r : 'a result) =
 
 let search ?obs ?budget ?(dedup = `Off) ?(max_depth = 60)
     ?(max_states = 2_000_000) ?(checkpoint_every = 50_000) ?on_checkpoint
-    ?resume ~inputs config =
+    ?resume ?(state = `Flat) ~inputs config =
   Obs.span obs "mc/search" @@ fun () ->
   let polls = ref 0 in
+  (* checkpoint/resume stays on the closure engine: the flat DFS does not
+     checkpoint (its cursor bookkeeping would buy nothing — resumed runs
+     are rare and not hot) *)
+  let use_flat =
+    state = `Flat && Option.is_none on_checkpoint && Option.is_none resume
+  in
   let r =
-    search_from ~polls:(Some polls) ~budget ~checkpoint_every ~on_checkpoint
-      ~resume ~dedup ~max_depth ~max_states ~inputs ~replay_root:config
-      ~rev_choices:[] ~decisions:(Config.decisions config) config
+    if use_flat then
+      search_from_flat ~polls:(Some polls) ~budget ~dedup ~max_depth
+        ~max_states ~inputs ~replay_root:config ~rev_choices:[]
+        ~decisions:(Config.decisions config) config
+    else
+      search_from ~polls:(Some polls) ~budget ~checkpoint_every ~on_checkpoint
+        ~resume ~dedup ~max_depth ~max_states ~inputs ~replay_root:config
+        ~rev_choices:[] ~decisions:(Config.decisions config) config
   in
   Obs.add obs "budget/polls" !polls;
   record_result obs r
@@ -429,7 +785,7 @@ let search ?obs ?budget ?(dedup = `Off) ?(max_depth = 60)
    shares the absolute deadline), and a set cancellation token
    additionally stops the pool from claiming further chunks. *)
 let search_par ?obs ?pool ?budget ?(dedup = `Off) ?(max_depth = 60)
-    ?(max_states = 2_000_000) ~inputs config =
+    ?(max_states = 2_000_000) ?(state = `Flat) ~inputs config =
   let budget_v =
     match budget with None -> Robust.Budget.unlimited | Some b -> b
   in
@@ -437,7 +793,7 @@ let search_par ?obs ?pool ?budget ?(dedup = `Off) ?(max_depth = 60)
   | Some k when k <= 1 ->
       (* not worth partitioning: the allowance barely covers the root;
          [search] does its own span/recording *)
-      search ?obs ?budget ~dedup ~max_depth ~max_states ~inputs config
+      search ?obs ?budget ~dedup ~max_depth ~max_states ~state ~inputs config
   | node_allowance ->
       Obs.span obs "mc/search" @@ fun () ->
       let root =
@@ -461,13 +817,22 @@ let search_par ?obs ?pool ?budget ?(dedup = `Off) ?(max_depth = 60)
             (Config.enabled_pids config)
         in
         let explore_subtree ~budget (pid, outcome) =
+          (* each task flattens its own slab over a private intern table
+             (domains share nothing), created inside the task thunk *)
           let config' = Run.step_quiet config ~pid ~coin:(fun _ -> outcome) in
-          search_from ~polls:None ~budget ~checkpoint_every:max_int
-            ~on_checkpoint:None ~resume:None ~dedup
-            ~max_depth:(max_depth - 1) ~max_states ~inputs
-            ~replay_root:config
-            ~rev_choices:[ (pid, outcome) ]
-            ~decisions:(Config.decisions config') config'
+          if state = `Flat then
+            search_from_flat ~polls:None ~budget ~dedup
+              ~max_depth:(max_depth - 1) ~max_states ~inputs
+              ~replay_root:config
+              ~rev_choices:[ (pid, outcome) ]
+              ~decisions:(Config.decisions config') config'
+          else
+            search_from ~polls:None ~budget ~checkpoint_every:max_int
+              ~on_checkpoint:None ~resume:None ~dedup
+              ~max_depth:(max_depth - 1) ~max_states ~inputs
+              ~replay_root:config
+              ~rev_choices:[ (pid, outcome) ]
+              ~decisions:(Config.decisions config') config'
         in
         let task_budget =
           if Robust.Budget.is_unlimited budget_v then None else Some budget_v

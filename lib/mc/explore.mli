@@ -21,6 +21,17 @@ open Sim
 
 type dedup = [ `Off | `Exact | `Symmetric ]
 
+type state = [ `Closure | `Flat ]
+(** Which configuration engine drives the DFS.  [`Flat] (the default)
+    interns process states and object values to dense ids ([Sim.Intern])
+    and explores one int slab in place with undo cells ([Sim.Flat]) —
+    same traversal order, counters, verdicts, and witnesses as
+    [`Closure], typically several times faster.  [`Closure] is the
+    original persistent-configuration engine; it remains the engine for
+    checkpoint/resume, which the flat DFS does not support ([search]
+    falls back to [`Closure] whenever [?on_checkpoint] or [?resume] is
+    given). *)
+
 type 'a violation = {
   kind : [ `Inconsistent | `Invalid ];
   trace : 'a Trace.t;
@@ -87,6 +98,7 @@ val search :
   ?checkpoint_every:int ->
   ?on_checkpoint:(Checkpoint.state -> unit) ->
   ?resume:Checkpoint.state ->
+  ?state:state ->
   inputs:'a list ->
   'a Config.t ->
   'a result
@@ -132,6 +144,7 @@ val search_par :
   ?dedup:dedup ->
   ?max_depth:int ->
   ?max_states:int ->
+  ?state:state ->
   inputs:'a list ->
   'a Config.t ->
   'a result

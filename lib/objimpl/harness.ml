@@ -48,7 +48,16 @@ type slot = {
   mutable crashed : bool;
 }
 
-let run (impl : Implementation.t) ~n ~workload ~schedule ?(coin_seed = 0)
+(* The two step engines.  [Closure] walks the procedure closure trees
+   directly — the reference semantics.  [Interned] runs the same loop
+   over {!Sim.Intern} state ids: object values become dense ints, every
+   procedure step a memoized table lookup, and a shared {!runtime} keeps
+   the forced states across runs — the fuzzer's hot path.  Both engines
+   draw from their RNGs in identical order and record identical
+   histories; the differential suite pins that. *)
+type engine = Closure | Interned
+
+let run_closure (impl : Implementation.t) ~n ~workload ~schedule ?(coin_seed = 0)
     ?(max_steps = 100_000) ?(crashes = []) ?(probe = false)
     ?(solo_bound = 4096) () =
   let optypes = Array.of_list (impl.Implementation.base ~n) in
@@ -254,13 +263,291 @@ let run (impl : Implementation.t) ~n ~workload ~schedule ?(coin_seed = 0)
     stuck = List.rev !stuck;
   }
 
+(* ---- the interned engine -------------------------------------------- *)
+
+(* Long-lived interning state shared across runs of one implementation:
+   the {!Sim.Intern} table (procedure states forced at most once per
+   distinct consumed-history), the root state id of each (pid, op)
+   procedure, and the initial object value ids.  [run] rebuilds it
+   transparently when the id space nears capacity. *)
+type runtime = {
+  impl : Implementation.t;
+  n : int;
+  mutable rt : Value.t Intern.t;
+  mutable roots : (int * Op.t, int) Hashtbl.t;  (* (pid, op) -> root sid *)
+  mutable obj_init : int array;  (* initial object value ids *)
+}
+
+let fresh_tables (impl : Implementation.t) ~n =
+  let optypes = Array.of_list (impl.Implementation.base ~n) in
+  let rt = Intern.create ~optypes in
+  let obj_init =
+    Array.map (fun (ot : Optype.t) -> Intern.value_id rt ot.Optype.init) optypes
+  in
+  (rt, obj_init)
+
+let runtime (impl : Implementation.t) ~n =
+  let rt, obj_init = fresh_tables impl ~n in
+  { impl; n; rt; roots = Hashtbl.create 64; obj_init }
+
+let rebuild u =
+  let rt, obj_init = fresh_tables u.impl ~n:u.n in
+  u.rt <- rt;
+  u.roots <- Hashtbl.create 64;
+  u.obj_init <- obj_init
+
+(* Root sid of [pid] running [op]: forced once per distinct (pid, op) for
+   the runtime's lifetime.  Keyed on the operation itself (pure data), so
+   a runtime serves any workload over the implementation. *)
+let root_sid u ~pid op =
+  match Hashtbl.find_opt u.roots (pid, op) with
+  | Some sid -> sid
+  | None ->
+      let sid =
+        Intern.root_fresh u.rt ~fp:0
+          (u.impl.Implementation.procedure ~n:u.n ~pid op)
+      in
+      Hashtbl.add u.roots (pid, op) sid;
+      sid
+
+(* interned per-process driver state: [sid = -1] means idle *)
+type islot = {
+  mutable sid : int;
+  mutable icall_id : int;
+  mutable iremaining : Op.t list;
+  mutable icrashed : bool;
+}
+
+(* Mirrors [run_closure] statement for statement — same RNG draw order
+   (one coin draw per [Choose] step, scheduling draws in the same
+   places), same tick/step accounting, same history events — with every
+   procedure step an [Intern] table lookup and objects held as value
+   ids. *)
+let run_interned u ~n ~workload ~schedule ?(coin_seed = 0)
+    ?(max_steps = 100_000) ?(crashes = []) ?(probe = false)
+    ?(solo_bound = 4096) () =
+  if u.n <> n then invalid_arg "Harness.run: runtime built for a different n";
+  if Intern.near_capacity u.rt then rebuild u;
+  let rt = u.rt in
+  let objects = Array.copy u.obj_init in
+  let slots =
+    Array.init n (fun pid ->
+        {
+          sid = -1;
+          icall_id = -1;
+          iremaining =
+            (match List.assoc_opt pid workload with Some ops -> ops | None -> []);
+          icrashed = false;
+        })
+  in
+  let history = ref [] in
+  let next_call_id = ref 0 in
+  let rng =
+    match schedule with
+    | Random_sched seed -> Rng.create seed
+    | Fixed _ | Starving _ -> Rng.create coin_seed
+  in
+  let sched_rng =
+    match schedule with Starving { seed; _ } -> Rng.create seed | _ -> rng
+  in
+  let fixed = ref (match schedule with Fixed pids -> pids | _ -> []) in
+  let refill pid =
+    let slot = slots.(pid) in
+    if slot.sid < 0 && not slot.icrashed then
+      match slot.iremaining with
+      | op :: rest ->
+          let id = !next_call_id in
+          incr next_call_id;
+          slot.sid <- root_sid u ~pid op;
+          slot.icall_id <- id;
+          slot.iremaining <- rest;
+          history := History.Inv { call = id; pid; op } :: !history
+      | [] -> ()
+  in
+  Array.iteri (fun pid _ -> refill pid) slots;
+  let active () =
+    List.filter
+      (fun pid -> slots.(pid).sid >= 0 && not slots.(pid).icrashed)
+      (List.init n Fun.id)
+  in
+  let steps = ref 0 in
+  let ticks = ref 0 in
+  let realized = ref [] in
+  let crash_list = ref (List.sort compare crashes) in
+  let fire_due_crashes () =
+    let rec go () =
+      match !crash_list with
+      | (at, pid) :: rest when at <= !ticks ->
+          crash_list := rest;
+          if pid >= 0 && pid < n && not slots.(pid).icrashed then (
+            let slot = slots.(pid) in
+            slot.icrashed <- true;
+            slot.iremaining <- []);
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let step pid =
+    let slot = slots.(pid) in
+    if slot.icrashed || slot.sid < 0 then ()
+    else begin
+      incr steps;
+      realized := pid :: !realized;
+      let code = Intern.code rt slot.sid in
+      let tag = code land 3 in
+      if tag = Intern.tag_decided then begin
+        let value = Option.get (Intern.decision rt slot.sid) in
+        history := History.Res { call = slot.icall_id; pid; value } :: !history;
+        slot.sid <- -1;
+        refill pid
+      end
+      else if tag = Intern.tag_apply then begin
+        let obj = code lsr 2 in
+        let packed =
+          Intern.apply_packed rt ~sid:slot.sid ~vid:(Array.unsafe_get objects obj)
+        in
+        Array.unsafe_set objects obj (Intern.vid_of packed);
+        slot.sid <- Intern.sid_of packed
+      end
+      else
+        slot.sid <-
+          Intern.choose rt ~sid:slot.sid ~outcome:(Rng.int rng (code lsr 2))
+    end
+  in
+  let rec loop () =
+    fire_due_crashes ();
+    if !steps >= max_steps then ()
+    else
+      match schedule with
+      | Fixed _ -> (
+          match !fixed with
+          | [] -> ()
+          | pid :: rest ->
+              fixed := rest;
+              incr ticks;
+              if pid >= 0 && pid < n then step pid;
+              loop ())
+      | Random_sched _ -> (
+          match active () with
+          | [] -> ()
+          | pids ->
+              incr ticks;
+              step (List.nth pids (Rng.int rng (List.length pids)));
+              loop ())
+      | Starving { victim; len; _ } -> (
+          if !ticks >= len then ()
+          else
+            match active () with
+            | [] -> ()
+            | pids -> (
+                incr ticks;
+                match List.filter (fun p -> p <> victim) pids with
+                | [] -> step victim; loop ()
+                | others ->
+                    step (List.nth others (Rng.int sched_rng (List.length others)));
+                    loop ()))
+  in
+  loop ();
+  Array.iteri
+    (fun pid slot ->
+      if slot.sid >= 0 && (not slot.icrashed) && Intern.is_decided rt slot.sid
+      then begin
+        let value = Option.get (Intern.decision rt slot.sid) in
+        history := History.Res { call = slot.icall_id; pid; value } :: !history;
+        slot.sid <- -1
+      end)
+    slots;
+  let stuck = ref [] in
+  if probe then begin
+    let attempts = 3 in
+    let try_solo pid attempt =
+      let slot = slots.(pid) in
+      let coins = Rng.create (coin_seed + (31 * pid) + (1009 * (attempt + 1))) in
+      let snapshot = Array.copy objects in
+      let rec go sid k =
+        if k > solo_bound then None
+        else
+          let code = Intern.code rt sid in
+          let tag = code land 3 in
+          if tag = Intern.tag_decided then Intern.decision rt sid
+          else if tag = Intern.tag_apply then begin
+            let obj = code lsr 2 in
+            let packed =
+              Intern.apply_packed rt ~sid ~vid:(Array.unsafe_get objects obj)
+            in
+            Array.unsafe_set objects obj (Intern.vid_of packed);
+            go (Intern.sid_of packed) (k + 1)
+          end
+          else
+            go
+              (Intern.choose rt ~sid ~outcome:(Rng.int coins (code lsr 2)))
+              (k + 1)
+      in
+      match go slot.sid 0 with
+      | Some value ->
+          history :=
+            History.Res { call = slot.icall_id; pid; value } :: !history;
+          slot.sid <- -1;
+          true
+      | None ->
+          Array.blit snapshot 0 objects 0 (Array.length objects);
+          false
+    in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      Array.iteri
+        (fun pid slot ->
+          if (not slot.icrashed) && slot.sid >= 0 then
+            let rec attempt a =
+              if a < attempts then
+                if try_solo pid a then progress := true else attempt (a + 1)
+            in
+            attempt 0)
+        slots
+    done;
+    Array.iteri
+      (fun pid slot ->
+        if (not slot.icrashed) && slot.sid >= 0 then
+          stuck := (pid, slot.icall_id) :: !stuck)
+      slots
+  end;
+  let history = List.rev !history in
+  {
+    history;
+    steps = !steps;
+    completed =
+      Array.for_all (fun slot -> slot.sid < 0 && slot.iremaining = []) slots;
+    pids = List.rev !realized;
+    crashed =
+      Array.to_list slots
+      |> List.mapi (fun pid slot -> (pid, slot.icrashed))
+      |> List.filter_map (fun (pid, c) -> if c then Some pid else None);
+    stuck = List.rev !stuck;
+  }
+
+(* Dispatcher.  [Closure] (the default for bare calls) needs no state;
+   [Interned] uses [rt] when given — sharing forced states across runs,
+   the whole point — or a throwaway runtime otherwise. *)
+let run ?(engine = Closure) ?rt (impl : Implementation.t) ~n ~workload
+    ~schedule ?coin_seed ?max_steps ?crashes ?probe ?solo_bound () =
+  match engine with
+  | Closure ->
+      run_closure impl ~n ~workload ~schedule ?coin_seed ?max_steps ?crashes
+        ?probe ?solo_bound ()
+  | Interned ->
+      let u = match rt with Some u -> u | None -> runtime impl ~n in
+      run_interned u ~n ~workload ~schedule ?coin_seed ?max_steps ?crashes
+        ?probe ?solo_bound ()
+
 (** Run and check in one go: the verdict of {!Linearize.check} on the
     recorded history (complete calls only). *)
-let run_and_check impl ~n ~workload ~schedule ?coin_seed ?max_steps ?crashes
-    ?probe ?solo_bound () =
+let run_and_check ?engine ?rt impl ~n ~workload ~schedule ?coin_seed ?max_steps
+    ?crashes ?probe ?solo_bound () =
   let outcome =
-    run impl ~n ~workload ~schedule ?coin_seed ?max_steps ?crashes ?probe
-      ?solo_bound ()
+    run ?engine ?rt impl ~n ~workload ~schedule ?coin_seed ?max_steps ?crashes
+      ?probe ?solo_bound ()
   in
   (outcome, Linearize.check impl.Implementation.spec outcome.history)
 

@@ -27,6 +27,21 @@ type schedule =
       (** [victim] moves only when no other process is active
           ({!Sim.Sched.starving} semantics); [len] bounds the schedule *)
 
+(** The step engines: [Closure] walks the procedure closure trees (the
+    reference semantics, the default); [Interned] runs the same loop over
+    {!Sim.Intern} state ids — objects as dense value ids, each step a
+    memoized table lookup.  Both draw RNGs in identical order and record
+    identical outcomes; the differential suite pins the equality. *)
+type engine = Closure | Interned
+
+type runtime
+(** Long-lived [Interned] state for one (implementation, n): the intern
+    table plus per-(pid, op) procedure roots, shared across runs so each
+    distinct consumed-history is forced at most once ever.  Rebuilt
+    transparently by {!run} when the id space nears capacity. *)
+
+val runtime : Implementation.t -> n:int -> runtime
+
 (** [run impl ~n ~workload ~schedule ()] interleaves the base-object steps
     of the per-process planned calls ([workload]: pid to operation list)
     under the schedule.  [Fixed] and [Starving] schedules resolve internal
@@ -43,8 +58,15 @@ type schedule =
     call is repeatedly offered solo runs of up to [solo_bound] own-steps
     (coins from deterministic streams; completions keep their effects,
     failures revert them) until a fixpoint; what still cannot finish is
-    reported in [stuck]. *)
+    reported in [stuck].
+
+    [engine] selects the step engine (default [Closure]); with
+    [Interned], pass [rt] (from {!runtime}, for the same implementation
+    and [n]) to share forced states across runs — omitting it builds a
+    throwaway runtime, which is correct but buys nothing. *)
 val run :
+  ?engine:engine ->
+  ?rt:runtime ->
   Implementation.t ->
   n:int ->
   workload:(int * Op.t list) list ->
@@ -58,6 +80,8 @@ val run :
   outcome
 
 val run_and_check :
+  ?engine:engine ->
+  ?rt:runtime ->
   Implementation.t ->
   n:int ->
   workload:(int * Op.t list) list ->

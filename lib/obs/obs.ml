@@ -223,6 +223,18 @@ let span obs name f =
       in
       Fun.protect ~finally f
 
+let alloc_span obs name f =
+  match obs with
+  | None -> f ()
+  | Some t ->
+      let w0 = Gc.minor_words () in
+      let finally () =
+        Metrics.add t.metrics
+          (name ^ "/minor-words")
+          (int_of_float (Gc.minor_words () -. w0))
+      in
+      Fun.protect ~finally f
+
 let dump ?(extra = []) t =
   let emit = Sink.emit t.sink in
   emit

@@ -122,6 +122,13 @@ val observe : t option -> string -> float -> unit
     Exception-safe: the span closes (and records) even if [f] raises. *)
 val span : t option -> string -> (unit -> 'a) -> 'a
 
+(** [alloc_span obs name f] runs [f] and adds the minor-heap words it
+    allocated (the [Gc.minor_words] delta, rounded down; calling-domain
+    only) to the ["<name>/minor-words"] counter.  The bench harness's
+    per-row allocation column.  Exception-safe like {!span}; [None] just
+    runs [f]. *)
+val alloc_span : t option -> string -> (unit -> 'a) -> 'a
+
 (** [dump ?extra obs] emits the whole metrics snapshot as line-JSON to the
     sink — one [{"type":"counter"|"watermark"|"histogram",...}] object per
     line, name-sorted within each type, preceded by a single

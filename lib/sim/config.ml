@@ -79,9 +79,12 @@ let iter_enabled t f =
     if is_enabled t pid then f pid
   done
 
-let exists_enabled t =
-  let rec go pid = pid < n_procs t && (is_enabled t pid || go (pid + 1)) in
-  go 0
+(* toplevel recursion — a local [let rec] would close over [t] and
+   allocate on every [exists_enabled]/[all_decided] call *)
+let rec exists_enabled_from t pid =
+  pid < n_procs t && (is_enabled t pid || exists_enabled_from t (pid + 1))
+
+let exists_enabled t = exists_enabled_from t 0
 
 let enabled_pids t =
   let acc = ref [] in
@@ -131,7 +134,8 @@ let poised_at t obj =
   for pid = n_procs t - 1 downto 0 do
     if
       is_enabled t pid
-      && match pending t pid with Some (o, _) -> o = obj | None -> false
+      &&
+      match pending t pid with Some (o, _) -> Int.equal o obj | None -> false
     then acc := pid :: !acc
   done;
   !acc

@@ -15,23 +15,26 @@
    equal initial terms replay to equal states, kind by kind.
 
    The mixer is SplitMix64's finalizer — the same mixing already used by
-   [Rng] — truncated to OCaml's 63-bit immediate [int] so fingerprint
-   arrays stay unboxed.  Collisions are the usual transposition-table
-   caveat: two *different* histories may (with probability ~2^-63 per
-   pair) receive equal fingerprints; see DESIGN.md for the soundness
-   discussion. *)
+   [Rng] — carried out directly on OCaml's native 63-bit immediate [int]
+   (the 64-bit constants truncated to 63 bits): multiply-xorshift
+   avalanches just as well over Z/2^63, and unlike an [Int64] pipeline it
+   never boxes, which matters because [mix] sits on the hot path of every
+   simulator step and every hash-table probe of the interned engine.
+   Collisions are the usual transposition-table caveat: two *different*
+   histories may (with probability ~2^-63 per pair) receive equal
+   fingerprints; see DESIGN.md for the soundness discussion. *)
 
 type t = int
 
-let golden = 0x9E3779B97F4A7C15L
+(* 0x9E3779B97F4A7C15 mod 2^63 *)
+let golden = 0x1E3779B97F4A7C15
 
-(* SplitMix64 finalizer over the combination of [h] and [v]. *)
+(* SplitMix64 finalizer over the combination of [h] and [v], mod 2^63. *)
 let mix (h : t) (v : int) : t =
-  let open Int64 in
-  let z = add (of_int h) (mul golden (add (of_int v) 1L)) in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  to_int (logxor z (shift_right_logical z 31))
+  let z = h + ((v + 1) * golden) in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
 
 (** Fingerprint of a process that has consumed nothing yet.  Two processes
     with this fingerprint are interchangeable only if their initial

@@ -34,13 +34,37 @@ let round_robin ?(seed = 1) () =
   in
   { name = "round-robin"; choose; coin = fair_coin rng }
 
+(* Allocation-free helpers for the adversaries below: counting and
+   rank-selection over enabled pids replace materializing
+   [Config.enabled_pids] (a fresh list every step of every measurement
+   run).  [skip] excludes one pid (pass a negative to exclude nobody).
+   RNG draw order is exactly the list-based code's: one [Rng.int] per
+   step, over the same range — pinned by the golden-schedule test. *)
+let count_enabled config ~skip =
+  let n = Config.n_procs config in
+  let c = ref 0 in
+  for pid = 0 to n - 1 do
+    if pid <> skip && Config.is_enabled config pid then incr c
+  done;
+  !c
+
+(* The [k]-th (0-based, ascending pid) enabled process, [skip] excluded;
+   the caller guarantees [k < count_enabled ~skip]. *)
+let nth_enabled config ~skip k =
+  let rec go pid k =
+    if pid = skip || not (Config.is_enabled config pid) then go (pid + 1) k
+    else if k = 0 then pid
+    else go (pid + 1) (k - 1)
+  in
+  go 0 k
+
 (** Uniformly random enabled process each step; coins are fair. *)
 let random ~seed =
   let rng = Rng.create seed in
   let choose config ~step:_ =
-    match Config.enabled_pids config with
-    | [] -> None
-    | pids -> Some (List.nth pids (Rng.int rng (List.length pids)))
+    match count_enabled config ~skip:(-1) with
+    | 0 -> None
+    | c -> Some (nth_enabled config ~skip:(-1) (Rng.int rng c))
   in
   { name = Printf.sprintf "random(seed=%d)" seed; choose; coin = fair_coin rng }
 
@@ -76,12 +100,9 @@ let replay ~pids ~seed =
 let starving ~victim ~seed =
   let rng = Rng.create seed in
   let choose config ~step:_ =
-    let others =
-      List.filter (fun pid -> pid <> victim) (Config.enabled_pids config)
-    in
-    match others with
-    | [] -> if Config.is_enabled config victim then Some victim else None
-    | pids -> Some (List.nth pids (Rng.int rng (List.length pids)))
+    match count_enabled config ~skip:victim with
+    | 0 -> if Config.is_enabled config victim then Some victim else None
+    | c -> Some (nth_enabled config ~skip:victim (Rng.int rng c))
   in
   {
     name = Printf.sprintf "starving(P%d)" victim;
@@ -100,29 +121,49 @@ let adaptive ~name ~seed f =
     at.  A useful stress scheduler for randomized protocols. *)
 let contention ~seed =
   let rng = Rng.create seed in
+  (* scratch histogram, reused across steps; grown on demand *)
+  let counts = ref [||] in
   let choose config ~step:_ =
-    let pids = Config.enabled_pids config in
-    match pids with
-    | [] -> None
-    | _ ->
-        let n_obj = Config.n_objects config in
-        let counts = Array.make (max 1 n_obj) 0 in
-        List.iter
-          (fun pid ->
+    match count_enabled config ~skip:(-1) with
+    | 0 -> None
+    | c ->
+        let n_obj = max 1 (Config.n_objects config) in
+        if Array.length !counts < n_obj then counts := Array.make n_obj 0
+        else Array.fill !counts 0 n_obj 0;
+        let counts = !counts in
+        Config.iter_enabled config (fun pid ->
             match Config.pending config pid with
             | Some (obj, _) -> counts.(obj) <- counts.(obj) + 1
-            | None -> ())
-          pids;
-        let crowded =
-          List.filter
-            (fun pid ->
-              match Config.pending config pid with
-              | Some (obj, _) ->
-                  counts.(obj) = Array.fold_left max 0 counts
-              | None -> false)
-            pids
+            | None -> ());
+        let maxc = ref 0 in
+        for obj = 0 to n_obj - 1 do
+          if counts.(obj) > !maxc then maxc := counts.(obj)
+        done;
+        let is_crowded pid =
+          match Config.pending config pid with
+          | Some (obj, _) -> counts.(obj) = !maxc
+          | None -> false
         in
-        let pool = if crowded = [] then pids else crowded in
-        Some (List.nth pool (Rng.int rng (List.length pool)))
+        let crowded = ref 0 in
+        Config.iter_enabled config (fun pid ->
+            if is_crowded pid then incr crowded);
+        if !crowded = 0 then
+          Some (nth_enabled config ~skip:(-1) (Rng.int rng c))
+        else begin
+          (* the k-th crowded enabled pid, ascending — the same element
+             [List.nth crowded k] picked *)
+          let k = ref (Rng.int rng !crowded) in
+          let picked = ref (-1) in
+          (try
+             Config.iter_enabled config (fun pid ->
+                 if is_crowded pid then
+                   if !k = 0 then begin
+                     picked := pid;
+                     raise Exit
+                   end
+                   else decr k)
+           with Exit -> ());
+          Some !picked
+        end
   in
   { name = "contention"; choose; coin = fair_coin rng }

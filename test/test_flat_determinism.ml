@@ -1,0 +1,55 @@
+(* Registry-wide flat-engine sweep for the determinism executable
+   (RANDSYNC_JOBS=2): [search_par ~state:`Flat] must be bit-identical
+   across pool sizes — including [None] — and agree with the closure
+   partitioned search and the sequential flat search on verdict and
+   witness.  Per-subtree flat slabs are private to their task, so the
+   merged result must not depend on how tasks land on domains. *)
+
+open Consensus
+open Test_par_determinism
+
+(* [Test_par_determinism.project_result] plus the table counters — the
+   flat engine's arena table must match the closure table node for
+   node, and both must be jobs-invariant. *)
+let project_tables (r : _ Mc.Explore.result) =
+  (project_result r, r.Mc.Explore.table_hits, r.Mc.Explore.table_misses)
+
+let smallest_n (p : Protocol.t) =
+  let rec go n =
+    if n > 8 then invalid_arg p.name
+    else if p.supports_n n then n
+    else go (n + 1)
+  in
+  go 2
+
+let test_search_par_flat_registry () =
+  List.iter
+    (fun (p : Protocol.t) ->
+      let n = smallest_n p in
+      let inputs = List.init n (fun i -> i land 1) in
+      List.iter
+        (fun dedup ->
+          let flat =
+            across_pools (fun pool ->
+                project_tables
+                  (Mc.Explore.search_par ?pool ~state:`Flat ~dedup
+                     ~max_depth:8 ~max_states:10_000 ~inputs:[ 0; 1 ]
+                     (Protocol.initial_config p ~inputs)))
+          in
+          let closure =
+            project_tables
+              (Mc.Explore.search_par ~state:`Closure ~dedup ~max_depth:8
+                 ~max_states:10_000 ~inputs:[ 0; 1 ]
+                 (Protocol.initial_config p ~inputs))
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: par flat = par closure" p.name)
+            true (flat = closure))
+        [ `Off; `Exact; `Symmetric ])
+    Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "search_par flat: registry jobs-invariance" `Quick
+      test_search_par_flat_registry;
+  ]

@@ -1,0 +1,121 @@
+(* No-behavior-change pins for the adversary allocation sweep: the
+   random / starving / contention schedulers were rewritten from
+   list-building [enabled_pids] selection to counting + rank selection
+   (one [Rng.int] per step over the same range), so the realized
+   schedules must be byte-for-byte what the list-based code produced.
+   The golden strings below were recorded against that original code. *)
+
+open Consensus
+
+let realized sched =
+  let config =
+    Protocol.initial_config Counter_consensus.protocol ~inputs:[ 0; 1; 0 ]
+  in
+  let r = Sim.Run.exec ~max_steps:200 sched config in
+  let buf = Buffer.create 200 in
+  List.iter
+    (fun (e : int Sim.Event.t) ->
+      match e with
+      | Sim.Event.Applied { pid; _ } | Sim.Event.Coin { pid; _ } ->
+          Buffer.add_string buf (string_of_int pid)
+      | _ -> ())
+    (Sim.Trace.events r.Sim.Run.trace);
+  (r.Sim.Run.steps, Buffer.contents buf)
+
+let golden =
+  [
+    ( "random",
+      (fun seed -> Sim.Sched.random ~seed),
+      [
+        ( 1,
+          165,
+          "200211110211221210201102012001112111002012102202121012021202101022011112202010121010102201200110002211111211011211201021222220210112220101011112212000121112020202101"
+        );
+        (2, 55, "2110011212020010122112120111020020011102122000222021111");
+        ( 3,
+          123,
+          "111200021002020210101022201111012201012002111102211211202222212102002102210122020011012100021122211120001011201202112022112"
+        );
+      ] );
+    ( "starving",
+      (fun seed -> Sim.Sched.starving ~victim:0 ~seed),
+      [
+        (1, 52, "1222111121221221212122122212112111112222112222120000");
+        ( 2,
+          131,
+          "22211222211212212111112211212121121222121221221122112111121112221121211111211111112221112112222211211111221221122221211221212220000"
+        );
+        (3, 60, "111222122121212211221111111111222111212112211222122222110000");
+      ] );
+    ( "contention",
+      (fun seed -> Sim.Sched.contention ~seed),
+      [
+        (1, 60, "022210100212122211111111111111111111111111111111110000022222");
+        ( 2,
+          120,
+          "222001112102022211111111111111100000111110000000000111112222200000111112222222222111111111111111111111111111112222200000"
+        );
+        (3, 64, "0002000122020111222221111111111111111111111111111100000000022222");
+      ] );
+  ]
+
+let test_adversaries_golden () =
+  List.iter
+    (fun (name, mk, cases) ->
+      List.iter
+        (fun (seed, steps, pids) ->
+          let s, p = realized (mk seed) in
+          Alcotest.(check (pair int string))
+            (Printf.sprintf "%s seed=%d" name seed)
+            (steps, pids) (s, p))
+        cases)
+    golden
+
+(* [Config.poised_at] / [Lowerbound.Triviality.poised_at] against their
+   list-filter specifications, over configurations advanced to random
+   depths. *)
+let test_poised_at_spec () =
+  let spec_config config obj =
+    List.filter
+      (fun pid ->
+        match Sim.Config.pending config pid with
+        | Some (o, _) -> o = obj
+        | None -> false)
+      (Sim.Config.enabled_pids config)
+  in
+  let spec_triv config obj =
+    List.filter
+      (fun pid ->
+        match Lowerbound.Triviality.poised_write config pid with
+        | Some (o, _) -> o = obj
+        | None -> false)
+      (Sim.Config.enabled_pids config)
+  in
+  List.iter
+    (fun seed ->
+      let config =
+        Protocol.initial_config Rw_consensus.protocol ~inputs:[ 0; 1; 1 ]
+      in
+      let r =
+        Sim.Run.exec ~max_steps:(10 * seed) (Sim.Sched.random ~seed) config
+      in
+      let c = r.Sim.Run.config in
+      for obj = 0 to Sim.Config.n_objects c - 1 do
+        Alcotest.(check (list int))
+          (Printf.sprintf "Config.poised_at seed=%d obj=%d" seed obj)
+          (spec_config c obj)
+          (Sim.Config.poised_at c obj);
+        Alcotest.(check (list int))
+          (Printf.sprintf "Triviality.poised_at seed=%d obj=%d" seed obj)
+          (spec_triv c obj)
+          (Lowerbound.Triviality.poised_at c obj)
+      done)
+    [ 1; 2; 3; 4; 5 ]
+
+let suite =
+  [
+    Alcotest.test_case "adversary schedules unchanged by sweep" `Quick
+      test_adversaries_golden;
+    Alcotest.test_case "poised_at matches list-filter spec" `Quick
+      test_poised_at_spec;
+  ]
