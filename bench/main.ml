@@ -706,6 +706,160 @@ let fuzz_bench ?(smoke = false) () =
   end;
   List.rev !baseline_rows
 
+(* --- serve bench: submit-to-verdict latency and throughput ------------ *)
+
+(* One in-process daemon, N concurrent clients each pumping the same
+   small mc job through the full wire path (connect, submit, stream,
+   verdict).  Every verdict is checked against a direct Job.execute of
+   the same spec — a served verdict that drifts from the local one is a
+   hard failure, the same discipline as the fuzz bench's engine-parity
+   check.  Latency is per submit_and_wait call; jobs/s is the wall-clock
+   aggregate. *)
+let serve_bench ?(smoke = false) () =
+  let dir =
+    let path = Filename.temp_file "randsync-serve-bench" "" in
+    Sys.remove path;
+    Unix.mkdir path 0o700;
+    path
+  in
+  let sock = Filename.concat dir "s.sock" in
+  let cfg =
+    {
+      Serve.Server.address = `Unix sock;
+      queue_limit = 256;
+      workers = Serve.Server.default_workers;
+      spool_dir = None;
+      obs = None;
+      progress_interval = 3600.;
+    }
+  in
+  let ready = Atomic.make false in
+  let server =
+    Thread.create
+      (fun () ->
+        Serve.Server.run ~on_ready:(fun _ -> Atomic.set ready true) cfg)
+      ()
+  in
+  while not (Atomic.get ready) do
+    Thread.yield ()
+  done;
+  let job =
+    {
+      Serve.Job.spec =
+        Serve.Job.Mc
+          {
+            (Serve.Job.mc_defaults ~protocol:"counter-3") with
+            Serve.Job.mc_inputs = [ 0; 1 ];
+            mc_depth = 10;
+          };
+      deadline = None;
+    }
+  in
+  let expected = Serve.Job.execute job in
+  (* smoke trims the client-count sweep, never the per-row job count —
+     rows must stay parameter-identical to the committed baseline *)
+  let total_jobs = 24 in
+  let client_counts = if smoke then [ 1; 2 ] else [ 1; 2; 8 ] in
+  let table =
+    Stats.Table.create
+      ~header:
+        [ "clients"; "jobs"; "seconds"; "jobs/s"; "mean ms"; "max ms";
+          "verdict" ]
+  in
+  let baseline_rows = ref [] in
+  let json_rows =
+    List.map
+      (fun clients ->
+        let per_client = max 1 (total_jobs / clients) in
+        let jobs = per_client * clients in
+        let mismatches = Atomic.make 0 in
+        let results = Array.make clients [||] in
+        let client () =
+          let lats = Array.make per_client 0. in
+          for i = 0 to per_client - 1 do
+            let t0 = Unix.gettimeofday () in
+            (match Serve.Client.submit_and_wait (`Unix sock) job with
+            | Ok (status, lines)
+              when status = expected.Serve.Job.status
+                   && lines = expected.Serve.Job.lines ->
+                ()
+            | Ok _ | Error _ -> Atomic.incr mismatches);
+            lats.(i) <- Unix.gettimeofday () -. t0
+          done;
+          lats
+        in
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init clients (fun i ->
+              Thread.create (fun () -> results.(i) <- client ()) ())
+        in
+        List.iter Thread.join threads;
+        let secs = Unix.gettimeofday () -. t0 in
+        if Atomic.get mismatches > 0 then begin
+          Printf.eprintf
+            "serve-bench: VERDICT MISMATCH: %d of %d served verdicts \
+             diverged from the direct run\n"
+            (Atomic.get mismatches) jobs;
+          exit 1
+        end;
+        let lats = Array.concat (Array.to_list results) in
+        let mean =
+          Array.fold_left ( +. ) 0. lats /. float_of_int (Array.length lats)
+        in
+        let maxl = Array.fold_left Float.max 0. lats in
+        baseline_rows :=
+          (Printf.sprintf "clients=%d" clients, jobs, "ok", secs)
+          :: !baseline_rows;
+        Stats.Table.add_row table
+          [
+            string_of_int clients;
+            string_of_int jobs;
+            Printf.sprintf "%.3f" secs;
+            Printf.sprintf "%.1f" (float_of_int jobs /. secs);
+            Printf.sprintf "%.2f" (mean *. 1e3);
+            Printf.sprintf "%.2f" (maxl *. 1e3);
+            "ok";
+          ];
+        Printf.sprintf
+          {|    { "clients": %d, "jobs": %d, "seconds": %.6f, "jobs_per_sec": %.1f, "mean_latency_ms": %.3f, "max_latency_ms": %.3f, "verdict": "ok" }|}
+          clients jobs secs
+          (float_of_int jobs /. secs)
+          (mean *. 1e3) (maxl *. 1e3))
+      client_counts
+  in
+  (* drain the daemon and scrub the scratch dir *)
+  (match Serve.Client.connect (`Unix sock) with
+  | Ok c ->
+      Serve.Client.send c Serve.Wire.Drain;
+      ignore (Serve.Client.recv c);
+      Serve.Client.close c
+  | Error _ -> ());
+  Thread.join server;
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  Stats.Table.print table;
+  let json =
+    Printf.sprintf
+      {|{
+  "benchmark": "serve submit-to-verdict",
+  "workers": %d,
+  "rows": [
+%s
+  ]
+}
+|}
+      Serve.Server.default_workers
+      (String.concat ",\n" json_rows)
+  in
+  if smoke then print_endline "\n--smoke: BENCH_serve.json left untouched"
+  else begin
+    let oc = open_out "BENCH_serve.json" in
+    output_string oc json;
+    close_out oc;
+    print_endline "\nwrote BENCH_serve.json"
+  end;
+  List.rev !baseline_rows
+
 (* --- baseline diff: verdict fields hard-fail, wall clock advisory ----- *)
 
 (* Our own JSON emitters above write one object per scenario/mode line,
@@ -836,6 +990,38 @@ let diff_fuzz_baseline (file, lines) rows =
     rows;
   if !failed then exit 1
 
+let diff_serve_baseline (file, lines) rows =
+  let base = ref [] in
+  List.iter
+    (fun line ->
+      match (json_field line "clients", json_field line "verdict") with
+      | Some c, Some v ->
+          base :=
+            ( "clients=" ^ c,
+              ( v,
+                Option.bind (json_field line "jobs") int_of_string_opt,
+                baseline_seconds line ) )
+            :: !base
+      | _ -> ())
+    lines;
+  Printf.printf "\n=== Baseline diff vs %s (verdicts hard-fail) ===\n\n" file;
+  let failed = ref false in
+  List.iter
+    (fun (row, jobs, verdict, secs) ->
+      match List.assoc_opt row !base with
+      | None -> Printf.printf "baseline %-28s not in baseline (new row)\n" row
+      | Some (bverdict, bjobs, bsecs) ->
+          if bverdict <> verdict || bjobs <> Some jobs then begin
+            Printf.eprintf
+              "baseline %s: VERDICT/JOBS CHANGED: %s/%d vs baseline %s/%s\n"
+              row verdict jobs bverdict
+              (match bjobs with Some j -> string_of_int j | None -> "?");
+            failed := true
+          end
+          else Option.iter (fun bsecs -> diff_advisory row bsecs secs) bsecs)
+    rows;
+  if !failed then exit 1
+
 let run_bechamel tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -877,6 +1063,7 @@ let () =
   let mc_bench_only = List.mem "--mc-bench" args in
   let fuzz_bench_only = List.mem "--fuzz-bench" args in
   let obs_bench_only = List.mem "--obs-bench" args in
+  let serve_bench_only = List.mem "--serve-bench" args in
   let smoke = List.mem "--smoke" args in
   let only =
     let rec find = function
@@ -921,7 +1108,14 @@ let () =
     | None -> f None
     | Some jobs -> Par.with_pool ~jobs (fun pool -> f (Some pool))
   in
-  if obs_bench_only then begin
+  if serve_bench_only then begin
+    print_endline
+      "\n=== Serve daemon: submit-to-verdict latency and jobs/s by client \
+       count ===\n";
+    let rows = serve_bench ~smoke () in
+    Option.iter (fun b -> diff_serve_baseline b rows) baseline
+  end
+  else if obs_bench_only then begin
     print_endline
       "\n=== Observability overhead (null sink vs. none, min of 7 \
        interleaved reps) ===\n";

@@ -8,6 +8,8 @@
      fuzz      randomized schedule fuzzing with counterexample shrinking
      classify  print the object-algebra classification table
      sweep     regenerate one experiment table (e1..e8)
+     serve     run the verification daemon (lib/serve)
+     submit    send a job to a running daemon and await its verdict
 *)
 
 open Cmdliner
@@ -23,14 +25,35 @@ open Cmdliner
         starved call the drain probe could never finish — safety held,
         liveness did not)
    Scripts can branch on "did it break" (2), "did it hang" (5) and "did
-   it finish" (3) without parsing output. *)
+   it finish" (3) without parsing output.
+
+   `submit` adds one client-side code on top of the shared vocabulary:
+     6  the server could not be reached (connect failures exhausted the
+        retry budget, or the server was draining/shedding to the end)
+   Verdict-bearing replies reuse 0/2/3/5 verbatim — the wire status IS
+   the exit code the same job would have produced locally. *)
 module Exit_code = struct
   let bad_args = 1
   let violation = 2
   let truncated = 3
   let attack_failed = 4
-  let progress = 5
+
+  (* 5 (progress violation) is produced via Serve.Job.fuzz_report, which
+     renders mc/fuzz outcomes for CLI and daemon alike *)
+  let unavailable = 6
 end
+
+(* A SIGTERM must not lose metrics or corrupt spools: it flips a Cancel
+   token, the budget machinery trips cooperatively, and the run winds
+   down through the normal report-dump-exit path (exit 3, "truncated
+   (cancelled)") instead of dying mid-write. *)
+let term_cancel () =
+  let c = Robust.Cancel.create () in
+  (try
+     Sys.set_signal Sys.sigterm
+       (Sys.Signal_handle (fun _ -> Robust.Cancel.set c))
+   with Invalid_argument _ | Sys_error _ -> ());
+  c
 
 let find_protocol name =
   match Consensus.Registry.find name with
@@ -254,10 +277,9 @@ let attack_cmd =
     | Ok p ->
         let obs = make_obs metrics in
         let on_poll = progress_hook progress "attack" in
+        let cancel = term_cancel () in
         let budget =
-          match (deadline, on_poll) with
-          | None, None -> None
-          | _ -> Some (Robust.Budget.make ?deadline ?on_poll ())
+          Some (Robust.Budget.make ?deadline ~cancel ?on_poll ())
         in
         let save_trace trace =
           match save with
@@ -401,9 +423,26 @@ let mc_cmd =
                    "unknown --dedup %S (expected off | exact | symmetric)" s);
               exit Exit_code.bad_args
         in
-        let state_name = state in
+        (* an explicit --state flat cannot be honoured alongside
+           checkpointing (the flat DFS does not checkpoint): refuse
+           loudly instead of silently downgrading.  The implicit default
+           still picks the closure engine — same verdicts, counters and
+           witnesses either way. *)
+        (if state = Some "flat" && (checkpoint <> None || resume <> None) then begin
+           prerr_endline
+             "--state flat conflicts with --checkpoint/--resume (the flat \
+              engine does not checkpoint); drop --state or pass --state \
+              closure";
+           exit Exit_code.bad_args
+         end);
+        let state_name =
+          Option.value state
+            ~default:
+              (if checkpoint <> None || resume <> None then "closure"
+               else "flat")
+        in
         let state =
-          match state with
+          match state_name with
           | "flat" -> `Flat
           | "closure" -> `Closure
           | s ->
@@ -414,16 +453,23 @@ let mc_cmd =
         in
         let obs = make_obs metrics in
         let on_poll = progress_hook progress "mc" in
+        let cancel = term_cancel () in
         let budget =
-          match (max_nodes, deadline, on_poll) with
-          | None, None, None -> None
-          | _ -> Some (Robust.Budget.make ?nodes:max_nodes ?deadline ?on_poll ())
+          Some
+            (Robust.Budget.make ?nodes:max_nodes ?deadline ~cancel ?on_poll ())
         in
         (* the scenario stamp refuses resumes against a different search:
-           same protocol, inputs, depth and dedup or nothing *)
+           same protocol, inputs, depth and dedup or nothing.  Built by
+           Serve.Job so CLI and daemon checkpoints are interchangeable. *)
         let scenario =
-          Printf.sprintf "mc protocol=%s inputs=%s depth=%d max-states=%d dedup=%s"
-            name inputs_csv depth max_states dedup_name
+          Serve.Job.mc_stamp
+            {
+              (Serve.Job.mc_defaults ~protocol:name) with
+              Serve.Job.mc_inputs = inputs;
+              mc_depth = depth;
+              mc_max_states = max_states;
+              mc_dedup = dedup;
+            }
         in
         let resume_state =
           match resume with
@@ -468,31 +514,11 @@ let mc_cmd =
                   Mc.Explore.search_par ?obs ~pool ?budget ~dedup
                     ~max_depth:depth ~max_states ~state ~inputs config)
         in
-        Fmt.pr "visited=%d leaves=%d table-hits=%d truncated=%b max-depth=%d@."
-          result.Mc.Explore.visited result.Mc.Explore.leaves
-          result.Mc.Explore.table_hits result.Mc.Explore.truncated
-          result.Mc.Explore.max_depth_seen;
-        Fmt.pr "verdict: %s@."
-          (Robust.Budget.completeness_to_string result.Mc.Explore.completeness);
-        let code =
-          match result.Mc.Explore.violation with
-          | Some v ->
-              Fmt.pr "VIOLATION (%s):@."
-                (match v.Mc.Explore.kind with
-                | `Inconsistent -> "inconsistent"
-                | `Invalid -> "invalid");
-              print_endline
-                (Sim.Trace.to_string string_of_int v.Mc.Explore.trace);
-              Exit_code.violation
-          | None -> (
-              print_endline "no violation found";
-              (* only a governed cut demotes the exit code: the structural
-                 --depth bound is part of the question being asked *)
-              match result.Mc.Explore.completeness with
-              | `Truncated (`Nodes | `Steps | `Deadline | `Cancelled) ->
-                  Exit_code.truncated
-              | `Exhaustive | `Truncated (`Depth | `States) -> 0)
-        in
+        (* rendered by the same function the serve daemon uses, so a
+           served verdict is byte-identical by construction *)
+        let report = Serve.Job.mc_report result in
+        List.iter print_endline report.Serve.Job.lines;
+        let code = report.Serve.Job.status in
         dump_metrics obs
           ~extra:
             [
@@ -525,13 +551,14 @@ let mc_cmd =
                  interchangeable processes)")
       $ Arg.(
           value
-          & opt string "flat"
+          & opt (some string) None
           & info [ "state" ]
               ~doc:
                 "configuration engine: flat (interned slab states, the \
                  default) or closure (the persistent-configuration \
-                 engine; also forced by --checkpoint/--resume).  Both \
-                 produce identical verdicts, witnesses and counters.")
+                 engine; the default under --checkpoint/--resume, which \
+                 reject an explicit flat).  Both produce identical \
+                 verdicts, witnesses and counters.")
       $ Arg.(
           value
           & opt (some int) None
@@ -595,60 +622,29 @@ let fuzz_cmd =
     | Ok sc ->
         let obs = make_obs metrics in
         let on_poll = progress_hook progress "fuzz" in
+        let cancel = term_cancel () in
         let budget =
-          match (deadline, max_runs, on_poll) with
-          | None, None, None -> None
-          | _ -> Some (Robust.Budget.make ?nodes:max_runs ?deadline ?on_poll ())
+          Some
+            (Robust.Budget.make ?nodes:max_runs ?deadline ~cancel ?on_poll ())
         in
         let result =
           with_jobs ?obs jobs (fun pool ->
               Fuzz.Campaign.run ?obs ?pool ?budget ~shrink ~max_candidates
                 ~runs ~seed sc)
         in
-        Fmt.pr "scenario=%s (%s) seed=%d@." result.Fuzz.Campaign.scenario
-          sc.Fuzz.Scenario.describe seed;
-        Fmt.pr "runs=%d done=%d violations=%d steps=%d kinds=%s@."
-          result.Fuzz.Campaign.runs_requested result.Fuzz.Campaign.runs_done
-          result.Fuzz.Campaign.violations result.Fuzz.Campaign.total_steps
-          (String.concat ","
-             (List.map
-                (fun (k, c) ->
-                  Printf.sprintf "%s:%d" (Fuzz.Scenario.kind_name k) c)
-                result.Fuzz.Campaign.kind_counts));
-        Fmt.pr "verdict: %s@."
-          (Robust.Budget.completeness_to_string
-             result.Fuzz.Campaign.completeness);
-        let code =
-          match result.Fuzz.Campaign.first_violation with
-          | None -> (
-              print_endline "no violation found";
-              match result.Fuzz.Campaign.completeness with
-              | `Truncated _ -> Exit_code.truncated
-              | `Exhaustive -> 0)
-          | Some cex ->
-              Fmt.pr
-                "VIOLATION (%s): run=%d kind=%s original-steps=%d \
-                 shrunk-steps=%d candidates=%d@."
-                (Fuzz.Scenario.violation_to_string cex.Fuzz.Campaign.violation)
-                cex.Fuzz.Campaign.run_index
-                (Fuzz.Scenario.kind_name cex.Fuzz.Campaign.sched_kind)
-                (Fuzz.Schedule.steps cex.Fuzz.Campaign.original)
-                (Fuzz.Schedule.steps cex.Fuzz.Campaign.shrunk)
-                (match cex.Fuzz.Campaign.shrink_stats with
-                | Some s -> s.Fuzz.Shrink.candidates
-                | None -> 0);
-              Fmt.pr "schedule: %a@." Fuzz.Schedule.pp cex.Fuzz.Campaign.shrunk;
-              (match out with
-              | None -> ()
-              | Some path ->
-                  Sim.Trace_io.save_text ~path cex.Fuzz.Campaign.artifact;
-                  Fmt.pr "counterexample saved to %s@." path);
-              (* progress failures get their own code: the object stayed
-                 safe but a call can never finish *)
-              (match cex.Fuzz.Campaign.violation with
-              | Fuzz.Scenario.Stuck -> Exit_code.progress
-              | _ -> Exit_code.violation)
+        (* rendered by the same function the serve daemon uses, so a
+           served verdict is byte-identical by construction *)
+        let report =
+          Serve.Job.fuzz_report ~describe:sc.Fuzz.Scenario.describe ~seed
+            result
         in
+        List.iter print_endline report.Serve.Job.lines;
+        (match (result.Fuzz.Campaign.first_violation, out) with
+        | Some cex, Some path ->
+            Sim.Trace_io.save_text ~path cex.Fuzz.Campaign.artifact;
+            Fmt.pr "counterexample saved to %s@." path
+        | _ -> ());
+        let code = report.Serve.Job.status in
         dump_metrics obs
           ~extra:
             [
@@ -771,12 +767,275 @@ let sweep_cmd =
       $ Arg.(value & flag & info [ "quick" ] ~doc:"smaller parameters")
       $ jobs_arg)
 
+(* ----------------------------------------------------------------- serve *)
+
+let parse_tcp s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && host <> "" -> Ok (host, p)
+      | _ -> Error (Printf.sprintf "invalid --tcp %S (expected HOST:PORT)" s))
+  | None -> Error (Printf.sprintf "invalid --tcp %S (expected HOST:PORT)" s)
+
+let socket_arg =
+  let doc = "Unix-domain socket path (ignored when --tcp is given)." in
+  Arg.(value & opt string "randsync.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Listen on / connect to HOST:PORT instead of a Unix socket." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let resolve_addr socket tcp =
+  match tcp with
+  | None -> `Unix socket
+  | Some s -> (
+      match parse_tcp s with
+      | Ok (h, p) -> `Tcp (h, p)
+      | Error e ->
+          prerr_endline e;
+          exit Exit_code.bad_args)
+
+let serve_cmd =
+  let run socket tcp queue_limit workers spool metrics =
+    let address = resolve_addr socket tcp in
+    let obs = make_obs metrics in
+    let cfg =
+      {
+        Serve.Server.address;
+        queue_limit;
+        workers;
+        spool_dir = spool;
+        obs;
+        progress_interval = 1.0;
+      }
+    in
+    Serve.Server.run
+      ~on_ready:(fun a ->
+        (match a with
+        | `Unix path -> Fmt.pr "listening on unix:%s@." path
+        | `Tcp (host, port) -> Fmt.pr "listening on tcp:%s:%d@." host port);
+        (* scripts wait for this line; make sure it is out *)
+        flush stdout)
+      cfg;
+    Fmt.pr "drained@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification daemon: accepts mc/fuzz/attack jobs over a \
+          line-JSON socket protocol, with bounded admission, graceful \
+          SIGTERM drain and crash-safe resume from --spool")
+    Term.(
+      const run $ socket_arg $ tcp_arg
+      $ Arg.(
+          value
+          & opt int Serve.Server.default_queue_limit
+          & info [ "queue-limit" ] ~docv:"N"
+              ~doc:
+                "Bounded admission queue: a submit arriving with N jobs \
+                 already queued is shed with an explicit overloaded reply.")
+      $ Arg.(
+          value
+          & opt int Serve.Server.default_workers
+          & info [ "workers" ] ~docv:"N" ~doc:"Concurrent job executors.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "spool" ] ~docv:"DIR"
+              ~doc:
+                "Persist accepted jobs (and mc checkpoints) under DIR; a \
+                 restarted server re-runs everything unfinished to the \
+                 same verdicts.")
+      $ metrics_arg)
+
+(* ---------------------------------------------------------------- submit *)
+
+let submit_cmd =
+  let run socket tcp job detach wait_id result_id status cancel_id drain ping
+      attempts seed =
+    let addr = resolve_addr socket tcp in
+    let retry_opts f = f ?attempts:(Some attempts) ?seed:(Some seed) in
+    let unavailable msg =
+      prerr_endline msg;
+      exit Exit_code.unavailable
+    in
+    let print_outcome (code, lines) =
+      List.iter print_endline lines;
+      if code <> 0 then exit code
+    in
+    (* one-shot request/reply over a fresh connection, with retries *)
+    let roundtrip req =
+      let r =
+        retry_opts (fun ?attempts ?seed () ->
+            Serve.Client.with_retry ?attempts ?seed @@ fun _ ->
+            match Serve.Client.connect addr with
+            | Error e -> Error (`Retry ("connect: " ^ e))
+            | Ok conn ->
+                let r =
+                  match
+                    Serve.Client.send conn req;
+                    Serve.Client.recv conn
+                  with
+                  | exception Sys_error e -> Error (`Retry e)
+                  | Ok reply -> Ok reply
+                  | Error e -> Error (`Fail ("bad reply: " ^ e))
+                in
+                Serve.Client.close conn;
+                r)
+          ()
+      in
+      match r with Ok reply -> reply | Error e -> unavailable e
+    in
+    if ping then begin
+      match roundtrip Serve.Wire.Ping with
+      | Serve.Wire.Pong -> print_endline "pong"
+      | _ ->
+          prerr_endline "unexpected reply to ping";
+          exit Exit_code.unavailable
+    end
+    else if drain then begin
+      match roundtrip Serve.Wire.Drain with
+      | Serve.Wire.Draining -> print_endline "draining"
+      | _ ->
+          prerr_endline "unexpected reply to drain";
+          exit Exit_code.unavailable
+    end
+    else if status then begin
+      match roundtrip (Serve.Wire.Status { id = None }) with
+      | Serve.Wire.Jobs { draining; jobs } ->
+          Fmt.pr "draining=%b jobs=%d@." draining (List.length jobs);
+          List.iter
+            (fun (jl : Serve.Wire.job_line) ->
+              Fmt.pr "job %d [%s]: %s@." jl.Serve.Wire.id jl.Serve.Wire.label
+                (match jl.Serve.Wire.state with
+                | Serve.Wire.Queued -> "queued"
+                | Serve.Wire.Running -> "running"
+                | Serve.Wire.Done code -> Printf.sprintf "done status=%d" code
+                | Serve.Wire.Cancelled -> "cancelled"
+                | Serve.Wire.Interrupted -> "interrupted"))
+            jobs
+      | _ ->
+          prerr_endline "unexpected reply to status";
+          exit Exit_code.unavailable
+    end
+    else
+      match (cancel_id, result_id, wait_id, job) with
+      | Some id, _, _, _ -> (
+          match roundtrip (Serve.Wire.Cancel { id }) with
+          | Serve.Wire.Cancelled _ -> Fmt.pr "cancelled %d@." id
+          | Serve.Wire.Error { message } ->
+              prerr_endline message;
+              exit Exit_code.bad_args
+          | _ ->
+              prerr_endline "unexpected reply to cancel";
+              exit Exit_code.unavailable)
+      | None, Some id, _, _ -> (
+          match roundtrip (Serve.Wire.Result { id }) with
+          | Serve.Wire.Verdict { status; lines; _ } ->
+              print_outcome (status, lines)
+          | Serve.Wire.Cancelled _ ->
+              prerr_endline (Printf.sprintf "job %d was cancelled" id);
+              exit Exit_code.bad_args
+          | Serve.Wire.Error { message } ->
+              prerr_endline message;
+              exit Exit_code.bad_args
+          | _ ->
+              prerr_endline "unexpected reply to result";
+              exit Exit_code.unavailable)
+      | None, None, Some id, _ -> (
+          match
+            retry_opts
+              (fun ?attempts ?seed () ->
+                Serve.Client.wait_result ?attempts ?seed addr ~id)
+              ()
+          with
+          | Ok outcome -> print_outcome outcome
+          | Error e -> unavailable e)
+      | None, None, None, Some spec -> (
+          match Serve.Json.parse spec with
+          | Error e ->
+              prerr_endline ("invalid --job JSON: " ^ e);
+              exit Exit_code.bad_args
+          | Ok j -> (
+              match Serve.Job.of_json j with
+              | Error e ->
+                  prerr_endline ("invalid job spec: " ^ e);
+                  exit Exit_code.bad_args
+              | Ok job -> (
+                  match
+                    retry_opts
+                      (fun ?attempts ?seed () ->
+                        Serve.Client.submit_and_wait ?attempts ?seed ~detach
+                          addr job)
+                      ()
+                  with
+                  | Ok outcome -> print_outcome outcome
+                  | Error e -> unavailable e)))
+      | None, None, None, None ->
+          prerr_endline
+            "nothing to do: pass --job, --wait, --result, --cancel, --status, \
+             --drain or --ping";
+          exit Exit_code.bad_args
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Talk to a randsync serve daemon: submit a job and await its \
+          verdict (exit code = wire status), or poll/cancel/drain.  \
+          Connection failures and overload shedding are retried with \
+          capped exponential backoff + jitter; exit 6 when the server \
+          stays unreachable.")
+    Term.(
+      const run $ socket_arg $ tcp_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "job" ] ~docv:"JSON"
+              ~doc:
+                "Job spec, e.g. \
+                 '{\"kind\":\"mc\",\"protocol\":\"counter-2\",\"depth\":14}'.")
+      $ Arg.(
+          value & flag
+          & info [ "detach" ]
+              ~doc:
+                "Return as soon as the job is accepted (prints id=N); the \
+                 job then survives this client and is polled with --wait.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "wait" ] ~docv:"ID"
+              ~doc:"Poll job ID until it finishes, then print its verdict.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "result" ] ~docv:"ID"
+              ~doc:"Fetch the verdict of a finished job.")
+      $ Arg.(value & flag & info [ "status" ] ~doc:"List the server's jobs.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "cancel" ] ~docv:"ID" ~doc:"Cancel a queued/running job.")
+      $ Arg.(
+          value & flag
+          & info [ "drain" ] ~doc:"Ask the server to drain (like SIGTERM).")
+      $ Arg.(value & flag & info [ "ping" ] ~doc:"Health check.")
+      $ Arg.(
+          value & opt int 5
+          & info [ "attempts" ] ~docv:"N"
+              ~doc:"Total connection/overload retry attempts.")
+      $ Arg.(
+          value & opt int 1
+          & info [ "retry-seed" ] ~docv:"K"
+              ~doc:"Seed for the deterministic backoff jitter."))
+
 let main =
   let doc = "Randomized synchronization space-complexity toolkit (Fich-Herlihy-Shavit, PODC'93)" in
   Cmd.group (Cmd.info "randsync" ~doc)
     [
       list_cmd; run_cmd; attack_cmd; mc_cmd; fuzz_cmd; classify_cmd; sweep_cmd;
-      trace_cmd;
+      trace_cmd; serve_cmd; submit_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -11,11 +11,18 @@
    The text codec is line-oriented in the style of [Sim.Trace_io] (and
    shares its atomic [save_text] writes and [Parse_error]):
 
-     fuzz-schedule v1
+     fuzz-schedule v2
+     len <count>        entry count, validated on read
      S <pid>            step (the process was poised at an operation)
      S <pid> <coin>     step that resolved an internal flip
      X <pid>            crash
-*)
+     end                terminator, required on read
+
+   The count and terminator lines are what make truncation loud: a v1
+   file that lost tail lines still parsed as a shorter (wrong) witness,
+   and a cut mid-line can leave a valid shorter entry ("S 1 1" out of
+   "S 1 12"), which only the terminator catches.  v1 files — which have
+   neither — are still read. *)
 
 open Sim
 
@@ -50,9 +57,11 @@ let of_trace trace : t =
 
 (* ---- text codec ---- *)
 
-let version = 1
+let version = 2
 
 let header = Printf.sprintf "fuzz-schedule v%d" version
+
+let legacy_header = "fuzz-schedule v1"
 
 let entry_to_string = function
   | `Step (pid, None) -> Printf.sprintf "S %d" pid
@@ -60,7 +69,12 @@ let entry_to_string = function
   | `Crash pid -> Printf.sprintf "X %d" pid
 
 let to_text t =
-  String.concat "\n" (header :: List.map entry_to_string t) ^ "\n"
+  String.concat "\n"
+    ((header
+     :: Printf.sprintf "len %d" (List.length t)
+     :: List.map entry_to_string t)
+    @ [ "end" ])
+  ^ "\n"
 
 let parse_error fmt =
   Printf.ksprintf (fun s -> raise (Trace_io.Parse_error s)) fmt
@@ -90,8 +104,36 @@ let of_text text =
   with
   | [] -> parse_error "empty schedule file"
   | h :: lines ->
-      if h <> header then parse_error "unsupported schedule header %S" h
-      else List.map entry_of_string lines
+      if h = header then begin
+        match lines with
+        | [] -> parse_error "schedule file ends before its count line"
+        | len_line :: rest ->
+            let declared =
+              match String.split_on_char ' ' len_line with
+              | [ "len"; n ] -> int_of n len_line
+              | _ ->
+                  parse_error "expected \"len <count>\" line, got %S" len_line
+            in
+            let entries =
+              match List.rev rest with
+              | "end" :: rev_entries -> List.rev rev_entries
+              | _ ->
+                  parse_error
+                    "schedule file missing its end marker (truncated?)"
+            in
+            let entries = List.map entry_of_string entries in
+            let got = List.length entries in
+            if got <> declared then
+              parse_error
+                "schedule declares %d entries but carries %d (truncated file?)"
+                declared got
+            else entries
+      end
+      else if h = legacy_header then
+        (* v1: no count line — truncation of the tail is undetectable,
+           which is why v2 exists *)
+        List.map entry_of_string lines
+      else parse_error "unsupported schedule header %S" h
 
 let save ~path t = Trace_io.save_text ~path (to_text t)
 let load ~path = of_text (Trace_io.load_text ~path)

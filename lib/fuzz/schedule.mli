@@ -28,7 +28,11 @@ val of_trace : 'a Trace.t -> t
 
 (** {1 Text codec} — line-oriented, versioned, in the style of
     {!Sim.Trace_io} (whose [Parse_error] it raises and whose atomic
-    [save_text] it writes through). *)
+    [save_text] it writes through).  v2 files carry a [len <count>]
+    line and a final [end] marker, both validated on read, so a
+    truncated file — whole lines lost or a cut mid-entry — is a loud
+    parse error instead of a silently shorter witness; v1 files, which
+    have neither, are still read. *)
 
 val to_text : t -> string
 

@@ -21,7 +21,7 @@ let empty =
     path = [];
   }
 
-let version = 1
+let version = 2
 
 let parse_error fmt =
   Printf.ksprintf (fun s -> raise (Trace_io.Parse_error s)) fmt
@@ -42,9 +42,14 @@ let to_text ~scenario state =
       (match state.reason with
       | None -> "reason -"
       | Some r -> "reason " ^ Robust.Budget.reason_to_string r);
-      "path "
-      ^ String.concat " "
-          (List.map (fun (pid, o) -> Printf.sprintf "%d:%d" pid o) state.path);
+      (* the element count makes a path truncated at an element boundary
+         a loud error instead of a silently shorter (wrong) cursor; the
+         end marker catches a cut inside the final element ("1:1" out of
+         "1:12"), which keeps both count and elements plausible *)
+      String.concat " "
+        (Printf.sprintf "path %d" (List.length state.path)
+        :: List.map (fun (pid, o) -> Printf.sprintf "%d:%d" pid o) state.path);
+      "end";
       "";
     ]
 
@@ -68,11 +73,29 @@ let of_text text =
     | None -> parse_error "bad integer in %S line %S" name line
   in
   match lines with
-  | [ header; scenario; visited; leaves; table_hits; max_depth_seen; trunc;
-      reason; path ] ->
-      (match field "randsync-checkpoint" header with
-      | "v1" -> ()
-      | v -> parse_error "unsupported checkpoint version %S" v);
+  | header :: rest ->
+      let ver =
+        match field "randsync-checkpoint" header with
+        | "v2" -> `V2
+        | "v1" -> `V1  (* legacy: no path element count, no end marker *)
+        | v -> parse_error "unsupported checkpoint version %S" v
+      in
+      let scenario, visited, leaves, table_hits, max_depth_seen, trunc, reason,
+          path =
+        match (ver, rest) with
+        | ( `V1,
+            [ scenario; visited; leaves; table_hits; max_depth_seen; trunc;
+              reason; path ] )
+        | ( `V2,
+            [ scenario; visited; leaves; table_hits; max_depth_seen; trunc;
+              reason; path; "end" ] ) ->
+            (scenario, visited, leaves, table_hits, max_depth_seen, trunc,
+             reason, path)
+        | `V2, [ _; _; _; _; _; _; _; _; e ] ->
+            parse_error "bad checkpoint end marker %S (truncated file?)" e
+        | _ ->
+            parse_error "checkpoint file has %d lines" (List.length lines)
+      in
       let reason =
         match field "reason" reason with
         | "-" -> None
@@ -82,15 +105,40 @@ let of_text text =
             | None -> parse_error "unknown truncation reason %S" s)
       in
       let path =
-        field "path" path |> String.split_on_char ' '
-        |> List.filter (fun s -> s <> "")
-        |> List.map (fun s ->
-               match String.split_on_char ':' s with
-               | [ pid; o ] -> (
-                   match (int_of_string_opt pid, int_of_string_opt o) with
-                   | Some pid, Some o -> (pid, o)
-                   | _ -> parse_error "bad path element %S" s)
-               | _ -> parse_error "bad path element %S" s)
+        let toks =
+          field "path" path |> String.split_on_char ' '
+          |> List.filter (fun s -> s <> "")
+        in
+        let elems toks =
+          List.map
+            (fun s ->
+              match String.split_on_char ':' s with
+              | [ pid; o ] -> (
+                  match (int_of_string_opt pid, int_of_string_opt o) with
+                  | Some pid, Some o -> (pid, o)
+                  | _ -> parse_error "bad path element %S" s)
+              | _ -> parse_error "bad path element %S" s)
+            toks
+        in
+        match ver with
+        | `V1 -> elems toks
+        | `V2 -> (
+            match toks with
+            | [] -> parse_error "path line missing its element count"
+            | count :: rest ->
+                let declared =
+                  match int_of_string_opt count with
+                  | Some n -> n
+                  | None -> parse_error "bad path element count %S" count
+                in
+                let rest = elems rest in
+                let got = List.length rest in
+                if got <> declared then
+                  parse_error
+                    "path declares %d elements but carries %d (truncated \
+                     file?)"
+                    declared got
+                else rest)
       in
       ( field "scenario" scenario,
         {
@@ -102,7 +150,7 @@ let of_text text =
           reason;
           path;
         } )
-  | _ -> parse_error "checkpoint file has %d lines, expected 9" (List.length lines)
+  | [] -> parse_error "empty checkpoint file"
 
 let save ~path ~scenario state =
   Trace_io.save_text ~path (to_text ~scenario state)

@@ -22,12 +22,18 @@
 
     File format, versioned and line-oriented like {!Sim.Trace_io}:
     {v
-    randsync-checkpoint v1
+    randsync-checkpoint v2
     scenario <verbatim scenario line>
     visited <int> ... trunc <int> counter lines
     reason <reason|->
-    path <pid>:<outcome> <pid>:<outcome> ...
-    v} *)
+    path <count> <pid>:<outcome> <pid>:<outcome> ...
+    end
+    v}
+    The path element count and the [end] marker are validated on read,
+    so a truncated file — cut at an element boundary or inside the
+    final element — is a loud parse error instead of a silently shorter
+    (and wrong) resume cursor.  v1 files, which have neither, are still
+    read. *)
 
 type state = {
   visited : int;

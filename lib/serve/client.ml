@@ -1,0 +1,163 @@
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect addr =
+  let sockaddr =
+    match addr with
+    | `Unix path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) -> (
+        match
+          try Some (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> None
+        with
+        | Some ip -> Ok (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+        | None -> Error (Printf.sprintf "unknown host %S" host))
+  in
+  match sockaddr with
+  | Error e -> Error e
+  | Ok (domain, sockaddr) -> (
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      match Unix.connect fd sockaddr with
+      | () ->
+          Ok
+            {
+              fd;
+              ic = Unix.in_channel_of_descr fd;
+              oc = Unix.out_channel_of_descr fd;
+            }
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Unix.error_message err))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t req =
+  output_string t.oc (Wire.encode_request req);
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t =
+  match input_line t.ic with
+  | line -> Wire.decode_reply line
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error e -> Error e
+
+(* full jitter, clipped to [0.5, 1.0] of the doubled base, capped *)
+let backoff_delay ~base ~cap ~rng k =
+  let nominal = base *. (2. ** float_of_int k) in
+  let jitter = 0.5 +. (Sim.Rng.float rng /. 2.) in
+  Float.min cap (nominal *. jitter)
+
+let with_retry ?(attempts = 5) ?(base = 0.05) ?(cap = 1.0) ?(seed = 1)
+    ?(sleep = Unix.sleepf) f =
+  let rng = Sim.Rng.create seed in
+  let rec go k =
+    match f k with
+    | Ok v -> Ok v
+    | Error (`Fail msg) -> Error msg
+    | Error (`Retry msg) ->
+        if k + 1 >= attempts then
+          Error (Printf.sprintf "%s (gave up after %d attempts)" msg attempts)
+        else begin
+          sleep (backoff_delay ~base ~cap ~rng k);
+          go (k + 1)
+        end
+  in
+  go 0
+
+let submit_and_wait ?attempts ?base ?cap ?seed ?(detach = false) ?on_progress
+    addr job =
+  with_retry ?attempts ?base ?cap ?seed @@ fun _attempt ->
+  match connect addr with
+  | Error e -> Error (`Retry ("connect: " ^ e))
+  | Ok conn -> (
+      let finally () = close conn in
+      match
+        send conn (Wire.Submit { job; detach });
+        recv conn
+      with
+      | exception Sys_error e ->
+          finally ();
+          Error (`Retry e)
+      | Error e ->
+          finally ();
+          Error (`Fail ("bad reply: " ^ e))
+      | Ok (Wire.Overloaded { queued; limit }) ->
+          finally ();
+          Error
+            (`Retry (Printf.sprintf "overloaded (queue %d/%d)" queued limit))
+      | Ok Wire.Draining ->
+          finally ();
+          Error (`Fail "server is draining")
+      | Ok (Wire.Error { message }) ->
+          finally ();
+          Error (`Fail message)
+      | Ok (Wire.Accepted { id }) ->
+          if detach then begin
+            finally ();
+            Ok (0, [ Printf.sprintf "id=%d" id ])
+          end
+          else begin
+            (* stream until the job's terminal frame *)
+            let rec wait () =
+              match recv conn with
+              | Ok (Wire.Progress { id = pid; nodes; steps }) ->
+                  Option.iter
+                    (fun f -> f ~id:pid ~nodes ~steps)
+                    on_progress;
+                  wait ()
+              | Ok (Wire.Verdict { id = _; status; lines }) ->
+                  Ok (status, lines)
+              | Ok (Wire.Cancelled _) -> Error (`Fail "job cancelled")
+              | Ok Wire.Draining ->
+                  (* drained mid-run: the job is interrupted server-side
+                     and will be resumed by the next server *)
+                  Error (`Fail "server drained mid-job")
+              | Ok (Wire.Error { message }) -> Error (`Fail message)
+              | Ok _ -> Error (`Fail "unexpected reply while waiting")
+              | Error e -> Error (`Fail ("while waiting for verdict: " ^ e))
+            in
+            let r = wait () in
+            finally ();
+            r
+          end
+      | Ok _ ->
+          finally ();
+          Error (`Fail "unexpected reply to submit"))
+
+let wait_result ?attempts ?base ?cap ?seed ?(poll = 0.2) addr ~id =
+  (* the outer loop survives server restarts: one with_retry per contact
+     attempt, so the attempt budget resets every time we get through *)
+  let rec go () =
+    let probe =
+      with_retry ?attempts ?base ?cap ?seed @@ fun _ ->
+      match connect addr with
+      | Error e -> Error (`Retry ("connect: " ^ e))
+      | Ok conn -> (
+          let r =
+            match
+              send conn (Wire.Result { id });
+              recv conn
+            with
+            | exception Sys_error e -> Error (`Retry e)
+            | Error e -> Error (`Fail ("bad reply: " ^ e))
+            | Ok (Wire.Verdict { status; lines; _ }) -> Ok (`Done (status, lines))
+            | Ok (Wire.Cancelled _) -> Error (`Fail "job cancelled")
+            | Ok (Wire.Error { message }) ->
+                if message = Printf.sprintf "job %d is not finished" id then
+                  Ok `Pending
+                else Error (`Fail message)
+            | Ok _ -> Error (`Fail "unexpected reply to result")
+          in
+          close conn;
+          r)
+    in
+    match probe with
+    | Ok (`Done v) -> Ok v
+    | Ok `Pending ->
+        Unix.sleepf poll;
+        go ()
+    | Error e -> Error e
+  in
+  go ()

@@ -1,0 +1,76 @@
+(** The serve client: one connection, blocking line-framed {!Wire}
+    exchange, and a retry loop with capped exponential backoff + jitter
+    for the transient failures a robust submitter must absorb (server
+    not up yet, connection refused mid-restart, [Overloaded] shedding).
+
+    Backoff is deterministic per [seed]: delay k is
+    [base * 2^k * (0.5 + u)] with [u] drawn from a seeded
+    {!Sim.Rng.t} stream in [0, 0.5], capped at [cap] — the full-jitter
+    scheme clipped to stay within 2x of the nominal curve, so tests can
+    bound total retry time exactly. *)
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type t
+
+(** [connect addr] makes one connection attempt.  No retries. *)
+val connect : addr -> (t, string) result
+
+val close : t -> unit
+
+val send : t -> Wire.request -> unit
+
+(** One reply frame (blocking).  [Error] on EOF, an unparsable frame, or
+    a protocol-version mismatch. *)
+val recv : t -> (Wire.reply, string) result
+
+(** [with_retry ?attempts ?base ?cap ?seed ~sleep f] runs [f attempt]
+    until it returns [Ok] or a non-retryable [Error], sleeping the
+    backoff schedule between retryable failures ([f] signals one by
+    [Error (`Retry reason)]).  [attempts] total tries (default 5),
+    [base] first delay (default 0.05s), [cap] max delay (default 1s).
+    [sleep] is injectable for tests. *)
+val with_retry :
+  ?attempts:int ->
+  ?base:float ->
+  ?cap:float ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  (int -> ('a, [ `Retry of string | `Fail of string ]) result) ->
+  ('a, string) result
+
+(** The backoff delay before retry [k] (0-based), exposed for tests. *)
+val backoff_delay : base:float -> cap:float -> rng:Sim.Rng.t -> int -> float
+
+(** [submit_and_wait ?attempts ?base ?cap ?seed ?detach ?on_progress addr job]
+    connects (with retries), submits, and — unless [detach] — streams
+    replies until the job's terminal frame, returning the verdict's
+    [(status, lines)].  [Overloaded] and connect failures are retried
+    with backoff; [Draining] is terminal ([Error]).  With [detach] it
+    returns [(0, ["id=<n>"])] as soon as the job is accepted. *)
+val submit_and_wait :
+  ?attempts:int ->
+  ?base:float ->
+  ?cap:float ->
+  ?seed:int ->
+  ?detach:bool ->
+  ?on_progress:(id:int -> nodes:int -> steps:int -> unit) ->
+  addr ->
+  Job.t ->
+  (int * string list, string) result
+
+(** [wait_result addr ~id] polls [Result id] every [poll] seconds
+    (default 0.2) until the job is terminal, reconnecting with the
+    backoff schedule whenever the server is unreachable (each successful
+    contact resets the attempt counter, so a job may be awaited across a
+    server restart).  Returns the verdict's [(status, lines)]; a
+    cancelled job is an [Error]. *)
+val wait_result :
+  ?attempts:int ->
+  ?base:float ->
+  ?cap:float ->
+  ?seed:int ->
+  ?poll:float ->
+  addr ->
+  id:int ->
+  (int * string list, string) result

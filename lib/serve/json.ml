@@ -1,0 +1,317 @@
+(* Strict single-value JSON parsing and canonical printing.  See the mli
+   for the robustness contract; the parser is a plain recursive descent
+   over a cursor, with a depth cap so pathological nesting fails cleanly
+   instead of blowing the stack. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let max_depth = 64
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail "expected '%c' at offset %d, got '%c'" ch c.pos x
+  | None -> fail "expected '%c' at offset %d, got end of input" ch c.pos
+
+(* Strings: the usual escapes; \uXXXX is decoded to UTF-8 bytes so a
+   round-trip through a conforming peer cannot smuggle bytes past the
+   parser.  Control characters must be escaped. *)
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail "unterminated string at offset %d" c.pos
+    | Some '"' ->
+        advance c;
+        Buffer.contents b
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail "dangling escape at offset %d" c.pos
+        | Some ch ->
+            advance c;
+            (match ch with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'u' ->
+                let hex () =
+                  match peek c with
+                  | Some ch -> (
+                      advance c;
+                      match ch with
+                      | '0' .. '9' -> Char.code ch - Char.code '0'
+                      | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+                      | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+                      | _ -> fail "bad \\u escape at offset %d" c.pos)
+                  | None -> fail "truncated \\u escape at offset %d" c.pos
+                in
+                let cp =
+                  let a = hex () in
+                  let b' = hex () in
+                  let c' = hex () in
+                  let d = hex () in
+                  (a lsl 12) lor (b' lsl 8) lor (c' lsl 4) lor d
+                in
+                (* UTF-8 encode the BMP code point (surrogates land as-is
+                   bytes-wise; the wire only ever carries ASCII) *)
+                if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+                else if cp < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+                  Buffer.add_char b
+                    (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                end
+            | _ -> fail "unknown escape '\\%c' at offset %d" ch c.pos);
+            go ())
+    | Some ch when Char.code ch < 0x20 ->
+        fail "unescaped control character at offset %d" c.pos
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        go ()
+  in
+  go ()
+
+let is_num_char = function
+  | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+  | _ -> false
+
+let parse_number c =
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let tok = String.sub c.s start (c.pos - start) in
+  match int_of_string_opt tok with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "bad number %S at offset %d" tok start)
+
+let parse_literal c lit v =
+  let n = String.length lit in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = lit then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail "bad literal at offset %d" c.pos
+
+let rec parse_value c depth =
+  if depth > max_depth then fail "nesting deeper than %d" max_depth;
+  skip_ws c;
+  match peek c with
+  | None -> fail "empty input"
+  | Some '"' -> String (parse_string c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c (depth + 1) in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}' at offset %d" c.pos
+        in
+        Obj (fields [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value c (depth + 1) in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']' at offset %d" c.pos
+        in
+        List (items [])
+      end
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail "unexpected character '%c' at offset %d" ch c.pos
+
+let parse s =
+  let c = { s; pos = 0 } in
+  match parse_value c 0 with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+      else Ok v
+  | exception Bad msg -> Error msg
+
+(* ---- printing ---- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f ->
+      (* %.17g is lossless for doubles; trim to %g when exact *)
+      let s = Printf.sprintf "%.17g" f in
+      let short = Printf.sprintf "%g" f in
+      if float_of_string short = f then short else s
+  | String s -> "\"" ^ escape s ^ "\""
+  | List items -> "[" ^ String.concat "," (List.map to_string items) ^ "]"
+  | Obj fields ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ to_string v) fields)
+      ^ "}"
+
+(* ---- accessors ---- *)
+
+let mem name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let missing name = Error (Printf.sprintf "missing field %S" name)
+
+let wrong name want =
+  Error (Printf.sprintf "field %S is not a %s" name want)
+
+let str name v =
+  match mem name v with
+  | Some (String s) -> Ok s
+  | Some _ -> wrong name "string"
+  | None -> missing name
+
+let int name v =
+  match mem name v with
+  | Some (Int i) -> Ok i
+  | Some _ -> wrong name "int"
+  | None -> missing name
+
+let bool name v =
+  match mem name v with
+  | Some (Bool b) -> Ok b
+  | Some _ -> wrong name "bool"
+  | None -> missing name
+
+let num name v =
+  match mem name v with
+  | Some (Int i) -> Ok (float_of_int i)
+  | Some (Float f) -> Ok f
+  | Some _ -> wrong name "number"
+  | None -> missing name
+
+let int_list name v =
+  match mem name v with
+  | Some (List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Int i :: rest -> go (i :: acc) rest
+        | _ -> wrong name "list of ints"
+      in
+      go [] items
+  | Some _ -> wrong name "list of ints"
+  | None -> missing name
+
+let str_list name v =
+  match mem name v with
+  | Some (List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | String s :: rest -> go (s :: acc) rest
+        | _ -> wrong name "list of strings"
+      in
+      go [] items
+  | Some _ -> wrong name "list of strings"
+  | None -> missing name
+
+let opt_of f name v =
+  match mem name v with
+  | None | Some Null -> Ok None
+  | Some _ -> ( match f name v with Ok x -> Ok (Some x) | Error e -> Error e)
+
+let str_opt name v = opt_of str name v
+let int_opt name v = opt_of int name v
+let num_opt name v = opt_of num name v
+let bool_opt name v = opt_of bool name v
+let int_list_opt name v = opt_of int_list name v

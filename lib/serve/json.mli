@@ -1,0 +1,60 @@
+(** A minimal, strict JSON codec for the wire protocol and the job spool.
+
+    The repo deliberately has no third-party JSON dependency; everything
+    emitted so far ([Obs.dump], bench rows) is printf-built line-JSON.
+    The server must also {e parse} untrusted client frames, so this
+    module provides the other half: a recursive-descent parser that is
+    strict where robustness demands it —
+
+    - the whole input must be one JSON value: trailing garbage after the
+      closing brace is a parse error, never silently ignored (a
+      truncated or interleaved frame therefore cannot masquerade as a
+      shorter valid one);
+    - nesting depth is capped (an adversarial ["[[[[..."] line fails
+      with an error instead of exhausting the stack);
+    - every failure is a [(value, string) result], never an exception:
+      a malformed frame can only ever cost its sender the connection.
+
+    Numbers are kept as [Int] when they lex as an OCaml int (ids, exit
+    statuses) and [Float] otherwise (deadlines). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [parse s] parses exactly one JSON value spanning all of [s]
+    (surrounding whitespace allowed).  [Error msg] on anything else. *)
+val parse : string -> (t, string) result
+
+(** Canonical single-line rendering (no spaces, object fields in the
+    order given).  [parse (to_string v)] round-trips for every [v] whose
+    strings are valid UTF-8/ASCII. *)
+val to_string : t -> string
+
+(** {1 Accessors} — each returns [Error] with the offending [name] on a
+    missing field or a type mismatch, so frame decoding reads linearly. *)
+
+val mem : string -> t -> t option
+
+val str : string -> t -> (string, string) result
+val int : string -> t -> (int, string) result
+val bool : string -> t -> (bool, string) result
+val num : string -> t -> (float, string) result
+
+(** [int_list name obj] decodes a field holding a list of ints. *)
+val int_list : string -> t -> (int list, string) result
+
+val str_list : string -> t -> (string list, string) result
+
+(** Optional variants: [Ok None] when the field is absent or [Null]. *)
+
+val str_opt : string -> t -> (string option, string) result
+val int_opt : string -> t -> (int option, string) result
+val num_opt : string -> t -> (float option, string) result
+val bool_opt : string -> t -> (bool option, string) result
+val int_list_opt : string -> t -> (int list option, string) result

@@ -1,0 +1,104 @@
+type t = { dir : string }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+(* Same discipline as Obs.Sink: write a sibling temp file, rename over
+   the target.  rename(2) is atomic, so readers (and a post-crash
+   recover) see the old bytes or the new bytes, never a prefix. *)
+let write_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+let job_path t id = Filename.concat t.dir (Printf.sprintf "job-%d.json" id)
+
+let verdict_path t id =
+  Filename.concat t.dir (Printf.sprintf "job-%d.verdict" id)
+
+let cancelled_path t id =
+  Filename.concat t.dir (Printf.sprintf "job-%d.cancelled" id)
+
+let checkpoint_path t ~id =
+  Filename.concat t.dir (Printf.sprintf "job-%d.ckpt" id)
+
+let add t ~id job =
+  write_atomic (job_path t id) (Json.to_string (Job.to_json job) ^ "\n")
+
+let record_verdict t ~id outcome =
+  write_atomic (verdict_path t id)
+    (Json.to_string (Job.outcome_to_json ~id outcome) ^ "\n")
+
+let mark_cancelled t ~id = write_atomic (cancelled_path t id) "cancelled\n"
+
+type entry = {
+  id : int;
+  job : Job.t;
+  fate : [ `Pending | `Finished of Job.outcome | `Cancelled ];
+}
+
+type recovered = { entries : entry list; next_id : int }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let skip id path msg =
+  Printf.eprintf "spool: skipping job %d (%s): %s\n%!" id path msg
+
+let load_json path decode =
+  match Json.parse (String.trim (read_file path)) with
+  | Ok j -> decode j
+  | Error e -> Error e
+  | exception Sys_error e -> Error e
+
+let recover t =
+  let ids = ref [] in
+  Array.iter
+    (fun name ->
+      match Scanf.sscanf_opt name "job-%d.json%!" (fun id -> id) with
+      | Some id -> ids := id :: !ids
+      | None -> ())
+    (Sys.readdir t.dir);
+  let ids = List.sort compare !ids in
+  let entries = ref [] in
+  let next_id = ref 1 in
+  List.iter
+    (fun id ->
+      if id >= !next_id then next_id := id + 1;
+      match load_json (job_path t id) Job.of_json with
+      | Error e -> skip id (job_path t id) e
+      | Ok job ->
+          if Sys.file_exists (cancelled_path t id) then
+            entries := { id; job; fate = `Cancelled } :: !entries
+          else if Sys.file_exists (verdict_path t id) then begin
+            match
+              load_json (verdict_path t id) (fun j ->
+                  Result.map snd (Job.outcome_of_json j))
+            with
+            | Ok outcome ->
+                entries := { id; job; fate = `Finished outcome } :: !entries
+            | Error e ->
+                (* a torn verdict cannot happen (atomic rename), but a
+                   corrupt one degrades to re-running the job *)
+                skip id (verdict_path t id) e;
+                entries := { id; job; fate = `Pending } :: !entries
+          end
+          else entries := { id; job; fate = `Pending } :: !entries)
+    ids;
+  { entries = List.rev !entries; next_id = !next_id }

@@ -1,0 +1,201 @@
+(* Frame codec for the serve protocol.  Encoding is canonical (field
+   order fixed); decoding is strict — version, type tag and every field
+   are validated, and any failure is an [Error] the server can answer
+   and then hang up on. *)
+
+let version = 1
+
+type request =
+  | Ping
+  | Submit of { job : Job.t; detach : bool }
+  | Status of { id : int option }
+  | Result of { id : int }
+  | Cancel of { id : int }
+  | Drain
+
+type job_state = Queued | Running | Done of int | Cancelled | Interrupted
+
+type job_line = { id : int; label : string; state : job_state }
+
+type reply =
+  | Pong
+  | Accepted of { id : int }
+  | Overloaded of { queued : int; limit : int }
+  | Draining
+  | Progress of { id : int; nodes : int; steps : int }
+  | Verdict of { id : int; status : int; lines : string list }
+  | Jobs of { draining : bool; jobs : job_line list }
+  | Cancelled of { id : int }
+  | Error of { message : string }
+
+let ( let* ) = Result.bind
+
+let frame ty fields =
+  Json.to_string
+    (Json.Obj ([ ("v", Json.Int version); ("type", Json.String ty) ] @ fields))
+
+(* Every decode funnels through here so version skew fails identically
+   everywhere: parse, check "v", dispatch on "type". *)
+let decode_frame line k =
+  let* j = Json.parse line in
+  let* v = Json.int "v" j in
+  if v <> version then
+    Error (Printf.sprintf "unsupported protocol version %d (want %d)" v version)
+  else
+    let* ty = Json.str "type" j in
+    k ty j
+
+(* ---- requests ---- *)
+
+let encode_request = function
+  | Ping -> frame "ping" []
+  | Submit { job; detach } ->
+      frame "submit"
+        ([ ("job", Job.to_json job) ]
+        @ if detach then [ ("detach", Json.Bool true) ] else [])
+  | Status { id } ->
+      frame "status" (match id with None -> [] | Some i -> [ ("id", Json.Int i) ])
+  | Result { id } -> frame "result" [ ("id", Json.Int id) ]
+  | Cancel { id } -> frame "cancel" [ ("id", Json.Int id) ]
+  | Drain -> frame "drain" []
+
+let decode_request line =
+  decode_frame line @@ fun ty j ->
+  match ty with
+  | "ping" -> Ok Ping
+  | "submit" ->
+      let* spec =
+        match Json.mem "job" j with
+        | Some spec -> Ok spec
+        | None -> Error "missing field \"job\""
+      in
+      let* job = Job.of_json spec in
+      let* detach = Json.bool_opt "detach" j in
+      Ok (Submit { job; detach = Option.value detach ~default:false })
+  | "status" ->
+      let* id = Json.int_opt "id" j in
+      Ok (Status { id })
+  | "result" ->
+      let* id = Json.int "id" j in
+      Ok (Result { id })
+  | "cancel" ->
+      let* id = Json.int "id" j in
+      Ok (Cancel { id })
+  | "drain" -> Ok Drain
+  | ty -> Error (Printf.sprintf "unknown request type %S" ty)
+
+(* ---- replies ---- *)
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done _ -> "done"
+  | Cancelled -> "cancelled"
+  | Interrupted -> "interrupted"
+
+let encode_reply = function
+  | Pong -> frame "pong" []
+  | Accepted { id } -> frame "accepted" [ ("id", Json.Int id) ]
+  | Overloaded { queued; limit } ->
+      frame "overloaded"
+        [ ("queued", Json.Int queued); ("limit", Json.Int limit) ]
+  | Draining -> frame "draining" []
+  | Progress { id; nodes; steps } ->
+      frame "progress"
+        [
+          ("id", Json.Int id);
+          ("nodes", Json.Int nodes);
+          ("steps", Json.Int steps);
+        ]
+  | Verdict { id; status; lines } ->
+      frame "verdict"
+        [
+          ("id", Json.Int id);
+          ("status", Json.Int status);
+          ("lines", Json.List (List.map (fun l -> Json.String l) lines));
+        ]
+  | Jobs { draining; jobs } ->
+      frame "jobs"
+        [
+          ("draining", Json.Bool draining);
+          ( "jobs",
+            Json.List
+              (List.map
+                 (fun jl ->
+                   Json.Obj
+                     ([
+                        ("id", Json.Int jl.id);
+                        ("label", Json.String jl.label);
+                        ("state", Json.String (state_name jl.state));
+                      ]
+                     @
+                     match jl.state with
+                     | Done status -> [ ("status", Json.Int status) ]
+                     | _ -> []))
+                 jobs) );
+        ]
+  | Cancelled { id } -> frame "cancelled" [ ("id", Json.Int id) ]
+  | Error { message } -> frame "error" [ ("message", Json.String message) ]
+
+let decode_job_line j =
+  let* id = Json.int "id" j in
+  let* label = Json.str "label" j in
+  let* state = Json.str "state" j in
+  let* state =
+    match state with
+    | "queued" -> Ok Queued
+    | "running" -> Ok Running
+    | "cancelled" -> Ok Cancelled
+    | "interrupted" -> Ok Interrupted
+    | "done" ->
+        let* status = Json.int "status" j in
+        Ok (Done status)
+    | s -> Error (Printf.sprintf "unknown job state %S" s)
+  in
+  Ok { id; label; state }
+
+let decode_reply line =
+  decode_frame line @@ fun ty j ->
+  match ty with
+  | "pong" -> Ok Pong
+  | "accepted" ->
+      let* id = Json.int "id" j in
+      Ok (Accepted { id })
+  | "overloaded" ->
+      let* queued = Json.int "queued" j in
+      let* limit = Json.int "limit" j in
+      Ok (Overloaded { queued; limit })
+  | "draining" -> Ok Draining
+  | "progress" ->
+      let* id = Json.int "id" j in
+      let* nodes = Json.int "nodes" j in
+      let* steps = Json.int "steps" j in
+      Ok (Progress { id; nodes; steps })
+  | "verdict" ->
+      let* id = Json.int "id" j in
+      let* status = Json.int "status" j in
+      let* lines = Json.str_list "lines" j in
+      Ok (Verdict { id; status; lines })
+  | "jobs" ->
+      let* draining = Json.bool "draining" j in
+      let* jobs =
+        match Json.mem "jobs" j with
+        | Some (Json.List items) ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | item :: rest ->
+                  let* jl = decode_job_line item in
+                  go (jl :: acc) rest
+            in
+            go [] items
+        | Some _ -> Error "field \"jobs\" is not a list"
+        | None -> Error "missing field \"jobs\""
+      in
+      Ok (Jobs { draining; jobs })
+  | "cancelled" ->
+      let* id = Json.int "id" j in
+      Ok (Cancelled { id })
+  | "error" ->
+      let* message = Json.str "message" j in
+      Ok (Error { message })
+  | ty -> Error (Printf.sprintf "unknown reply type %S" ty)

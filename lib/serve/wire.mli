@@ -1,0 +1,63 @@
+(** The serve wire protocol: version-1 line-JSON frames.
+
+    One frame per line, one JSON object per frame, every frame carrying
+    [{"v":1}].  Requests flow client-to-server; replies flow back, and a
+    single request may produce a stream of replies ([Progress]* then
+    [Verdict] for an attached submit).  Decoding is strict end to end:
+    the line must be exactly one JSON object (trailing garbage is a
+    parse error — see {!Json.parse}), the version must be [1], the type
+    tag must be known, and every field must type-check.  A frame that
+    fails any of these decodes to [Error], which the server answers with
+    an [Error] reply before dropping the connection — malformed input
+    can only ever cost its sender.
+
+    Statuses inside [Verdict] frames reuse the CLI exit-code contract
+    (see {!Job}); the protocol adds no status space of its own. *)
+
+val version : int
+
+type request =
+  | Ping
+  | Submit of { job : Job.t; detach : bool }
+      (** [detach]: don't stream progress/verdict to this connection and
+          don't tie the job's life to it — the submitter (or anyone) can
+          poll [Status] later.  Detached jobs survive client disconnect;
+          attached jobs are cancelled when their client goes away. *)
+  | Status of { id : int option }  (** [None]: all jobs. *)
+  | Result of { id : int }
+      (** fetch a terminal job's verdict frame (works across restarts:
+          verdicts are spooled).  [Error] reply while the job is still
+          queued or running. *)
+  | Cancel of { id : int }
+  | Drain  (** operator request: same semantics as SIGTERM *)
+
+type job_state =
+  | Queued
+  | Running
+  | Done of int  (** terminal wire status, i.e. the CLI exit code *)
+  | Cancelled
+  | Interrupted
+      (** drain/crash cut the run; the job is still pending in the spool
+          and a restarted server will re-run (mc: resume) it *)
+
+type job_line = { id : int; label : string; state : job_state }
+
+type reply =
+  | Pong
+  | Accepted of { id : int }
+  | Overloaded of { queued : int; limit : int }
+      (** load-shed: the bounded admission queue is full.  The job was
+          {e not} enqueued; clients retry with backoff. *)
+  | Draining  (** not admitting: drain in progress *)
+  | Progress of { id : int; nodes : int; steps : int }
+  | Verdict of { id : int; status : int; lines : string list }
+  | Jobs of { draining : bool; jobs : job_line list }
+  | Cancelled of { id : int }
+  | Error of { message : string }
+
+val encode_request : request -> string
+(** One line, no trailing newline. *)
+
+val decode_request : string -> (request, string) result
+val encode_reply : reply -> string
+val decode_reply : string -> (reply, string) result

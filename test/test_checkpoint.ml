@@ -46,7 +46,7 @@ let test_codec_rejects_malformed () =
   let valid = Mc.Checkpoint.to_text ~scenario:"s" Mc.Checkpoint.empty in
   expect_parse_error "empty" "";
   expect_parse_error "wrong version"
-    (Test_util.replace_first ~sub:"v1" ~by:"v9" valid);
+    (Test_util.replace_first ~sub:"v2" ~by:"v9" valid);
   expect_parse_error "bad reason"
     (Test_util.replace_first ~sub:"reason -" ~by:"reason zeal" valid);
   expect_parse_error "truncated file" "randsync-checkpoint v1\nscenario s";

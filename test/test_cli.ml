@@ -271,9 +271,83 @@ let test_metrics_and_progress () =
       Alcotest.(check bool) "heartbeat line printed" true
         (contains p.out "mc: nodes="))
 
+(* --state flat cannot checkpoint: an explicit ask for both is refused
+   loudly (exit 1), never silently downgraded; the implicit default
+   under --checkpoint/--resume picks the closure engine and works *)
+let test_state_flat_checkpoint_conflict () =
+  let ckpt = Filename.temp_file "randsync-cli-flat" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ckpt with Sys_error _ -> ())
+    (fun () ->
+      let scenario = [ "mc"; "counter-3"; "--inputs"; "0,1"; "--depth"; "12" ] in
+      let conflict =
+        run_cli (scenario @ [ "--state"; "flat"; "--checkpoint"; ckpt ])
+      in
+      check_code "flat + --checkpoint refused" 1 conflict;
+      Alcotest.(check bool) "refusal names the conflict" true
+        (contains conflict.out "--state flat conflicts");
+      check_code "flat + --resume refused" 1
+        (run_cli (scenario @ [ "--state"; "flat"; "--resume"; ckpt ]));
+      check_code "unknown --state refused" 1
+        (run_cli (scenario @ [ "--state"; "turbo" ]));
+      (* an explicit closure ask checkpoints fine *)
+      check_code "closure + --checkpoint works" 3
+        (run_cli
+           (scenario @ [ "--state"; "closure"; "--max-nodes"; "5000";
+                         "--checkpoint"; ckpt ]));
+      (* and --state flat alone matches the default engine's verdict *)
+      let flat = run_cli (scenario @ [ "--state"; "flat" ]) in
+      let default = run_cli scenario in
+      check_code "flat alone works" 0 flat;
+      Alcotest.(check string) "flat = default output" default.out flat.out)
+
+(* a SIGTERM'd run still dumps its metrics before exiting: the budget's
+   cancel token turns the signal into a truncated (cancelled) verdict,
+   and the Obs sink is flushed on that path like any other *)
+let test_sigterm_dumps_metrics () =
+  let metrics = Filename.temp_file "randsync-cli-term" ".metrics" in
+  let out = Filename.temp_file "randsync-cli-term" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ metrics; out ])
+    (fun () ->
+      Sys.remove metrics;
+      let outfd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+      let argv =
+        [| binary; "mc"; "counter-3"; "--inputs"; "0,1,1,0"; "--depth"; "200";
+           "--max-states"; "2000000000"; "--metrics"; metrics |]
+      in
+      let pid = Unix.create_process binary argv Unix.stdin outfd outfd in
+      Unix.close outfd;
+      Unix.sleepf 0.4;
+      Unix.kill pid Sys.sigterm;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 3 -> ()
+      | _, Unix.WEXITED n ->
+          Alcotest.failf "SIGTERM'd mc exited %d, expected 3" n
+      | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+          Alcotest.fail "SIGTERM'd mc died without its epilogue");
+      let ic = open_in_bin out in
+      let printed = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "cancelled verdict printed" true
+        (contains printed "verdict: truncated (cancelled)");
+      Alcotest.(check bool) "metrics dumped on the signal path" true
+        (Sys.file_exists metrics);
+      let ic = open_in_bin metrics in
+      let dumped = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "dump carries the mc counters" true
+        (contains dumped {|"cmd":"mc"|} && contains dumped "mc/visited"))
+
 let suite =
   [
     Alcotest.test_case "exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "--state flat vs checkpointing" `Quick
+      test_state_flat_checkpoint_conflict;
+    Alcotest.test_case "SIGTERM dumps metrics" `Quick
+      test_sigterm_dumps_metrics;
     Alcotest.test_case "--metrics and --progress" `Quick
       test_metrics_and_progress;
     Alcotest.test_case "fuzz finds and shrinks flawed" `Quick

@@ -1,0 +1,571 @@
+(* Chaos suite for lib/serve.  In-process tests drive Serve.Server.run
+   on a unix socket in a temp dir: admission/shedding, cancellation,
+   client churn, malformed-frame isolation, drain-respools-queued-work,
+   restart resume.  Subprocess tests pin the process-level contract of
+   `randsync serve`: SIGTERM drains to exit 0 with the metrics file
+   dumped and the in-flight mc job checkpointed; kill -9 mid-job loses
+   nothing a restarted server can't replay to verdicts byte-identical
+   to a direct `randsync mc` run. *)
+
+let binary = Filename.concat ".." "bin/randsync_cli.exe"
+
+let contains = Test_util.contains
+
+(* ---- scratch dirs and subprocess plumbing ---- *)
+
+let mk_tmpdir () =
+  let path = Filename.temp_file "randsync-serve" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+type run = { code : int; out : string }
+
+let run_cli args =
+  let out_file = Filename.temp_file "randsync-serve-cli" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out_file with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s > %s 2>&1"
+          (Filename.quote_command binary args)
+          (Filename.quote out_file)
+      in
+      let code = Sys.command cmd in
+      let ic = open_in_bin out_file in
+      let out = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      { code; out })
+
+let lines_of out =
+  String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+
+let await ?(timeout = 30.) ?(interval = 0.02) what pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay interval;
+      go ()
+    end
+  in
+  go ()
+
+(* ---- job specs ---- *)
+
+let mc_job ?(inputs = [ 0; 1 ]) ?(depth = 10) ?(max_states = 2_000_000)
+    protocol =
+  {
+    Serve.Job.spec =
+      Serve.Job.Mc
+        {
+          (Serve.Job.mc_defaults ~protocol) with
+          Serve.Job.mc_inputs = inputs;
+          mc_depth = depth;
+          mc_max_states = max_states;
+        };
+    deadline = None;
+  }
+
+(* instant *)
+let quick_job () = mc_job "counter-3"
+
+(* effectively unbounded: only a cancel ends it *)
+let endless_job () =
+  mc_job ~inputs:[ 0; 1; 1; 0 ] ~depth:200 ~max_states:2_000_000_000
+    "counter-3"
+
+(* ~2s sequential, checkpoints every few ms: the interrupt/resume prop *)
+let resumable_job () = mc_job ~depth:20 ~max_states:10_000_000 "rw-3n"
+
+let resumable_cli_args =
+  [ "mc"; "rw-3n"; "--inputs"; "0,1"; "--depth"; "20"; "--max-states";
+    "10000000" ]
+
+let fuzz_job () =
+  {
+    Serve.Job.spec =
+      Serve.Job.Fuzz
+        {
+          (Serve.Job.fuzz_defaults ~scenario:"flawed") with
+          Serve.Job.fz_runs = 40;
+          fz_seed = 3;
+        };
+    deadline = None;
+  }
+
+(* ---- client helpers ---- *)
+
+let with_conn addr f =
+  match Serve.Client.connect addr with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok c -> Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+let roundtrip addr req =
+  with_conn addr @@ fun c ->
+  Serve.Client.send c req;
+  Serve.Client.recv c
+
+let submit_raw addr job =
+  roundtrip addr (Serve.Wire.Submit { job; detach = true })
+
+let submit_detached addr job =
+  match submit_raw addr job with
+  | Ok (Serve.Wire.Accepted { id }) -> id
+  | Ok _ | Error _ -> Alcotest.fail "detached submit not accepted"
+
+let cancel addr id =
+  match roundtrip addr (Serve.Wire.Cancel { id }) with
+  | Ok (Serve.Wire.Cancelled _) -> ()
+  | Ok _ | Error _ -> Alcotest.failf "cancel of job %d failed" id
+
+let job_state addr id =
+  match roundtrip addr (Serve.Wire.Status { id = Some id }) with
+  | Ok (Serve.Wire.Jobs { jobs = [ jl ]; _ }) -> Some jl.Serve.Wire.state
+  | _ -> None
+
+let drain addr =
+  match roundtrip addr Serve.Wire.Drain with
+  | Ok Serve.Wire.Draining -> ()
+  | Ok _ | Error _ -> Alcotest.fail "drain not acknowledged"
+
+(* ---- an in-process server on a throwaway unix socket ---- *)
+
+let with_server ?(queue_limit = 64) ?(workers = 2) ?spool_dir f =
+  let dir = mk_tmpdir () in
+  let sock = Filename.concat dir "s.sock" in
+  let cfg =
+    {
+      Serve.Server.address = `Unix sock;
+      queue_limit;
+      workers;
+      spool_dir;
+      obs = None;
+      progress_interval = 0.05;
+    }
+  in
+  let ready = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        Serve.Server.run ~on_ready:(fun _ -> Atomic.set ready true) cfg)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match Serve.Client.connect (`Unix sock) with
+      | Ok c ->
+          Serve.Client.send c Serve.Wire.Drain;
+          ignore (Serve.Client.recv c);
+          Serve.Client.close c
+      | Error _ -> ());
+      Thread.join th;
+      rm_rf dir)
+    (fun () ->
+      await "server ready" (fun () -> Atomic.get ready);
+      f (`Unix sock))
+
+(* ---- in-process chaos ---- *)
+
+(* served verdicts are the executor's verdicts are the CLI's verdicts *)
+let test_round_trip_identity () =
+  with_server @@ fun addr ->
+  (match roundtrip addr Serve.Wire.Ping with
+  | Ok Serve.Wire.Pong -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected pong");
+  let check_identity name job =
+    let direct = Serve.Job.execute job in
+    match Serve.Client.submit_and_wait addr job with
+    | Error e -> Alcotest.failf "%s: %s" name e
+    | Ok (status, lines) ->
+        Alcotest.(check int) (name ^ " wire status = exit code")
+          direct.Serve.Job.status status;
+        Alcotest.(check (list string)) (name ^ " verdict lines")
+          direct.Serve.Job.lines lines
+  in
+  check_identity "mc" (quick_job ());
+  check_identity "fuzz" (fuzz_job ());
+  (* ... and byte-identical to the binary, including under --jobs *)
+  let direct = Serve.Job.execute (quick_job ()) in
+  let cli =
+    run_cli
+      [ "mc"; "counter-3"; "--inputs"; "0,1"; "--depth"; "10"; "--jobs"; "2" ]
+  in
+  Alcotest.(check int) "cli exit code" direct.Serve.Job.status cli.code;
+  Alcotest.(check (list string)) "cli --jobs 2 lines" direct.Serve.Job.lines
+    (lines_of cli.out)
+
+(* a full admission queue sheds with an explicit reply; shedding is not
+   sticky — capacity freed readmits *)
+let test_shedding () =
+  with_server ~queue_limit:1 ~workers:1 @@ fun addr ->
+  let id1 = submit_detached addr (endless_job ()) in
+  await "job 1 running" (fun () ->
+      job_state addr id1 = Some Serve.Wire.Running);
+  let id2 = submit_detached addr (endless_job ()) in
+  (* Accepted is sent before the enqueue; wait until job 2 is visible *)
+  await "job 2 queued" (fun () -> job_state addr id2 = Some Serve.Wire.Queued);
+  (match submit_raw addr (endless_job ()) with
+  | Ok (Serve.Wire.Overloaded { queued; limit }) ->
+      Alcotest.(check int) "reported depth" 1 queued;
+      Alcotest.(check int) "reported limit" 1 limit
+  | Ok _ | Error _ -> Alcotest.fail "expected overloaded");
+  cancel addr id2;
+  (match submit_raw addr (quick_job ()) with
+  | Ok (Serve.Wire.Accepted _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "freed capacity should admit");
+  cancel addr id1
+
+let test_cancel () =
+  with_server ~workers:1 @@ fun addr ->
+  let id = submit_detached addr (endless_job ()) in
+  await "job running" (fun () -> job_state addr id = Some Serve.Wire.Running);
+  cancel addr id;
+  await "job cancelled" (fun () ->
+      job_state addr id = Some Serve.Wire.Cancelled);
+  (match Serve.Client.wait_result addr ~id with
+  | Error e ->
+      Alcotest.(check bool) "cancelled job is a loud error" true
+        (contains e "cancelled")
+  | Ok _ -> Alcotest.fail "cancelled job must not yield a verdict");
+  (* unknown ids are loud too *)
+  match roundtrip addr (Serve.Wire.Result { id = 999 }) with
+  | Ok (Serve.Wire.Error { message }) ->
+      Alcotest.(check bool) "names the missing job" true
+        (contains message "no such job 999")
+  | Ok _ | Error _ -> Alcotest.fail "expected an error reply"
+
+(* a malformed frame costs its sender the connection — and nothing else *)
+let test_malformed_frame_isolation () =
+  with_server @@ fun addr ->
+  let sock = match addr with `Unix p -> p | `Tcp _ -> assert false in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc "{\"v\":1,\"type\":\"ping\"} trailing garbage\n";
+  flush oc;
+  (match input_line ic with
+  | line -> (
+      match Serve.Wire.decode_reply line with
+      | Ok (Serve.Wire.Error { message }) ->
+          Alcotest.(check bool) "reply names the bad frame" true
+            (contains message "bad frame")
+      | Ok _ | Error _ -> Alcotest.fail "expected an error reply")
+  | exception End_of_file -> Alcotest.fail "no reply to the bad frame");
+  (match input_line ic with
+  | exception End_of_file -> ()
+  | _ -> Alcotest.fail "sender should have been hung up on");
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* the server is unharmed and other clients are served normally *)
+  let direct = Serve.Job.execute (quick_job ()) in
+  match Serve.Client.submit_and_wait addr (quick_job ()) with
+  | Error e -> Alcotest.failf "healthy client hurt by someone else: %s" e
+  | Ok (status, lines) ->
+      Alcotest.(check int) "status" direct.Serve.Job.status status;
+      Alcotest.(check (list string)) "lines" direct.Serve.Job.lines lines
+
+(* an abrupt disconnect cancels the dead client's attached jobs and only
+   those; detached jobs ride out any churn *)
+let test_client_churn_isolation () =
+  with_server ~workers:1 @@ fun addr ->
+  let sock = match addr with `Unix p -> p | `Tcp _ -> assert false in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc
+    (Serve.Wire.encode_request
+       (Serve.Wire.Submit { job = endless_job (); detach = false }));
+  output_char oc '\n';
+  flush oc;
+  let id1 =
+    match input_line ic with
+    | line -> (
+        match Serve.Wire.decode_reply line with
+        | Ok (Serve.Wire.Accepted { id }) -> id
+        | Ok _ | Error _ -> Alcotest.fail "attached submit not accepted")
+    | exception End_of_file -> Alcotest.fail "no accept reply"
+  in
+  await "attached job running" (fun () ->
+      job_state addr id1 = Some Serve.Wire.Running);
+  let id2 = submit_detached addr (quick_job ()) in
+  (* die without so much as a goodbye *)
+  Unix.close fd;
+  await "attached job cancelled by churn" (fun () ->
+      job_state addr id1 = Some Serve.Wire.Cancelled);
+  let direct = Serve.Job.execute (quick_job ()) in
+  match Serve.Client.wait_result addr ~id:id2 with
+  | Error e -> Alcotest.failf "detached job lost to churn: %s" e
+  | Ok (status, lines) ->
+      Alcotest.(check int) "detached status" direct.Serve.Job.status status;
+      Alcotest.(check (list string)) "detached lines" direct.Serve.Job.lines
+        lines
+
+(* drain leaves running work checkpointed and queued work untouched in
+   the spool; a restarted server replays both to the verdicts an
+   uninterrupted life would have produced *)
+let test_drain_respools_and_restart_resumes () =
+  let dir = mk_tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let spool = Filename.concat dir "spool" in
+  let sock = Filename.concat dir "s.sock" in
+  let cfg =
+    {
+      Serve.Server.address = `Unix sock;
+      queue_limit = 64;
+      workers = 1;
+      spool_dir = Some spool;
+      obs = None;
+      progress_interval = 0.05;
+    }
+  in
+  let start () =
+    let ready = Atomic.make false in
+    let th =
+      Thread.create
+        (fun () ->
+          Serve.Server.run ~on_ready:(fun _ -> Atomic.set ready true) cfg)
+        ()
+    in
+    await "server ready" (fun () -> Atomic.get ready);
+    th
+  in
+  let th = start () in
+  let id1 = submit_detached (`Unix sock) (resumable_job ()) in
+  let id2 = submit_detached (`Unix sock) (quick_job ()) in
+  await "first checkpoint written" (fun () ->
+      Sys.file_exists (Filename.concat spool "job-1.ckpt"));
+  (* drain mid-job; the same connection sees admission close *)
+  (match Serve.Client.connect (`Unix sock) with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok c ->
+      Serve.Client.send c Serve.Wire.Drain;
+      (match Serve.Client.recv c with
+      | Ok Serve.Wire.Draining -> ()
+      | Ok _ | Error _ -> Alcotest.fail "drain not acknowledged");
+      Serve.Client.send c
+        (Serve.Wire.Submit { job = quick_job (); detach = true });
+      (match Serve.Client.recv c with
+      | Ok Serve.Wire.Draining -> ()
+      | Ok _ | Error _ -> Alcotest.fail "submit during drain not refused");
+      Serve.Client.close c);
+  Thread.join th;
+  let spooled name = Sys.file_exists (Filename.concat spool name) in
+  Alcotest.(check bool) "interrupted job still spooled" true
+    (spooled "job-1.json");
+  Alcotest.(check bool) "interrupted job has no verdict" false
+    (spooled "job-1.verdict");
+  Alcotest.(check bool) "queued job still spooled" true (spooled "job-2.json");
+  Alcotest.(check bool) "queued job has no verdict" false
+    (spooled "job-2.verdict");
+  (* restart: both jobs replay to their uninterrupted verdicts *)
+  let th2 = start () in
+  Fun.protect
+    ~finally:(fun () ->
+      drain (`Unix sock);
+      Thread.join th2)
+    (fun () ->
+      let expect1 = Serve.Job.execute (resumable_job ()) in
+      let expect2 = Serve.Job.execute (quick_job ()) in
+      (match Serve.Client.wait_result (`Unix sock) ~id:id1 with
+      | Error e -> Alcotest.failf "job 1 not replayed: %s" e
+      | Ok (status, lines) ->
+          Alcotest.(check int) "resumed status" expect1.Serve.Job.status status;
+          Alcotest.(check (list string)) "resumed lines byte-identical"
+            expect1.Serve.Job.lines lines);
+      match Serve.Client.wait_result (`Unix sock) ~id:id2 with
+      | Error e -> Alcotest.failf "job 2 not replayed: %s" e
+      | Ok (status, lines) ->
+          Alcotest.(check int) "queued job status" expect2.Serve.Job.status
+            status;
+          Alcotest.(check (list string)) "queued job lines"
+            expect2.Serve.Job.lines lines)
+
+(* ---- the retry/backoff schedule (pure) ---- *)
+
+let test_backoff_schedule () =
+  let base = 0.05 and cap = 1.0 in
+  let rng = Sim.Rng.create 7 in
+  for k = 0 to 9 do
+    let d = Serve.Client.backoff_delay ~base ~cap ~rng k in
+    let nominal = base *. (2. ** float_of_int k) in
+    Alcotest.(check bool)
+      (Printf.sprintf "delay %d within [nominal/2, nominal] clipped to cap" k)
+      true
+      (d >= Float.min cap (nominal /. 2.) && d <= Float.min cap nominal)
+  done;
+  (* same seed, same schedule: the jitter is deterministic *)
+  let schedule seed =
+    let rng = Sim.Rng.create seed in
+    List.init 8 (fun k -> Serve.Client.backoff_delay ~base ~cap ~rng k)
+  in
+  Alcotest.(check (list (float 0.))) "deterministic per seed" (schedule 3)
+    (schedule 3);
+  (* with_retry: attempts are counted, sleeps follow the capped curve *)
+  let calls = ref 0 and slept = ref 0. in
+  (match
+     Serve.Client.with_retry ~attempts:4 ~base:0.1 ~cap:0.2 ~seed:1
+       ~sleep:(fun d -> slept := !slept +. d)
+       (fun k ->
+         Alcotest.(check int) "attempt index" !calls k;
+         incr calls;
+         Error (`Retry "still down"))
+   with
+  | Error msg ->
+      Alcotest.(check bool) "gives up loudly" true
+        (contains msg "gave up after 4 attempts")
+  | Ok _ -> Alcotest.fail "retry cannot succeed here");
+  Alcotest.(check int) "all attempts spent" 4 !calls;
+  Alcotest.(check bool)
+    (Printf.sprintf "total sleep %.3f within 3 caps" !slept)
+    true
+    (!slept <= (0.2 *. 3.) +. 1e-9);
+  (* non-retryable errors fail fast; success passes through *)
+  let calls = ref 0 in
+  (match
+     Serve.Client.with_retry ~sleep:ignore (fun _ ->
+         incr calls;
+         Error (`Fail "boom"))
+   with
+  | Error "boom" -> ()
+  | Error e -> Alcotest.failf "unexpected error %S" e
+  | Ok _ -> Alcotest.fail "cannot succeed");
+  Alcotest.(check int) "fail-fast, one attempt" 1 !calls;
+  match
+    Serve.Client.with_retry ~sleep:ignore (fun k ->
+        if k < 2 then Error (`Retry "later") else Ok k)
+  with
+  | Ok 2 -> ()
+  | Ok k -> Alcotest.failf "succeeded on attempt %d, expected 2" k
+  | Error e -> Alcotest.failf "retry gave up: %s" e
+
+(* ---- subprocess: the process-level contract of `randsync serve` ---- *)
+
+let spawn_server ~sock ~spool ?metrics ~log () =
+  let args =
+    [ "serve"; "--socket"; sock; "--spool"; spool ]
+    @ match metrics with Some m -> [ "--metrics"; m ] | None -> []
+  in
+  let logfd =
+    Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o600
+  in
+  let pid =
+    Unix.create_process binary
+      (Array.of_list (binary :: args))
+      Unix.stdin logfd logfd
+  in
+  Unix.close logfd;
+  pid
+
+let reap pid =
+  try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* SIGTERM mid-job: exit 0, metrics dumped, job checkpointed + pending *)
+let test_sigterm_drains_to_exit_zero () =
+  let dir = mk_tmpdir () in
+  let sock = Filename.concat dir "s.sock" in
+  let spool = Filename.concat dir "spool" in
+  let metrics = Filename.concat dir "metrics.json" in
+  let log = Filename.concat dir "serve.log" in
+  let pid = spawn_server ~sock ~spool ~metrics ~log () in
+  Fun.protect
+    ~finally:(fun () ->
+      reap pid;
+      rm_rf dir)
+    (fun () ->
+      await "server socket" (fun () -> Sys.file_exists sock);
+      let id = submit_detached (`Unix sock) (resumable_job ()) in
+      Alcotest.(check int) "first job id" 1 id;
+      await "checkpoint written" (fun () ->
+          Sys.file_exists (Filename.concat spool "job-1.ckpt"));
+      Unix.kill pid Sys.sigterm;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED n ->
+          Alcotest.failf "drained server exited %d:\n%s" n (slurp log)
+      | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+          Alcotest.failf "drained server killed:\n%s" (slurp log));
+      (* the metrics sink is flushed on the signal path, atomically *)
+      let m = slurp metrics in
+      Alcotest.(check bool) "metrics dump marks the drain" true
+        (contains m {|"cmd":"serve"|} && contains m {|"drained":"true"|});
+      Alcotest.(check bool) "interrupt counted" true
+        (contains m {|"name":"serve/interrupted"|});
+      Alcotest.(check bool) "job left pending in the spool" true
+        (Sys.file_exists (Filename.concat spool "job-1.json")
+        && not (Sys.file_exists (Filename.concat spool "job-1.verdict"))))
+
+(* kill -9 mid-job, restart, and the verdict comes out byte-identical to
+   a direct CLI run — the crash-safety acceptance pin *)
+let test_kill9_restart_resumes_byte_identical () =
+  let dir = mk_tmpdir () in
+  let sock = Filename.concat dir "s.sock" in
+  let spool = Filename.concat dir "spool" in
+  let log = Filename.concat dir "serve.log" in
+  let pid = ref (spawn_server ~sock ~spool ~log ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      reap !pid;
+      rm_rf dir)
+    (fun () ->
+      await "server socket" (fun () -> Sys.file_exists sock);
+      let id = submit_detached (`Unix sock) (resumable_job ()) in
+      await "checkpoint written" (fun () ->
+          Sys.file_exists (Filename.concat spool "job-1.ckpt"));
+      Unix.kill !pid Sys.sigkill;
+      (match Unix.waitpid [] !pid with
+      | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+      | _, _ -> Alcotest.failf "expected the server killed:\n%s" (slurp log));
+      (* the source of truth: the same parameters through the binary *)
+      let cli = run_cli resumable_cli_args in
+      Alcotest.(check int) "direct run exits clean" 0 cli.code;
+      pid := spawn_server ~sock ~spool ~log ();
+      await "restarted server socket" (fun () -> Sys.file_exists sock);
+      (match Serve.Client.wait_result (`Unix sock) ~id with
+      | Error e -> Alcotest.failf "resumed job lost: %s\n%s" e (slurp log)
+      | Ok (status, lines) ->
+          Alcotest.(check int) "resumed status = CLI exit code" cli.code
+            status;
+          Alcotest.(check (list string)) "resumed verdict byte-identical"
+            (lines_of cli.out) lines);
+      Unix.kill !pid Sys.sigterm;
+      match Unix.waitpid [] !pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> Alcotest.failf "restarted server did not drain clean:\n%s"
+                  (slurp log))
+
+let suite =
+  [
+    Alcotest.test_case "round trip + verdict identity" `Quick
+      test_round_trip_identity;
+    Alcotest.test_case "bounded queue sheds" `Quick test_shedding;
+    Alcotest.test_case "cancel semantics" `Quick test_cancel;
+    Alcotest.test_case "malformed frame isolation" `Quick
+      test_malformed_frame_isolation;
+    Alcotest.test_case "client churn isolation" `Quick
+      test_client_churn_isolation;
+    Alcotest.test_case "drain respools, restart resumes" `Quick
+      test_drain_respools_and_restart_resumes;
+    Alcotest.test_case "retry backoff schedule" `Quick test_backoff_schedule;
+    Alcotest.test_case "SIGTERM drains to exit 0" `Quick
+      test_sigterm_drains_to_exit_zero;
+    Alcotest.test_case "kill -9 resume is byte-identical" `Quick
+      test_kill9_restart_resumes_byte_identical;
+  ]
