@@ -401,9 +401,39 @@ let attack_cmd =
 
 (* -------------------------------------------------------------------- mc *)
 
+(* "4194304", "4m", "4MiB", "512k", "1g" — binary multiples, for
+   --table-mem-budget *)
+let parse_bytes s =
+  let lower = String.lowercase_ascii (String.trim s) in
+  let split suffix mult =
+    if String.length lower > String.length suffix
+       && Filename.check_suffix lower suffix
+    then
+      Option.map
+        (fun n -> n * mult)
+        (int_of_string_opt
+           (String.sub lower 0 (String.length lower - String.length suffix)))
+    else None
+  in
+  let candidates =
+    [
+      split "kib" 1024;
+      split "mib" (1024 * 1024);
+      split "gib" (1024 * 1024 * 1024);
+      split "k" 1024;
+      split "m" (1024 * 1024);
+      split "g" (1024 * 1024 * 1024);
+      int_of_string_opt lower;
+    ]
+  in
+  match List.find_opt Option.is_some candidates with
+  | Some (Some n) when n > 0 -> Some n
+  | _ -> None
+
 let mc_cmd =
   let run name inputs depth max_states dedup state max_nodes deadline
-      checkpoint checkpoint_every resume jobs metrics progress =
+      checkpoint checkpoint_every resume jobs shards table_mem_budget
+      table_dir metrics progress =
     match find_protocol name with
     | Error e ->
         prerr_endline e;
@@ -450,6 +480,45 @@ let mc_cmd =
                 (Printf.sprintf
                    "unknown --state %S (expected flat | closure)" s);
               exit Exit_code.bad_args
+        in
+        (* sharded-tier flag surface: --table-* only make sense with
+           --shards, and a mem budget without a spill directory would be
+           silently inert — refuse loudly instead *)
+        (if shards = None && (table_dir <> None || table_mem_budget <> None)
+         then begin
+           prerr_endline "--table-dir/--table-mem-budget require --shards";
+           exit Exit_code.bad_args
+         end);
+        (if table_mem_budget <> None && table_dir = None then begin
+           prerr_endline
+             "--table-mem-budget requires --table-dir (a bounded hot cache \
+              needs somewhere to spill)";
+           exit Exit_code.bad_args
+         end);
+        (if shards <> None && (checkpoint <> None || resume <> None) then begin
+           prerr_endline
+             "--shards conflicts with --checkpoint/--resume (the sharded \
+              drain does not checkpoint)";
+           exit Exit_code.bad_args
+         end);
+        (match shards with
+        | Some n when n < 1 ->
+            prerr_endline "--shards must be >= 1";
+            exit Exit_code.bad_args
+        | _ -> ());
+        let table_mem_budget =
+          match table_mem_budget with
+          | None -> None
+          | Some s -> (
+              match parse_bytes s with
+              | Some n -> Some n
+              | None ->
+                  prerr_endline
+                    (Printf.sprintf
+                       "bad --table-mem-budget %S (expected bytes with an \
+                        optional k/m/g suffix, e.g. 4m)"
+                       s);
+                  exit Exit_code.bad_args)
         in
         let obs = make_obs metrics in
         let on_poll = progress_hook progress "mc" in
@@ -504,15 +573,29 @@ let mc_cmd =
             "note: --checkpoint/--resume force a sequential search; --jobs \
              ignored";
         let result =
-          with_jobs ?obs (if sequential_only then None else jobs) (fun pool ->
-              match pool with
-              | None ->
-                  Mc.Explore.search ?obs ?budget ~dedup ~max_depth:depth
-                    ~max_states ~checkpoint_every ?on_checkpoint
-                    ?resume:resume_state ~state ~inputs config
-              | Some pool ->
-                  Mc.Explore.search_par ?obs ~pool ?budget ~dedup
-                    ~max_depth:depth ~max_states ~state ~inputs config)
+          match shards with
+          | Some shards ->
+              (* sharded out-of-core tier: work-stealing drain, canonical
+                 routing, optional disk-backed tables; --jobs keeps the
+                 CLI convention (absent = 1 worker, 0 = one per core) *)
+              let jobs =
+                match jobs with None -> Some 1 | Some 0 -> None | Some n -> Some n
+              in
+              Mc.Shard.search ?obs ?jobs ?budget ~dedup ~max_depth:depth
+                ~max_states ~state ?table_dir ?table_mem_budget ~shards ~inputs
+                config
+          | None ->
+              with_jobs ?obs
+                (if sequential_only then None else jobs)
+                (fun pool ->
+                  match pool with
+                  | None ->
+                      Mc.Explore.search ?obs ?budget ~dedup ~max_depth:depth
+                        ~max_states ~checkpoint_every ?on_checkpoint
+                        ?resume:resume_state ~state ~inputs config
+                  | Some pool ->
+                      Mc.Explore.search_par ?obs ~pool ?budget ~dedup
+                        ~max_depth:depth ~max_states ~state ~inputs config)
         in
         (* rendered by the same function the serve daemon uses, so a
            served verdict is byte-identical by construction *)
@@ -521,13 +604,17 @@ let mc_cmd =
         let code = report.Serve.Job.status in
         dump_metrics obs
           ~extra:
-            [
-              ("cmd", "mc");
-              ("protocol", name);
-              ("inputs", inputs_csv);
-              ("dedup", dedup_name);
-              ("state", state_name);
-            ];
+            ([
+               ("cmd", "mc");
+               ("protocol", name);
+               ("inputs", inputs_csv);
+               ("dedup", dedup_name);
+               ("state", state_name);
+             ]
+            @
+            match shards with
+            | None -> []
+            | Some n -> [ ("shards", string_of_int n) ]);
         if code <> 0 then exit code
   in
   Cmd.v
@@ -589,7 +676,35 @@ let mc_cmd =
                 "Resume a search from a checkpoint FILE; the stored \
                  scenario must match the protocol/inputs/depth/dedup given \
                  here.  Forces a sequential search.")
-      $ jobs_arg $ metrics_arg $ progress_arg)
+      $ jobs_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "shards" ] ~docv:"S"
+              ~doc:
+                "Use the sharded out-of-core engine: route work items to S \
+                 deques by canonical state hash, with work stealing across \
+                 --jobs domains.  Pins the same violation verdict and \
+                 witness as the in-memory engines (node counts match under \
+                 --dedup off); see DESIGN.md \xc2\xa74j.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "table-mem-budget" ] ~docv:"BYTES"
+              ~doc:
+                "Bound the in-memory transposition tier to roughly BYTES \
+                 (k/m/g suffixes allowed) across all shards, spilling to \
+                 --table-dir append-logs when it overflows.  Requires \
+                 --shards and --table-dir.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "table-dir" ] ~docv:"DIR"
+              ~doc:
+                "Directory for the disk-backed transposition-table logs \
+                 (shard-<k>.dtbl, versioned v1 records, crash-recoverable). \
+                 Created if missing.  Requires --shards.")
+      $ metrics_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ fuzz *)
 

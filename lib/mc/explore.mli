@@ -149,6 +149,14 @@ val search_par :
   'a Config.t ->
   'a result
 
+(** Record a result's counters into [?obs] (["mc/visited"],
+    ["mc/leaves"], ["mc/table-hits"], ["mc/table-misses"], the
+    ["mc/max-depth"] watermark and the ["mc/truncated/<reason>"]
+    counter), returning the result unchanged — the shared tail of every
+    mc entry point, exported for [Shard].  Values are the result fields
+    verbatim; call it once, on the calling domain. *)
+val record_result : Obs.t option -> 'a result -> 'a result
+
 (** First terminating solo decision of [pid], searching coin outcomes — a
     cheap witness of a reachable decision. *)
 val solo_decision :

@@ -113,3 +113,25 @@ val map_cancellable :
     which is what makes seeded sweeps reproducible across [--jobs]. *)
 val map_seeded :
   ?pool:Pool.t -> seed:int -> (Sim.Rng.t -> 'a -> 'b) -> 'a list -> 'b list
+
+(** A mutex-guarded double-ended work queue for the sharded frontier
+    ([Mc.Shard]): the owner pushes and pops at the bottom (LIFO), other
+    domains steal from the top (FIFO, oldest first).  Safe for any number
+    of concurrent owners and thieves; every operation locks, which is
+    deliberate — items are coarse (a whole replay-and-expand unit), so a
+    lock-free ring would not be measurable here. *)
+module Wsq : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+
+  (** Owner end: most recently pushed. *)
+  val pop : 'a t -> 'a option
+
+  (** Thief end: oldest. *)
+  val steal : 'a t -> 'a option
+
+  (** Instantaneous size (racy under concurrency, exact when quiescent). *)
+  val length : 'a t -> int
+end

@@ -156,6 +156,15 @@ let all_decided t = t.enabled = 0
 let decision t p = Intern.decision t.rt (sid t p)
 let fingerprint t p = Intern.fp t.rt (sid t p)
 
+(* Engine-independent serialization of the current configuration: the
+   per-process fingerprints and decoded object values are exactly the
+   closure engine's transposition key and the currency of the
+   disk-backed table ([Mc.Dtbl]) — unlike slab ids or hexact/hsym they
+   do not depend on this run's intern-table numbering, so two domains
+   (or two runs) agree on them byte for byte. *)
+let fingerprints t = Array.init t.n_procs (fun p -> fingerprint t p)
+let objects t = Array.init t.n_objs (fun i -> Intern.value t.rt (obj_vid t i))
+
 let decisions t =
   let acc = ref [] in
   for p = t.n_procs - 1 downto 0 do

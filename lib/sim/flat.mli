@@ -51,6 +51,19 @@ val enabled_count : 'a t -> int
 val all_decided : 'a t -> bool
 val decision : 'a t -> int -> 'a option
 val fingerprint : 'a t -> int -> Fingerprint.t
+
+val fingerprints : 'a t -> Fingerprint.t array
+(** Fresh array of every process's consumed-history fingerprint, in pid
+    order.  Together with {!objects} this is the engine- and
+    intern-table-independent serialization of the configuration: the
+    canonical key the sharded model checker routes and deduplicates on
+    ([Mc.Dtbl.Skey]), identical to what the closure engine derives from
+    [Config.fps]. *)
+
+val objects : 'a t -> Value.t array
+(** Fresh array of the current object values, decoded from their interned
+    ids ({!Intern.value}); companion of {!fingerprints}. *)
+
 val decisions : 'a t -> 'a list
 (** Decided values in pid order (same order as [Config.decisions]). *)
 

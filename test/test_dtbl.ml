@@ -1,0 +1,331 @@
+(* Property suite for the two-tier transposition table ([Mc.Dtbl]).
+   The contract under test (dtbl.mli): [find] is exactly the
+   [merge_meta]-fold of every [set] for that key — across hot-tier
+   eviction, spills, compaction, close and reopen.  Plus the crash story:
+   a torn log tail is recovered loudly (valid prefix survives, stats say
+   so), while interior damage is corruption and raises
+   [Sim.Trace_io.Parse_error]. *)
+
+let fresh_dir =
+  let ctr = ref 0 in
+  fun tag ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "randsync-dtbl-%s-%d-%d" tag (Unix.getpid ()) !ctr)
+    in
+    Unix.mkdir d 0o755;
+    d
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+(* ---- generators ---- *)
+
+let gen_value : Sim.Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return Sim.Value.Unit;
+            map (fun b -> Sim.Value.Bool b) bool;
+            map (fun i -> Sim.Value.Int i) (int_range (-1000) 1000);
+            map
+              (fun k -> Sim.Value.Sym (Printf.sprintf "s%d" k))
+              (int_bound 9);
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map2
+              (fun a b -> Sim.Value.Pair (a, b))
+              (self (n / 2)) (self (n / 2));
+            map (fun v -> Sim.Value.Opt (Some v)) (self (n / 2));
+            return (Sim.Value.Opt None);
+            map (fun vs -> Sim.Value.List vs) (list_size (0 -- 3) (self (n / 3)));
+          ])
+
+(* keys drawn from a small pool so sequences revisit keys and actually
+   exercise merging *)
+let gen_skey : Mc.Dtbl.Skey.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* fps = array_size (0 -- 4) (int_range (-100000) 100000) in
+  let* objs = array_size (0 -- 3) gen_value in
+  return (Mc.Dtbl.Skey.make ~fps ~objs)
+
+let gen_meta : int QCheck.Gen.t =
+  let open QCheck.Gen in
+  map2
+    (fun rd complete -> ((rd + 1) lsl 1) lor complete)
+    (int_bound 30) (int_bound 1)
+
+(* an op sequence over a pool of at most 8 keys *)
+let gen_ops : (Mc.Dtbl.Skey.t * int) list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* pool = array_size (return 8) gen_skey in
+  list_size (1 -- 120)
+    (map2 (fun k m -> (pool.(k), m)) (int_bound 7) gen_meta)
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat "; "
+        (List.map
+           (fun ((k : Mc.Dtbl.Skey.t), m) ->
+             Printf.sprintf "h=%d m=%d" k.Mc.Dtbl.Skey.hash m)
+           ops))
+    gen_ops
+
+(* reference model: merge_meta-fold per key, in an association list *)
+let model_set model k m =
+  let rec go = function
+    | [] -> [ (k, m) ]
+    | (k', m') :: rest ->
+        if Mc.Dtbl.Skey.equal k k' then (k', Mc.Dtbl.merge_meta m' m) :: rest
+        else (k', m') :: go rest
+  in
+  go model
+
+let model_find model k =
+  List.find_map
+    (fun (k', m) -> if Mc.Dtbl.Skey.equal k k' then Some m else None)
+    model
+
+let check_against_model ?(msg = "find = model") t model =
+  List.iter
+    (fun (k, expect) ->
+      match Mc.Dtbl.find t k with
+      | Some m when m = expect -> ()
+      | got ->
+          QCheck.Test.fail_reportf "%s: key h=%d expected %d got %s" msg
+            k.Mc.Dtbl.Skey.hash expect
+            (match got with None -> "None" | Some m -> string_of_int m))
+    model
+
+(* ---- qcheck: the table is the model, through every tier ---- *)
+
+let prop_memory_model =
+  QCheck.Test.make ~name:"in-memory table = merge-fold model" ~count:200
+    arb_ops (fun ops ->
+      let t = Mc.Dtbl.create () in
+      let model =
+        List.fold_left
+          (fun model (k, m) ->
+            Mc.Dtbl.set t k m;
+            model_set model k m)
+          [] ops
+      in
+      check_against_model t model;
+      Mc.Dtbl.close t;
+      true)
+
+let prop_disk_model =
+  QCheck.Test.make
+    ~name:"spilling table = model, and survives reopen + compaction"
+    ~count:120 arb_ops (fun ops ->
+      let dir = fresh_dir "prop" in
+      let path = Filename.concat dir "t.dtbl" in
+      (* mem_entries 2: with an 8-key pool nearly every op spills *)
+      let t = Mc.Dtbl.create ~path ~mem_entries:2 () in
+      let model =
+        List.fold_left
+          (fun model (k, m) ->
+            Mc.Dtbl.set t k m;
+            model_set model k m)
+          [] ops
+      in
+      check_against_model ~msg:"live" t model;
+      Mc.Dtbl.compact t;
+      check_against_model ~msg:"post-compaction" t model;
+      Mc.Dtbl.close t;
+      let t' = Mc.Dtbl.create ~path ~mem_entries:2 () in
+      let st = Mc.Dtbl.stats t' in
+      if st.Mc.Dtbl.lost_tail then
+        QCheck.Test.fail_reportf "clean close reported a torn tail";
+      check_against_model ~msg:"reopened" t' model;
+      Mc.Dtbl.close t';
+      true)
+
+let prop_merge_meta =
+  QCheck.Test.make
+    ~name:"merge_meta: max of depths, or of complete bits" ~count:500
+    QCheck.(pair (make gen_meta) (make gen_meta))
+    (fun (a, b) ->
+      let m = Mc.Dtbl.merge_meta a b in
+      m = Mc.Dtbl.merge_meta b a
+      && Mc.Dtbl.merge_meta a a = a
+      && m lsr 1 = max (a lsr 1) (b lsr 1)
+      && m land 1 = (a lor b) land 1)
+
+(* ---- unit: eviction at mem_entries=1 never loses a verdict ---- *)
+
+let test_eviction_never_loses () =
+  let dir = fresh_dir "evict" in
+  let t = Mc.Dtbl.create ~path:(Filename.concat dir "t.dtbl") ~mem_entries:1 () in
+  let keys =
+    Array.init 64 (fun i ->
+        Mc.Dtbl.Skey.make ~fps:[| i; i * 7 |] ~objs:[| Sim.Value.Int i |])
+  in
+  Array.iteri (fun i k -> Mc.Dtbl.set t k (((i + 1) lsl 1) lor (i land 1))) keys;
+  let st = Mc.Dtbl.stats t in
+  Alcotest.(check bool) "hot cap of 1 forced spills" true (st.Mc.Dtbl.spills > 0);
+  Array.iteri
+    (fun i k ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "key %d survives eviction" i)
+        (Some (((i + 1) lsl 1) lor (i land 1)))
+        (Mc.Dtbl.find t k))
+    keys;
+  Mc.Dtbl.close t
+
+(* ---- unit: compaction folds duplicates and keeps answers ---- *)
+
+let test_compaction_preserves () =
+  let dir = fresh_dir "compact" in
+  let t = Mc.Dtbl.create ~path:(Filename.concat dir "t.dtbl") ~mem_entries:1 () in
+  let key i = Mc.Dtbl.Skey.make ~fps:[| i |] ~objs:[||] in
+  (* each key set many times with varying depth: the log accumulates
+     duplicates, the answer is the max *)
+  for round = 1 to 10 do
+    for i = 0 to 15 do
+      Mc.Dtbl.set t (key i) (((i + round) lsl 1) lor (if round = 10 then 1 else 0))
+    done
+  done;
+  Mc.Dtbl.flush t;
+  let before = (Mc.Dtbl.stats t).Mc.Dtbl.disk_records in
+  Mc.Dtbl.compact t;
+  let st = Mc.Dtbl.stats t in
+  Alcotest.(check bool) "compaction shrank the log" true
+    (st.Mc.Dtbl.disk_records <= 16 && st.Mc.Dtbl.disk_records < before);
+  Alcotest.(check bool) "compaction counted" true (st.Mc.Dtbl.compactions > 0);
+  for i = 0 to 15 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d post-compaction" i)
+      (Some (((i + 10) lsl 1) lor 1))
+      (Mc.Dtbl.find t (key i))
+  done;
+  Mc.Dtbl.close t
+
+(* ---- crash recovery: kill-9 tears at most a suffix ---- *)
+
+let populated_log dir =
+  let path = Filename.concat dir "t.dtbl" in
+  let t = Mc.Dtbl.create ~path ~mem_entries:1 () in
+  let key i = Mc.Dtbl.Skey.make ~fps:[| i; -i |] ~objs:[| Sim.Value.Int i |] in
+  for i = 0 to 9 do
+    Mc.Dtbl.set t (key i) ((i + 1) lsl 1)
+  done;
+  Mc.Dtbl.close t;
+  (path, key)
+
+let test_crash_recovery_torn_tail () =
+  let dir = fresh_dir "torn" in
+  let path, key = populated_log dir in
+  let whole = read_file path in
+  (* kill -9 mid-append: the last record loses its sentinel and part of
+     its payload *)
+  write_file path (String.sub whole 0 (String.length whole - 5));
+  let t = Mc.Dtbl.create ~path () in
+  let st = Mc.Dtbl.stats t in
+  Alcotest.(check bool) "tail loss is reported" true st.Mc.Dtbl.lost_tail;
+  Alcotest.(check int) "valid prefix recovered" 9 st.Mc.Dtbl.recovered;
+  for i = 0 to 8 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d survives the tear" i)
+      (Some ((i + 1) lsl 1))
+      (Mc.Dtbl.find t (key i))
+  done;
+  (* recovery truncated the log: appending works and a further reopen is
+     clean *)
+  Mc.Dtbl.set t (key 9) ((9 + 1) lsl 1);
+  Mc.Dtbl.close t;
+  let t' = Mc.Dtbl.create ~path () in
+  Alcotest.(check bool) "post-recovery log is clean" true
+    (not (Mc.Dtbl.stats t').Mc.Dtbl.lost_tail);
+  Alcotest.(check (option int)) "re-appended key readable" (Some ((9 + 1) lsl 1))
+    (Mc.Dtbl.find t' (key 9));
+  Mc.Dtbl.close t'
+
+let test_interior_corruption_is_loud () =
+  let dir = fresh_dir "corrupt" in
+  let path, _ = populated_log dir in
+  let whole = read_file path in
+  (* flip a value token in an interior record: framing is intact, the
+     hash check is what must catch it *)
+  let damaged = Test_util.replace_first ~sub:"i3" ~by:"i4" whole in
+  Alcotest.(check bool) "fixture actually damaged" true (damaged <> whole);
+  write_file path damaged;
+  (match Mc.Dtbl.create ~path () with
+  | exception Sim.Trace_io.Parse_error _ -> ()
+  | t ->
+      Mc.Dtbl.close t;
+      Alcotest.fail "interior corruption silently accepted");
+  (* a foreign header is refused the same way *)
+  write_file path ("not-a-dtbl v9\n" ^ whole);
+  match Mc.Dtbl.create ~path () with
+  | exception Sim.Trace_io.Parse_error _ -> ()
+  | t ->
+      Mc.Dtbl.close t;
+      Alcotest.fail "foreign header silently accepted"
+
+(* ---- codec round-trip (the byte-level sweep lives in
+   test_codec_torture) ---- *)
+
+let test_record_codec_round_trip () =
+  let keys =
+    [
+      Mc.Dtbl.Skey.make ~fps:[||] ~objs:[||];
+      Mc.Dtbl.Skey.make ~fps:[| min_int; -1; 0; 1; max_int |] ~objs:[||];
+      Mc.Dtbl.Skey.make ~fps:[| 42 |]
+        ~objs:
+          [|
+            Sim.Value.Unit;
+            Sim.Value.Bool true;
+            Sim.Value.Int (-7);
+            Sim.Value.Sym "prefer";
+            Sim.Value.Pair (Sim.Value.Int 1, Sim.Value.Opt None);
+            Sim.Value.Opt (Some (Sim.Value.List [ Sim.Value.Int 2 ]));
+            Sim.Value.List [];
+          |];
+    ]
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun m ->
+          let k', m' = Mc.Dtbl.record_of_line (Mc.Dtbl.record_to_line k m) in
+          Alcotest.(check bool) "record round-trips" true
+            (Mc.Dtbl.Skey.equal k k' && m = m'))
+        [ 2; 3; 63; ((30 + 1) lsl 1) lor 1 ])
+    keys
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_memory_model;
+    QCheck_alcotest.to_alcotest prop_disk_model;
+    QCheck_alcotest.to_alcotest prop_merge_meta;
+    Alcotest.test_case "eviction never loses a verdict" `Quick
+      test_eviction_never_loses;
+    Alcotest.test_case "compaction preserves lookups" `Quick
+      test_compaction_preserves;
+    Alcotest.test_case "torn tail recovers the valid prefix" `Quick
+      test_crash_recovery_torn_tail;
+    Alcotest.test_case "interior corruption raises" `Quick
+      test_interior_corruption_is_loud;
+    Alcotest.test_case "record codec round-trips" `Quick
+      test_record_codec_round_trip;
+  ]
