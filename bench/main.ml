@@ -965,6 +965,113 @@ let serve_bench ?(smoke = false) () =
   end;
   List.rev !baseline_rows
 
+(* --- synth bench: CEGIS frontier search throughput -------------------- *)
+
+(* One row per (object style, depth) point of the synthesis space.  The
+   frontier and completeness verdict are the correctness payload — a
+   baseline diff that sees either move has caught a real regression in
+   the search, the pruning or the enumeration, not noise.  Wall clock is
+   advisory as everywhere else.  Scenarios stay within a second each so
+   the smoke subset can run the full list. *)
+let synth_bench_scenarios =
+  [
+    ("rw-r1-d1", Consensus.Dtree.Rw, 1, 1, false, 4);
+    ("rw-r1-d1-coins", Consensus.Dtree.Rw, 1, 1, true, 3);
+    ("swap-r1-d1", Consensus.Dtree.Swapping, 1, 1, false, 5);
+  ]
+
+let synth_bench ?(smoke = false) () =
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "scenario";
+          "trees";
+          "candidates";
+          "pruned";
+          "refuted";
+          "lemmas";
+          "frontier";
+          "secs";
+          "verdict";
+        ]
+  in
+  let baseline_rows = ref [] in
+  let json_scenarios =
+    List.map
+      (fun (name, style, registers, depth, coins, procs) ->
+        let search () =
+          Synth.Cegis.search ~style ~registers ~depth ~coins ~max_procs:procs
+            ~seed:1 ()
+        in
+        let r = search () in
+        let secs = ref infinity in
+        for _ = 1 to 3 do
+          let _, s, _ = measured search in
+          secs := Float.min !secs s
+        done;
+        let secs = !secs in
+        let candidates =
+          List.fold_left
+            (fun a row -> a + row.Synth.Cegis.candidates)
+            0 r.Synth.Cegis.rows
+        in
+        let pruned =
+          List.fold_left
+            (fun a row -> a + row.Synth.Cegis.pruned)
+            0 r.Synth.Cegis.rows
+        in
+        let refuted =
+          List.fold_left
+            (fun a row -> a + row.Synth.Cegis.refuted)
+            0 r.Synth.Cegis.rows
+        in
+        let verdict =
+          Robust.Budget.completeness_to_string r.Synth.Cegis.completeness
+        in
+        let frontier = r.Synth.Cegis.frontier in
+        baseline_rows := (name, frontier, verdict, secs) :: !baseline_rows;
+        Stats.Table.add_row table
+          [
+            name;
+            string_of_int r.Synth.Cegis.trees;
+            string_of_int candidates;
+            string_of_int pruned;
+            string_of_int refuted;
+            string_of_int (List.length r.Synth.Cegis.lemmas);
+            string_of_int frontier;
+            Printf.sprintf "%.3f" secs;
+            verdict;
+          ];
+        Printf.sprintf
+          {|    { "scenario": %S, "trees": %d, "candidates": %d, "pruned": %d, "refuted": %d, "lemmas": %d, "frontier": %d, "seconds": %.6f, "verdict": %S }|}
+          name r.Synth.Cegis.trees candidates pruned refuted
+          (List.length r.Synth.Cegis.lemmas)
+          frontier secs verdict)
+      synth_bench_scenarios
+  in
+  Stats.Table.print table;
+  let json =
+    Printf.sprintf
+      {|{
+  "benchmark": "synth CEGIS frontier search",
+  "seed": 1,
+  "scenarios": [
+%s
+  ]
+}
+|}
+      (String.concat ",\n" json_scenarios)
+  in
+  if smoke then print_endline "\n--smoke: BENCH_synth.json left untouched"
+  else begin
+    let oc = open_out "BENCH_synth.json" in
+    output_string oc json;
+    close_out oc;
+    print_endline "\nwrote BENCH_synth.json"
+  end;
+  List.rev !baseline_rows
+
 (* --- baseline diff: verdict fields hard-fail, wall clock advisory ----- *)
 
 (* Our own JSON emitters above write one object per scenario/mode line,
@@ -1127,6 +1234,41 @@ let diff_serve_baseline (file, lines) rows =
     rows;
   if !failed then exit 1
 
+let diff_synth_baseline (file, lines) rows =
+  let base = ref [] in
+  List.iter
+    (fun line ->
+      match (json_field line "scenario", json_field line "frontier") with
+      | Some s, Some f ->
+          base :=
+            ( s,
+              ( int_of_string_opt f,
+                json_field line "verdict",
+                baseline_seconds line ) )
+            :: !base
+      | _ -> ())
+    lines;
+  Printf.printf "\n=== Baseline diff vs %s (verdicts hard-fail) ===\n\n" file;
+  let failed = ref false in
+  List.iter
+    (fun (scenario, frontier, verdict, secs) ->
+      match List.assoc_opt scenario !base with
+      | None ->
+          Printf.printf "baseline %-28s not in baseline (new row)\n" scenario
+      | Some (bfrontier, bverdict, bsecs) ->
+          if bfrontier <> Some frontier || bverdict <> Some verdict then begin
+            Printf.eprintf
+              "baseline %s: FRONTIER/VERDICT CHANGED: %d/%s vs baseline %s/%s\n"
+              scenario frontier verdict
+              (match bfrontier with Some f -> string_of_int f | None -> "?")
+              (Option.value ~default:"?" bverdict);
+            failed := true
+          end
+          else
+            Option.iter (fun bsecs -> diff_advisory scenario bsecs secs) bsecs)
+    rows;
+  if !failed then exit 1
+
 let run_bechamel tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -1169,6 +1311,7 @@ let () =
   let fuzz_bench_only = List.mem "--fuzz-bench" args in
   let obs_bench_only = List.mem "--obs-bench" args in
   let serve_bench_only = List.mem "--serve-bench" args in
+  let synth_bench_only = List.mem "--synth-bench" args in
   let smoke = List.mem "--smoke" args in
   let only =
     let rec find = function
@@ -1213,7 +1356,13 @@ let () =
     | None -> f None
     | Some jobs -> Par.with_pool ~jobs (fun pool -> f (Some pool))
   in
-  if serve_bench_only then begin
+  if synth_bench_only then begin
+    print_endline
+      "\n=== Synth: CEGIS frontier search (pruning + verdicts) ===\n";
+    let rows = synth_bench ~smoke () in
+    Option.iter (fun b -> diff_synth_baseline b rows) baseline
+  end
+  else if serve_bench_only then begin
     print_endline
       "\n=== Serve daemon: submit-to-verdict latency and jobs/s by client \
        count ===\n";

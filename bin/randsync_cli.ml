@@ -119,8 +119,20 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* A negative domain count is an argument error, not something to hand
+   to the pool (where it raised an uncaught exception — exit 125 —
+   or, worse, was silently accepted by paths that bypass pool
+   creation).  Every --jobs consumer funnels through here. *)
+let validate_jobs jobs =
+  match jobs with
+  | Some j when j < 0 ->
+      prerr_endline "--jobs must be >= 0 (0 = one domain per core)";
+      exit Exit_code.bad_args
+  | _ -> ()
+
 (* [None] → no pool (sequential); [Some 0] → recommended domain count. *)
 let with_jobs ?obs jobs f =
+  validate_jobs jobs;
   match jobs with
   | None -> f None
   | Some j ->
@@ -520,6 +532,9 @@ let mc_cmd =
                        s);
                   exit Exit_code.bad_args)
         in
+        (* the sharded branch below consumes --jobs without going
+           through with_jobs, so validate it up front either way *)
+        validate_jobs jobs;
         let obs = make_obs metrics in
         let on_poll = progress_hook progress "mc" in
         let cancel = term_cancel () in
@@ -730,6 +745,12 @@ let fuzz_cmd =
           Fmt.epr "unknown --engine %S (expected flat or closure)@." other;
           exit Exit_code.bad_args
     in
+    (* zero was a silent no-op ("0 runs, verdict clean"), negative an
+       uncaught exception (exit 125) — both argument errors *)
+    (if runs < 1 then begin
+       prerr_endline "--runs must be >= 1";
+       exit Exit_code.bad_args
+     end);
     match Fuzz.Scenario.find ?inputs ~engine scenario with
     | Error e ->
         prerr_endline e;
@@ -970,6 +991,13 @@ let serve_cmd =
 let submit_cmd =
   let run socket tcp job detach wait_id result_id status cancel_id drain ping
       attempts seed =
+    (* with attempts < 1 the retry loop made zero connection attempts
+       and reported the server unreachable (exit 6) without ever trying
+       — an argument error masquerading as an outage *)
+    (if attempts < 1 then begin
+       prerr_endline "--attempts must be >= 1";
+       exit Exit_code.bad_args
+     end);
     let addr = resolve_addr socket tcp in
     let retry_opts f = f ?attempts:(Some attempts) ?seed:(Some seed) in
     let unavailable msg =
@@ -1145,12 +1173,141 @@ let submit_cmd =
           & info [ "retry-seed" ] ~docv:"K"
               ~doc:"Seed for the deterministic backoff jitter."))
 
+(* ----------------------------------------------------------------- synth *)
+
+let synth_cmd =
+  let run registers procs depth coins objects seed jobs no_prune no_attack
+      max_nodes deadline lemmas_out metrics progress =
+    let style =
+      match Consensus.Dtree.style_of_string objects with
+      | Some s -> s
+      | None ->
+          prerr_endline
+            (Printf.sprintf "unknown --objects %S (expected rw | swap)"
+               objects);
+          exit Exit_code.bad_args
+    in
+    (if registers < 1 then begin
+       prerr_endline "--registers must be >= 1";
+       exit Exit_code.bad_args
+     end);
+    (if depth < 0 then begin
+       prerr_endline "--depth must be >= 0";
+       exit Exit_code.bad_args
+     end);
+    (if procs < 2 then begin
+       prerr_endline "--procs must be >= 2 (consensus starts at two)";
+       exit Exit_code.bad_args
+     end);
+    let obs = make_obs metrics in
+    let on_poll = progress_hook progress "synth" in
+    let cancel = term_cancel () in
+    let budget =
+      Some (Robust.Budget.make ?nodes:max_nodes ?deadline ~cancel ?on_poll ())
+    in
+    let result =
+      with_jobs ?obs jobs (fun pool ->
+          Synth.Cegis.search ?obs ?pool ?budget ~prune:(not no_prune)
+            ~attack:(not no_attack) ~style ~registers ~depth ~coins
+            ~max_procs:procs ~seed ())
+    in
+    List.iter print_endline (Synth.Cegis.report result);
+    Option.iter
+      (fun path ->
+        Synth.Lemma.save ~path result.Synth.Cegis.lemmas;
+        Fmt.pr "lemmas saved to %s@." path)
+      lemmas_out;
+    dump_metrics obs
+      ~extra:
+        [
+          ("cmd", "synth");
+          ("objects", objects);
+          ("registers", string_of_int registers);
+          ("depth", string_of_int depth);
+          ("seed", string_of_int seed);
+        ];
+    match result.Synth.Cegis.completeness with
+    | `Exhaustive -> ()
+    | `Truncated _ -> exit Exit_code.truncated
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "CEGIS over bounded decision-tree protocols: find the largest \
+          process count with a correct consensus protocol over the given \
+          objects, learning pruning lemmas from every counterexample.  \
+          Both answers are clean exits (0): a synthesized protocol (its \
+          synth: name is usable with mc/fuzz/run) or an exhaustive \
+          impossibility; a tripped budget exits 3.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 1
+          & info [ "registers" ] ~docv:"R"
+              ~doc:"Number of shared objects the trees may address.")
+      $ Arg.(
+          value & opt int 4
+          & info [ "procs" ] ~docv:"N"
+              ~doc:
+                "Largest process count to attempt.  Rounds stop early at \
+                 the first unsatisfiable n: correctness is monotone \
+                 downward in n, so larger rounds are settled without being \
+                 run.")
+      $ Arg.(
+          value & opt int 1
+          & info [ "depth" ] ~docv:"D"
+              ~doc:"Decision-tree depth bound (operations per solo path).")
+      $ Arg.(
+          value & flag
+          & info [ "coins" ]
+              ~doc:"Offer internal fair-coin flips to the candidate trees.")
+      $ Arg.(
+          value & opt string "rw"
+          & info [ "objects" ]
+              ~doc:
+                "Object style: rw (read/write registers) or swap \
+                 (swap-registers, consensus number 2).")
+      $ seed_arg $ jobs_arg
+      $ Arg.(
+          value & flag
+          & info [ "no-prune" ]
+              ~doc:
+                "Disable lemma-pool pruning; every candidate pays for its \
+                 own refutation.  Verdicts are identical either way (the \
+                 soundness property the test suite pins) — this flag \
+                 exists to measure what the pool saves.")
+      $ Arg.(
+          value & flag
+          & info [ "no-attack" ]
+              ~doc:
+                "Disable the constructive-adversary refutation stage \
+                 (Lemma 3.2); candidates fall through to exhaustive \
+                 search.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-nodes" ] ~docv:"K"
+              ~doc:
+                "Deterministic budget: admit exactly K unanimity checks + \
+                 candidate pairs (bit-identical under any --jobs), then \
+                 report truncated rows and exit 3.")
+      $ deadline_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "lemmas" ] ~docv:"FILE"
+              ~doc:
+                "Save the final lemma pool to FILE (versioned text codec, \
+                 atomic replace).  Byte-identical across --jobs settings; \
+                 CI diffs it.")
+      $ metrics_arg $ progress_arg)
+
 let main =
   let doc = "Randomized synchronization space-complexity toolkit (Fich-Herlihy-Shavit, PODC'93)" in
   Cmd.group (Cmd.info "randsync" ~doc)
     [
       list_cmd; run_cmd; attack_cmd; mc_cmd; fuzz_cmd; classify_cmd; sweep_cmd;
-      trace_cmd; serve_cmd; submit_cmd;
+      synth_cmd; trace_cmd; serve_cmd; submit_cmd;
     ]
 
 let () = exit (Cmd.eval main)

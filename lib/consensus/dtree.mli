@@ -1,0 +1,72 @@
+(** Bounded decision-tree protocols over [r] historyless objects — the
+    candidate space searched by the CEGIS driver ([Synth.Cegis]), and the
+    shape of every protocol it synthesizes.
+
+    A tree is one process's whole program; a protocol assigns one tree
+    per input value and every process runs its input's tree (identical
+    processes, the Section 3.1 setting).  Trees of the [Rw] style use
+    only writes and reads of plain registers; the [Swapping] style runs
+    over swap registers (READ/WRITE/SWAP — the paper's interfering
+    example, consensus number 2), whose [Swap] constructor branches on
+    the swapped-out value.
+
+    Trees have a compact, whitespace-free codec ({!to_string} /
+    {!of_string}), and whole protocols round-trip through their {e name}:
+    [synth:<style>:r<R>:<tree0>|<tree1>] is parsed back by {!of_name},
+    which [Registry.find] consults for the [synth:] prefix — a protocol
+    minted by one synthesis run is model-checkable, fuzzable and
+    benchable by any later process from the name alone. *)
+
+open Sim
+
+type t =
+  | Decide of int
+  | Flip of t * t  (** internal fair coin: tails / heads *)
+  | Write of { reg : int; bit : int; k : t }
+  | Read of { reg : int; empty : t; zero : t; one : t }
+  | Swap of { reg : int; bit : int; empty : t; zero : t; one : t }
+      (** swap [bit] in and branch on the value swapped out *)
+
+type style = Rw | Swapping
+
+val style_to_string : style -> string
+val style_of_string : string -> style option
+val size : t -> int
+val depth : t -> int
+val has_flip : t -> bool
+val uses_swap : t -> bool
+
+(** Largest register index mentioned; [-1] for pure decide/flip trees. *)
+val max_reg : t -> int
+
+(** Compact codec: [d0], [f(a,b)], [w<reg>.<bit>(k)], [r<reg>(e,z,o)],
+    [s<reg>.<bit>(e,z,o)]; no whitespace.  [of_string] is its exact
+    inverse and rejects trailing garbage. *)
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+val to_proc : t -> int Proc.t
+
+(** The object row for a protocol of this style: [registers] plain
+    registers ([Rw]) or swap registers ([Swapping]). *)
+val optypes : style:style -> registers:int -> Optype.t list
+
+(** [protocol ~style ~registers (t0, t1)] packages the pair as an
+    identical-process protocol named
+    [synth:<style>:r<registers>:<t0>|<t1>]; [kind] is [`Randomized] iff
+    a tree flips.  Raises [Invalid_argument] when a tree touches a
+    register [>= registers] or swaps under the [Rw] style. *)
+val protocol : style:style -> registers:int -> t * t -> Protocol.t
+
+val protocol_name : style:style -> registers:int -> t * t -> string
+
+(** Parse a [synth:...] protocol name back to its parts; [None] on
+    anything malformed (wrong prefix, bad tree, style/register
+    mismatch). *)
+val parse_name : string -> (style * int * t * t) option
+
+(** [of_name n] rebuilds the protocol a [synth:] name denotes.
+    [of_name (protocol ~style ~registers p).name] always succeeds — the
+    codec round-trip [Registry.find] relies on. *)
+val of_name : string -> Protocol.t option

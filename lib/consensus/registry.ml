@@ -27,4 +27,13 @@ let flawed : Protocol.t list =
 
 let all = correct @ flawed
 
-let find name = List.find_opt (fun (p : Protocol.t) -> p.name = name) all
+(* [synth:...] names are a protocol family, not list entries: the name
+   itself encodes the decision trees (see [Dtree]), so synthesized
+   protocols resolve without registration. *)
+let find name =
+  match List.find_opt (fun (p : Protocol.t) -> p.name = name) all with
+  | Some _ as found -> found
+  | None ->
+      if String.length name >= 6 && String.sub name 0 6 = "synth:" then
+        Dtree.of_name name
+      else None

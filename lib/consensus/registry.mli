@@ -3,4 +3,9 @@
 val correct : Protocol.t list
 val flawed : Protocol.t list
 val all : Protocol.t list
+
+(** Look a protocol up by name.  Beyond the static {!all} entries,
+    [synth:<style>:r<R>:<t0>|<t1>] names decode on the fly through
+    {!Dtree.of_name}, so protocols minted by `randsync synth` work
+    everywhere a packaged name does. *)
 val find : string -> Protocol.t option

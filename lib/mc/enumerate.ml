@@ -75,14 +75,19 @@ let rec to_proc tree : int Proc.t =
       Proc.bind Proc.flip (fun h -> to_proc (if h then heads else tails))
 
 (* every decision reachable in a solo run from the empty register (coin
-   outcomes enumerated); singleton for deterministic trees *)
+   outcomes enumerated); singleton for deterministic trees.  The
+   dedup+sort is part of the contract — census filters and the synth
+   lemma pool compare these lists against [[ 0 ]]/[[ 1 ]] structurally,
+   so a duplicated or unsorted result would miscount validity candidates
+   — and is enforced here rather than inherited from whatever
+   [decidable_values] happens to return. *)
 let solo_decisions tree =
   let config =
     Config.make ~optypes:[ Objects.Register.optype () ] ~procs:[ to_proc tree ]
   in
   let values, truncated = Explore.decidable_values ~max_depth:50 config in
   assert (not truncated);
-  values
+  List.sort_uniq compare values
 
 (* the unique solo decision of a deterministic tree *)
 let solo_decision tree =
@@ -175,3 +180,110 @@ let census ~depth = census_of_trees ~depth (enumerate depth)
     which is why real randomized consensus has unbounded runs. *)
 let census_randomized ~depth =
   census_of_trees ~depth (enumerate_randomized depth)
+
+(* ---- generalized trees: multiple registers, swap objects, any n ----
+
+   The [Consensus.Dtree] protocol space the CEGIS driver searches.  The
+   legacy single-register [tree] type above stays as the pinned
+   impossibility artifact; [dtree_of_tree] embeds it, and the functions
+   below are the same solo/verdict machinery lifted to r registers,
+   either object style and arbitrary process counts. *)
+
+module D = Consensus.Dtree
+
+let dtree_of_tree tree =
+  let rec go = function
+    | Decide v -> D.Decide v
+    | Write (bit, k) -> D.Write { reg = 0; bit; k = go k }
+    | Read (empty, zero, one) ->
+        D.Read { reg = 0; empty = go empty; zero = go zero; one = go one }
+    | Flip (a, b) -> D.Flip (go a, go b)
+  in
+  go tree
+
+(* One generator, parameterized on the object style: [Rw] trees write
+   and read, [Swapping] trees swap and read (a write is a swap whose
+   response is ignored, so offering both would only duplicate the
+   space); [coins] gates [Flip] exactly as in [enumerate_trees].  At
+   [registers = 1], style [Rw] enumerates the image of {!enumerate}
+   under {!dtree_of_tree} — 14 trees at depth 1, 2774 at depth 2. *)
+let enumerate_dtrees ~style ~registers ~coins depth =
+  if registers < 1 then invalid_arg "enumerate_dtrees: registers must be >= 1";
+  let decides = [ D.Decide 0; D.Decide 1 ] in
+  let regs = List.init registers Fun.id in
+  let rec go depth =
+    if depth = 0 then decides
+    else
+      let sub = go (depth - 1) in
+      let branches3 mk =
+        List.concat_map
+          (fun empty ->
+            List.concat_map
+              (fun zero -> List.map (fun one -> mk empty zero one) sub)
+              sub)
+          sub
+      in
+      decides
+      @ List.concat_map
+          (fun reg ->
+            (match style with
+            | D.Rw ->
+                List.concat_map
+                  (fun k -> [ D.Write { reg; bit = 0; k }; D.Write { reg; bit = 1; k } ])
+                  sub
+            | D.Swapping ->
+                List.concat_map
+                  (fun bit ->
+                    branches3 (fun empty zero one ->
+                        D.Swap { reg; bit; empty; zero; one }))
+                  [ 0; 1 ])
+            @ branches3 (fun empty zero one -> D.Read { reg; empty; zero; one }))
+          regs
+      @ (if coins then
+           List.concat_map (fun a -> List.map (fun b -> D.Flip (a, b)) sub) sub
+         else [])
+  in
+  go depth
+
+(* The lemma replay hook: the initial configuration a (t0, t1) candidate
+   presents to [Run.exec_script] for the given inputs — fingerprints
+   seeded by input so [`Symmetric] dedup stays sound (same argument as
+   [check_inputs_verdict]). *)
+let dtree_config ~style ~registers (t0, t1) inputs =
+  let tree_of input = if input = 0 then t0 else t1 in
+  Config.make_seeded ~fp_seeds:inputs
+    ~optypes:(D.optypes ~style ~registers)
+    ~procs:(List.map (fun i -> D.to_proc (tree_of i)) inputs)
+
+let dtree_solo_decisions ~style ~registers tree =
+  let config =
+    Config.make ~optypes:(D.optypes ~style ~registers)
+      ~procs:[ D.to_proc tree ]
+  in
+  let values, truncated = Explore.decidable_values ~max_depth:50 config in
+  assert (not truncated);
+  List.sort_uniq compare values
+
+(* Depth bound for a full search: every execution of a bounded-tree
+   candidate takes at most (depth + 1) steps per process; 50 clears any
+   tree/process-count this repo enumerates without ever truncating. *)
+let dtree_max_depth = 50
+
+let dtree_check_verdict ?obs ?pool ?budget ?(dedup = `Symmetric) ~style
+    ~registers (t0, t1) inputs =
+  let config = dtree_config ~style ~registers (t0, t1) inputs in
+  let result =
+    match pool with
+    | None ->
+        Explore.search ?obs ?budget ~dedup ~max_depth:dtree_max_depth ~inputs
+          config
+    | Some pool ->
+        Explore.search_par ?obs ~pool ?budget ~dedup
+          ~max_depth:dtree_max_depth ~inputs config
+  in
+  match result.violation with
+  | Some v -> `Violating v.trace
+  | None -> (
+      match result.completeness with
+      | `Exhaustive -> `Correct
+      | `Truncated reason -> `Unknown reason)

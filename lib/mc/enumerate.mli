@@ -26,7 +26,10 @@ val enumerate_randomized : int -> tree list
 
 val to_proc : tree -> int Sim.Proc.t
 
-(** Every decision reachable on a solo run (coins enumerated). *)
+(** Every decision reachable on a solo run (coins enumerated), duplicate
+    free and sorted — census filters and the synth lemma pool compare
+    these lists structurally against [[0]]/[[1]], so the dedup+sort is
+    part of the contract, not an accident of the underlying search. *)
 val solo_decisions : tree -> int list
 
 (** The unique decision of a deterministic tree's solo run; raises on
@@ -88,3 +91,59 @@ val census : depth:int -> census
     execution, so bounded randomized protocols fail exactly like
     deterministic ones. *)
 val census_randomized : depth:int -> census
+
+(** {1 Generalized trees} — multiple registers, swap objects, any [n]
+
+    The [Consensus.Dtree] protocol space the CEGIS driver ([Synth])
+    searches; the machinery above lifted from one rw register and two
+    processes to [r] objects of either style and arbitrary process
+    counts. *)
+
+(** Embed a legacy single-register tree. *)
+val dtree_of_tree : tree -> Consensus.Dtree.t
+
+(** All trees of depth at most [depth] over [registers] objects: [Rw]
+    style offers writes and reads, [Swapping] style swaps and reads (a
+    write is a swap whose response is ignored); [coins] gates [Flip].
+    At [registers = 1] under [Rw] this is exactly {!enumerate} (or
+    {!enumerate_randomized}) under {!dtree_of_tree}. *)
+val enumerate_dtrees :
+  style:Consensus.Dtree.style ->
+  registers:int ->
+  coins:bool ->
+  int ->
+  Consensus.Dtree.t list
+
+(** The initial configuration candidate [(t0, t1)] presents for the
+    given inputs — the hook lemma replay ([Sim.Run.exec_script]) and
+    full verification share, fingerprint-seeded by input so
+    [`Symmetric] dedup stays sound. *)
+val dtree_config :
+  style:Consensus.Dtree.style ->
+  registers:int ->
+  Consensus.Dtree.t * Consensus.Dtree.t ->
+  int list ->
+  int Sim.Config.t
+
+(** {!solo_decisions} for generalized trees: every reachable solo
+    decision, duplicate-free and sorted. *)
+val dtree_solo_decisions :
+  style:Consensus.Dtree.style ->
+  registers:int ->
+  Consensus.Dtree.t ->
+  int list
+
+(** Exhaustive consensus check of candidate [(t0, t1)] on one input
+    vector, with the violating trace exposed so callers can extract a
+    pruning lemma ([Fuzz.Schedule.of_trace]).  [`Correct] only when the
+    exploration was exhaustive. *)
+val dtree_check_verdict :
+  ?obs:Obs.t ->
+  ?pool:Par.Pool.t ->
+  ?budget:Robust.Budget.t ->
+  ?dedup:Explore.dedup ->
+  style:Consensus.Dtree.style ->
+  registers:int ->
+  Consensus.Dtree.t * Consensus.Dtree.t ->
+  int list ->
+  [ `Correct | `Violating of int Sim.Trace.t | `Unknown of Robust.Budget.reason ]

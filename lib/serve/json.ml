@@ -79,22 +79,59 @@ let parse_string c =
                       | _ -> fail "bad \\u escape at offset %d" c.pos)
                   | None -> fail "truncated \\u escape at offset %d" c.pos
                 in
-                let cp =
+                let unit16 () =
                   let a = hex () in
                   let b' = hex () in
                   let c' = hex () in
                   let d = hex () in
                   (a lsl 12) lor (b' lsl 8) lor (c' lsl 4) lor d
                 in
-                (* UTF-8 encode the BMP code point (surrogates land as-is
-                   bytes-wise; the wire only ever carries ASCII) *)
+                let u = unit16 () in
+                (* Surrogate pairs: a high surrogate must be immediately
+                   followed by an escaped low surrogate, and the pair
+                   decodes to one astral code point; anything else with a
+                   surrogate unit in it is malformed (RFC 8259 §8.2) —
+                   decoding it "as-is" would smuggle UTF-8-invalid bytes
+                   (CESU-8) past a parser that promises clean UTF-8. *)
+                let cp =
+                  if u >= 0xD800 && u <= 0xDBFF then begin
+                    if
+                      not
+                        (c.pos + 1 < String.length c.s
+                        && c.s.[c.pos] = '\\'
+                        && c.s.[c.pos + 1] = 'u')
+                    then
+                      fail "lone high surrogate \\u%04x at offset %d" u c.pos;
+                    advance c;
+                    advance c;
+                    let lo = unit16 () in
+                    if not (lo >= 0xDC00 && lo <= 0xDFFF) then
+                      fail
+                        "high surrogate \\u%04x not followed by a low \
+                         surrogate at offset %d"
+                        u c.pos;
+                    0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00)
+                  end
+                  else if u >= 0xDC00 && u <= 0xDFFF then
+                    fail "lone low surrogate \\u%04x at offset %d" u c.pos
+                  else u
+                in
+                (* UTF-8 encode the code point (1–4 bytes) *)
                 if cp < 0x80 then Buffer.add_char b (Char.chr cp)
                 else if cp < 0x800 then begin
                   Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
                   Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
                 end
-                else begin
+                else if cp < 0x10000 then begin
                   Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+                  Buffer.add_char b
+                    (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+                  Buffer.add_char b
+                    (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
                   Buffer.add_char b
                     (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
                   Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
@@ -212,20 +249,90 @@ let parse s =
 
 (* ---- printing ---- *)
 
+(* The printer emits exactly what the parser accepts: ASCII printables
+   raw, everything escapable escaped, and valid UTF-8 sequences as
+   [\uXXXX] units — one per BMP code point, a surrogate {e pair} per
+   astral code point (the inverse of the pair decoding in
+   [parse_string], so escape/parse round-trips byte-for-byte).  Bytes
+   that are not part of a valid UTF-8 sequence pass through raw: the
+   parser tolerates them, and inventing lone-surrogate escapes for them
+   would produce output the parser itself rejects. *)
 let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun ch ->
-      match ch with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | ch when Char.code ch < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
-      | ch -> Buffer.add_char b ch)
-    s;
+  let n = String.length s in
+  let b = Buffer.create (n + 2) in
+  let add_unit u = Buffer.add_string b (Printf.sprintf "\\u%04x" u) in
+  (* decode one UTF-8 sequence at [i]: [Some (cp, width)] only for a
+     well-formed, shortest-form, non-surrogate scalar value *)
+  let utf8_at i =
+    let cont j = j < n && Char.code s.[j] land 0xC0 = 0x80 in
+    let byte j = Char.code s.[j] in
+    let c0 = byte i in
+    if c0 < 0xC2 then None (* 0x80..0xBF stray continuation, 0xC0/0xC1 overlong *)
+    else if c0 < 0xE0 then
+      if cont (i + 1) then
+        Some (((c0 land 0x1F) lsl 6) lor (byte (i + 1) land 0x3F), 2)
+      else None
+    else if c0 < 0xF0 then
+      if cont (i + 1) && cont (i + 2) then
+        let cp =
+          ((c0 land 0x0F) lsl 12)
+          lor ((byte (i + 1) land 0x3F) lsl 6)
+          lor (byte (i + 2) land 0x3F)
+        in
+        if cp < 0x800 || (cp >= 0xD800 && cp <= 0xDFFF) then None
+        else Some (cp, 3)
+      else None
+    else if c0 < 0xF5 then
+      if cont (i + 1) && cont (i + 2) && cont (i + 3) then
+        let cp =
+          ((c0 land 0x07) lsl 18)
+          lor ((byte (i + 1) land 0x3F) lsl 12)
+          lor ((byte (i + 2) land 0x3F) lsl 6)
+          lor (byte (i + 3) land 0x3F)
+        in
+        if cp < 0x10000 || cp > 0x10FFFF then None else Some (cp, 4)
+      else None
+    else None
+  in
+  let i = ref 0 in
+  while !i < n do
+    let ch = s.[!i] in
+    (match ch with
+    | '"' ->
+        Buffer.add_string b "\\\"";
+        incr i
+    | '\\' ->
+        Buffer.add_string b "\\\\";
+        incr i
+    | '\n' ->
+        Buffer.add_string b "\\n";
+        incr i
+    | '\r' ->
+        Buffer.add_string b "\\r";
+        incr i
+    | '\t' ->
+        Buffer.add_string b "\\t";
+        incr i
+    | ch when Char.code ch < 0x20 ->
+        add_unit (Char.code ch);
+        incr i
+    | ch when Char.code ch < 0x80 ->
+        Buffer.add_char b ch;
+        incr i
+    | _ -> (
+        match utf8_at !i with
+        | Some (cp, width) ->
+            if cp < 0x10000 then add_unit cp
+            else begin
+              let v = cp - 0x10000 in
+              add_unit (0xD800 lor (v lsr 10));
+              add_unit (0xDC00 lor (v land 0x3FF))
+            end;
+            i := !i + width
+        | None ->
+            Buffer.add_char b ch;
+            incr i));
+  done;
   Buffer.contents b
 
 let rec to_string = function

@@ -13,7 +13,13 @@
     - nesting depth is capped (an adversarial ["[[[[..."] line fails
       with an error instead of exhausting the stack);
     - every failure is a [(value, string) result], never an exception:
-      a malformed frame can only ever cost its sender the connection.
+      a malformed frame can only ever cost its sender the connection;
+    - [\uXXXX] escapes decode to UTF-8: a high surrogate must be
+      immediately followed by an escaped low surrogate and the pair
+      decodes to one astral code point (["😀"] is the four
+      UTF-8 bytes of U+1F600), while a lone or misordered surrogate is a
+      parse error (RFC 8259 §8.2) — never smuggled through as
+      UTF-8-invalid CESU-8 bytes.
 
     Numbers are kept as [Int] when they lex as an OCaml int (ids, exit
     statuses) and [Float] otherwise (deadlines). *)
@@ -32,8 +38,12 @@ type t =
 val parse : string -> (t, string) result
 
 (** Canonical single-line rendering (no spaces, object fields in the
-    order given).  [parse (to_string v)] round-trips for every [v] whose
-    strings are valid UTF-8/ASCII. *)
+    order given).  String contents that form valid UTF-8 are emitted as
+    [\uXXXX] escapes — one unit per BMP code point, a surrogate pair per
+    astral code point, the exact inverse of what {!parse} accepts — so
+    [parse (to_string v)] round-trips for every [v] whose strings are
+    valid UTF-8 (and the emitted frame is pure ASCII).  Bytes outside
+    any valid UTF-8 sequence pass through raw. *)
 val to_string : t -> string
 
 (** {1 Accessors} — each returns [Error] with the offending [name] on a

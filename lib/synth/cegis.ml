@@ -1,0 +1,488 @@
+(* The CEGIS loop (ROADMAP item 3): search the bounded decision-tree
+   protocol space over r objects for the largest n admitting a correct
+   consensus protocol, pruning with replayed counterexamples.
+
+   Search order, per process count n = 2, 3, ...:
+
+     1. solo validity   — a tree is usable for input v only if every solo
+                          run decides v (computed once; n-independent)
+     2. unanimity       — tree t survives side v only if (t, t) is
+                          correct on the all-v vector of length n (a
+                          per-tree full search, so the quadratic pair
+                          stage sweeps survivors only — the same
+                          factorization as [Enumerate.census_of_trees])
+     3. pair sweep      — each (t0, t1) in u0 x u1 runs the candidate
+                          pipeline: lemma replay, then seeded random
+                          probes, then the identical-process adversary,
+                          then full verification on every mixed vector
+
+   Identical processes make input vectors multisets: the mixed vectors
+   at n are [k zeros ++ (n-k) ones] for 0 < k < n, and unanimity is
+   stage 2 — no other vector exists up to symmetry.
+
+   Correctness is monotone downward in n (an n-process execution is an
+   (n+1)-process execution in which the extra process never moves), so
+   the round loop stops at the first exhaustively-unsatisfiable n: every
+   larger n is unsatisfiable by the same embedding, and the frontier
+   claim keeps its `Exhaustive verdict without visiting them.
+
+   Determinism contract (the repo-wide one): identical parameters give
+   bit-identical results — rows, witness, lemma pool — at any [?pool]
+   size.  Per-candidate RNG streams are pre-split with [Rng.split_n]
+   before dispatch, batches are admitted through [Budget.Meter] on the
+   caller, [Par.map] preserves order, the fold that merges outcomes
+   (and grows the lemma pool) runs sequentially in candidate order, and
+   workers only ever see a pool snapshot frozen between batches —
+   exactly the [Fuzz.Campaign] discipline. *)
+
+open Sim
+module D = Consensus.Dtree
+
+type verdict = [ `Satisfiable | `Unsatisfiable | `Unknown of Robust.Budget.reason ]
+
+let verdict_to_string = function
+  | `Satisfiable -> "satisfiable"
+  | `Unsatisfiable -> "unsatisfiable"
+  | `Unknown reason -> "unknown:" ^ Robust.Budget.reason_to_string reason
+
+type row = {
+  n : int;
+  unanimous0 : int;  (** solo-valid trees also correct on the all-0 vector *)
+  unanimous1 : int;
+  candidates : int;  (** pairs examined (admitted by the budget) *)
+  pruned : int;  (** rejected by a replayed pool lemma, no search paid *)
+  refuted : int;  (** rejected by a fresh counterexample (probe/adversary/search) *)
+  witness : (D.t * D.t) option;  (** first verified pair in enumeration order *)
+  verdict : verdict;
+}
+
+type result = {
+  style : D.style;
+  registers : int;
+  depth : int;
+  coins : bool;
+  max_procs : int;
+  seed : int;
+  trees : int;  (** enumerated candidate trees *)
+  valid0 : int;  (** trees whose every solo run decides 0 *)
+  valid1 : int;
+  rows : row list;
+  frontier : int;
+      (** largest n with a verified protocol; 1 when already n = 2 fails
+          (a single process just decides its own input) *)
+  lemmas : Lemma.t list;
+  lemma_hits : int;  (** replays that violated, pool hits and fresh mints alike *)
+  completeness : Robust.Budget.completeness;
+}
+
+(* mixed input vectors at n, identical processes: k zeros then n-k ones *)
+let mixed_vectors n =
+  List.init (n - 1) (fun i ->
+      let zeros = i + 1 in
+      List.init n (fun j -> if j < zeros then 0 else 1))
+
+(* Admitted-prefix batching, Campaign-style: admit up to [batch] items
+   through the meter, dispatch exactly the admitted prefix over the
+   pool, fold results sequentially in index order on the caller.  [f]
+   must be effect-free towards shared state; all merging lives in
+   [fold].  [stop] short-circuits remaining items (their cost is never
+   charged); [after_batch] runs on the caller between batches — the
+   lemma-pool snapshot refresh hook.  Returns the accumulator plus how
+   many items were folded, so callers can tell a budget trip (processed
+   < total, meter tripped) from completion. *)
+let batched ?pool ?(after_batch = fun () -> ()) ~meter ~batch items f fold
+    ~stop init =
+  let items = Array.of_list items in
+  let total = Array.length items in
+  let acc = ref init in
+  let processed = ref 0 in
+  let start = ref 0 in
+  let halted = ref false in
+  while (not !halted) && !start < total do
+    let want = min batch (total - !start) in
+    let admitted = Robust.Budget.Meter.take_nodes meter want in
+    if admitted < want then halted := true;
+    if admitted > 0 then begin
+      let indices = List.init admitted (fun i -> !start + i) in
+      let results = Par.map ?pool (fun i -> f i items.(i)) indices in
+      List.iteri
+        (fun k r ->
+          if not !halted then begin
+            acc := fold !acc (!start + k) r;
+            incr processed;
+            if stop !acc then halted := true
+          end)
+        results
+    end;
+    start := !start + admitted;
+    if not !halted then after_batch ()
+  done;
+  (!acc, !processed)
+
+(* one candidate's whole pipeline; runs on a worker domain against a
+   frozen lemma pool and its own pre-split rng — no shared state *)
+type outcome =
+  | Pruned
+  | Refuted of Lemma.t
+  | Verified
+  | Unknown of Robust.Budget.reason
+
+type eval = {
+  outcome : outcome;
+  side_lemmas : Lemma.t list;
+      (* mints that cannot refute at this n (adversary executions using
+         clones beyond n) but may prune larger rounds *)
+  hits : int;
+}
+
+let probe_max_steps = 1_000
+
+let eval_candidate ~style ~registers ~prune ~probes ~use_attack ~frozen_pool
+    ~n ~vectors ~rng (t0, t1) =
+  let p = D.protocol ~style ~registers (t0, t1) in
+  let hits = ref 0 in
+  let lemma_of ~inputs trace =
+    {
+      Lemma.source = p.Consensus.Protocol.name;
+      inputs;
+      schedule = Fuzz.Schedule.of_trace trace;
+    }
+  in
+  (* 1. pool replay: cheapest possible rejection *)
+  let pruned_hit =
+    if not prune then None else Lemma.first_hit ~n frozen_pool p
+  in
+  match pruned_hit with
+  | Some _ ->
+      incr hits;
+      { outcome = Pruned; side_lemmas = []; hits = !hits }
+  | None -> (
+      (* 2. seeded random probes: cheap fresh counterexamples whose
+         schedules transfer to the pool *)
+      let probe_refutation =
+        let rec per_vector = function
+          | [] -> None
+          | inputs :: rest -> (
+              let rec attempt k =
+                if k = 0 then None
+                else
+                  let seed =
+                    Int64.to_int (Rng.next_int64 rng) land 0x3FFFFFFF
+                  in
+                  let config =
+                    Mc.Enumerate.dtree_config ~style ~registers (t0, t1)
+                      inputs
+                  in
+                  let r =
+                    Run.exec ~max_steps:probe_max_steps (Sched.random ~seed)
+                      config
+                  in
+                  if Checker.ok (Checker.of_config ~inputs r.Run.config) then
+                    attempt (k - 1)
+                  else begin
+                    incr hits;
+                    Some (lemma_of ~inputs r.Run.trace)
+                  end
+              in
+              match attempt probes with
+              | Some l -> Some l
+              | None -> per_vector rest)
+        in
+        per_vector vectors
+      in
+      match probe_refutation with
+      | Some l -> { outcome = Refuted l; side_lemmas = []; hits = !hits }
+      | None -> (
+          (* 3. the constructive adversary (rw only: [Attack.certify]'s
+             fresh-start replay needs responses that do not leak history,
+             which swap responses do).  Its execution may use clones
+             beyond n; then it cannot refute this round, but the
+             certified schedule still joins the pool for larger n. *)
+          let attack_lemma =
+            if not (use_attack && style = D.Rw) then None
+            else
+              match Lowerbound.Attack.run ~nominal_n:n p with
+              | Error _ -> None
+              | Ok o ->
+                  if not (Lowerbound.Attack.succeeded o) then None
+                  else (
+                    match Lowerbound.Attack.certify p o with
+                    | Error _ -> None
+                    | Ok (trace, _) ->
+                        let l =
+                          lemma_of ~inputs:o.Lowerbound.Attack.inputs trace
+                        in
+                        (* trust, but replay: pool only what demonstrably
+                           violates its own source *)
+                        if Lemma.hits l p then begin
+                          incr hits;
+                          Some l
+                        end
+                        else None)
+          in
+          match attack_lemma with
+          | Some l when Lemma.applies ~n l ->
+              { outcome = Refuted l; side_lemmas = []; hits = !hits }
+          | side -> (
+              let side_lemmas = Option.to_list side in
+              (* 4. full verification, vector by vector *)
+              let rec verify = function
+                | [] -> Verified
+                | inputs :: rest -> (
+                    match
+                      Mc.Enumerate.dtree_check_verdict ~style ~registers
+                        (t0, t1) inputs
+                    with
+                    | `Correct -> verify rest
+                    | `Violating trace ->
+                        incr hits;
+                        Refuted (lemma_of ~inputs trace)
+                    | `Unknown reason -> Unknown reason)
+              in
+              { outcome = verify vectors; side_lemmas; hits = !hits })))
+
+let search ?obs ?pool ?(budget = Robust.Budget.unlimited) ?(prune = true)
+    ?(attack = true) ?(probes = 4) ?(max_lemmas = 256) ?(batch = 32) ~style
+    ~registers ~depth ~coins ~max_procs ~seed () =
+  if registers < 1 then invalid_arg "Cegis.search: registers must be >= 1";
+  if depth < 0 then invalid_arg "Cegis.search: depth must be >= 0";
+  if max_procs < 2 then invalid_arg "Cegis.search: max_procs must be >= 2";
+  Obs.span obs "synth/search" @@ fun () ->
+  let meter = Robust.Budget.Meter.create budget in
+  let trees =
+    Array.of_list (Mc.Enumerate.enumerate_dtrees ~style ~registers ~coins depth)
+  in
+  (* stage 1: solo validity, n-independent (pure, fanned out) *)
+  let solo =
+    Par.map_array ?pool
+      (fun t -> Mc.Enumerate.dtree_solo_decisions ~style ~registers t)
+      trees
+  in
+  let valid side =
+    Array.to_list trees |> List.filteri (fun i _ -> solo.(i) = [ side ])
+  in
+  let v0 = valid 0 and v1 = valid 1 in
+  let round_rngs = Rng.split_n (Rng.create seed) (max_procs + 1) in
+  let lemmas = ref [] (* newest first; reversed into pool order on use *) in
+  let lemma_count = ref 0 in
+  let lemma_hits = ref 0 in
+  let add_lemma l =
+    if !lemma_count < max_lemmas then begin
+      lemmas := l :: !lemmas;
+      incr lemma_count
+    end
+  in
+  (* stage 2: unanimity filter for side v at n, one metered node per
+     tree.  `Unknown poisons the whole round: a truncated filter
+     under-approximates the survivor set, and a pair sweep over an
+     under-approximation could claim `Unsatisfiable it never earned. *)
+  let unanimous ~n side v =
+    let vector = List.init n (fun _ -> side) in
+    let (kept, unknown), processed =
+      batched ?pool ~meter ~batch v
+        (fun _ t ->
+          (t, Mc.Enumerate.dtree_check_verdict ~style ~registers (t, t) vector))
+        (fun (kept, unknown) _ (t, verdict) ->
+          match verdict with
+          | `Correct -> (t :: kept, unknown)
+          | `Violating _ -> (kept, unknown)
+          | `Unknown reason -> (kept, Some reason))
+        ~stop:(fun (_, unknown) -> unknown <> None)
+        ([], None)
+    in
+    let unknown =
+      match unknown with
+      | Some _ as u -> u
+      | None ->
+          if processed = List.length v then None
+          else
+            Some
+              (Option.value (Robust.Budget.Meter.tripped meter) ~default:`Nodes)
+    in
+    (List.rev kept, unknown)
+  in
+  let rows = ref [] in
+  let stop_rounds = ref false in
+  let n = ref 2 in
+  while (not !stop_rounds) && !n <= max_procs do
+    let this_n = !n in
+    let u0, unk0 = unanimous ~n:this_n 0 v0 in
+    let u1, unk1 = unanimous ~n:this_n 1 v1 in
+    let row =
+      match (unk0, unk1) with
+      | Some reason, _ | _, Some reason ->
+          {
+            n = this_n;
+            unanimous0 = List.length u0;
+            unanimous1 = List.length u1;
+            candidates = 0;
+            pruned = 0;
+            refuted = 0;
+            witness = None;
+            verdict = `Unknown reason;
+          }
+      | None, None ->
+          (* stage 3: pair sweep in t0-major enumeration order *)
+          let pairs =
+            List.concat_map (fun t0 -> List.map (fun t1 -> (t0, t1)) u1) u0
+          in
+          let vectors = mixed_vectors this_n in
+          let rngs = Rng.split_n round_rngs.(this_n) (List.length pairs) in
+          let frozen = ref (List.rev !lemmas) in
+          let frozen_at = ref !lemma_count in
+          let (pruned, refuted, witness, unknown), processed =
+            batched ?pool ~meter ~batch pairs
+              ~after_batch:(fun () ->
+                (* workers are quiescent between batches; everything the
+                   fold minted is now safe to publish *)
+                if !frozen_at < !lemma_count then begin
+                  frozen := List.rev !lemmas;
+                  frozen_at := !lemma_count
+                end)
+              (fun i pair ->
+                ( eval_candidate ~style ~registers ~prune ~probes
+                    ~use_attack:attack ~frozen_pool:!frozen ~n:this_n
+                    ~vectors ~rng:rngs.(i) pair,
+                  pair ))
+              (fun (pruned, refuted, witness, unknown) _ (ev, pair) ->
+                lemma_hits := !lemma_hits + ev.hits;
+                List.iter add_lemma ev.side_lemmas;
+                match ev.outcome with
+                | Pruned -> (pruned + 1, refuted, witness, unknown)
+                | Refuted l ->
+                    add_lemma l;
+                    (pruned, refuted + 1, witness, unknown)
+                | Verified -> (pruned, refuted, Some pair, unknown)
+                | Unknown reason -> (pruned, refuted, witness, Some reason))
+              ~stop:(fun (_, _, witness, unknown) ->
+                witness <> None || unknown <> None)
+              (0, 0, None, None)
+          in
+          let verdict =
+            match (witness, unknown) with
+            | Some _, _ -> `Satisfiable
+            | None, Some reason -> `Unknown reason
+            | None, None ->
+                if processed = List.length pairs then `Unsatisfiable
+                else
+                  `Unknown
+                    (Option.value
+                       (Robust.Budget.Meter.tripped meter)
+                       ~default:`Nodes)
+          in
+          {
+            n = this_n;
+            unanimous0 = List.length u0;
+            unanimous1 = List.length u1;
+            candidates = processed;
+            pruned;
+            refuted;
+            witness;
+            verdict;
+          }
+    in
+    rows := row :: !rows;
+    (match row.verdict with
+    | `Unsatisfiable | `Unknown _ ->
+        (* unsatisfiable at n stays unsatisfiable for every larger n
+           (idle-process embedding), so the frontier is settled; an
+           unknown row means nothing larger can be claimed either way *)
+        stop_rounds := true
+    | `Satisfiable -> ());
+    incr n
+  done;
+  let rows = List.rev !rows in
+  let frontier =
+    List.fold_left
+      (fun acc r -> if r.verdict = `Satisfiable then r.n else acc)
+      1 rows
+  in
+  let completeness =
+    List.fold_left
+      (fun acc r ->
+        match r.verdict with
+        | `Unknown reason -> Robust.Budget.merge acc (`Truncated reason)
+        | `Satisfiable | `Unsatisfiable -> acc)
+      `Exhaustive rows
+  in
+  let result =
+    {
+      style;
+      registers;
+      depth;
+      coins;
+      max_procs;
+      seed;
+      trees = Array.length trees;
+      valid0 = List.length v0;
+      valid1 = List.length v1;
+      rows;
+      frontier;
+      lemmas = List.rev !lemmas;
+      lemma_hits = !lemma_hits;
+      completeness;
+    }
+  in
+  (* all instrumentation from the merged result, on the caller domain:
+     jobs-invariant by construction *)
+  Obs.add obs "synth/candidates"
+    (List.fold_left (fun a r -> a + r.candidates) 0 rows);
+  Obs.add obs "synth/pruned" (List.fold_left (fun a r -> a + r.pruned) 0 rows);
+  Obs.add obs "synth/refuted"
+    (List.fold_left (fun a r -> a + r.refuted) 0 rows);
+  Obs.add obs "synth/verified"
+    (List.length (List.filter (fun r -> r.witness <> None) rows));
+  Obs.add obs "synth/lemma-hits" result.lemma_hits;
+  Obs.add obs "synth/lemmas" (List.length result.lemmas);
+  Obs.add obs "budget/polls" (Robust.Budget.Meter.polls meter);
+  result
+
+(* ---- rendering (the CLI and bench share these lines) ---- *)
+
+let witness_name (r : result) row =
+  Option.map
+    (fun pair -> D.protocol_name ~style:r.style ~registers:r.registers pair)
+    row.witness
+
+let report (r : result) =
+  let header =
+    Printf.sprintf
+      "synth style=%s registers=%d depth=%d coins=%b procs=2..%d seed=%d \
+       trees=%d valid=%d/%d"
+      (D.style_to_string r.style) r.registers r.depth r.coins r.max_procs
+      r.seed r.trees r.valid0 r.valid1
+  in
+  let rows =
+    List.concat_map
+      (fun row ->
+        let base =
+          Printf.sprintf
+            "n=%d: unanimous=%d/%d candidates=%d pruned=%d refuted=%d \
+             verdict=%s"
+            row.n row.unanimous0 row.unanimous1 row.candidates row.pruned
+            row.refuted
+            (verdict_to_string row.verdict)
+        in
+        match witness_name r row with
+        | None -> [ base ]
+        | Some name -> [ base; Printf.sprintf "synthesized: %s" name ])
+      r.rows
+  in
+  let exhaustive = Robust.Budget.is_exhaustive r.completeness in
+  let frontier =
+    if r.frontier >= 2 then
+      Printf.sprintf
+        "frontier: n=%d (largest process count with a correct protocol in \
+         this class%s)"
+        r.frontier
+        (if exhaustive then "" else "; lower bound, search truncated")
+    else if exhaustive then
+      "frontier: n=1 (no correct protocol for n=2 in this class)"
+    else "frontier: n=1 (nothing verified before the search was truncated)"
+  in
+  let lemmas = Printf.sprintf "lemmas: %d" (List.length r.lemmas) in
+  let completeness =
+    Printf.sprintf "completeness: %s"
+      (Robust.Budget.completeness_to_string r.completeness)
+  in
+  (header :: rows) @ [ frontier; lemmas; completeness ]

@@ -1,0 +1,108 @@
+(** CEGIS over bounded decision-tree consensus protocols: find the
+    largest process count [n] for which a correct protocol exists in the
+    {!Consensus.Dtree} class of depth [<= depth] over [registers]
+    objects, learning pruning lemmas ({!Lemma}) from every
+    counterexample along the way.
+
+    Per round [n = 2, 3, ...] the driver filters candidate trees by solo
+    validity and unanimity (the {!Mc.Enumerate.census_of_trees}
+    factorization), then sweeps surviving pairs through a pipeline of
+    increasingly expensive refuters: pool-lemma replay, seeded random
+    probes, the constructive adversary ({!Lowerbound.Attack}, rw only),
+    and finally exhaustive search on every mixed input vector.  Every
+    counterexample found at any stage becomes a lemma; pruning is sound
+    because a hit replays a concrete violating execution of the pruned
+    candidate itself (see {!Lemma.hits} and DESIGN.md §4k).
+
+    Correctness of a protocol is monotone downward in [n] (idle-process
+    embedding), so the round loop stops at the first exhaustively
+    unsatisfiable [n] and the frontier verdict keeps [`Exhaustive]
+    without visiting larger process counts.
+
+    Determinism: identical parameters produce bit-identical results —
+    rows, witness, lemma pool — at any [?pool] size, by the
+    {!Fuzz.Campaign} discipline (pre-split {!Sim.Rng} streams, batched
+    budget admission, order-preserving {!Par.map}, sequential merge over
+    per-batch-frozen lemma snapshots). *)
+
+type verdict = [ `Satisfiable | `Unsatisfiable | `Unknown of Robust.Budget.reason ]
+
+val verdict_to_string : verdict -> string
+
+type row = {
+  n : int;
+  unanimous0 : int;  (** solo-valid trees also correct on the all-0 vector *)
+  unanimous1 : int;
+  candidates : int;  (** pairs examined (admitted by the budget) *)
+  pruned : int;  (** rejected by a replayed pool lemma, no search paid *)
+  refuted : int;
+      (** rejected by a fresh counterexample (probe, adversary or
+          exhaustive search) *)
+  witness : (Consensus.Dtree.t * Consensus.Dtree.t) option;
+      (** first verified pair in enumeration order *)
+  verdict : verdict;
+}
+
+type result = {
+  style : Consensus.Dtree.style;
+  registers : int;
+  depth : int;
+  coins : bool;
+  max_procs : int;
+  seed : int;
+  trees : int;  (** enumerated candidate trees *)
+  valid0 : int;  (** trees whose every solo run decides 0 *)
+  valid1 : int;
+  rows : row list;  (** one per examined [n], ascending *)
+  frontier : int;
+      (** largest [n] with a verified protocol; [1] when already [n = 2]
+          fails (a single process just decides its own input) *)
+  lemmas : Lemma.t list;  (** final pool, oldest first — the CI artifact *)
+  lemma_hits : int;  (** replays that violated, pool hits and mints alike *)
+  completeness : Robust.Budget.completeness;
+}
+
+(** [search ~style ~registers ~depth ~coins ~max_procs ~seed ()] runs
+    rounds [n = 2 .. max_procs] (or stops earlier at the first
+    unsatisfiable or unknown round).
+
+    [prune] gates pool-lemma replay — with [prune:false] every candidate
+    pays for its own refutation, which must produce identical verdicts
+    (the soundness property [test_synth] pins).  [attack] gates the
+    constructive adversary stage.  [probes] is the number of seeded
+    random executions tried per mixed vector before full search.
+    [max_lemmas] caps the pool; [batch] is the budget-admission batch
+    size.  [budget] governs the whole search: one node per unanimity
+    check and one per candidate pair; a trip yields [`Unknown] rows and
+    a [`Truncated] completeness, never a silent under-claim.
+
+    Raises [Invalid_argument] on [registers < 1], [depth < 0] or
+    [max_procs < 2]. *)
+val search :
+  ?obs:Obs.t ->
+  ?pool:Par.Pool.t ->
+  ?budget:Robust.Budget.t ->
+  ?prune:bool ->
+  ?attack:bool ->
+  ?probes:int ->
+  ?max_lemmas:int ->
+  ?batch:int ->
+  style:Consensus.Dtree.style ->
+  registers:int ->
+  depth:int ->
+  coins:bool ->
+  max_procs:int ->
+  seed:int ->
+  unit ->
+  result
+
+(** Registry name ({!Consensus.Dtree.protocol_name}) of a row's witness,
+    if it has one — resolvable by {!Consensus.Registry.find}, so a
+    synthesized protocol is immediately usable by mc, fuzz and bench. *)
+val witness_name : result -> row -> string option
+
+(** Stable line-oriented report: header, one (or two, with the
+    [synthesized:] name) lines per row, then [frontier:], [lemmas:] and
+    [completeness:] lines.  The CLI prints these; tests and CI golden
+    them. *)
+val report : result -> string list

@@ -341,9 +341,96 @@ let test_sigterm_dumps_metrics () =
       Alcotest.(check bool) "dump carries the mc counters" true
         (contains dumped {|"cmd":"mc"|} && contains dumped "mc/visited"))
 
+(* numeric-flag hygiene: degenerate counts are refused as bad args
+   (exit 1) with a message naming the flag, never silently clamped.
+   cmdliner already rejects the space-separated form of a negative
+   operand as a parse error, so the `=` forms below are the ones that
+   reach our validation. *)
+let test_numeric_validation () =
+  let refused name args needle =
+    let r = run_cli args in
+    check_code name 1 r;
+    Alcotest.(check bool) (name ^ " names the flag") true (contains r.out needle)
+  in
+  refused "mc --jobs=-1"
+    [ "mc"; "cas-1"; "--inputs"; "0,1"; "--jobs=-1" ]
+    "--jobs must be >= 0";
+  refused "synth --jobs=-1"
+    [ "synth"; "--registers"; "1"; "--depth"; "1"; "--jobs=-1" ]
+    "--jobs must be >= 0";
+  refused "fuzz --runs=0" [ "fuzz"; "flawed"; "--runs=0" ] "--runs must be >= 1";
+  refused "fuzz --runs=-5" [ "fuzz"; "flawed"; "--runs=-5" ]
+    "--runs must be >= 1";
+  refused "submit --attempts=0"
+    [ "submit"; "--socket"; "/nonexistent.sock"; "--attempts=0"; "--ping" ]
+    "--attempts must be >= 1";
+  (* --table-mem-budget: degenerate sizes were already refused; pin it *)
+  refused "mc --table-mem-budget 0"
+    [ "mc"; "cas-1"; "--inputs"; "0,1"; "--state"; "flat";
+      "--table-mem-budget"; "0" ]
+    "--table-mem-budget";
+  refused "mc --table-mem-budget 0k"
+    [ "mc"; "cas-1"; "--inputs"; "0,1"; "--state"; "flat";
+      "--table-mem-budget"; "0k" ]
+    "--table-mem-budget";
+  refused "mc --table-mem-budget k"
+    [ "mc"; "cas-1"; "--inputs"; "0,1"; "--state"; "flat";
+      "--table-mem-budget"; "k" ]
+    "--table-mem-budget"
+
+(* the synth subcommand's exit-code and output contract *)
+let test_synth_subcommand () =
+  (* rw depth 1 is the paper's depth-1 impossibility: exhaustive, no
+     protocol beyond the trivial n=1 *)
+  let rw =
+    run_cli
+      [ "synth"; "--registers"; "1"; "--depth"; "1"; "--seed"; "1" ]
+  in
+  check_code "rw depth 1 exhausts clean" 0 rw;
+  Alcotest.(check bool) "frontier verdict line" true
+    (contains rw.out "frontier: n=1 (no correct protocol for n=2 in this class)");
+  Alcotest.(check bool) "completeness line" true
+    (contains rw.out "completeness: exhaustive");
+  (* swap at depth 1 synthesizes a 2-consensus protocol and registers it *)
+  let lemmas = Filename.temp_file "randsync-cli-synth" ".lemmas" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove lemmas with Sys_error _ -> ())
+    (fun () ->
+      let swap =
+        run_cli
+          [ "synth"; "--objects"; "swap"; "--registers"; "1"; "--depth"; "1";
+            "--procs"; "3"; "--seed"; "1"; "--lemmas"; lemmas ]
+      in
+      check_code "swap depth 1 synthesizes" 0 swap;
+      Alcotest.(check bool) "synthesized line names a registry entry" true
+        (contains swap.out "synthesized: synth:swap:r1:");
+      Alcotest.(check bool) "frontier n=2" true
+        (contains swap.out "frontier: n=2");
+      Alcotest.(check bool) "lemma file written" true
+        (contains swap.out "lemmas saved to" && Sys.file_exists lemmas);
+      (* the saved pool re-parses *)
+      let pool = Synth.Lemma.load ~path:lemmas in
+      Alcotest.(check bool) "saved pool is non-empty" true (pool <> []));
+  (* bad arguments are refused *)
+  check_code "bad --objects" 1 (run_cli [ "synth"; "--objects"; "turbo" ]);
+  check_code "zero --registers" 1 (run_cli [ "synth"; "--registers"; "0" ]);
+  check_code "one --procs" 1 (run_cli [ "synth"; "--procs"; "1" ]);
+  (* a tiny node budget trips loudly: exit 3, truncated completeness *)
+  let truncated =
+    run_cli
+      [ "synth"; "--registers"; "1"; "--depth"; "1"; "--seed"; "1";
+        "--max-nodes"; "3" ]
+  in
+  check_code "node budget exits truncated" 3 truncated;
+  Alcotest.(check bool) "truncated completeness printed" true
+    (contains truncated.out "completeness: truncated (nodes)")
+
 let suite =
   [
     Alcotest.test_case "exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "numeric flag validation" `Quick
+      test_numeric_validation;
+    Alcotest.test_case "synth subcommand" `Quick test_synth_subcommand;
     Alcotest.test_case "--state flat vs checkpointing" `Quick
       test_state_flat_checkpoint_conflict;
     Alcotest.test_case "SIGTERM dumps metrics" `Quick

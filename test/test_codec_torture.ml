@@ -161,6 +161,107 @@ let test_json_strictness () =
   expect_json_error "bare identifier" "verdict";
   expect_json_error "two documents" "{} {}"
 
+(* \uXXXX decoding: paired surrogates become one UTF-8 code point, and a
+   lone or misordered surrogate is a loud parse error (RFC 8259 §8.2) —
+   never CESU-8 bytes smuggled through as string content *)
+let test_json_surrogates () =
+  let expect_json_error name text =
+    match Serve.Json.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: silently parsed" name
+  in
+  let decoded name text =
+    match Serve.Json.parse text with
+    | Ok (Serve.Json.String s) -> s
+    | Ok _ -> Alcotest.failf "%s: parsed to a non-string" name
+    | Error e -> Alcotest.failf "%s: refused: %s" name e
+  in
+  (* U+1F600 as a pair -> the four UTF-8 bytes F0 9F 98 80 *)
+  Alcotest.(check string) "paired surrogates decode astral"
+    "\xf0\x9f\x98\x80"
+    (decoded "emoji pair" {|"\ud83d\ude00"|});
+  (* BMP escapes still single-unit *)
+  Alcotest.(check string) "BMP escape" "\xe2\x82\xac"
+    (decoded "euro sign" {|"\u20ac"|});
+  expect_json_error "lone high surrogate" {|"\ud83d"|};
+  expect_json_error "lone low surrogate" {|"\ude00"|};
+  expect_json_error "reversed pair" {|"\ude00\ud83d"|};
+  expect_json_error "high surrogate then non-escape" {|"\ud83dx"|};
+  expect_json_error "high surrogate then non-u escape" {|"\ud83d\n"|};
+  expect_json_error "high surrogate at end of string" {|"a\ud83d"|};
+  (* printer/parser agreement: escape emits exactly what parse accepts,
+     so any valid-UTF-8 payload round-trips through the ASCII wire form *)
+  List.iter
+    (fun payload ->
+      let wire = Serve.Json.to_string (Serve.Json.String payload) in
+      String.iter
+        (fun ch ->
+          if Char.code ch >= 0x80 then
+            Alcotest.failf "wire form of %S is not pure ASCII: %s" payload
+              wire)
+        wire;
+      match Serve.Json.parse wire with
+      | Ok (Serve.Json.String s) ->
+          Alcotest.(check string) "print/parse round-trip" payload s
+      | Ok _ -> Alcotest.fail "round-trip changed the shape"
+      | Error e -> Alcotest.failf "printer emitted unparseable %s: %s" wire e)
+    [ "plain"; "caf\xc3\xa9"; "\xe2\x82\xac"; "\xf0\x9f\x98\x80";
+      "mixed \xf0\x9f\x98\x80 tail" ]
+
+(* ---- synth lemma files ---- *)
+
+let lemma_error name text =
+  match Synth.Lemma.of_text text with
+  | exception Sim.Trace_io.Parse_error _ -> ()
+  | _ -> Alcotest.failf "%s: accepted damaged lemma file" name
+
+let test_lemma_torture () =
+  let pool =
+    [
+      {
+        Synth.Lemma.source = "synth:rw:r1:d0|d1";
+        inputs = [ 0; 1 ];
+        schedule = [ `Step (0, None); `Step (1, Some 1); `Crash 0 ];
+      };
+      {
+        Synth.Lemma.source = "synth:swap:r1:d0|d1";
+        inputs = [ 0; 0; 1 ];
+        schedule = [];
+      };
+    ]
+  in
+  let text = Synth.Lemma.to_text pool in
+  Alcotest.(check bool) "round-trips" true (Synth.Lemma.of_text text = pool);
+  (* byte-prefix sweep: a prefix parses iff it decodes the whole pool *)
+  for n = 0 to String.length text - 1 do
+    let prefix = String.sub text 0 n in
+    match Synth.Lemma.of_text prefix with
+    | parsed ->
+        if parsed <> pool then
+          Alcotest.failf "byte prefix %d silently parsed to a different pool"
+            n
+    | exception Sim.Trace_io.Parse_error _ -> ()
+  done;
+  lemma_error "garbage after end" (text ^ "L x inputs=0 sched=\n");
+  lemma_error "count too large"
+    (String.concat "\n"
+       [ "randsync-lemmas v1"; "count 3";
+         "L p inputs=0,1 sched=s0"; "end"; "" ]);
+  lemma_error "count too small"
+    (String.concat "\n"
+       [ "randsync-lemmas v1"; "count 0";
+         "L p inputs=0,1 sched=s0"; "end"; "" ]);
+  lemma_error "bad entry" "randsync-lemmas v1\ncount 1\nL p inputs=0 sched=x9\nend\n";
+  lemma_error "empty inputs" "randsync-lemmas v1\ncount 1\nL p inputs= sched=\nend\n";
+  lemma_error "wrong magic" "randsync-schedule v1\ncount 0\nend\n";
+  lemma_error "empty file" "";
+  (* CRLF tolerance, like every other line codec *)
+  let crlf =
+    String.concat "\r\n" (String.split_on_char '\n' text)
+  in
+  Alcotest.(check bool) "CRLF tolerated" true
+    (Synth.Lemma.of_text crlf = pool)
+
 (* ---- fuzz-schedule files ---- *)
 
 let schedule_error name text =
@@ -358,6 +459,8 @@ let suite =
     Alcotest.test_case "wire version and shape checks" `Quick
       test_wire_version_and_shape;
     Alcotest.test_case "json strictness" `Quick test_json_strictness;
+    Alcotest.test_case "json surrogate pairs" `Quick test_json_surrogates;
+    Alcotest.test_case "lemma file torture" `Quick test_lemma_torture;
     Alcotest.test_case "schedule torture" `Quick test_schedule_torture;
     Alcotest.test_case "schedule v1 still reads" `Quick
       test_schedule_v1_still_reads;

@@ -74,9 +74,76 @@ let test_check_inputs_catches () =
   (* both read the empty register concurrently and decide their inputs *)
   Alcotest.(check bool) "mixed inputs refuted" false (check_inputs t0 t1 [ 0; 1 ])
 
+(* solo_decisions is contractually duplicate-free and sorted: census
+   filters and the synth lemma pool compare the list structurally
+   against [0]/[1], so a tree reaching the same decision along several
+   coin paths must not report it twice *)
+let test_solo_decisions_dedup () =
+  let open Enumerate in
+  Alcotest.(check (list int)) "flip to the same decision" [ 0 ]
+    (solo_decisions (Flip (Decide 0, Decide 0)));
+  Alcotest.(check (list int)) "nested flips, two paths each" [ 0; 1 ]
+    (solo_decisions
+       (Flip (Flip (Decide 1, Decide 0), Flip (Decide 0, Decide 1))));
+  Alcotest.(check (list int)) "sorted regardless of branch order" [ 0; 1 ]
+    (solo_decisions (Flip (Decide 1, Decide 0)))
+
+(* ---- generalized trees (the synth search space) ---- *)
+
+module D = Consensus.Dtree
+
+(* at one rw register the generalized enumeration is the legacy one:
+   same counts at every depth, and the census goldens carry over *)
+let test_dtree_counts_match_legacy () =
+  List.iter
+    (fun (depth, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "rw r=1 depth %d" depth)
+        expect
+        (List.length
+           (Enumerate.enumerate_dtrees ~style:D.Rw ~registers:1 ~coins:false
+              depth)))
+    [ (0, 2); (1, 14); (2, 2774) ];
+  Alcotest.(check int) "rw r=1 depth 1 with coins" 18
+    (List.length
+       (Enumerate.enumerate_dtrees ~style:D.Rw ~registers:1 ~coins:true 1));
+  (* swap style at depth 1: 2 decides + 2x8 one-swap trees + 8 reads *)
+  Alcotest.(check int) "swap r=1 depth 1" 26
+    (List.length
+       (Enumerate.enumerate_dtrees ~style:D.Swapping ~registers:1
+          ~coins:false 1))
+
+let test_dtree_embedding_agrees () =
+  let open Enumerate in
+  List.iter
+    (fun tree ->
+      let d = dtree_of_tree tree in
+      Alcotest.(check (list int))
+        (D.to_string d ^ " solo decisions agree")
+        (solo_decisions tree)
+        (dtree_solo_decisions ~style:D.Rw ~registers:1 d))
+    (enumerate_randomized 1);
+  (* a violating legacy pair is violating through the dtree checker too *)
+  let t0 = Read (Decide 0, Decide 0, Decide 1) in
+  let t1 = Read (Decide 1, Decide 0, Decide 1) in
+  match
+    dtree_check_verdict ~style:D.Rw ~registers:1
+      (dtree_of_tree t0, dtree_of_tree t1)
+      [ 0; 1 ]
+  with
+  | `Violating _ -> ()
+  | `Correct -> Alcotest.fail "dtree checker missed the race"
+  | `Unknown _ -> Alcotest.fail "dtree check truncated"
+
 let suite =
   [
     Alcotest.test_case "tree counts" `Quick test_tree_counts;
+    Alcotest.test_case "solo_decisions dedup + sort" `Quick
+      test_solo_decisions_dedup;
+    Alcotest.test_case "dtree counts match legacy" `Quick
+      test_dtree_counts_match_legacy;
+    Alcotest.test_case "dtree embedding agrees" `Quick
+      test_dtree_embedding_agrees;
     Alcotest.test_case "tree semantics" `Quick test_tree_semantics;
     Alcotest.test_case "depth-1 census: impossible" `Quick test_census_depth1_impossible;
     Alcotest.test_case "depth-0 census" `Quick test_census_depth0;

@@ -551,8 +551,26 @@ let test_kill9_restart_resumes_byte_identical () =
       | _, _ -> Alcotest.failf "restarted server did not drain clean:\n%s"
                   (slurp log))
 
+(* wire-text honesty for non-ASCII payloads: a label carrying an astral
+   code point survives the encode/decode pair as UTF-8 (the printer
+   emits a surrogate-pair escape, the parser folds it back), and a
+   client frame with a lone surrogate is rejected, not smuggled *)
+let test_wire_unicode () =
+  let grin = "\xf0\x9f\x98\x80" (* U+1F600 *) in
+  let v = Serve.Json.Obj [ ("label", Serve.Json.String grin) ] in
+  let wire = Serve.Json.to_string v in
+  Alcotest.(check bool) "astral escape on the wire" true
+    (Test_util.contains wire {|\ud83d\ude00|});
+  (match Serve.Json.parse wire with
+  | Ok v' -> Alcotest.(check bool) "decodes back to UTF-8" true (v' = v)
+  | Error e -> Alcotest.failf "own output refused: %s" e);
+  match Serve.Json.parse {|{"label":"\ud83d"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lone surrogate accepted"
+
 let suite =
   [
+    Alcotest.test_case "wire unicode round-trip" `Quick test_wire_unicode;
     Alcotest.test_case "round trip + verdict identity" `Quick
       test_round_trip_identity;
     Alcotest.test_case "bounded queue sheds" `Quick test_shedding;

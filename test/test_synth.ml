@@ -1,0 +1,197 @@
+(* The CEGIS synthesis loop: frontier goldens for both object styles,
+   the soundness property that makes lemma pruning admissible (identical
+   verdicts with the pool disabled), provenance of every pooled lemma,
+   and the registry/codec round-trip of synthesized protocols. *)
+
+module D = Consensus.Dtree
+module Cegis = Synth.Cegis
+module Lemma = Synth.Lemma
+
+let search ?prune ?(procs = 4) ~style ~depth () =
+  Cegis.search ?prune ~style ~registers:1 ~depth ~coins:false
+    ~max_procs:procs ~seed:1 ()
+
+let verdict_str (row : Cegis.row) = Cegis.verdict_to_string row.Cegis.verdict
+
+(* rw registers, depth 1: consensus is impossible already at n = 2, and
+   the loop proves it exhaustively over exactly the census's 49 pairs *)
+let test_rw_depth1_frontier () =
+  let r = search ~style:D.Rw ~depth:1 () in
+  Alcotest.(check int) "trees" 14 r.Cegis.trees;
+  Alcotest.(check int) "solo-valid 0 side" 7 r.Cegis.valid0;
+  Alcotest.(check int) "solo-valid 1 side" 7 r.Cegis.valid1;
+  Alcotest.(check int) "frontier" 1 r.Cegis.frontier;
+  Alcotest.(check string) "exhaustive" "exhaustive"
+    (Robust.Budget.completeness_to_string r.Cegis.completeness);
+  match r.Cegis.rows with
+  | [ row ] ->
+      Alcotest.(check int) "one round stops at n=2" 2 row.Cegis.n;
+      Alcotest.(check string) "unsatisfiable" "unsatisfiable" (verdict_str row);
+      Alcotest.(check int) "all 49 pairs examined" 49 row.Cegis.candidates;
+      Alcotest.(check int) "every pair rejected" 49
+        (row.Cegis.pruned + row.Cegis.refuted);
+      Alcotest.(check bool) "no witness" true (row.Cegis.witness = None)
+  | rows -> Alcotest.failf "expected exactly one row, got %d" (List.length rows)
+
+(* swap registers, depth 1: the one-swap adopt-the-first protocol solves
+   n = 2 (consensus number 2, Ovens 2023) and nothing in the class
+   survives n = 3 — the frontier the synthesizer must rediscover *)
+let test_swap_depth1_frontier () =
+  let r = search ~style:D.Swapping ~depth:1 ~procs:5 () in
+  Alcotest.(check int) "frontier" 2 r.Cegis.frontier;
+  Alcotest.(check string) "exhaustive" "exhaustive"
+    (Robust.Budget.completeness_to_string r.Cegis.completeness);
+  (match r.Cegis.rows with
+  | [ row2; row3 ] ->
+      Alcotest.(check string) "n=2 satisfiable" "satisfiable"
+        (verdict_str row2);
+      Alcotest.(check string) "n=3 unsatisfiable" "unsatisfiable"
+        (verdict_str row3);
+      Alcotest.(check bool) "n=2 witness present" true
+        (row2.Cegis.witness <> None)
+  | rows ->
+      Alcotest.failf "expected rows for n=2 and n=3, got %d"
+        (List.length rows));
+  (* the witness really is a correct 2-process protocol: its mixed
+     vector verifies exhaustively through the independent checker *)
+  let row2 = List.hd r.Cegis.rows in
+  let t0, t1 = Option.get row2.Cegis.witness in
+  (match
+     Mc.Enumerate.dtree_check_verdict ~style:D.Swapping ~registers:1 (t0, t1)
+       [ 0; 1 ]
+   with
+  | `Correct -> ()
+  | `Violating _ -> Alcotest.fail "witness violates on inputs 0,1"
+  | `Unknown _ -> Alcotest.fail "witness check truncated");
+  (* and violates at n = 3, consistently with the unsatisfiable row *)
+  match
+    Mc.Enumerate.dtree_check_verdict ~style:D.Swapping ~registers:1 (t0, t1)
+      [ 0; 1; 1 ]
+  with
+  | `Violating _ -> ()
+  | `Correct -> Alcotest.fail "witness should fail at n=3"
+  | `Unknown _ -> Alcotest.fail "witness n=3 check truncated"
+
+(* the synthesized name is a live registry entry: find resolves it, the
+   protocol round-trips through its own name, and mc can check it *)
+let test_registry_round_trip () =
+  let r = search ~style:D.Swapping ~depth:1 ~procs:3 () in
+  let row2 = List.hd r.Cegis.rows in
+  let name = Option.get (Cegis.witness_name r row2) in
+  match Consensus.Registry.find name with
+  | None -> Alcotest.failf "registry cannot resolve %s" name
+  | Some p ->
+      Alcotest.(check string) "name round-trips" name
+        p.Consensus.Protocol.name;
+      Alcotest.(check bool) "identical processes" true
+        p.Consensus.Protocol.identical;
+      (* checked end-to-end by the generic model checker, like any
+         packaged protocol *)
+      let config = Consensus.Protocol.initial_config p ~inputs:[ 0; 1 ] in
+      let result = Mc.Explore.search ~inputs:[ 0; 1 ] config in
+      Alcotest.(check bool) "mc finds no violation" true
+        (result.Mc.Explore.violation = None);
+      let bad = Consensus.Protocol.initial_config p ~inputs:[ 0; 1; 1 ] in
+      let result = Mc.Explore.search ~inputs:[ 0; 1; 1 ] bad in
+      Alcotest.(check bool) "mc violates at n=3" true
+        (result.Mc.Explore.violation <> None)
+
+(* every pooled lemma must hit its own source: the pool only ever holds
+   replayable counterexamples, which is the whole soundness argument *)
+let test_lemma_provenance () =
+  List.iter
+    (fun (style, procs) ->
+      let r = search ~style ~depth:1 ~procs () in
+      Alcotest.(check bool) "pool is non-empty" true (r.Cegis.lemmas <> []);
+      List.iter
+        (fun (l : Lemma.t) ->
+          match Consensus.Registry.find l.Lemma.source with
+          | None -> Alcotest.failf "lemma source %s unresolvable" l.Lemma.source
+          | Some p ->
+              Alcotest.(check bool)
+                (Printf.sprintf "lemma from %s hits its source"
+                   l.Lemma.source)
+                true (Lemma.hits l p))
+        r.Cegis.lemmas)
+    [ (D.Rw, 4); (D.Swapping, 5) ]
+
+(* pruning is an optimization, not an oracle: with the pool disabled
+   every row must reach the same verdict, witness and frontier (pruned
+   candidates are simply paid for as refutations instead) *)
+let test_prune_soundness () =
+  List.iter
+    (fun style ->
+      let project (r : Cegis.result) =
+        ( r.Cegis.frontier,
+          Robust.Budget.completeness_to_string r.Cegis.completeness,
+          List.map
+            (fun (row : Cegis.row) ->
+              ( row.Cegis.n,
+                verdict_str row,
+                row.Cegis.candidates,
+                Option.map D.to_string (Option.map fst row.Cegis.witness),
+                Option.map D.to_string (Option.map snd row.Cegis.witness) ))
+            r.Cegis.rows )
+      in
+      let pruned = project (search ~style ~depth:1 ~procs:4 ()) in
+      let unpruned = project (search ~prune:false ~style ~depth:1 ~procs:4 ()) in
+      Alcotest.(check bool)
+        "same rows, verdicts and witnesses without the pool" true
+        (pruned = unpruned);
+      let _, _, rows = pruned in
+      List.iter
+        (fun (n, _, _, _, _) -> Alcotest.(check bool) "n >= 2" true (n >= 2))
+        rows)
+    [ D.Rw; D.Swapping ]
+
+(* the lemma text codec round-trips the pool the search actually built *)
+let test_lemma_codec_round_trip () =
+  let r = search ~style:D.Swapping ~depth:1 ~procs:5 () in
+  let text = Lemma.to_text r.Cegis.lemmas in
+  let back = Lemma.of_text text in
+  Alcotest.(check int) "pool size survives" (List.length r.Cegis.lemmas)
+    (List.length back);
+  Alcotest.(check bool) "pool round-trips structurally" true
+    (back = r.Cegis.lemmas);
+  Alcotest.(check string) "re-encoding is byte-identical" text
+    (Lemma.to_text back)
+
+(* a node budget yields an unknown row and a truncated completeness —
+   never a silently under-approximated unsatisfiable *)
+let test_budget_trips_loudly () =
+  let budget = Robust.Budget.make ~nodes:3 () in
+  let r =
+    Cegis.search ~budget ~style:D.Rw ~registers:1 ~depth:1 ~coins:false
+      ~max_procs:4 ~seed:1 ()
+  in
+  Alcotest.(check int) "frontier stays at the verified floor" 1
+    r.Cegis.frontier;
+  (match r.Cegis.completeness with
+  | `Truncated `Nodes -> ()
+  | c ->
+      Alcotest.failf "expected truncated (nodes), got %s"
+        (Robust.Budget.completeness_to_string c));
+  match r.Cegis.rows with
+  | [ row ] -> (
+      match row.Cegis.verdict with
+      | `Unknown `Nodes -> ()
+      | v -> Alcotest.failf "expected unknown:nodes row, got %s"
+               (Cegis.verdict_to_string v))
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+let suite =
+  [
+    Alcotest.test_case "rw depth-1 frontier: impossible at n=2" `Quick
+      test_rw_depth1_frontier;
+    Alcotest.test_case "swap depth-1 frontier: n=2" `Quick
+      test_swap_depth1_frontier;
+    Alcotest.test_case "synthesized protocol registry round-trip" `Quick
+      test_registry_round_trip;
+    Alcotest.test_case "every pooled lemma hits its source" `Quick
+      test_lemma_provenance;
+    Alcotest.test_case "pruning never changes verdicts" `Quick
+      test_prune_soundness;
+    Alcotest.test_case "lemma codec round-trip" `Quick
+      test_lemma_codec_round_trip;
+    Alcotest.test_case "budget trips loudly" `Quick test_budget_trips_loudly;
+  ]
